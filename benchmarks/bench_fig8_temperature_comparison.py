@@ -1,0 +1,92 @@
+"""Fig. 8 -- average peak temperature (big CPU and device) per application.
+
+The paper reports the peak temperature of the big CPU cluster and of the
+device for every application under schedutil, Next and (games only)
+Int. QoS PM.  Headline numbers: Next reduces the big-CPU peak temperature by
+up to 29.16 % and the device peak temperature by up to 21.21 % versus
+schedutil, whereas Int. QoS PM manages at most 22.80 % and 3.51 %.
+
+The benchmark prints the same two matrices and asserts the shape: Next runs
+the big cluster cooler than schedutil on every app, and its best-case
+reduction is substantial.
+"""
+
+from repro.analysis.compare import percentage_saving
+from repro.analysis.tables import format_comparison_table, format_series_table
+
+#: Applications evaluated in Fig. 8 (kept in sync with benchmarks/conftest.py).
+PAPER_APPS = ("facebook", "lineage", "pubg", "spotify", "web_browser", "youtube")
+
+#: Maximum reductions reported by the paper (vs schedutil, absolute Celsius %).
+PAPER_MAX_BIG_REDUCTION_PCT = 29.16
+PAPER_MAX_DEVICE_REDUCTION_PCT = 21.21
+
+
+def test_fig8_peak_temperature_comparison(benchmark, evaluation_matrix, platform):
+    def build_tables():
+        big = {
+            app: {name: summary.peak_temperature_c["big"] for name, summary in row.items()}
+            for app, row in evaluation_matrix.items()
+        }
+        device = {
+            app: {name: summary.peak_temperature_c["device"] for name, summary in row.items()}
+            for app, row in evaluation_matrix.items()
+        }
+        return big, device
+
+    big_matrix, device_matrix = benchmark.pedantic(build_tables, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_comparison_table(
+            big_matrix,
+            governor_order=["schedutil", "next", "int_qos_pm"],
+            value_label="peak big-CPU temperature (C)",
+            title="Fig. 8a: peak big-cluster temperature",
+        )
+    )
+    print()
+    print(
+        format_comparison_table(
+            device_matrix,
+            governor_order=["schedutil", "next", "int_qos_pm"],
+            value_label="peak device temperature (C)",
+            title="Fig. 8b: peak device temperature",
+        )
+    )
+
+    rows = []
+    big_reductions = []
+    device_reductions = []
+    for app in PAPER_APPS:
+        big_reduction = percentage_saving(
+            big_matrix[app]["schedutil"], big_matrix[app]["next"]
+        )
+        device_reduction = percentage_saving(
+            device_matrix[app]["schedutil"], device_matrix[app]["next"]
+        )
+        big_reductions.append(big_reduction)
+        device_reductions.append(device_reduction)
+        rows.append([app, round(big_reduction, 1), round(device_reduction, 1)])
+    print(
+        format_series_table(
+            ["app", "next_big_reduction_%", "next_device_reduction_%"],
+            rows,
+            title=(
+                "Fig. 8 derived: Next peak-temperature reduction vs schedutil "
+                f"(paper maxima: big {PAPER_MAX_BIG_REDUCTION_PCT}%, "
+                f"device {PAPER_MAX_DEVICE_REDUCTION_PCT}%)"
+            ),
+        )
+    )
+
+    # Shape assertions: Next never runs the big cluster hotter than schedutil,
+    # and its best-case reduction is substantial (double digits).
+    for app in PAPER_APPS:
+        assert big_matrix[app]["next"] <= big_matrix[app]["schedutil"] + 0.5
+        assert device_matrix[app]["next"] <= device_matrix[app]["schedutil"] + 0.5
+    assert max(big_reductions) > 10.0
+    assert max(device_reductions) > 1.0
+    # Device (body) temperature moves much less than the silicon sensor, as in
+    # the paper where device reductions are smaller than big-CPU reductions.
+    assert max(device_reductions) <= max(big_reductions) + 1.0

@@ -1,0 +1,138 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures (there are no numbered
+tables in the paper; all results are figures).  The expensive artefacts --
+recorded demand traces and trained Next agents -- are built once per pytest
+session here and shared across benchmark modules.
+
+Runtime is controlled by the ``REPRO_BENCH_PROFILE`` environment variable:
+
+* ``fast`` (default): short sessions and training budgets, finishes in a few
+  minutes on a laptop.
+* ``full``: paper-length sessions (5 minutes for games) and longer training,
+  closer to the evaluation protocol of Section V.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict
+
+import pytest
+
+from repro.core.governor import NextGovernor
+from repro.sim.experiment import (
+    make_governor,
+    run_trace,
+    select_best_next_governor,
+)
+from repro.sim.recorder import SummaryStatistics
+from repro.soc.platform import exynos9810
+from repro.workloads.apps import GAME_APPS, make_app
+from repro.workloads.trace import TraceRecorder, WorkloadTrace
+
+#: Applications evaluated in Figs. 7 and 8 of the paper.
+PAPER_APPS = ("facebook", "lineage", "pubg", "spotify", "web_browser", "youtube")
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    """Benchmark scale knobs derived from ``REPRO_BENCH_PROFILE``."""
+
+    profile: str
+    game_session_s: float
+    app_session_s: float
+    training_episodes: int
+    training_episode_s: float
+    candidate_seeds: tuple
+
+    def session_duration(self, app_name: str) -> float:
+        """Per-app evaluation session length (games run longer, as in the paper)."""
+        return self.game_session_s if app_name in GAME_APPS else self.app_session_s
+
+
+def _settings_from_env() -> BenchSettings:
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "fast").lower()
+    if profile == "full":
+        return BenchSettings(
+            profile="full",
+            game_session_s=300.0,
+            app_session_s=150.0,
+            training_episodes=24,
+            training_episode_s=90.0,
+            candidate_seeds=(7, 23, 41),
+        )
+    return BenchSettings(
+        profile="fast",
+        game_session_s=120.0,
+        app_session_s=90.0,
+        training_episodes=12,
+        training_episode_s=75.0,
+        candidate_seeds=(7, 23),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> BenchSettings:
+    return _settings_from_env()
+
+
+@pytest.fixture(scope="session")
+def platform():
+    return exynos9810()
+
+
+@pytest.fixture(scope="session")
+def app_traces(platform, bench_settings) -> Dict[str, WorkloadTrace]:
+    """One fixed demand trace per evaluated application (shared by all governors)."""
+    dt_s = 1.0 / platform.display_refresh_hz
+    traces = {}
+    for index, app_name in enumerate(PAPER_APPS):
+        traces[app_name] = TraceRecorder.record_app(
+            make_app(app_name, seed=1000 + index),
+            bench_settings.session_duration(app_name),
+            dt_s,
+        )
+    return traces
+
+
+@pytest.fixture(scope="session")
+def trained_next_governors(platform, bench_settings) -> Dict[str, NextGovernor]:
+    """A trained (exploitation-mode) Next governor per application."""
+    governors = {}
+    for app_name in PAPER_APPS:
+        governors[app_name] = select_best_next_governor(
+            [app_name],
+            platform=platform,
+            candidate_seeds=bench_settings.candidate_seeds,
+            episodes=bench_settings.training_episodes,
+            episode_duration_s=bench_settings.training_episode_s,
+        )
+    return governors
+
+
+@pytest.fixture(scope="session")
+def evaluation_matrix(
+    platform, bench_settings, app_traces, trained_next_governors
+) -> Dict[str, Dict[str, SummaryStatistics]]:
+    """App x governor summary matrix used by the Fig. 7 and Fig. 8 benches.
+
+    ``Int. QoS PM`` only appears for the two games, exactly as in the paper
+    (the scheme targets 3D games and cannot be extended to the other apps).
+    """
+    matrix: Dict[str, Dict[str, SummaryStatistics]] = {}
+    for app_name, trace in app_traces.items():
+        row: Dict[str, SummaryStatistics] = {}
+        row["schedutil"] = run_trace(
+            trace, make_governor("schedutil"), platform=platform
+        ).summary
+        if app_name in GAME_APPS:
+            row["int_qos_pm"] = run_trace(
+                trace, make_governor("int_qos_pm"), platform=platform
+            ).summary
+        row["next"] = run_trace(
+            trace, trained_next_governors[app_name], platform=platform
+        ).summary
+        matrix[app_name] = row
+    return matrix

@@ -1,0 +1,56 @@
+"""Daily-usage scenario: the paper's motivating mixed session (Figs. 1 and 3).
+
+Recreates the home screen -> Facebook -> Spotify session of the paper's
+motivation, prints the bursty FPS / frequency trace under ``schedutil``
+(Fig. 1) and then compares power and temperature against a trained Next agent
+(Fig. 3).
+
+Run with::
+
+    python examples/daily_usage_session.py
+"""
+
+from repro import make_governor
+from repro.analysis.compare import percentage_saving
+from repro.sim.experiment import record_session_trace, run_trace, select_best_next_governor
+from repro.soc.platform import exynos9810
+from repro.workloads.session import FIGURE1_SESSION
+
+
+def main() -> None:
+    platform = exynos9810()
+    trace = record_session_trace(FIGURE1_SESSION.segments, platform=platform, seed=7)
+
+    print("Replaying the session under stock schedutil (Fig. 1 view):\n")
+    schedutil_result = run_trace(trace, make_governor("schedutil"), platform=platform)
+    print(f"{'t (s)':>6} {'app':<10} {'fps':>6} {'big (GHz)':>10} {'LITTLE (GHz)':>13}")
+    for sample in schedutil_result.recorder.resample(9.0):
+        print(
+            f"{sample.time_s:>6.0f} {sample.app_name:<10} {sample.fps:>6.1f} "
+            f"{sample.frequencies_mhz['big'] / 1000:>10.2f} "
+            f"{sample.frequencies_mhz['little'] / 1000:>13.2f}"
+        )
+
+    print("\nTraining the Next agent on the three session apps...")
+    next_governor = select_best_next_governor(
+        ["home", "facebook", "spotify"],
+        platform=platform,
+        candidate_seeds=(7,),
+        episodes=12,
+        episode_duration_s=75.0,
+    )
+    next_result = run_trace(trace, next_governor, platform=platform)
+
+    sched, nxt = schedutil_result.summary, next_result.summary
+    print("\nFig. 3 view -- schedutil vs Next on the identical session:")
+    print(f"  avg power   : {sched.average_power_w:.2f} W -> {nxt.average_power_w:.2f} W "
+          f"({percentage_saving(sched.average_power_w, nxt.average_power_w):.1f}% saving; paper 41.88%)")
+    print(f"  avg big temp: {sched.average_temperature_c['big']:.1f} C -> "
+          f"{nxt.average_temperature_c['big']:.1f} C "
+          f"({percentage_saving(sched.average_temperature_c['big'], nxt.average_temperature_c['big']):.1f}% lower; paper 21.02%)")
+    print(f"  peak big temp: {sched.peak_temperature_c['big']:.1f} C -> {nxt.peak_temperature_c['big']:.1f} C")
+    print(f"  frame delivery: {sched.frame_delivery_ratio:.2f} -> {nxt.frame_delivery_ratio:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Federated / cloud training scenario (Section IV-C of the paper).
+
+Simulates a small fleet of devices that each train the Next agent locally on
+the same application, aggregates their Q-tables on a "server" with the
+visit-weighted FedAvg-style rule, and shows that (a) the aggregated table
+controls the device at least as well as a typical individual device, and
+(b) the cloud wall-clock model turns minutes of on-device training into
+seconds plus the communication overhead.
+
+Run with::
+
+    python examples/federated_training.py
+"""
+
+from repro.core.federated import CloudTrainer, FederatedAggregator
+from repro.core.governor import NextGovernor
+from repro.sim.experiment import run_trace, train_next_governor
+from repro.soc.platform import exynos9810
+from repro.workloads.apps import make_app
+from repro.workloads.trace import TraceRecorder
+
+APP = "youtube"
+FLEET_SIZE = 3
+
+
+def main() -> None:
+    platform = exynos9810()
+    dt_s = 1.0 / platform.display_refresh_hz
+
+    print(f"Training {FLEET_SIZE} simulated devices on {APP!r}...")
+    device_governors = []
+    device_training_times = []
+    for device in range(FLEET_SIZE):
+        governor = NextGovernor(seed=100 + device)
+        result = train_next_governor(
+            governor, APP, platform=platform, episodes=8, episode_duration_s=60.0,
+            seed=100 + device, td_error_threshold=0.0,
+        )
+        governor.set_training(False)
+        device_governors.append(governor)
+        device_training_times.append(result.training_time_s)
+        print(f"  device {device}: {result.agent_steps} steps, "
+              f"{result.qtable_states} states, {result.training_time_s:.0f} s on-device")
+
+    # Server-side aggregation of the per-device Q-tables.
+    aggregator = FederatedAggregator(action_count=9)
+    tables = [g.agent.store.table_for(APP) for g in device_governors]
+    fleet_table = aggregator.aggregate(tables)
+    print(f"\nAggregated fleet table: {len(fleet_table)} states "
+          f"(union of {[len(t) for t in tables]}).")
+
+    fleet_governor = NextGovernor(seed=999, training=False)
+    fleet_governor.agent.store.set_table(APP, fleet_table)
+    fleet_governor.agent.set_application(APP)
+
+    # Evaluate an individual device and the fleet model on the same session.
+    trace = TraceRecorder.record_app(make_app(APP, seed=555), 90.0, dt_s)
+    individual = run_trace(trace, device_governors[0], platform=platform).summary
+    fleet = run_trace(trace, fleet_governor, platform=platform).summary
+    print(f"\nindividual device : {individual.average_power_w:.2f} W, "
+          f"delivery {individual.frame_delivery_ratio:.2f}")
+    print(f"fleet (federated) : {fleet.average_power_w:.2f} W, "
+          f"delivery {fleet.frame_delivery_ratio:.2f}")
+
+    # Cloud wall-clock model (Fig. 6's second series).
+    cloud = CloudTrainer()
+    mean_device_time = sum(device_training_times) / len(device_training_times)
+    print(f"\nmean on-device training time : {mean_device_time:.0f} s")
+    print(f"same training in the cloud   : {cloud.cloud_time_s(mean_device_time):.1f} s "
+          f"(speed-up {cloud.speedup(mean_device_time):.1f}x incl. 4 s communication)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: simulate a phone session and compare two governors.
+
+Runs the Facebook workload on the simulated Exynos 9810 under the stock
+``schedutil`` governor and under the ``powersave`` governor, and prints the
+power / thermal / QoS summary of both -- a two-minute tour of the public API.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import make_governor
+from repro.sim.experiment import run_trace
+from repro.soc.platform import exynos9810
+from repro.workloads.apps import make_app
+from repro.workloads.trace import TraceRecorder
+
+
+def main() -> None:
+    platform = exynos9810()
+    dt_s = 1.0 / platform.display_refresh_hz
+
+    # Record the demand of one 60 s Facebook session once, so both governors
+    # face exactly the same user behaviour.
+    app = make_app("facebook", seed=42)
+    trace = TraceRecorder.record_app(app, duration_s=60.0, dt_s=dt_s)
+    print(f"Recorded {len(trace)} ticks, {trace.total_frames_demanded} frames demanded.\n")
+
+    for governor_name in ("schedutil", "powersave"):
+        governor = make_governor(governor_name)
+        result = run_trace(trace, governor, platform=platform)
+        summary = result.summary
+        print(f"--- {governor_name} ---")
+        print(f"  average power        : {summary.average_power_w:6.2f} W")
+        print(f"  peak big-CPU temp    : {summary.peak_temperature_c['big']:6.1f} C")
+        print(f"  peak device temp     : {summary.peak_temperature_c['device']:6.1f} C")
+        print(f"  average FPS          : {summary.average_fps:6.1f}")
+        print(f"  frame delivery ratio : {summary.frame_delivery_ratio:6.2f}")
+        print(f"  average PPDW         : {summary.average_ppdw:6.3f}")
+        print()
+
+    print(
+        "powersave draws less power but drops interaction frames; the Next agent\n"
+        "(see examples/gaming_session.py) finds the operating points that save\n"
+        "power while still delivering the frame rate the user actually needs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package can be installed in editable
+mode on systems without the ``wheel`` package (offline environments fall back
+to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,121 @@
+"""repro: reproduction of "User Interaction Aware Reinforcement Learning for
+Power and Thermal Efficiency of CPU-GPU Mobile MPSoCs" (Dey et al., DATE 2020).
+
+The package is organised as:
+
+* :mod:`repro.core` -- the paper's contribution: the ``Next`` agent (frame
+  window, PPDW metric, Q-learning DVFS) and its offline/federated training
+  extensions.
+* :mod:`repro.soc` -- the simulated Exynos 9810 substrate: clusters with the
+  paper's exact DVFS tables, power model, thermal network and sensors.
+* :mod:`repro.graphics` -- the Android display pipeline substrate: VSync,
+  triple buffering, frame rendering and FPS accounting.
+* :mod:`repro.workloads` -- the applications and the user: phase-machine app
+  models for the six evaluated apps, the interaction model and session
+  generation.
+* :mod:`repro.governors` -- the baselines: ``schedutil`` (EAS), simple
+  reference governors and the Int. QoS PM scheme of Pathania et al.
+* :mod:`repro.sim` -- the simulation engine, recorders and experiment
+  runners.
+* :mod:`repro.analysis` -- metric aggregation and text-table rendering used
+  by the benchmark harness.
+
+Quickstart::
+
+    from repro import make_governor, run_app_session
+
+    result = run_app_session("facebook", make_governor("schedutil"),
+                             duration_s=60.0, seed=1)
+    print(result.summary.average_power_w)
+"""
+
+from repro.core import (
+    AgentConfig,
+    FrameWindowConfig,
+    FrameWindowMonitor,
+    NextAgent,
+    NextGovernor,
+    PpdwBounds,
+    QLearningConfig,
+    RewardConfig,
+    compute_ppdw,
+    compute_reward,
+)
+from repro.governors import (
+    Governor,
+    GovernorObservation,
+    IntQosGovernor,
+    SchedutilGovernor,
+    SchedutilScaler,
+)
+from repro.sim import (
+    GovernorComparison,
+    Recorder,
+    SessionResult,
+    SessionWorkload,
+    Simulation,
+    SimulationConfig,
+    TrainingResult,
+    compare_governors_on_trace,
+    make_governor,
+    run_app_session,
+    run_trace,
+    train_next_governor,
+)
+from repro.soc import PlatformSpec, SocSimulator, exynos9810, generic_two_cluster_soc
+from repro.workloads import (
+    APP_LIBRARY,
+    AppModel,
+    SessionGenerator,
+    TraceRecorder,
+    WorkloadTrace,
+    make_app,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "NextAgent",
+    "NextGovernor",
+    "AgentConfig",
+    "FrameWindowConfig",
+    "FrameWindowMonitor",
+    "QLearningConfig",
+    "RewardConfig",
+    "PpdwBounds",
+    "compute_ppdw",
+    "compute_reward",
+    # governors
+    "Governor",
+    "GovernorObservation",
+    "SchedutilGovernor",
+    "SchedutilScaler",
+    "IntQosGovernor",
+    # soc
+    "PlatformSpec",
+    "SocSimulator",
+    "exynos9810",
+    "generic_two_cluster_soc",
+    # workloads
+    "APP_LIBRARY",
+    "AppModel",
+    "make_app",
+    "SessionGenerator",
+    "TraceRecorder",
+    "WorkloadTrace",
+    # sim
+    "Simulation",
+    "SimulationConfig",
+    "SessionWorkload",
+    "Recorder",
+    "SessionResult",
+    "TrainingResult",
+    "GovernorComparison",
+    "run_app_session",
+    "run_trace",
+    "train_next_governor",
+    "compare_governors_on_trace",
+    "make_governor",
+]

@@ -1,0 +1,28 @@
+"""Analysis helpers: metric aggregation, baseline comparison, text tables."""
+
+from repro.analysis.metrics import (
+    fps_statistics,
+    peak_temperature_rise_c,
+    ppdw_series,
+    series_statistics,
+)
+from repro.analysis.compare import (
+    percentage_reduction,
+    percentage_saving,
+    power_saving_pct,
+    temperature_reduction_pct,
+)
+from repro.analysis.tables import format_comparison_table, format_series_table
+
+__all__ = [
+    "series_statistics",
+    "fps_statistics",
+    "ppdw_series",
+    "peak_temperature_rise_c",
+    "percentage_saving",
+    "percentage_reduction",
+    "power_saving_pct",
+    "temperature_reduction_pct",
+    "format_comparison_table",
+    "format_series_table",
+]

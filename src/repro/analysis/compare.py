@@ -1,0 +1,58 @@
+"""Baseline-relative comparison helpers (the percentages the paper reports)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.recorder import SummaryStatistics
+
+
+def percentage_saving(baseline: float, candidate: float) -> float:
+    """Percentage by which ``candidate`` is lower than ``baseline``.
+
+    Positive values mean the candidate consumes/produces less.  A zero or
+    negative baseline yields 0 to avoid meaningless ratios.
+    """
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - candidate) / baseline
+
+
+def percentage_reduction(baseline: float, candidate: float, floor: float = 0.0) -> float:
+    """Reduction of ``candidate`` vs ``baseline`` measured above a floor.
+
+    Used for temperatures, where the meaningful quantity is the rise above
+    the ambient ``floor`` rather than the absolute Celsius value.
+    """
+    baseline_rise = baseline - floor
+    if baseline_rise <= 0:
+        return 0.0
+    return 100.0 * (baseline - candidate) / baseline_rise
+
+
+def power_saving_pct(baseline: SummaryStatistics, candidate: SummaryStatistics) -> float:
+    """Average-power saving of ``candidate`` relative to ``baseline``."""
+    return percentage_saving(baseline.average_power_w, candidate.average_power_w)
+
+
+def temperature_reduction_pct(
+    baseline: SummaryStatistics,
+    candidate: SummaryStatistics,
+    node: str,
+    ambient_c: float = 21.0,
+    absolute: bool = False,
+) -> float:
+    """Peak-temperature reduction of ``candidate`` vs ``baseline`` for ``node``.
+
+    With ``absolute=True`` the reduction is expressed as a fraction of the
+    absolute baseline temperature (how the paper quotes its percentages);
+    otherwise it is measured relative to the rise above ambient, which is the
+    physically meaningful quantity.
+    """
+    base = baseline.peak_temperature_c.get(node)
+    cand = candidate.peak_temperature_c.get(node)
+    if base is None or cand is None:
+        return 0.0
+    if absolute:
+        return percentage_saving(base, cand)
+    return percentage_reduction(base, cand, floor=ambient_c)

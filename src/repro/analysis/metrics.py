@@ -1,0 +1,74 @@
+"""Metric helpers shared by the benchmarks and the examples."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.ppdw import compute_ppdw
+from repro.sim.recorder import Recorder
+
+
+@dataclass(frozen=True)
+class SeriesStatistics:
+    """Basic statistics of a numeric series."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    std: float
+    count: int
+
+
+def series_statistics(values: Sequence[float]) -> SeriesStatistics:
+    """Mean / min / max / population standard deviation of a series."""
+    if not values:
+        raise ValueError("cannot summarise an empty series")
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((v - mean) ** 2 for v in values) / count
+    return SeriesStatistics(
+        mean=mean,
+        minimum=min(values),
+        maximum=max(values),
+        std=math.sqrt(variance),
+        count=count,
+    )
+
+
+def fps_statistics(recorder: Recorder) -> Dict[str, float]:
+    """FPS statistics of a recorded run, including the delivery ratio."""
+    summary = recorder.summary()
+    fps_values = recorder.column("fps")
+    stats = series_statistics(fps_values)
+    return {
+        "average_fps": summary.average_fps,
+        "fps_p10": summary.fps_p10,
+        "fps_min": stats.minimum,
+        "fps_max": stats.maximum,
+        "fps_std": stats.std,
+        "frame_delivery_ratio": summary.frame_delivery_ratio,
+        "frames_dropped": float(summary.total_frames_dropped),
+    }
+
+
+def ppdw_series(recorder: Recorder, hot_node: str = "big") -> List[float]:
+    """Per-sample PPDW values of a recorded run."""
+    return [
+        compute_ppdw(
+            fps=sample.fps,
+            power_w=sample.power_total_w,
+            temperature_c=sample.temperatures_c.get(hot_node, recorder.ambient_c),
+            ambient_c=recorder.ambient_c,
+        )
+        for sample in recorder.samples
+    ]
+
+
+def peak_temperature_rise_c(recorder: Recorder, node: str) -> float:
+    """Peak temperature of ``node`` above ambient over a recorded run."""
+    series = recorder.temperature_series(node)
+    if not series:
+        raise ValueError("recorder holds no samples")
+    return max(series) - recorder.ambient_c

@@ -1,0 +1,75 @@
+"""Plain-text table rendering for the benchmark harness output.
+
+The benchmarks print the same rows/series the paper's figures show; these
+helpers keep that formatting in one place so every benchmark produces
+consistent, easily diff-able output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width text table."""
+    if not headers:
+        raise ValueError("headers must not be empty")
+    formatted_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in formatted_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_comparison_table(
+    per_app: Mapping[str, Mapping[str, float]],
+    governor_order: Sequence[str],
+    value_label: str,
+    title: str = "",
+) -> str:
+    """Render an app x governor matrix (the shape of Figs. 7 and 8).
+
+    Parameters
+    ----------
+    per_app:
+        Mapping of app name to a mapping of governor name to value.  Missing
+        (app, governor) combinations render as ``"-"`` (e.g. Int. QoS PM on
+        non-game applications).
+    governor_order:
+        Column order.
+    value_label:
+        What the numbers are (used in the title line).
+    title:
+        Optional table title.
+    """
+    headers = ["app"] + [str(g) for g in governor_order]
+    rows: List[List[str]] = []
+    for app_name, values in per_app.items():
+        row: List[str] = [app_name]
+        for governor in governor_order:
+            value = values.get(governor)
+            row.append("-" if value is None else f"{value:.3f}")
+        rows.append(row)
+    full_title = f"{title} [{value_label}]" if title else f"[{value_label}]"
+    return format_series_table(headers, rows, title=full_title)

@@ -1,0 +1,61 @@
+"""The paper's contribution: the ``Next`` user-interaction-aware RL governor.
+
+``Next`` (Next generation user interaction aware DVFS) is a software agent
+that
+
+1. monitors the frame rate every 25 ms over a 4 s *frame window* and takes
+   the statistical mode as the target FPS the user's current interaction
+   pattern requires (:mod:`repro.core.frame_window`),
+2. optimises the *performance per degree watt* metric
+   ``PPDW = FPS / ((T - T_ambient) * P)`` introduced in Section III-B
+   (:mod:`repro.core.ppdw`),
+3. runs tabular Q-learning over a state made of the cluster frequencies, the
+   current and target FPS, the power reading and the two temperatures, with
+   nine actions (frequency up / down / hold for each of the big, LITTLE and
+   GPU clusters) that move the clusters' ``maxfreq`` limits
+   (:mod:`repro.core.state`, :mod:`repro.core.actions`,
+   :mod:`repro.core.qlearning`), and
+4. persists one Q-table per application so training happens once per app
+   (:mod:`repro.core.qtable`), optionally in the cloud or federated across
+   devices (:mod:`repro.core.federated`).
+
+:class:`repro.core.agent.NextAgent` ties the pieces together and
+:class:`repro.core.governor.NextGovernor` adapts it to the governor interface
+used by the simulation engine.
+"""
+
+from repro.core.ppdw import PpdwBounds, RewardConfig, compute_ppdw, compute_reward
+from repro.core.frame_window import FrameWindowConfig, FrameWindowMonitor, quantise_fps
+from repro.core.state import NextState, StateDiscretiser, StateDiscretiserConfig
+from repro.core.actions import Action, ActionDirection, ActionSpace
+from repro.core.qlearning import QLearningConfig, QLearningCore
+from repro.core.qtable import QTable, QTableStore
+from repro.core.agent import AgentConfig, NextAgent
+from repro.core.governor import NextGovernor
+from repro.core.federated import CloudTrainer, CloudTrainingConfig, FederatedAggregator
+
+__all__ = [
+    "compute_ppdw",
+    "compute_reward",
+    "PpdwBounds",
+    "RewardConfig",
+    "FrameWindowConfig",
+    "FrameWindowMonitor",
+    "quantise_fps",
+    "NextState",
+    "StateDiscretiser",
+    "StateDiscretiserConfig",
+    "Action",
+    "ActionDirection",
+    "ActionSpace",
+    "QLearningConfig",
+    "QLearningCore",
+    "QTable",
+    "QTableStore",
+    "AgentConfig",
+    "NextAgent",
+    "NextGovernor",
+    "CloudTrainer",
+    "CloudTrainingConfig",
+    "FederatedAggregator",
+]

@@ -1,0 +1,127 @@
+"""Action space of the Next agent.
+
+Section IV-B: with *m* DVFS-capable clusters the agent has ``3 m`` actions --
+frequency up, frequency down and "do nothing" for each cluster.  On the
+Exynos 9810 (big, LITTLE, GPU) that is the nine actions the paper lists.
+"Setting the operating frequency" means moving the cluster's ``maxfreq``
+limit; the underlying governor remains free to run anywhere between
+``minfreq`` and the new cap, which is what gives the scheme its reactive
+safety margin.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.soc.cluster import Cluster
+
+
+class ActionDirection(enum.Enum):
+    """What an action does to its cluster's ``maxfreq`` limit."""
+
+    UP = 1
+    DOWN = -1
+    HOLD = 0
+
+    @property
+    def step(self) -> int:
+        """OPP-index delta applied to the ``maxfreq`` limit."""
+        return self.value
+
+
+@dataclass(frozen=True)
+class Action:
+    """One action: a (cluster, direction) pair.
+
+    Attributes
+    ----------
+    cluster_name:
+        The cluster whose ``maxfreq`` limit the action adjusts.
+    direction:
+        Up, down or hold.
+    """
+
+    cluster_name: str
+    direction: ActionDirection
+
+    @property
+    def label(self) -> str:
+        """Human-readable label, e.g. ``"big_frequency_up"``."""
+        suffix = {
+            ActionDirection.UP: "frequency_up",
+            ActionDirection.DOWN: "frequency_down",
+            ActionDirection.HOLD: "frequency_hold",
+        }[self.direction]
+        return f"{self.cluster_name}_{suffix}"
+
+
+class ActionSpace:
+    """The ordered list of actions available to the agent."""
+
+    def __init__(self, cluster_names: Sequence[str]) -> None:
+        if not cluster_names:
+            raise ValueError("the action space needs at least one cluster")
+        if len(set(cluster_names)) != len(cluster_names):
+            raise ValueError("duplicate cluster names in action space")
+        self.cluster_names: Tuple[str, ...] = tuple(cluster_names)
+        self._actions: List[Action] = []
+        for name in self.cluster_names:
+            for direction in (ActionDirection.UP, ActionDirection.DOWN, ActionDirection.HOLD):
+                self._actions.append(Action(cluster_name=name, direction=direction))
+
+    # -- container protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __getitem__(self, index: int) -> Action:
+        return self._actions[index]
+
+    def __iter__(self):
+        return iter(self._actions)
+
+    @property
+    def actions(self) -> List[Action]:
+        """All actions in index order."""
+        return list(self._actions)
+
+    def index_of(self, action: Action) -> int:
+        """Index of an action within the space."""
+        return self._actions.index(action)
+
+    def labels(self) -> List[str]:
+        """Human-readable labels of all actions, in index order."""
+        return [action.label for action in self._actions]
+
+    # -- actuation ----------------------------------------------------------------
+
+    def apply(self, action_index: int, clusters: Mapping[str, Cluster]) -> Action:
+        """Apply the action with ``action_index`` to the clusters.
+
+        Moving a limit that is already at the end of the OPP table is a
+        silently clamped no-op (exactly like writing an out-of-range value to
+        the sysfs ``scaling_max_freq`` node).
+
+        Returns the :class:`Action` that was applied.
+        """
+        if not 0 <= action_index < len(self._actions):
+            raise IndexError(f"action index {action_index} out of range")
+        action = self._actions[action_index]
+        if action.direction is ActionDirection.HOLD:
+            return action
+        cluster = clusters.get(action.cluster_name)
+        if cluster is None:
+            return action
+        new_limit = cluster.max_limit_index + action.direction.step
+        cluster.set_max_limit_index(new_limit)
+        return action
+
+    def hold_indices(self) -> List[int]:
+        """Indices of all "do nothing" actions (useful as a safe default)."""
+        return [
+            index
+            for index, action in enumerate(self._actions)
+            if action.direction is ActionDirection.HOLD
+        ]

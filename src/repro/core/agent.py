@@ -1,0 +1,288 @@
+"""The Next agent: frame window + PPDW reward + Q-learning + maxfreq actuation.
+
+This is the object that reproduces Section IV of the paper.  Its life cycle
+mirrors the on-device deployment:
+
+* it runs continuously in the "application layer" (here: as a policy governor
+  invoked by the simulation engine every 100 ms),
+* it samples the frame rate every 25 ms into the frame window and takes the
+  window mode as the target FPS,
+* at every invocation it discretises the observation into a state, computes
+  the PPDW-based reward for the *previous* action, performs the Q-learning
+  update, selects the next action (epsilon-greedy while training, greedy once
+  trained) and applies it by moving one cluster's ``maxfreq`` limit one OPP
+  step, and
+* it keeps one Q-table per application, so an application that was trained
+  before is controlled greedily from its stored table on later runs.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.actions import Action, ActionSpace
+from repro.core.frame_window import FrameWindowConfig, FrameWindowMonitor
+from repro.core.ppdw import RewardConfig, compute_reward
+from repro.core.qlearning import QLearningConfig, QLearningCore
+from repro.core.qtable import QTableStore
+from repro.core.state import NextState, StateDiscretiser, StateDiscretiserConfig
+from repro.governors.base import GovernorObservation
+from repro.soc.cluster import Cluster
+
+
+@dataclass
+class AgentConfig:
+    """Configuration of the Next agent.
+
+    Attributes
+    ----------
+    cluster_order:
+        The clusters the agent controls, in state/action order.
+    invocation_period_s:
+        How often the agent is invoked (100 ms in the paper).
+    frame_window:
+        Frame-window (target FPS) configuration.
+    discretiser:
+        State discretisation configuration.
+    qlearning:
+        Q-learning hyper-parameters.
+    reward:
+        PPDW reward shaping.
+    ambient_c:
+        Ambient temperature used in the PPDW computation.
+    trained_visit_threshold:
+        Total Q-table visits after which an application counts as trained
+        (used by :meth:`NextAgent.is_trained` and the experiment harness).
+    td_error_window:
+        Number of recent TD errors kept for the convergence diagnostics.
+    """
+
+    cluster_order: Tuple[str, ...] = ("big", "little", "gpu")
+    invocation_period_s: float = 0.1
+    frame_window: FrameWindowConfig = field(default_factory=FrameWindowConfig)
+    discretiser: StateDiscretiserConfig = field(default_factory=StateDiscretiserConfig)
+    qlearning: QLearningConfig = field(default_factory=QLearningConfig)
+    reward: RewardConfig = field(default_factory=RewardConfig)
+    ambient_c: float = 21.0
+    trained_visit_threshold: int = 800
+    td_error_window: int = 200
+
+    def __post_init__(self) -> None:
+        if self.invocation_period_s <= 0:
+            raise ValueError("invocation_period_s must be positive")
+        if self.trained_visit_threshold < 1:
+            raise ValueError("trained_visit_threshold must be positive")
+        if self.td_error_window < 1:
+            raise ValueError("td_error_window must be positive")
+        if tuple(self.discretiser.cluster_order) != tuple(self.cluster_order):
+            # Keep the state axes aligned with the action axes.
+            object.__setattr__(
+                self,
+                "discretiser",
+                StateDiscretiserConfig(
+                    cluster_order=tuple(self.cluster_order),
+                    frequency_bins=self.discretiser.frequency_bins,
+                    fps_bins=self.discretiser.fps_bins,
+                    target_fps_bins=self.discretiser.target_fps_bins,
+                    power_bins=self.discretiser.power_bins,
+                    temperature_bins=self.discretiser.temperature_bins,
+                    device_temperature_bins=self.discretiser.device_temperature_bins,
+                    max_fps=self.discretiser.max_fps,
+                    max_power_w=self.discretiser.max_power_w,
+                    max_temperature_c=self.discretiser.max_temperature_c,
+                    ambient_c=self.discretiser.ambient_c,
+                ),
+            )
+
+
+@dataclass
+class AgentStepInfo:
+    """Diagnostics returned by one :meth:`NextAgent.step` call."""
+
+    state: NextState
+    action: Action
+    action_index: int
+    reward: Optional[float]
+    target_fps: float
+    exploring: bool
+
+
+class NextAgent:
+    """User-interaction-aware reinforcement-learning DVFS agent."""
+
+    def __init__(
+        self,
+        config: Optional[AgentConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.config = config or AgentConfig()
+        self._rng = random.Random(seed if seed is not None else 0)
+        self.action_space = ActionSpace(self.config.cluster_order)
+        self.frame_window = FrameWindowMonitor(self.config.frame_window)
+        self.discretiser = StateDiscretiser(self.config.discretiser)
+        self.store = QTableStore(
+            action_count=len(self.action_space),
+            initial_q=self.config.qlearning.initial_q,
+        )
+        self._learners: Dict[str, QLearningCore] = {}
+        self._app_name: Optional[str] = None
+        self._training = True
+        self._previous: Optional[Tuple[NextState, int, float]] = None
+        self._td_errors: Deque[float] = deque(maxlen=self.config.td_error_window)
+        self._steps_per_app: Dict[str, int] = {}
+        self._training_time_per_app: Dict[str, float] = {}
+        self._cumulative_reward = 0.0
+
+    # -- application management -------------------------------------------------------
+
+    @property
+    def app_name(self) -> Optional[str]:
+        """Name of the application currently in the foreground."""
+        return self._app_name
+
+    @property
+    def training(self) -> bool:
+        """Whether exploration / learning is currently enabled."""
+        return self._training
+
+    def set_training(self, enabled: bool) -> None:
+        """Globally enable or disable learning (exploitation-only when off)."""
+        self._training = enabled
+        for learner in self._learners.values():
+            learner.set_exploration(enabled)
+
+    def _learner_for(self, app_name: str) -> QLearningCore:
+        learner = self._learners.get(app_name)
+        if learner is None:
+            learner = QLearningCore(
+                action_count=len(self.action_space),
+                config=self.config.qlearning,
+                qtable=self.store.table_for(app_name),
+                rng=self._rng,
+            )
+            learner.set_exploration(self._training)
+            self._learners[app_name] = learner
+        return learner
+
+    def set_application(self, app_name: str) -> None:
+        """Switch the foreground application; the frame window starts over."""
+        if app_name != self._app_name:
+            self._app_name = app_name
+            self._previous = None
+            self.frame_window.reset()
+            self._learner_for(app_name)
+
+    def is_trained(self, app_name: Optional[str] = None) -> bool:
+        """Whether the (current or named) application's table looks converged."""
+        name = app_name if app_name is not None else self._app_name
+        if name is None:
+            return False
+        return self.store.is_trained(name, min_visits=self.config.trained_visit_threshold)
+
+    # -- observation ---------------------------------------------------------------------
+
+    def observe_frame(self, time_s: float, fps: float) -> None:
+        """Feed one fast-path FPS observation into the frame window."""
+        self.frame_window.observe(time_s, fps)
+
+    @property
+    def target_fps(self) -> float:
+        """Current target FPS (mode of the frame window)."""
+        return self.frame_window.target_fps()
+
+    # -- decision step ---------------------------------------------------------------------
+
+    def step(
+        self,
+        observation: GovernorObservation,
+        clusters: Mapping[str, Cluster],
+    ) -> AgentStepInfo:
+        """One agent invocation: learn from the last action, pick the next one."""
+        if self._app_name is None:
+            self.set_application("default")
+        learner = self._learner_for(self._app_name)
+
+        target_fps = self.frame_window.target_fps()
+        state = self.discretiser.discretise(observation, clusters, target_fps)
+        # Q-tables are keyed by plain tuples so they serialise to JSON and can
+        # round-trip through the per-app store / federated aggregation.
+        state_key = state.as_tuple()
+
+        reward: Optional[float] = None
+        if self._previous is not None:
+            prev_state, prev_action, prev_target = self._previous
+            reward = compute_reward(
+                fps=observation.fps,
+                target_fps=prev_target,
+                power_w=observation.power_w,
+                temperature_c=observation.temperature_big_c,
+                ambient_c=self.config.ambient_c,
+                config=self.config.reward,
+                dropped_frames=observation.frames_dropped,
+                demanded_frames=observation.frames_demanded,
+            )
+            self._cumulative_reward += reward
+            if self._training:
+                before = learner.qtable.get(prev_state, prev_action)
+                after = learner.update(prev_state, prev_action, reward, state_key)
+                self._td_errors.append(abs(after - before))
+
+        exploring = self._training
+        action_index = (
+            learner.select_action(state_key) if exploring else learner.greedy_action(state_key)
+        )
+        action = self.action_space.apply(action_index, clusters)
+
+        self._previous = (state_key, action_index, target_fps)
+        self._steps_per_app[self._app_name] = self._steps_per_app.get(self._app_name, 0) + 1
+        if self._training:
+            self._training_time_per_app[self._app_name] = (
+                self._training_time_per_app.get(self._app_name, 0.0)
+                + self.config.invocation_period_s
+            )
+        return AgentStepInfo(
+            state=state,
+            action=action,
+            action_index=action_index,
+            reward=reward,
+            target_fps=target_fps,
+            exploring=exploring,
+        )
+
+    # -- diagnostics --------------------------------------------------------------------------
+
+    @property
+    def cumulative_reward(self) -> float:
+        """Sum of rewards received since construction."""
+        return self._cumulative_reward
+
+    def steps_for(self, app_name: str) -> int:
+        """Number of agent invocations spent on ``app_name``."""
+        return self._steps_per_app.get(app_name, 0)
+
+    def training_time_s(self, app_name: str) -> float:
+        """Simulated on-device time spent training on ``app_name``."""
+        return self._training_time_per_app.get(app_name, 0.0)
+
+    def recent_td_error(self) -> float:
+        """Mean absolute Q-value change over the recent update window."""
+        if not self._td_errors:
+            return float("inf")
+        return sum(self._td_errors) / len(self._td_errors)
+
+    def has_converged(self, td_error_threshold: float = 0.02) -> bool:
+        """Convergence heuristic used by the training-time experiments."""
+        return (
+            len(self._td_errors) == self._td_errors.maxlen
+            and self.recent_td_error() < td_error_threshold
+        )
+
+    def qtable_size(self, app_name: Optional[str] = None) -> int:
+        """Number of distinct states in the (current or named) app's Q-table."""
+        name = app_name if app_name is not None else self._app_name
+        if name is None:
+            return 0
+        return len(self.store.table_for(name))

@@ -1,0 +1,63 @@
+"""Governor adapter exposing the Next agent to the simulation engine.
+
+The simulation engine only knows the :class:`~repro.governors.base.Governor`
+interface.  :class:`NextGovernor` plugs a :class:`~repro.core.agent.NextAgent`
+into it: the fast-path tick hook feeds the 25 ms frame window, the periodic
+``update`` call (every 100 ms, as in the paper) runs one agent step, and the
+session hooks switch the per-application Q-table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.agent import AgentConfig, AgentStepInfo, NextAgent
+from repro.governors.base import Governor, GovernorObservation
+from repro.soc.cluster import Cluster
+
+
+class NextGovernor(Governor):
+    """``Next``: user-interaction-aware RL DVFS as a policy governor."""
+
+    def __init__(
+        self,
+        agent: Optional[NextAgent] = None,
+        config: Optional[AgentConfig] = None,
+        seed: Optional[int] = None,
+        training: bool = True,
+    ) -> None:
+        super().__init__(name="next")
+        self.agent = agent if agent is not None else NextAgent(config=config, seed=seed)
+        self.invocation_period_s = self.agent.config.invocation_period_s
+        self.agent.set_training(training)
+        self.last_step: Optional[AgentStepInfo] = None
+
+    # -- training control -------------------------------------------------------------
+
+    @property
+    def training(self) -> bool:
+        """Whether the wrapped agent is currently learning."""
+        return self.agent.training
+
+    def set_training(self, enabled: bool) -> None:
+        """Switch the wrapped agent between training and exploitation."""
+        self.agent.set_training(enabled)
+
+    # -- governor interface -----------------------------------------------------------
+
+    def observe_tick(self, time_s: float, fps: float) -> None:
+        """Forward every tick's FPS to the agent's 25 ms frame window."""
+        self.agent.observe_frame(time_s, fps)
+
+    def on_session_start(self, app_name: str) -> None:
+        """Tell the agent which application came to the foreground."""
+        self.agent.set_application(app_name)
+
+    def update(self, observation: GovernorObservation, clusters: Dict[str, Cluster]) -> None:
+        """Run one agent decision step."""
+        self.last_step = self.agent.step(observation, clusters)
+
+    def reset(self, clusters: Dict[str, Cluster]) -> None:
+        """Release limits; the learned Q-tables are deliberately kept."""
+        super().reset(clusters)
+        self.last_step = None

@@ -1,0 +1,182 @@
+"""Performance per degree watt (PPDW), the metric introduced by the paper.
+
+Section III-B argues that the usual performance-per-watt metric ignores the
+thermal dimension that matters on a hand-held device, and defines
+
+.. math::
+
+    PPDW_i = \\frac{FPS_i}{\\Delta T \\times P_i}, \\qquad \\Delta T = T_i - T_a
+
+where :math:`FPS_i`, :math:`P_i` and :math:`T_i` are the frame rate, power
+and peak temperature during period *i* and :math:`T_a` is the ambient
+temperature.  The achievable range is bracketed by
+
+* ``PPDW_worst = FPS_least / ((T_max - T_a) * P_max)`` -- the least frame
+  rate produced while the chip burns maximum power at its thermal limit, and
+* ``PPDW_best  = FPS_max / ((T_least - T_a) * P_least)`` -- the full frame
+  rate at minimal power with negligible heating,
+
+and the agent's reward is the PPDW value itself (Eq. 4), optionally shaped
+with a penalty for missing the user's target FPS so that the two goals stated
+in the paper ("achieve the target FPS" and "achieve the best PPDW for that
+FPS") are both expressed in the reward signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Minimum temperature rise (Celsius) used in the denominator to keep the
+#: metric finite when the device sits at ambient temperature.
+MIN_DELTA_T_C = 0.5
+
+#: Minimum power (watts) used in the denominator for the same reason.
+MIN_POWER_W = 1e-3
+
+
+def compute_ppdw(
+    fps: float,
+    power_w: float,
+    temperature_c: float,
+    ambient_c: float,
+) -> float:
+    """Evaluate Eq. 1 of the paper.
+
+    Parameters
+    ----------
+    fps:
+        Frames per second delivered during the evaluation period.
+    power_w:
+        Power consumption during the period, in watts.
+    temperature_c:
+        Peak temperature during the period, in Celsius.
+    ambient_c:
+        Ambient temperature, in Celsius.
+
+    Returns
+    -------
+    float
+        The PPDW value.  Guards keep the result finite when the temperature
+        rise or the power is (numerically) zero.
+    """
+    if fps < 0:
+        raise ValueError("fps must be non-negative")
+    delta_t = max(MIN_DELTA_T_C, temperature_c - ambient_c)
+    power = max(MIN_POWER_W, power_w)
+    return fps / (delta_t * power)
+
+
+@dataclass(frozen=True)
+class PpdwBounds:
+    """The achievable PPDW range of a platform (Eq. 2 of the paper).
+
+    Attributes
+    ----------
+    worst:
+        ``PPDW_worst``: least FPS at maximum power and maximum temperature.
+    best:
+        ``PPDW_best``: maximum FPS at least power with least heating.
+    """
+
+    worst: float
+    best: float
+
+    def __post_init__(self) -> None:
+        if self.worst < 0 or self.best <= 0:
+            raise ValueError("PPDW bounds must be non-negative (best strictly positive)")
+        if self.best < self.worst:
+            raise ValueError("PPDW_best must be at least PPDW_worst")
+
+    @classmethod
+    def from_platform_limits(
+        cls,
+        fps_max: float,
+        fps_least: float,
+        power_max_w: float,
+        power_least_w: float,
+        temperature_max_c: float,
+        temperature_least_c: float,
+        ambient_c: float,
+    ) -> "PpdwBounds":
+        """Build the bounds from the platform's extreme operating conditions."""
+        worst = compute_ppdw(fps_least, power_max_w, temperature_max_c, ambient_c)
+        best = compute_ppdw(fps_max, power_least_w, temperature_least_c, ambient_c)
+        return cls(worst=worst, best=best)
+
+    def normalise(self, ppdw: float) -> float:
+        """Map a PPDW value into [0, 1] within the bounds (clamped)."""
+        span = self.best - self.worst
+        if span <= 0:
+            return 1.0 if ppdw >= self.best else 0.0
+        return min(1.0, max(0.0, (ppdw - self.worst) / span))
+
+    def contains(self, ppdw: float) -> bool:
+        """Whether ``ppdw`` lies inside the achievable range (Eq. 2)."""
+        return self.worst < ppdw <= self.best
+
+
+@dataclass(frozen=True)
+class RewardConfig:
+    """Shaping of the RL reward around the PPDW metric.
+
+    Attributes
+    ----------
+    fps_shortfall_weight:
+        Weight of the penalty applied when the delivered FPS falls short of
+        the target FPS.  The penalty is
+        ``weight * (target - fps) / max(target, 1)`` so it is scale-free.
+        A value of 0 reproduces the bare ``reward = PPDW`` of Eq. 4; the
+        default keeps the "achieve the target FPS" objective explicit.
+    frame_drop_weight:
+        Weight of the penalty for frames that were demanded by the
+        application but missed their VSync (the "lag or stutter" the paper's
+        Section I identifies as the QoS failure mode).  The penalty is
+        ``weight * dropped / max(demanded, 1)``.  Frame drops are observable
+        from SurfaceFlinger statistics on a stock device, so the term keeps
+        the agent honest even while its own frequency caps are depressing the
+        frame-window target.
+    ppdw_scale:
+        Multiplier applied to the PPDW term so that typical rewards are of
+        order one (helps the tabular learner's fixed learning rate).
+    """
+
+    fps_shortfall_weight: float = 1.5
+    frame_drop_weight: float = 2.5
+    ppdw_scale: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.fps_shortfall_weight < 0:
+            raise ValueError("fps_shortfall_weight must be non-negative")
+        if self.frame_drop_weight < 0:
+            raise ValueError("frame_drop_weight must be non-negative")
+        if self.ppdw_scale <= 0:
+            raise ValueError("ppdw_scale must be positive")
+
+
+def compute_reward(
+    fps: float,
+    target_fps: float,
+    power_w: float,
+    temperature_c: float,
+    ambient_c: float,
+    config: RewardConfig = RewardConfig(),
+    dropped_frames: int = 0,
+    demanded_frames: int = 0,
+) -> float:
+    """Reward of one agent step: shaped PPDW (Eq. 4 plus QoS shaping).
+
+    Returns the scaled PPDW value minus the (scale-free) FPS shortfall and
+    frame-drop penalties.  With the default configuration the reward
+    increases when the agent delivers the target FPS at lower power and
+    temperature, and decreases when the cap is so aggressive that frames are
+    missed or dropped.
+    """
+    ppdw = compute_ppdw(fps, power_w, temperature_c, ambient_c)
+    reward = config.ppdw_scale * ppdw
+    if target_fps > 0 and config.fps_shortfall_weight > 0:
+        shortfall = max(0.0, target_fps - fps) / max(target_fps, 1.0)
+        reward -= config.fps_shortfall_weight * shortfall
+    if config.frame_drop_weight > 0 and dropped_frames > 0:
+        drop_ratio = dropped_frames / max(1, demanded_frames)
+        reward -= config.frame_drop_weight * min(1.0, drop_ratio)
+    return reward

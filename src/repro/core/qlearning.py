@@ -1,0 +1,161 @@
+"""Tabular Q-learning core (Watkins & Dayan), as used by the Next agent.
+
+The paper models Next after classic Q-learning: at every invocation the agent
+observes state :math:`s_i`, takes action :math:`a_i`, receives reward
+:math:`r_i` and updates the action-value function with
+
+.. math::
+
+    Q(s_i, a_i) \\leftarrow Q(s_i, a_i)
+        + \\alpha \\bigl( r_i - Q(s_i, a_i) + \\gamma \\max_a Q(s_{i+1}, a) \\bigr)
+
+(Eq. 3).  The exploration policy is epsilon-greedy with an exponentially
+decaying epsilon, which is the standard choice for an on-device learner that
+must stop disturbing the user once it has converged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence
+
+from repro.core.qtable import QTable
+
+
+@dataclass
+class QLearningConfig:
+    """Hyper-parameters of the tabular learner.
+
+    Attributes
+    ----------
+    learning_rate:
+        The :math:`\\alpha` of Eq. 3.
+    discount:
+        The :math:`\\gamma` of Eq. 3 (future-reward damping).
+    epsilon_start / epsilon_min:
+        Initial and final exploration rates.
+    epsilon_decay:
+        Multiplicative decay applied to epsilon after every update.
+    initial_q:
+        Value new (state, action) entries start at.  A mildly optimistic
+        value encourages systematic exploration of untried actions.
+    exploration_hold_steps:
+        When an exploratory action is drawn it is repeated for this many
+        consecutive steps.  Because every action moves a ``maxfreq`` limit by
+        a single OPP, held exploration lets the agent actually traverse the
+        18-deep big-cluster frequency ladder instead of random-walking around
+        its starting point.
+    """
+
+    learning_rate: float = 0.20
+    discount: float = 0.9
+    epsilon_start: float = 0.7
+    epsilon_min: float = 0.02
+    epsilon_decay: float = 0.9997
+    initial_q: float = 1.0
+    exploration_hold_steps: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.learning_rate <= 1:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0 <= self.discount < 1:
+            raise ValueError("discount must be in [0, 1)")
+        if not 0 <= self.epsilon_min <= self.epsilon_start <= 1:
+            raise ValueError("epsilons must satisfy 0 <= min <= start <= 1")
+        if not 0 < self.epsilon_decay <= 1:
+            raise ValueError("epsilon_decay must be in (0, 1]")
+        if self.exploration_hold_steps < 1:
+            raise ValueError("exploration_hold_steps must be at least 1")
+
+
+class QLearningCore:
+    """Epsilon-greedy tabular Q-learning over an arbitrary hashable state."""
+
+    def __init__(
+        self,
+        action_count: int,
+        config: Optional[QLearningConfig] = None,
+        qtable: Optional[QTable] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if action_count < 1:
+            raise ValueError("action_count must be at least 1")
+        self.action_count = action_count
+        self.config = config or QLearningConfig()
+        self.qtable = qtable if qtable is not None else QTable(
+            action_count=action_count, initial_q=self.config.initial_q
+        )
+        if self.qtable.action_count != action_count:
+            raise ValueError("Q-table action count does not match the learner")
+        self._rng = rng if rng is not None else random.Random(0)
+        self.epsilon = self.config.epsilon_start
+        self.exploring = True
+        self._updates = 0
+        self._held_action: Optional[int] = None
+        self._hold_remaining = 0
+
+    # -- policy --------------------------------------------------------------------
+
+    @property
+    def update_count(self) -> int:
+        """Number of Q-updates performed so far."""
+        return self._updates
+
+    def set_exploration(self, enabled: bool) -> None:
+        """Enable or disable exploration (disabled = pure exploitation)."""
+        self.exploring = enabled
+
+    def select_action(self, state: Hashable) -> int:
+        """Pick an action for ``state`` (held epsilon-greedy while exploring)."""
+        if self.exploring:
+            if self._hold_remaining > 0 and self._held_action is not None:
+                self._hold_remaining -= 1
+                return self._held_action
+            if self._rng.random() < self.epsilon:
+                self._held_action = self._rng.randrange(self.action_count)
+                self._hold_remaining = self.config.exploration_hold_steps - 1
+                return self._held_action
+        return self.greedy_action(state)
+
+    def greedy_action(self, state: Hashable) -> int:
+        """The highest-valued action for ``state`` (ties broken randomly)."""
+        values = self.qtable.values(state)
+        best = max(values)
+        candidates = [index for index, value in enumerate(values) if value == best]
+        if len(candidates) == 1:
+            return candidates[0]
+        return self._rng.choice(candidates)
+
+    # -- learning -------------------------------------------------------------------
+
+    def update(
+        self,
+        state: Hashable,
+        action: int,
+        reward: float,
+        next_state: Hashable,
+    ) -> float:
+        """Apply Eq. 3 for one transition and return the new Q-value."""
+        if not 0 <= action < self.action_count:
+            raise IndexError(f"action {action} out of range")
+        cfg = self.config
+        current = self.qtable.get(state, action)
+        bootstrap = max(self.qtable.values(next_state))
+        target_error = reward - current + cfg.discount * bootstrap
+        new_value = current + cfg.learning_rate * target_error
+        self.qtable.set(state, action, new_value)
+        self._updates += 1
+        if self.exploring:
+            self.epsilon = max(cfg.epsilon_min, self.epsilon * cfg.epsilon_decay)
+        return new_value
+
+    # -- diagnostics -----------------------------------------------------------------
+
+    def visited_states(self) -> List[Hashable]:
+        """All states that currently have a Q-table row."""
+        return list(self.qtable.states())
+
+    def policy_snapshot(self) -> dict:
+        """Greedy action per visited state (for inspection and tests)."""
+        return {state: self.greedy_action(state) for state in self.qtable.states()}

@@ -1,0 +1,198 @@
+"""Q-table storage and per-application persistence.
+
+Section IV-B: "The training for every newly executing application is only
+performed once and the Q-table (action-value) results are stored on the
+memory so that later when the application is executed again the agent is able
+to refer to the Q-table to set the correct frequency of different clusters."
+
+:class:`QTable` is the value store for one application.  :class:`QTableStore`
+keeps one table per application name and can persist the whole collection to
+a directory of JSON files, which stands in for the on-device storage the
+paper uses (and doubles as the artefact exchanged with the cloud in the
+federated-training extension of Section IV-C).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+
+def _encode_state(state: Hashable) -> str:
+    """Serialise a state key into a JSON-safe string."""
+    if isinstance(state, tuple):
+        return json.dumps(list(state))
+    return json.dumps(state)
+
+
+def _decode_state(text: str) -> Hashable:
+    """Inverse of :func:`_encode_state` (lists become tuples)."""
+    value = json.loads(text)
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+class QTable:
+    """Action-value table: maps a hashable state to a list of Q-values."""
+
+    def __init__(self, action_count: int, initial_q: float = 0.0) -> None:
+        if action_count < 1:
+            raise ValueError("action_count must be at least 1")
+        self.action_count = action_count
+        self.initial_q = initial_q
+        self._values: Dict[Hashable, List[float]] = {}
+        self._visits: Dict[Hashable, int] = {}
+
+    # -- access ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, state: Hashable) -> bool:
+        return state in self._values
+
+    def states(self) -> Iterator[Hashable]:
+        """Iterate over all states with a row in the table."""
+        return iter(self._values)
+
+    def values(self, state: Hashable) -> List[float]:
+        """Q-values of every action in ``state`` (creates the row lazily)."""
+        row = self._values.get(state)
+        if row is None:
+            row = [self.initial_q] * self.action_count
+            self._values[state] = row
+            self._visits[state] = 0
+        return row
+
+    def get(self, state: Hashable, action: int) -> float:
+        """Q-value of one (state, action) pair."""
+        return self.values(state)[action]
+
+    def set(self, state: Hashable, action: int, value: float) -> None:
+        """Set the Q-value of one (state, action) pair and count the visit."""
+        row = self.values(state)
+        row[action] = value
+        self._visits[state] = self._visits.get(state, 0) + 1
+
+    def visits(self, state: Hashable) -> int:
+        """Number of updates performed on ``state``."""
+        return self._visits.get(state, 0)
+
+    def total_visits(self) -> int:
+        """Total updates performed on the table."""
+        return sum(self._visits.values())
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def merge(self, other: "QTable", weight: float = 0.5) -> None:
+        """Blend another table into this one (used by federated aggregation).
+
+        For states present in both tables the values are combined as
+        ``(1 - weight) * ours + weight * theirs``; states only present in the
+        other table are copied.
+        """
+        if other.action_count != self.action_count:
+            raise ValueError("cannot merge Q-tables with different action counts")
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError("weight must be in [0, 1]")
+        for state in other.states():
+            theirs = other.values(state)
+            if state in self._values:
+                ours = self._values[state]
+                self._values[state] = [
+                    (1.0 - weight) * o + weight * t for o, t in zip(ours, theirs)
+                ]
+            else:
+                self._values[state] = list(theirs)
+            self._visits[state] = self._visits.get(state, 0) + other.visits(state)
+
+    # -- serialisation -----------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable representation of the table."""
+        return {
+            "action_count": self.action_count,
+            "initial_q": self.initial_q,
+            "values": {_encode_state(s): v for s, v in self._values.items()},
+            "visits": {_encode_state(s): v for s, v in self._visits.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "QTable":
+        """Rebuild a table from :meth:`to_dict` output."""
+        table = cls(action_count=data["action_count"], initial_q=data.get("initial_q", 0.0))
+        for key, values in data.get("values", {}).items():
+            table._values[_decode_state(key)] = list(values)
+        for key, visits in data.get("visits", {}).items():
+            table._visits[_decode_state(key)] = int(visits)
+        return table
+
+
+class QTableStore:
+    """Per-application collection of Q-tables with directory persistence."""
+
+    def __init__(self, action_count: int, initial_q: float = 0.0) -> None:
+        self.action_count = action_count
+        self.initial_q = initial_q
+        self._tables: Dict[str, QTable] = {}
+
+    # -- access -----------------------------------------------------------------------
+
+    def __contains__(self, app_name: str) -> bool:
+        return app_name in self._tables
+
+    def app_names(self) -> List[str]:
+        """Applications that already have a (possibly partially) trained table."""
+        return sorted(self._tables)
+
+    def table_for(self, app_name: str) -> QTable:
+        """Return the Q-table for ``app_name``, creating an empty one if needed."""
+        table = self._tables.get(app_name)
+        if table is None:
+            table = QTable(action_count=self.action_count, initial_q=self.initial_q)
+            self._tables[app_name] = table
+        return table
+
+    def set_table(self, app_name: str, table: QTable) -> None:
+        """Install a table for ``app_name`` (e.g. one received from the cloud)."""
+        if table.action_count != self.action_count:
+            raise ValueError("table action count does not match the store")
+        self._tables[app_name] = table
+
+    def is_trained(self, app_name: str, min_visits: int = 100) -> bool:
+        """Heuristic: an app counts as trained once its table has enough visits."""
+        table = self._tables.get(app_name)
+        return table is not None and table.total_visits() >= min_visits
+
+    # -- persistence --------------------------------------------------------------------
+
+    def save(self, directory: str) -> List[str]:
+        """Write one ``<app>.qtable.json`` file per application; returns paths."""
+        os.makedirs(directory, exist_ok=True)
+        paths = []
+        for app_name, table in self._tables.items():
+            path = os.path.join(directory, f"{app_name}.qtable.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(table.to_dict(), handle)
+            paths.append(path)
+        return paths
+
+    @classmethod
+    def load(cls, directory: str, action_count: int, initial_q: float = 0.0) -> "QTableStore":
+        """Load every ``*.qtable.json`` file from ``directory``."""
+        store = cls(action_count=action_count, initial_q=initial_q)
+        if not os.path.isdir(directory):
+            return store
+        for filename in os.listdir(directory):
+            if not filename.endswith(".qtable.json"):
+                continue
+            app_name = filename[: -len(".qtable.json")]
+            path = os.path.join(directory, filename)
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            table = QTable.from_dict(data)
+            if table.action_count == action_count:
+                store._tables[app_name] = table
+        return store

@@ -1,0 +1,204 @@
+"""RL state definition and discretisation for the Next agent.
+
+Section IV-B lists the state inputs used on the Exynos 9810 implementation:
+the operating frequency of the big CPU, LITTLE CPU and GPU clusters, the
+current FPS, the target FPS from the frame window, the current power reading
+and the big-cluster and device temperatures.  A tabular Q-learner needs those
+continuous quantities mapped to a (small) discrete space; the paper achieves
+this by quantising the frame rate (Section IV-B / Fig. 6) and the same idea
+is applied to the other axes here.
+
+The discretisation granularity is configurable because it is the single knob
+that trades training time against policy quality -- the trade-off Fig. 6 of
+the paper explores for the FPS axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.core.frame_window import quantise_fps
+from repro.governors.base import GovernorObservation
+from repro.soc.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class NextState:
+    """One discretised state of the Next agent.
+
+    The state is hashable (it is used as a Q-table key) and keeps the
+    cluster-frequency components in a canonical order.
+    """
+
+    frequency_bins: Tuple[int, ...]
+    fps_bin: int
+    target_fps_bin: int
+    power_bin: int
+    temperature_big_bin: int
+    temperature_device_bin: int
+
+    def as_tuple(self) -> Tuple[int, ...]:
+        """Flatten the state into a plain tuple of ints (stable order)."""
+        return (
+            *self.frequency_bins,
+            self.fps_bin,
+            self.target_fps_bin,
+            self.power_bin,
+            self.temperature_big_bin,
+            self.temperature_device_bin,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NextState{self.as_tuple()}"
+
+
+@dataclass(frozen=True)
+class StateDiscretiserConfig:
+    """Granularity of each state axis.
+
+    Attributes
+    ----------
+    cluster_order:
+        Names of the clusters contributing frequency components, in a fixed
+        order (defaults to the paper's big / LITTLE / GPU).
+    frequency_bins:
+        Number of bins for each cluster's frequency axis.
+    fps_bins:
+        Number of bins for the current-FPS axis.
+    target_fps_bins:
+        Number of bins for the target-FPS axis (usually equal to
+        ``fps_bins``).
+    power_bins:
+        Number of bins for the power axis.
+    temperature_bins:
+        Number of bins for the big-cluster temperature axis.
+    device_temperature_bins:
+        Number of bins for the device temperature axis (1 disables the axis).
+    max_fps:
+        Display refresh rate bounding the FPS axes.
+    max_power_w:
+        Power reading mapped to the top power bin.
+    max_temperature_c / ambient_c:
+        Temperature range mapped across the temperature bins.
+    """
+
+    cluster_order: Tuple[str, ...] = ("big", "little", "gpu")
+    frequency_bins: int = 4
+    fps_bins: int = 6
+    target_fps_bins: int = 6
+    power_bins: int = 2
+    temperature_bins: int = 2
+    device_temperature_bins: int = 1
+    max_fps: float = 60.0
+    max_power_w: float = 12.0
+    max_temperature_c: float = 95.0
+    ambient_c: float = 21.0
+
+    def __post_init__(self) -> None:
+        if not self.cluster_order:
+            raise ValueError("cluster_order must not be empty")
+        for value, name in (
+            (self.frequency_bins, "frequency_bins"),
+            (self.fps_bins, "fps_bins"),
+            (self.target_fps_bins, "target_fps_bins"),
+            (self.power_bins, "power_bins"),
+            (self.temperature_bins, "temperature_bins"),
+            (self.device_temperature_bins, "device_temperature_bins"),
+        ):
+            if value < 1:
+                raise ValueError(f"{name} must be at least 1")
+        if self.max_fps <= 0 or self.max_power_w <= 0:
+            raise ValueError("max_fps and max_power_w must be positive")
+        if self.max_temperature_c <= self.ambient_c:
+            raise ValueError("max_temperature_c must exceed ambient_c")
+
+    @property
+    def state_space_size(self) -> int:
+        """Total number of representable states (upper bound on Q-table rows)."""
+        size = 1
+        for _ in self.cluster_order:
+            size *= self.frequency_bins
+        size *= (self.fps_bins + 1) * (self.target_fps_bins + 1)
+        size *= self.power_bins * self.temperature_bins * self.device_temperature_bins
+        return size
+
+
+class StateDiscretiser:
+    """Maps raw observations into :class:`NextState` instances."""
+
+    def __init__(self, config: StateDiscretiserConfig = StateDiscretiserConfig()) -> None:
+        self.config = config
+
+    # -- individual axes ----------------------------------------------------------
+
+    def _bin_linear(self, value: float, low: float, high: float, bins: int) -> int:
+        if bins <= 1:
+            return 0
+        if high <= low:
+            return 0
+        x = (value - low) / (high - low)
+        x = min(1.0, max(0.0, x))
+        return min(bins - 1, int(x * bins))
+
+    def frequency_bin(self, cluster: Cluster) -> int:
+        """Bin of a cluster's current frequency (relative to its table)."""
+        table = cluster.opp_table
+        fraction = cluster.current_index / max(1, len(table) - 1)
+        return self._bin_linear(fraction, 0.0, 1.0, self.config.frequency_bins)
+
+    def fps_bin(self, fps: float) -> int:
+        """Bin of the current FPS."""
+        return quantise_fps(fps, self.config.fps_bins, self.config.max_fps)
+
+    def target_fps_bin(self, target_fps: float) -> int:
+        """Bin of the target FPS."""
+        return quantise_fps(target_fps, self.config.target_fps_bins, self.config.max_fps)
+
+    def power_bin(self, power_w: float) -> int:
+        """Bin of the power reading."""
+        return self._bin_linear(power_w, 0.0, self.config.max_power_w, self.config.power_bins)
+
+    def temperature_bin(self, temperature_c: float) -> int:
+        """Bin of the big-cluster temperature reading."""
+        return self._bin_linear(
+            temperature_c,
+            self.config.ambient_c,
+            self.config.max_temperature_c,
+            self.config.temperature_bins,
+        )
+
+    def device_temperature_bin(self, temperature_c: float) -> int:
+        """Bin of the device temperature reading."""
+        return self._bin_linear(
+            temperature_c,
+            self.config.ambient_c,
+            self.config.max_temperature_c,
+            self.config.device_temperature_bins,
+        )
+
+    # -- full state -----------------------------------------------------------------
+
+    def discretise(
+        self,
+        observation: GovernorObservation,
+        clusters: Mapping[str, Cluster],
+        target_fps: float,
+    ) -> NextState:
+        """Build the discretised state from an observation and the clusters."""
+        frequency_bins = []
+        for name in self.config.cluster_order:
+            if name in clusters:
+                frequency_bins.append(self.frequency_bin(clusters[name]))
+            else:
+                frequency_bins.append(0)
+        return NextState(
+            frequency_bins=tuple(frequency_bins),
+            fps_bin=self.fps_bin(observation.fps),
+            target_fps_bin=self.target_fps_bin(target_fps),
+            power_bin=self.power_bin(observation.power_w),
+            temperature_big_bin=self.temperature_bin(observation.temperature_big_c),
+            temperature_device_bin=self.device_temperature_bin(
+                observation.temperature_device_c
+            ),
+        )

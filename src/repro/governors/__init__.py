@@ -1,0 +1,35 @@
+"""DVFS governors: the inner frequency scaler and the baseline policies.
+
+The simulation separates two layers, mirroring how the paper's agent is
+deployed on Android:
+
+* the *frequency scaler* (:class:`~repro.governors.schedutil.SchedutilScaler`)
+  runs every tick and picks an operating point for each cluster **within its
+  current min/max limits**, following utilisation exactly like the kernel's
+  ``schedutil``/devfreq governors, and
+* the *policy governor* runs at its own invocation period and manipulates
+  the limits (or pins frequencies).  Stock ``schedutil`` is the degenerate
+  policy that leaves the limits wide open; ``Next`` (in :mod:`repro.core`)
+  learns per-cluster ``maxfreq`` caps; ``Int. QoS PM`` pins frequency pairs
+  from a power-cost model.
+"""
+
+from repro.governors.base import Governor, GovernorObservation
+from repro.governors.schedutil import SchedutilGovernor, SchedutilScaler
+from repro.governors.simple import (
+    ConservativeGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+)
+from repro.governors.intqos import IntQosGovernor
+
+__all__ = [
+    "Governor",
+    "GovernorObservation",
+    "SchedutilScaler",
+    "SchedutilGovernor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "ConservativeGovernor",
+    "IntQosGovernor",
+]

@@ -1,0 +1,103 @@
+"""Governor interface shared by the baselines and the Next agent.
+
+A governor is invoked periodically with an observation assembled from the
+(noisy) sensors and the display pipeline, and reacts by adjusting cluster
+frequencies or frequency limits.  The observation deliberately contains only
+quantities that are available on a stock, unrooted Android device -- the same
+constraint the paper's application-layer agent works under: frequencies and
+limits (sysfs), FPS (SurfaceFlinger statistics), power (fuel gauge) and the
+two temperatures (thermal zones).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.soc.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class GovernorObservation:
+    """Snapshot handed to a governor at each invocation.
+
+    Attributes
+    ----------
+    time_s:
+        Simulation time of the invocation.
+    dt_s:
+        Time elapsed since the previous invocation of this governor.
+    fps:
+        Frame rate over the trailing second (front-buffer updates per second).
+    utilisations:
+        Per-cluster utilisation over the last tick, in [0, 1].
+    frequencies_mhz:
+        Current operating frequency of each cluster.
+    max_limits_mhz:
+        Current ``maxfreq`` limit of each cluster.
+    power_w:
+        Platform power from the power sensor.
+    temperature_big_c:
+        Big-cluster thermal sensor reading.
+    temperature_device_c:
+        Virtual device-temperature sensor reading.
+    frames_dropped:
+        Frames dropped since the previous invocation.
+    frames_demanded:
+        Frames demanded by the application since the previous invocation.
+    """
+
+    time_s: float
+    dt_s: float
+    fps: float
+    utilisations: Mapping[str, float]
+    frequencies_mhz: Mapping[str, float]
+    max_limits_mhz: Mapping[str, float]
+    power_w: float
+    temperature_big_c: float
+    temperature_device_c: float
+    frames_dropped: int = 0
+    frames_demanded: int = 0
+
+
+class Governor(abc.ABC):
+    """Base class for DVFS policy governors."""
+
+    #: Default invocation period; concrete governors may override it.
+    invocation_period_s: float = 0.1
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name or type(self).__name__
+
+    @abc.abstractmethod
+    def update(self, observation: GovernorObservation, clusters: Dict[str, Cluster]) -> None:
+        """React to ``observation`` by adjusting the clusters.
+
+        Implementations may call :meth:`Cluster.set_frequency_index`,
+        :meth:`Cluster.set_max_limit_index` and related methods.  They must
+        not reach into the simulator internals -- everything they are allowed
+        to know is in the observation and the cluster objects.
+        """
+
+    def observe_tick(self, time_s: float, fps: float) -> None:
+        """Fast-path hook called every simulation tick with the current FPS.
+
+        Policy governors that need finer-grained observation than their
+        invocation period (the Next agent samples the frame rate every 25 ms
+        for its frame window) override this.  The default does nothing.
+        """
+
+    def on_session_start(self, app_name: str) -> None:
+        """Hook called when a new application segment starts (optional)."""
+
+    def on_session_end(self, app_name: str) -> None:
+        """Hook called when an application segment ends (optional)."""
+
+    def reset(self, clusters: Dict[str, Cluster]) -> None:
+        """Reset governor state and release all frequency limits."""
+        for cluster in clusters.values():
+            cluster.reset_limits()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,193 @@
+"""The ``schedutil`` (EAS) frequency scaler and its no-op policy wrapper.
+
+The paper's primary baseline is Android's only stock governor on the Note 9
+kernel: ``schedutil``, driven by Energy Aware Scheduling.  Its defining
+behaviour is that the frequency of every cluster follows *utilisation* with a
+25 % headroom (``next_f = 1.25 * f_curr * util``), ramps up immediately and
+ramps down after a short rate-limit window.  Crucially it knows nothing about
+frames: during an application loading phase or a background-heavy music
+session the utilisation -- and therefore frequency, power and temperature --
+stays high even though the user-visible frame rate is near zero.  That gap is
+exactly what the Next agent exploits.
+
+Two classes live here:
+
+* :class:`SchedutilScaler` -- the per-tick frequency selection *within the
+  current limits*.  The simulation engine always runs one, whatever policy
+  governor is active, because that is how a ``maxfreq``-capping agent like
+  Next coexists with the stock governor on real devices.
+* :class:`SchedutilGovernor` -- the policy layer for the stock configuration:
+  it simply keeps all limits wide open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.governors.base import Governor, GovernorObservation
+from repro.soc.cluster import Cluster
+
+
+@dataclass
+class SchedutilConfig:
+    """Tunables of the utilisation-driven frequency scaler.
+
+    Attributes
+    ----------
+    headroom:
+        Capacity margin applied to the utilisation signal; the kernel uses
+        1.25 ("util is 80 % of capacity at the chosen frequency").
+    up_rate_limit_s:
+        Minimum time between two frequency increases.
+    down_rate_limit_s:
+        Minimum time between two frequency decreases; the kernel default is
+        longer than the up limit which biases the governor towards staying
+        high -- reproduced here because the bias matters for power.
+    io_boost:
+        Utilisation floor applied while the cluster sees any work at all,
+        mimicking the scheduler's iowait/boost behaviour on interactive
+        workloads.
+    touch_boost_fraction:
+        Input/touch boost: the frequency floor (as a fraction of the
+        cluster's maximum frequency) applied to CPU clusters while they see
+        activity.  Stock Android vendor kernels (including the Note 9's)
+        boost the CPU clusters to -- or close to -- their top frequency on
+        touch input, which is why Fig. 1 of the paper shows the big cluster
+        near 2.3-2.7 GHz even while the frame rate is low.  Set to 0 to
+        disable.  The boost is always clamped by the cluster's ``maxfreq``
+        limit, which is exactly the lever the Next agent uses to defeat it.
+    touch_boost_hold_s:
+        How long the boost floor persists after the last activity.
+    touch_boost_util_threshold:
+        Minimum utilisation that counts as activity for boosting purposes.
+    boost_gpu:
+        Whether the boost floor also applies to the GPU cluster (off by
+        default; Mali's devfreq governor does not input-boost).
+    """
+
+    headroom: float = 1.25
+    up_rate_limit_s: float = 0.0
+    down_rate_limit_s: float = 0.1
+    io_boost: float = 0.0
+    touch_boost_fraction: float = 0.95
+    touch_boost_hold_s: float = 1.0
+    touch_boost_util_threshold: float = 0.04
+    boost_gpu: bool = False
+
+    def __post_init__(self) -> None:
+        if self.headroom < 1.0:
+            raise ValueError("headroom must be >= 1.0")
+        if self.up_rate_limit_s < 0 or self.down_rate_limit_s < 0:
+            raise ValueError("rate limits must be non-negative")
+        if not 0.0 <= self.io_boost <= 1.0:
+            raise ValueError("io_boost must be in [0, 1]")
+        if not 0.0 <= self.touch_boost_fraction <= 1.0:
+            raise ValueError("touch_boost_fraction must be in [0, 1]")
+        if self.touch_boost_hold_s < 0:
+            raise ValueError("touch_boost_hold_s must be non-negative")
+        if not 0.0 <= self.touch_boost_util_threshold <= 1.0:
+            raise ValueError("touch_boost_util_threshold must be in [0, 1]")
+
+
+class SchedutilScaler:
+    """Per-tick utilisation-driven frequency selection within cluster limits."""
+
+    def __init__(self, config: Optional[SchedutilConfig] = None) -> None:
+        self.config = config or SchedutilConfig()
+        self._last_up_time_s: Dict[str, float] = {}
+        self._last_down_time_s: Dict[str, float] = {}
+        self._last_activity_time_s: Dict[str, float] = {}
+
+    def reset(self) -> None:
+        """Forget rate-limit and boost history."""
+        self._last_up_time_s.clear()
+        self._last_down_time_s.clear()
+        self._last_activity_time_s.clear()
+
+    def _boost_floor_index(self, cluster: Cluster, utilisation: float, now_s: float) -> int:
+        """OPP index of the input-boost frequency floor (0 when not boosting)."""
+        cfg = self.config
+        if cfg.touch_boost_fraction <= 0:
+            return 0
+        from repro.soc.cluster import ClusterKind
+
+        if cluster.kind is ClusterKind.GPU and not cfg.boost_gpu:
+            return 0
+        name = cluster.name
+        if utilisation >= cfg.touch_boost_util_threshold:
+            self._last_activity_time_s[name] = now_s
+        last_activity = self._last_activity_time_s.get(name)
+        if last_activity is None or now_s - last_activity > cfg.touch_boost_hold_s:
+            return 0
+        table = cluster.opp_table
+        boost_freq = cfg.touch_boost_fraction * table.max_frequency_mhz
+        return table.ceil_index(boost_freq)
+
+    def select(
+        self,
+        cluster: Cluster,
+        utilisation: float,
+        now_s: float,
+    ) -> int:
+        """Pick and apply the OPP for ``cluster`` given its ``utilisation``.
+
+        Returns the OPP index actually applied (after limit clamping).
+        """
+        cfg = self.config
+        utilisation = min(1.0, max(0.0, utilisation))
+        if utilisation > 0:
+            utilisation = max(utilisation, cfg.io_boost)
+        table = cluster.opp_table
+        # schedutil: next_freq = headroom * current_freq * util, then pick the
+        # lowest OPP at or above that frequency.
+        target_freq = cfg.headroom * cluster.current_frequency_mhz * utilisation
+        target_index = table.ceil_index(target_freq) if target_freq > 0 else 0
+        target_index = max(target_index, self._boost_floor_index(cluster, utilisation, now_s))
+        current = cluster.current_index
+
+        name = cluster.name
+        if target_index > current:
+            last_up = self._last_up_time_s.get(name)
+            if last_up is not None and now_s - last_up < cfg.up_rate_limit_s:
+                return current
+            applied = cluster.set_frequency_index(target_index)
+            if applied != current:
+                self._last_up_time_s[name] = now_s
+            return applied
+        if target_index < current:
+            last_down = self._last_down_time_s.get(name)
+            if last_down is not None and now_s - last_down < cfg.down_rate_limit_s:
+                return current
+            applied = cluster.set_frequency_index(target_index)
+            if applied != current:
+                self._last_down_time_s[name] = now_s
+            return applied
+        return current
+
+    def select_all(
+        self,
+        clusters: Mapping[str, Cluster],
+        utilisations: Mapping[str, float],
+        now_s: float,
+    ) -> Dict[str, int]:
+        """Apply :meth:`select` to every cluster; returns applied indices."""
+        return {
+            name: self.select(cluster, utilisations.get(name, 0.0), now_s)
+            for name, cluster in clusters.items()
+        }
+
+
+class SchedutilGovernor(Governor):
+    """Stock Android policy: no frequency limits, scaler follows utilisation."""
+
+    invocation_period_s = 0.1
+
+    def __init__(self) -> None:
+        super().__init__(name="schedutil")
+
+    def update(self, observation: GovernorObservation, clusters: Dict[str, Cluster]) -> None:
+        """Keep every cluster's limits wide open (the scaler does the rest)."""
+        for cluster in clusters.values():
+            if cluster.max_limit_index != len(cluster.opp_table) - 1 or cluster.min_limit_index != 0:
+                cluster.reset_limits()

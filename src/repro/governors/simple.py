@@ -1,0 +1,71 @@
+"""Simple reference governors: performance, powersave and conservative.
+
+These are not evaluated in the paper but are included for ablations and as
+sanity anchors: ``performance`` bounds achievable QoS (and power) from above,
+``powersave`` bounds power from below, and ``conservative`` is a utilisation
+governor with a slower ramp, useful to show that the Next agent's gains do
+not come merely from being sluggish.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.governors.base import Governor, GovernorObservation
+from repro.soc.cluster import Cluster
+
+
+class PerformanceGovernor(Governor):
+    """Pin every cluster at its highest operating point."""
+
+    invocation_period_s = 1.0
+
+    def __init__(self) -> None:
+        super().__init__(name="performance")
+
+    def update(self, observation: GovernorObservation, clusters: Dict[str, Cluster]) -> None:
+        """Force each cluster to the top OPP via min == max == top."""
+        for cluster in clusters.values():
+            top = len(cluster.opp_table) - 1
+            cluster.set_max_limit_index(top)
+            cluster.set_min_limit_index(top)
+            cluster.set_frequency_index(top)
+
+
+class PowersaveGovernor(Governor):
+    """Pin every cluster at its lowest operating point."""
+
+    invocation_period_s = 1.0
+
+    def __init__(self) -> None:
+        super().__init__(name="powersave")
+
+    def update(self, observation: GovernorObservation, clusters: Dict[str, Cluster]) -> None:
+        """Force each cluster to the bottom OPP via max == 0."""
+        for cluster in clusters.values():
+            cluster.set_min_limit_index(0)
+            cluster.set_max_limit_index(0)
+            cluster.set_frequency_index(0)
+
+
+class ConservativeGovernor(Governor):
+    """Step-wise utilisation governor (one OPP at a time, with hysteresis)."""
+
+    invocation_period_s = 0.2
+
+    def __init__(self, up_threshold: float = 0.8, down_threshold: float = 0.35) -> None:
+        super().__init__(name="conservative")
+        if not 0 < down_threshold < up_threshold <= 1.0:
+            raise ValueError("thresholds must satisfy 0 < down < up <= 1")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+
+    def update(self, observation: GovernorObservation, clusters: Dict[str, Cluster]) -> None:
+        """Nudge the ``maxfreq`` cap of each cluster one step up or down."""
+        for name, cluster in clusters.items():
+            utilisation = observation.utilisations.get(name, 0.0)
+            cap = cluster.max_limit_index
+            if utilisation > self.up_threshold:
+                cluster.set_max_limit_index(cap + 1)
+            elif utilisation < self.down_threshold:
+                cluster.set_max_limit_index(cap - 1)

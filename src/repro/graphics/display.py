@@ -1,0 +1,100 @@
+"""Display and frame-rate accounting.
+
+The agent and the experiments talk about *FPS*: the number of distinct frames
+the panel showed during the last second.  :class:`FpsCounter` turns the
+per-tick "frames displayed" counts coming from the pipeline into that number
+using a sliding one-second window, and :class:`Display` wraps the counter
+together with the panel's refresh rate (the upper bound of achievable FPS).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Tuple
+
+
+class FpsCounter:
+    """Sliding-window frame counter.
+
+    Records ``(time, frames_displayed)`` events and reports the number of
+    frames displayed during the trailing window (1 s by default), which is
+    the everyday definition of FPS.
+    """
+
+    def __init__(self, window_s: float = 1.0) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.window_s = window_s
+        self._events: Deque[Tuple[float, int]] = deque()
+        self._total_in_window = 0
+
+    def record(self, time_s: float, frames_displayed: int) -> None:
+        """Record that ``frames_displayed`` frames were shown at ``time_s``."""
+        if frames_displayed < 0:
+            raise ValueError("frames_displayed must be non-negative")
+        self._events.append((time_s, frames_displayed))
+        self._total_in_window += frames_displayed
+        self._expire(time_s)
+
+    def _expire(self, now_s: float) -> None:
+        cutoff = now_s - self.window_s
+        while self._events and self._events[0][0] <= cutoff:
+            _, count = self._events.popleft()
+            self._total_in_window -= count
+
+    def fps(self, now_s: float) -> float:
+        """Frames displayed during the window ending at ``now_s``, scaled to 1 s."""
+        self._expire(now_s)
+        return self._total_in_window / self.window_s
+
+    def reset(self) -> None:
+        """Clear the window."""
+        self._events.clear()
+        self._total_in_window = 0
+
+
+@dataclass
+class Display:
+    """Panel abstraction: refresh rate plus FPS accounting."""
+
+    refresh_hz: float = 60.0
+    fps_window_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.refresh_hz <= 0:
+            raise ValueError("refresh_hz must be positive")
+        self._counter = FpsCounter(window_s=self.fps_window_s)
+        self._total_frames = 0
+        self._total_drops = 0
+
+    @property
+    def max_fps(self) -> float:
+        """Highest achievable FPS (equal to the refresh rate)."""
+        return self.refresh_hz
+
+    @property
+    def total_frames(self) -> int:
+        """Total frames displayed since the last reset."""
+        return self._total_frames
+
+    @property
+    def total_drops(self) -> int:
+        """Total dropped frames since the last reset."""
+        return self._total_drops
+
+    def record_tick(self, time_s: float, frames_displayed: int, frames_dropped: int = 0) -> None:
+        """Account one simulation tick worth of display activity."""
+        self._counter.record(time_s, frames_displayed)
+        self._total_frames += frames_displayed
+        self._total_drops += frames_dropped
+
+    def current_fps(self, now_s: float) -> float:
+        """FPS over the trailing window ending at ``now_s``."""
+        return min(self.refresh_hz, self._counter.fps(now_s))
+
+    def reset(self) -> None:
+        """Clear all accounting."""
+        self._counter.reset()
+        self._total_frames = 0
+        self._total_drops = 0

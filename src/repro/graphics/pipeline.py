@@ -1,0 +1,356 @@
+"""Frame rendering pipeline whose speed follows the cluster frequencies.
+
+A frame on Android goes through a CPU stage (input handling, view traversal,
+display-list building, driver work) and a GPU stage (rasterisation and
+composition).  Both stages speed up with the frequency of the cluster that
+executes them, which is precisely the lever DVFS gives a governor: lower the
+frequency too far and frames miss their VSync deadline; keep it needlessly
+high and power is wasted on frames that would have met the deadline anyway.
+
+Work is expressed in *mega work units* (Mwu): one Mwu is the work one big
+(Mongoose M3 class) core completes in one mega-cycle.  The conversion to
+seconds is therefore ``work / (frequency_mhz * perf_per_mhz * cores)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
+
+from repro.soc.cluster import Cluster
+from repro.graphics.vsync import BufferQueue, VsyncClock
+
+
+@dataclass(frozen=True)
+class FrameSpec:
+    """Work content of one frame.
+
+    Attributes
+    ----------
+    cpu_work_mwu:
+        CPU-stage work in mega work units (big-core-cycle equivalents).
+    gpu_work_mwu:
+        GPU-stage work in mega work units (GPU-core-cycle equivalents).
+    """
+
+    cpu_work_mwu: float
+    gpu_work_mwu: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_work_mwu < 0 or self.gpu_work_mwu < 0:
+            raise ValueError("frame work must be non-negative")
+
+
+@dataclass
+class PipelineConfig:
+    """Static configuration of the rendering pipeline.
+
+    Attributes
+    ----------
+    big_cluster:
+        Name of the big CPU cluster (UI and render threads prefer it).
+    little_cluster:
+        Name of the LITTLE CPU cluster (helper threads).
+    gpu_cluster:
+        Name of the GPU cluster.
+    ui_big_cores:
+        Equivalent number of big cores the UI/render threads can use.
+    ui_little_cores:
+        Equivalent number of LITTLE cores contributing to the CPU stage.
+    gpu_core_fraction:
+        Fraction of GPU cores available to the foreground app.
+    max_pending_frames:
+        Demanded-but-not-started frames kept before new demands are rejected
+        (the app itself skips producing them, as Choreographer does).
+    """
+
+    big_cluster: str = "big"
+    little_cluster: str = "little"
+    gpu_cluster: str = "gpu"
+    ui_big_cores: float = 1.6
+    ui_little_cores: float = 1.0
+    gpu_core_fraction: float = 1.0
+    max_pending_frames: int = 2
+
+    def __post_init__(self) -> None:
+        if self.ui_big_cores < 0 or self.ui_little_cores < 0:
+            raise ValueError("core shares must be non-negative")
+        if self.ui_big_cores == 0 and self.ui_little_cores == 0:
+            raise ValueError("the CPU stage needs at least some core share")
+        if not 0 < self.gpu_core_fraction <= 1.0:
+            raise ValueError("gpu_core_fraction must be in (0, 1]")
+        if self.max_pending_frames < 1:
+            raise ValueError("max_pending_frames must be at least 1")
+
+
+@dataclass(frozen=True)
+class TickResult:
+    """Outcome of advancing the pipeline by one simulation tick.
+
+    Attributes
+    ----------
+    frames_displayed:
+        Frames latched to the panel during this tick.
+    frames_dropped:
+        Demanded frames that the pipeline could not accept because it was
+        saturated (its pending queue was full).  These frames will never be
+        rendered -- they are the stutter the user perceives, and the QoS
+        signal the Next agent's reward penalises.
+    frames_completed:
+        Frames that finished rendering (entered a back buffer) this tick.
+    vsync_misses:
+        VSync edges during this tick at which the panel had to repeat the
+        previous front buffer although frames were in flight.  This is
+        informational: at demand rates below the refresh rate repeats are
+        normal and do not indicate a QoS problem.
+    utilisations:
+        Resulting utilisation per cluster (work processed / capacity).
+    work_done_mwu:
+        Work processed per cluster this tick, in mega work units.
+    """
+
+    frames_displayed: int
+    frames_dropped: int
+    frames_completed: int
+    vsync_misses: int
+    utilisations: Mapping[str, float]
+    work_done_mwu: Mapping[str, float]
+
+    @property
+    def frames_rejected(self) -> int:
+        """Alias of :attr:`frames_dropped` (kept for clarity at call sites)."""
+        return self.frames_dropped
+
+
+class FramePipeline:
+    """CPU-stage / GPU-stage frame renderer with triple buffering."""
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        refresh_hz: float = 60.0,
+        back_buffer_count: int = 2,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.vsync = VsyncClock(refresh_hz=refresh_hz)
+        self.buffers = BufferQueue(back_buffer_count=back_buffer_count)
+        self._pending: Deque[FrameSpec] = deque()
+        self._cpu_stage: Optional[List[float]] = None  # [remaining cpu work]
+        self._cpu_stage_frame: Optional[FrameSpec] = None
+        self._gpu_stage_remaining: Optional[float] = None
+        self._completed_waiting_buffer = 0
+        self._time_s = 0.0
+
+    # -- configuration helpers ----------------------------------------------------
+
+    @property
+    def refresh_hz(self) -> float:
+        """Panel refresh rate driving the VSync clock."""
+        return self.vsync.refresh_hz
+
+    @property
+    def time_s(self) -> float:
+        """Internal pipeline time (advanced by :meth:`tick`)."""
+        return self._time_s
+
+    @property
+    def frames_in_flight(self) -> int:
+        """Frames demanded or being rendered but not yet displayed."""
+        in_stages = int(self._cpu_stage_frame is not None) + int(
+            self._gpu_stage_remaining is not None
+        )
+        return (
+            len(self._pending)
+            + in_stages
+            + self._completed_waiting_buffer
+            + self.buffers.ready_frames
+        )
+
+    def reset(self) -> None:
+        """Reset all pipeline state (buffers, stages, VSync phase)."""
+        self.vsync.reset()
+        self.buffers.reset()
+        self._pending.clear()
+        self._cpu_stage = None
+        self._cpu_stage_frame = None
+        self._gpu_stage_remaining = None
+        self._completed_waiting_buffer = 0
+        self._time_s = 0.0
+
+    # -- rates ----------------------------------------------------------------------
+
+    def _cpu_rate_mwu_per_s(self, clusters: Mapping[str, Cluster]) -> Tuple[float, float, float]:
+        """CPU-stage processing rate and the big/little split of that rate."""
+        cfg = self.config
+        big_rate = 0.0
+        little_rate = 0.0
+        if cfg.big_cluster in clusters:
+            big = clusters[cfg.big_cluster]
+            cores = min(cfg.ui_big_cores, big.spec.core_count)
+            big_rate = big.current_frequency_mhz * big.spec.perf_per_mhz * cores
+        if cfg.little_cluster in clusters:
+            little = clusters[cfg.little_cluster]
+            cores = min(cfg.ui_little_cores, little.spec.core_count)
+            little_rate = (
+                little.current_frequency_mhz * little.spec.perf_per_mhz * cores
+            )
+        return big_rate + little_rate, big_rate, little_rate
+
+    def _gpu_rate_mwu_per_s(self, clusters: Mapping[str, Cluster]) -> float:
+        """GPU-stage processing rate."""
+        cfg = self.config
+        if cfg.gpu_cluster not in clusters:
+            return 0.0
+        gpu = clusters[cfg.gpu_cluster]
+        cores = gpu.spec.core_count * cfg.gpu_core_fraction
+        return gpu.current_frequency_mhz * gpu.spec.perf_per_mhz * cores
+
+    # -- main step --------------------------------------------------------------------
+
+    def tick(
+        self,
+        dt_s: float,
+        clusters: Mapping[str, Cluster],
+        frame_demands: List[FrameSpec],
+        background_work_mwu: Optional[Mapping[str, float]] = None,
+    ) -> TickResult:
+        """Advance the pipeline by ``dt_s`` seconds.
+
+        Parameters
+        ----------
+        dt_s:
+            Tick length in seconds (typically one VSync period).
+        clusters:
+            Live cluster objects; their *current* frequencies determine the
+            processing rates during this tick.
+        frame_demands:
+            Frames the application wants rendered this tick (in order).
+        background_work_mwu:
+            Non-frame work demanded per cluster this tick (audio decode,
+            networking, loading...), in mega work units.
+
+        Returns
+        -------
+        TickResult
+            Frame accounting plus the utilisation of every cluster.
+        """
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        background_work_mwu = dict(background_work_mwu or {})
+        cfg = self.config
+
+        rejected = 0
+        for frame in frame_demands:
+            if len(self._pending) >= cfg.max_pending_frames:
+                rejected += 1
+                continue
+            self._pending.append(frame)
+
+        cpu_rate, big_rate, little_rate = self._cpu_rate_mwu_per_s(clusters)
+        gpu_rate = self._gpu_rate_mwu_per_s(clusters)
+
+        cpu_budget = cpu_rate * dt_s
+        gpu_budget = gpu_rate * dt_s
+        cpu_frame_work_done = 0.0
+        gpu_frame_work_done = 0.0
+        completed = 0
+
+        # Try to push any frame that already finished both stages but found the
+        # buffer queue full on a previous tick.
+        while self._completed_waiting_buffer > 0 and self.buffers.can_queue:
+            self.buffers.queue_frame()
+            self._completed_waiting_buffer -= 1
+
+        # Drain the two stages; they pipeline (CPU of frame N+1 overlaps GPU of
+        # frame N) because both budgets refer to the same wall-clock interval.
+        progress = True
+        while progress:
+            progress = False
+
+            # GPU stage.
+            if self._gpu_stage_remaining is not None and gpu_budget > 1e-12:
+                done = min(self._gpu_stage_remaining, gpu_budget)
+                self._gpu_stage_remaining -= done
+                gpu_budget -= done
+                gpu_frame_work_done += done
+                if self._gpu_stage_remaining <= 1e-9:
+                    self._gpu_stage_remaining = None
+                    completed += 1
+                    if self.buffers.can_queue:
+                        self.buffers.queue_frame()
+                    else:
+                        self._completed_waiting_buffer += 1
+                    progress = True
+
+            # CPU stage.
+            if self._cpu_stage_frame is None and self._pending:
+                self._cpu_stage_frame = self._pending.popleft()
+                self._cpu_stage = [self._cpu_stage_frame.cpu_work_mwu]
+                progress = True
+            if (
+                self._cpu_stage_frame is not None
+                and self._cpu_stage is not None
+                and cpu_budget > 1e-12
+            ):
+                done = min(self._cpu_stage[0], cpu_budget)
+                self._cpu_stage[0] -= done
+                cpu_budget -= done
+                cpu_frame_work_done += done
+                if self._cpu_stage[0] <= 1e-9 and self._gpu_stage_remaining is None:
+                    self._gpu_stage_remaining = self._cpu_stage_frame.gpu_work_mwu
+                    if self._gpu_stage_remaining <= 1e-9:
+                        self._gpu_stage_remaining = None
+                        completed += 1
+                        if self.buffers.can_queue:
+                            self.buffers.queue_frame()
+                        else:
+                            self._completed_waiting_buffer += 1
+                    self._cpu_stage_frame = None
+                    self._cpu_stage = None
+                    progress = True
+
+        # Attribute frame CPU work to the two CPU clusters in proportion to the
+        # rate they contributed, then add background work up to spare capacity.
+        work_done: Dict[str, float] = {name: 0.0 for name in clusters}
+        if cpu_rate > 0:
+            if cfg.big_cluster in work_done:
+                work_done[cfg.big_cluster] += cpu_frame_work_done * (big_rate / cpu_rate)
+            if cfg.little_cluster in work_done:
+                work_done[cfg.little_cluster] += cpu_frame_work_done * (
+                    little_rate / cpu_rate
+                )
+        if cfg.gpu_cluster in work_done:
+            work_done[cfg.gpu_cluster] += gpu_frame_work_done
+
+        utilisations: Dict[str, float] = {}
+        for name, cluster in clusters.items():
+            capacity = cluster.current_capacity * dt_s
+            background = background_work_mwu.get(name, 0.0)
+            if capacity <= 0:
+                utilisations[name] = 1.0 if (background > 0 or work_done[name] > 0) else 0.0
+                continue
+            spare = max(0.0, capacity - work_done[name])
+            background_done = min(background, spare)
+            work_done[name] += background_done
+            utilisations[name] = min(1.0, work_done[name] / capacity)
+
+        # VSync edges that fall inside this tick latch frames to the panel.
+        displayed = 0
+        misses = 0
+        end_time = self._time_s + dt_s
+        for _edge in self.vsync.edges_until(end_time):
+            if self.buffers.latch():
+                displayed += 1
+            elif self.frames_in_flight > 0 or frame_demands:
+                misses += 1
+        self._time_s = end_time
+
+        return TickResult(
+            frames_displayed=displayed,
+            frames_dropped=rejected,
+            frames_completed=completed,
+            vsync_misses=misses,
+            utilisations=utilisations,
+            work_done_mwu=work_done,
+        )

@@ -1,0 +1,43 @@
+"""Simulation engine: couples workload, display pipeline, SoC and governor.
+
+The engine advances in ticks of one VSync period (16.67 ms at 60 Hz).  Each
+tick the foreground application produces demand, the frame pipeline renders
+against the current cluster frequencies, the SoC integrates power and
+temperature, the display accounts FPS, the inner ``schedutil`` scaler picks
+frequencies within the current limits, and -- at its own invocation period --
+the policy governor under test (stock schedutil, Int. QoS PM or Next)
+observes the sensors and adjusts the limits.
+"""
+
+from repro.sim.clock import SimulationClock
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SessionWorkload, Simulation
+from repro.sim.recorder import Recorder, SimulationSample, SummaryStatistics
+from repro.sim.experiment import (
+    GovernorComparison,
+    SessionResult,
+    TrainingResult,
+    compare_governors_on_trace,
+    make_governor,
+    run_app_session,
+    run_trace,
+    train_next_governor,
+)
+
+__all__ = [
+    "SimulationClock",
+    "SimulationConfig",
+    "Simulation",
+    "SessionWorkload",
+    "Recorder",
+    "SimulationSample",
+    "SummaryStatistics",
+    "SessionResult",
+    "TrainingResult",
+    "GovernorComparison",
+    "run_trace",
+    "run_app_session",
+    "train_next_governor",
+    "compare_governors_on_trace",
+    "make_governor",
+]

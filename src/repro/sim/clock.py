@@ -1,0 +1,48 @@
+"""Simulation clock.
+
+A small helper that keeps the simulated time, the tick counter and the tick
+length in one place so that every component sees a consistent notion of
+"now".  Using an integer tick counter avoids the floating-point drift that
+accumulating ``time += dt`` would introduce over long sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SimulationClock:
+    """Discrete simulation clock with a fixed tick length."""
+
+    dt_s: float
+
+    def __post_init__(self) -> None:
+        if self.dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        self._ticks = 0
+
+    @property
+    def ticks(self) -> int:
+        """Number of completed ticks."""
+        return self._ticks
+
+    @property
+    def now_s(self) -> float:
+        """Current simulated time in seconds."""
+        return self._ticks * self.dt_s
+
+    def advance(self) -> float:
+        """Advance by one tick and return the new time."""
+        self._ticks += 1
+        return self.now_s
+
+    def reset(self) -> None:
+        """Rewind to time zero."""
+        self._ticks = 0
+
+    def ticks_for(self, duration_s: float) -> int:
+        """Number of whole ticks needed to cover ``duration_s``."""
+        if duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        return int(round(duration_s / self.dt_s))

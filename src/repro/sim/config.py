@@ -1,0 +1,50 @@
+"""Simulation configuration dataclasses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class SimulationConfig:
+    """Top-level knobs of a simulation run.
+
+    Attributes
+    ----------
+    refresh_hz:
+        Display refresh rate; also defines the tick length (one VSync).
+    duration_s:
+        How long to simulate (can be overridden per call).
+    seed:
+        Seed for all stochastic components created by the engine.
+    record_every_n_ticks:
+        Down-sampling factor for the recorder (1 records every tick).
+    warm_start_temperature_c:
+        Initial temperature of all thermal nodes; ``None`` starts at ambient.
+        The paper's measurements begin on an already-warm phone, so
+        experiments typically warm-start a few degrees above ambient.
+    sensor_seed_offset:
+        Offset added to ``seed`` for the sensor-noise RNG so that workload
+        randomness and sensor randomness are decoupled.
+    """
+
+    refresh_hz: float = 60.0
+    duration_s: float = 120.0
+    seed: int = 0
+    record_every_n_ticks: int = 1
+    warm_start_temperature_c: Optional[float] = None
+    sensor_seed_offset: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.refresh_hz <= 0:
+            raise ValueError("refresh_hz must be positive")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.record_every_n_ticks < 1:
+            raise ValueError("record_every_n_ticks must be at least 1")
+
+    @property
+    def dt_s(self) -> float:
+        """Tick length: one VSync period."""
+        return 1.0 / self.refresh_hz

@@ -1,0 +1,264 @@
+"""The simulation engine: one VSync-period tick couples all substrates.
+
+Per tick the engine performs, in order:
+
+1. ask the workload for its demand (frames + background work),
+2. render through the frame pipeline at the *current* cluster frequencies,
+3. feed the resulting utilisations into the SoC and integrate power/thermal,
+4. account displayed/dropped frames into the display's FPS counter,
+5. give the policy governor its fast-path FPS observation (the Next agent's
+   25 ms frame-window sampling hangs off this hook),
+6. run the inner ``schedutil`` scaler, which picks each cluster's frequency
+   within its current min/max limits, and
+7. when the policy governor's invocation period has elapsed, assemble a
+   :class:`~repro.governors.base.GovernorObservation` from the *sensed*
+   (noisy) values and let the governor adjust limits/frequencies.
+
+The engine records ground truth into a :class:`~repro.sim.recorder.Recorder`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.governors.base import Governor, GovernorObservation
+from repro.governors.schedutil import SchedutilScaler
+from repro.graphics.display import Display
+from repro.graphics.pipeline import FramePipeline, PipelineConfig
+from repro.sim.clock import SimulationClock
+from repro.sim.config import SimulationConfig
+from repro.sim.recorder import Recorder, SimulationSample
+from repro.soc.cluster import ClusterKind
+from repro.soc.platform import PlatformSpec
+from repro.soc.soc import SocSimulator
+from repro.workloads.app import TickWorkload
+from repro.workloads.apps import make_app
+
+
+class SessionWorkload:
+    """Adapts a multi-segment session into the tick-able workload interface.
+
+    Applications are instantiated lazily when their segment starts, each with
+    its own derived seed, and the emitted :class:`TickWorkload` times are
+    offset so they are monotonically increasing across the whole session.
+    """
+
+    def __init__(self, segments: Sequence, seed: Optional[int] = None) -> None:
+        if not segments:
+            raise ValueError("a session workload needs at least one segment")
+        self._segments = list(segments)
+        self._seed = seed
+        self._segment_index = 0
+        self._segment_elapsed_s = 0.0
+        self._time_offset_s = 0.0
+        self._current_app = None
+
+    def _ensure_app(self):
+        if self._current_app is None:
+            segment = self._segments[self._segment_index]
+            app_seed = None if self._seed is None else self._seed + self._segment_index * 7919
+            self._current_app = make_app(segment.app_name, seed=app_seed)
+        return self._current_app
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every segment has been fully played."""
+        return self._segment_index >= len(self._segments)
+
+    def tick(self, dt_s: float) -> TickWorkload:
+        """Produce the next tick of demand, advancing segments as needed."""
+        if self.exhausted:
+            return TickWorkload(
+                time_s=self._time_offset_s,
+                app_name="idle",
+                phase_name="exhausted",
+                frames=[],
+                background_work_mwu={},
+                interaction_activity=0.0,
+            )
+        segment = self._segments[self._segment_index]
+        app = self._ensure_app()
+        tick = app.tick(dt_s)
+        result = TickWorkload(
+            time_s=self._time_offset_s + self._segment_elapsed_s,
+            app_name=tick.app_name,
+            phase_name=tick.phase_name,
+            frames=tick.frames,
+            background_work_mwu=tick.background_work_mwu,
+            interaction_activity=tick.interaction_activity,
+        )
+        self._segment_elapsed_s += dt_s
+        if self._segment_elapsed_s >= segment.duration_s - 1e-9:
+            self._time_offset_s += self._segment_elapsed_s
+            self._segment_elapsed_s = 0.0
+            self._segment_index += 1
+            self._current_app = None
+        return result
+
+
+class Simulation:
+    """Couples a platform, a policy governor and a workload source."""
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        governor: Governor,
+        config: Optional[SimulationConfig] = None,
+        scaler: Optional[SchedutilScaler] = None,
+    ) -> None:
+        self.platform = platform
+        self.governor = governor
+        self.config = config or SimulationConfig(refresh_hz=platform.display_refresh_hz)
+        self.scaler = scaler or SchedutilScaler()
+
+        sensor_rng = random.Random(self.config.seed + self.config.sensor_seed_offset)
+        self.soc = SocSimulator(platform, rng=sensor_rng)
+        if self.config.warm_start_temperature_c is not None:
+            self.soc.thermal.reset(self.config.warm_start_temperature_c)
+
+        self.pipeline = FramePipeline(
+            config=self._pipeline_config(),
+            refresh_hz=self.config.refresh_hz,
+        )
+        self.display = Display(refresh_hz=self.config.refresh_hz)
+        self.clock = SimulationClock(dt_s=self.config.dt_s)
+        self.recorder = Recorder(
+            ambient_c=platform.ambient_c,
+            hot_node=self._big_cluster_name() or platform.cluster_names[0],
+        )
+
+        self._current_app: Optional[str] = None
+        self._last_invocation_s: Optional[float] = None
+        self._dropped_since_invocation = 0
+        self._demanded_since_invocation = 0
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _big_cluster_name(self) -> Optional[str]:
+        return self.platform.cluster_of_kind(ClusterKind.BIG_CPU)
+
+    def _little_cluster_name(self) -> Optional[str]:
+        return self.platform.cluster_of_kind(ClusterKind.LITTLE_CPU)
+
+    def _gpu_cluster_name(self) -> Optional[str]:
+        return self.platform.cluster_of_kind(ClusterKind.GPU)
+
+    def _pipeline_config(self) -> PipelineConfig:
+        big = self._big_cluster_name() or self.platform.cluster_names[0]
+        little = self._little_cluster_name() or "__no_little__"
+        gpu = self._gpu_cluster_name() or "__no_gpu__"
+        return PipelineConfig(big_cluster=big, little_cluster=little, gpu_cluster=gpu)
+
+    def _target_fps(self) -> float:
+        agent = getattr(self.governor, "agent", None)
+        if agent is None:
+            return 0.0
+        return agent.target_fps
+
+    # -- main loop --------------------------------------------------------------------
+
+    def run(self, workload, duration_s: Optional[float] = None) -> Recorder:
+        """Run ``workload`` for ``duration_s`` (default: the config duration).
+
+        ``workload`` is anything with a ``tick(dt_s) -> TickWorkload`` method:
+        an :class:`~repro.workloads.app.AppModel`, a
+        :class:`~repro.workloads.trace.TracePlayer` or a
+        :class:`SessionWorkload`.
+        """
+        duration = duration_s if duration_s is not None else self.config.duration_s
+        ticks = self.clock.ticks_for(duration)
+        for _ in range(ticks):
+            self._step_once(workload)
+        return self.recorder
+
+    def _step_once(self, workload) -> None:
+        dt = self.config.dt_s
+        demand = workload.tick(dt)
+
+        if demand.app_name != self._current_app:
+            if self._current_app is not None:
+                self.governor.on_session_end(self._current_app)
+            self._current_app = demand.app_name
+            self.governor.on_session_start(self._current_app)
+
+        result = self.pipeline.tick(
+            dt_s=dt,
+            clusters=self.soc.clusters,
+            frame_demands=demand.frames,
+            background_work_mwu=demand.background_work_mwu,
+        )
+        self.soc.set_utilisations(result.utilisations)
+        telemetry = self.soc.step(dt)
+        now = self.clock.advance()
+
+        self.display.record_tick(now, result.frames_displayed, result.frames_dropped)
+        fps = self.display.current_fps(now)
+        self.governor.observe_tick(now, fps)
+
+        # Inner utilisation-driven frequency selection inside the limits.
+        self.scaler.select_all(self.soc.clusters, result.utilisations, now)
+
+        self._dropped_since_invocation += result.frames_dropped
+        self._demanded_since_invocation += len(demand.frames)
+
+        due = (
+            self._last_invocation_s is None
+            or now - self._last_invocation_s >= self.governor.invocation_period_s - 1e-9
+        )
+        if due:
+            readings = self.soc.sample_sensors()
+            big_name = self._big_cluster_name()
+            if big_name is not None and big_name in readings.temperatures_c:
+                temperature_big = readings.temperatures_c[big_name]
+            else:
+                temperature_big = max(readings.temperatures_c.values())
+            observation = GovernorObservation(
+                time_s=now,
+                dt_s=(
+                    now - self._last_invocation_s
+                    if self._last_invocation_s is not None
+                    else self.governor.invocation_period_s
+                ),
+                fps=fps,
+                utilisations=dict(result.utilisations),
+                frequencies_mhz={
+                    name: c.current_frequency_mhz for name, c in self.soc.clusters.items()
+                },
+                max_limits_mhz={
+                    name: c.max_limit_frequency_mhz for name, c in self.soc.clusters.items()
+                },
+                power_w=readings.power_w,
+                temperature_big_c=temperature_big,
+                temperature_device_c=readings.device_temperature_c,
+                frames_dropped=self._dropped_since_invocation,
+                frames_demanded=self._demanded_since_invocation,
+            )
+            self.governor.update(observation, self.soc.clusters)
+            self._last_invocation_s = now
+            self._dropped_since_invocation = 0
+            self._demanded_since_invocation = 0
+
+        if self.clock.ticks % self.config.record_every_n_ticks == 0:
+            self.recorder.record(
+                SimulationSample(
+                    time_s=now,
+                    app_name=demand.app_name,
+                    phase_name=demand.phase_name,
+                    fps=fps,
+                    target_fps=self._target_fps(),
+                    frames_demanded=len(demand.frames),
+                    frames_displayed=result.frames_displayed,
+                    frames_dropped=result.frames_dropped,
+                    power_total_w=telemetry.total_power_w,
+                    power_per_cluster_w={
+                        name: telemetry.power.cluster_total_w(name)
+                        for name in self.soc.clusters
+                    },
+                    temperatures_c=dict(telemetry.temperatures_c),
+                    frequencies_mhz=dict(telemetry.frequencies_mhz),
+                    max_limits_mhz=dict(telemetry.max_limits_mhz),
+                    utilisations=dict(telemetry.utilisations),
+                    interaction_activity=demand.interaction_activity,
+                )
+            )

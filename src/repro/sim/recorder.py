@@ -1,0 +1,165 @@
+"""Time-series recording and summary statistics for simulation runs.
+
+The recorder stores one :class:`SimulationSample` per (recorded) tick --
+the experimenter's ground-truth view, equivalent to the logging harness the
+paper ran alongside its on-device experiments -- and derives the aggregate
+numbers the paper reports: average power, peak temperature, average FPS,
+dropped frames and average PPDW.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.ppdw import compute_ppdw
+
+
+@dataclass(frozen=True)
+class SimulationSample:
+    """Ground truth captured at one simulation tick."""
+
+    time_s: float
+    app_name: str
+    phase_name: str
+    fps: float
+    target_fps: float
+    frames_demanded: int
+    frames_displayed: int
+    frames_dropped: int
+    power_total_w: float
+    power_per_cluster_w: Mapping[str, float]
+    temperatures_c: Mapping[str, float]
+    frequencies_mhz: Mapping[str, float]
+    max_limits_mhz: Mapping[str, float]
+    utilisations: Mapping[str, float]
+    interaction_activity: float
+
+
+@dataclass
+class SummaryStatistics:
+    """Aggregates over a recorded run (the numbers the paper's figures show)."""
+
+    duration_s: float
+    average_power_w: float
+    peak_power_w: float
+    average_fps: float
+    fps_p10: float
+    peak_temperature_c: Dict[str, float]
+    average_temperature_c: Dict[str, float]
+    total_frames_displayed: int
+    total_frames_demanded: int
+    total_frames_dropped: int
+    average_ppdw: float
+    average_target_fps: float
+    energy_j: float
+
+    @property
+    def frame_delivery_ratio(self) -> float:
+        """Displayed / demanded frames (1.0 when every demanded frame showed)."""
+        if self.total_frames_demanded == 0:
+            return 1.0
+        return min(1.0, self.total_frames_displayed / self.total_frames_demanded)
+
+
+class Recorder:
+    """Accumulates samples and computes :class:`SummaryStatistics`."""
+
+    def __init__(self, ambient_c: float = 21.0, hot_node: str = "big") -> None:
+        self.ambient_c = ambient_c
+        self.hot_node = hot_node
+        self.samples: List[SimulationSample] = []
+
+    def record(self, sample: SimulationSample) -> None:
+        """Append one sample."""
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    # -- column access ------------------------------------------------------------
+
+    def column(self, name: str) -> List:
+        """Extract one attribute across all samples."""
+        return [getattr(sample, name) for sample in self.samples]
+
+    def temperature_series(self, node: str) -> List[float]:
+        """Temperature of ``node`` across all samples."""
+        return [sample.temperatures_c.get(node, self.ambient_c) for sample in self.samples]
+
+    def frequency_series(self, cluster: str) -> List[float]:
+        """Operating frequency of ``cluster`` across all samples."""
+        return [sample.frequencies_mhz.get(cluster, 0.0) for sample in self.samples]
+
+    # -- summaries -----------------------------------------------------------------
+
+    def summary(self) -> SummaryStatistics:
+        """Aggregate the recorded run."""
+        if not self.samples:
+            raise ValueError("cannot summarise an empty recording")
+        count = len(self.samples)
+        duration = self.samples[-1].time_s - self.samples[0].time_s
+        if count > 1 and duration > 0:
+            dt = duration / (count - 1)
+        else:
+            dt = 0.0
+
+        powers = [s.power_total_w for s in self.samples]
+        fps_values = [s.fps for s in self.samples]
+        sorted_fps = sorted(fps_values)
+        p10_index = max(0, int(0.1 * (count - 1)))
+
+        node_names: List[str] = sorted(
+            {node for sample in self.samples for node in sample.temperatures_c}
+        )
+        peak_temps = {
+            node: max(s.temperatures_c.get(node, self.ambient_c) for s in self.samples)
+            for node in node_names
+        }
+        avg_temps = {
+            node: sum(s.temperatures_c.get(node, self.ambient_c) for s in self.samples) / count
+            for node in node_names
+        }
+
+        ppdw_values = [
+            compute_ppdw(
+                fps=s.fps,
+                power_w=s.power_total_w,
+                temperature_c=s.temperatures_c.get(self.hot_node, self.ambient_c),
+                ambient_c=self.ambient_c,
+            )
+            for s in self.samples
+        ]
+
+        return SummaryStatistics(
+            duration_s=duration,
+            average_power_w=sum(powers) / count,
+            peak_power_w=max(powers),
+            average_fps=sum(fps_values) / count,
+            fps_p10=sorted_fps[p10_index],
+            peak_temperature_c=peak_temps,
+            average_temperature_c=avg_temps,
+            total_frames_displayed=sum(s.frames_displayed for s in self.samples),
+            total_frames_demanded=sum(s.frames_demanded for s in self.samples),
+            total_frames_dropped=sum(s.frames_dropped for s in self.samples),
+            average_ppdw=sum(ppdw_values) / count,
+            average_target_fps=sum(s.target_fps for s in self.samples) / count,
+            energy_j=sum(powers) * dt if dt > 0 else 0.0,
+        )
+
+    # -- resampled views -------------------------------------------------------------
+
+    def resample(self, period_s: float) -> List[SimulationSample]:
+        """Return roughly one sample per ``period_s`` (for plotting / traces)."""
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if not self.samples:
+            return []
+        result: List[SimulationSample] = []
+        next_time = self.samples[0].time_s
+        for sample in self.samples:
+            if sample.time_s + 1e-9 >= next_time:
+                result.append(sample)
+                next_time += period_s
+        return result

@@ -1,0 +1,45 @@
+"""MPSoC substrate: clusters, DVFS, power model, thermal model and sensors.
+
+This package simulates the hardware side of the paper's testbed -- a Samsung
+Galaxy Note 9 built around the Exynos 9810 MPSoC -- at the level of detail the
+``Next`` agent can observe and actuate:
+
+* per-cluster operating performance points (OPPs) with the exact frequency
+  tables reported in Section III-A of the paper,
+* cluster-wise DVFS with ``maxfreq``/``minfreq`` limits (the only actuation
+  knob the agent uses),
+* an analytic power model (dynamic switching power plus temperature dependent
+  leakage),
+* a lumped-RC thermal network with a big-cluster sensor and a "virtual"
+  device sensor, and
+* sensor sampling with configurable period and noise.
+"""
+
+from repro.soc.frequency import FrequencyPoint, OppTable
+from repro.soc.cluster import Cluster, ClusterKind
+from repro.soc.platform import PlatformSpec, exynos9810, generic_two_cluster_soc
+from repro.soc.power import ClusterPowerModel, PowerBreakdown, SocPowerModel
+from repro.soc.thermal import ThermalNetwork, ThermalNodeSpec, ThermalState
+from repro.soc.sensors import PowerSensor, SensorHub, TemperatureSensor
+from repro.soc.soc import SocSimulator, SocTelemetry
+
+__all__ = [
+    "FrequencyPoint",
+    "OppTable",
+    "Cluster",
+    "ClusterKind",
+    "PlatformSpec",
+    "exynos9810",
+    "generic_two_cluster_soc",
+    "ClusterPowerModel",
+    "PowerBreakdown",
+    "SocPowerModel",
+    "ThermalNetwork",
+    "ThermalNodeSpec",
+    "ThermalState",
+    "PowerSensor",
+    "TemperatureSensor",
+    "SensorHub",
+    "SocSimulator",
+    "SocTelemetry",
+]

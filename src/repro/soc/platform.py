@@ -1,0 +1,306 @@
+"""Platform descriptions, including the paper's Exynos 9810 MPSoC.
+
+Section III-A of the paper lists the exact DVFS tables of the Galaxy Note 9's
+Exynos 9810:
+
+* big cluster, 4x Mongoose M3, 18 OPPs from 650 MHz to 2704 MHz,
+* LITTLE cluster, 4x Cortex-A55, 10 OPPs from 455 MHz to 1794 MHz,
+* ARM Mali-G72 MP18 GPU, 6 OPPs from 260 MHz to 572 MHz.
+
+Those tables are reproduced verbatim in :func:`exynos9810`.  Voltage curves
+and power/thermal coefficients are not published for the part, so the
+platform spec carries calibrated values chosen to land the simulator in the
+power and temperature ranges the paper reports (about 3.5 W average and
+52 degC big-cluster temperature for a mixed session under ``schedutil``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.soc.cluster import Cluster, ClusterKind, ClusterSpec
+from repro.soc.frequency import OppTable
+from repro.soc.thermal import ThermalNodeSpec
+
+# Frequency tables quoted in Section III-A of the paper (MHz), fastest first
+# in the text; stored ascending here.
+EXYNOS9810_BIG_FREQUENCIES_MHZ: Tuple[float, ...] = (
+    650.0,
+    741.0,
+    858.0,
+    962.0,
+    1066.0,
+    1170.0,
+    1261.0,
+    1469.0,
+    1586.0,
+    1690.0,
+    1794.0,
+    1924.0,
+    2002.0,
+    2106.0,
+    2314.0,
+    2496.0,
+    2652.0,
+    2704.0,
+)
+
+EXYNOS9810_LITTLE_FREQUENCIES_MHZ: Tuple[float, ...] = (
+    455.0,
+    598.0,
+    715.0,
+    832.0,
+    949.0,
+    1053.0,
+    1248.0,
+    1456.0,
+    1690.0,
+    1794.0,
+)
+
+EXYNOS9810_GPU_FREQUENCIES_MHZ: Tuple[float, ...] = (
+    260.0,
+    299.0,
+    338.0,
+    455.0,
+    546.0,
+    572.0,
+)
+
+
+@dataclass
+class PlatformSpec:
+    """Complete static description of a simulated mobile platform.
+
+    Attributes
+    ----------
+    name:
+        Platform name (e.g. ``"exynos9810"``).
+    cluster_specs:
+        Cluster descriptions keyed by cluster name.
+    thermal_nodes:
+        Thermal node descriptions keyed by node name.  Every cluster has a
+        node of the same name; additional nodes (e.g. ``"device"`` for the
+        skin/battery virtual sensor) may be present.
+    thermal_couplings:
+        Pairwise thermal conductances between nodes in W/K, keyed by a
+        ``(node_a, node_b)`` tuple.
+    ambient_c:
+        Default ambient temperature in Celsius.
+    rest_of_platform_power_w:
+        Power drawn by everything that is not a modelled cluster (display,
+        memory, modem, sensors).  Treated as a constant floor.
+    display_refresh_hz:
+        Panel refresh rate; the paper's device is a 60 Hz panel.
+    max_chip_temperature_c:
+        Maximum junction temperature allowed before the thermal failsafe
+        clamps frequencies (used to define ``PPDW_worst``).
+    """
+
+    name: str
+    cluster_specs: Dict[str, ClusterSpec]
+    thermal_nodes: Dict[str, ThermalNodeSpec]
+    thermal_couplings: Dict[Tuple[str, str], float]
+    ambient_c: float = 21.0
+    rest_of_platform_power_w: float = 0.55
+    display_refresh_hz: float = 60.0
+    max_chip_temperature_c: float = 95.0
+
+    def __post_init__(self) -> None:
+        if not self.cluster_specs:
+            raise ValueError("a platform needs at least one cluster")
+        for cluster_name in self.cluster_specs:
+            if cluster_name not in self.thermal_nodes:
+                raise ValueError(
+                    f"cluster {cluster_name!r} has no thermal node of the same name"
+                )
+
+    @property
+    def cluster_names(self) -> List[str]:
+        """Names of all clusters, in insertion order."""
+        return list(self.cluster_specs)
+
+    def build_clusters(self) -> Dict[str, Cluster]:
+        """Instantiate fresh :class:`Cluster` objects for this platform."""
+        return {name: Cluster(spec) for name, spec in self.cluster_specs.items()}
+
+    def cluster_of_kind(self, kind: ClusterKind) -> Optional[str]:
+        """Return the name of the first cluster of ``kind`` (or ``None``)."""
+        for name, spec in self.cluster_specs.items():
+            if spec.kind is kind:
+                return name
+        return None
+
+
+def exynos9810(
+    ambient_c: float = 21.0,
+    rest_of_platform_power_w: float = 0.70,
+) -> PlatformSpec:
+    """Build the Exynos 9810 platform used throughout the paper.
+
+    The OPP frequency tables are the exact ones listed in Section III-A.
+    Voltage curves and power/thermal coefficients are calibrated (see module
+    docstring) because they are not public.
+
+    Parameters
+    ----------
+    ambient_c:
+        Ambient temperature; the paper's thermal experiments were run in a
+        21 degC thermostat-controlled room.
+    rest_of_platform_power_w:
+        Constant platform power floor (display, DRAM, modem).
+
+    Returns
+    -------
+    PlatformSpec
+        A fully populated platform description.
+    """
+    big_table = OppTable.from_frequencies(
+        EXYNOS9810_BIG_FREQUENCIES_MHZ, v_min=0.70, v_max=1.15, curvature=1.5
+    )
+    little_table = OppTable.from_frequencies(
+        EXYNOS9810_LITTLE_FREQUENCIES_MHZ, v_min=0.65, v_max=1.00, curvature=1.2
+    )
+    gpu_table = OppTable.from_frequencies(
+        EXYNOS9810_GPU_FREQUENCIES_MHZ, v_min=0.70, v_max=0.95, curvature=1.2
+    )
+
+    cluster_specs = {
+        "big": ClusterSpec(
+            name="big",
+            kind=ClusterKind.BIG_CPU,
+            opp_table=big_table,
+            core_count=4,
+            # Calibrated so that the full cluster at max frequency and 100 %
+            # utilisation draws roughly 7.5 W of dynamic power, in line with
+            # published Exynos 9810 (Mongoose M3) measurements.
+            capacitance_nf=0.72,
+            leakage_w_per_v=0.150,
+            leakage_temp_coeff=0.014,
+            perf_per_mhz=1.0,
+        ),
+        "little": ClusterSpec(
+            name="little",
+            kind=ClusterKind.LITTLE_CPU,
+            opp_table=little_table,
+            core_count=4,
+            # Cortex-A55 cluster tops out well below 1 W of dynamic power.
+            capacitance_nf=0.115,
+            leakage_w_per_v=0.020,
+            leakage_temp_coeff=0.012,
+            perf_per_mhz=0.45,
+        ),
+        "gpu": ClusterSpec(
+            name="gpu",
+            kind=ClusterKind.GPU,
+            opp_table=gpu_table,
+            core_count=18,
+            # Mali-G72 MP18 peaks around 3.5-4 W on demanding 3D content.
+            capacitance_nf=0.42,
+            leakage_w_per_v=0.010,
+            leakage_temp_coeff=0.012,
+            perf_per_mhz=1.0,
+        ),
+    }
+
+    thermal_nodes = {
+        # Small silicon nodes heat within seconds; the device node is the
+        # phone body/battery with a much larger thermal mass (minutes).  The
+        # conductances are calibrated so that a sustained ~3.5 W session puts
+        # the big cluster in the low-to-mid 50s Celsius and the device body in
+        # the high 30s at the paper's 21 degC ambient, while a sustained
+        # gaming load (7-9 W) pushes the big cluster towards its throttling
+        # region -- both consistent with the traces in Figs. 3, 7 and 8.
+        "big": ThermalNodeSpec(
+            name="big", capacitance_j_per_k=3.0, conductance_to_ambient_w_per_k=0.008
+        ),
+        "little": ThermalNodeSpec(
+            name="little", capacitance_j_per_k=2.5, conductance_to_ambient_w_per_k=0.010
+        ),
+        "gpu": ThermalNodeSpec(
+            name="gpu", capacitance_j_per_k=3.5, conductance_to_ambient_w_per_k=0.010
+        ),
+        "device": ThermalNodeSpec(
+            name="device", capacitance_j_per_k=45.0, conductance_to_ambient_w_per_k=0.160
+        ),
+    }
+
+    thermal_couplings = {
+        ("big", "little"): 0.035,
+        ("big", "gpu"): 0.030,
+        ("little", "gpu"): 0.040,
+        ("big", "device"): 0.025,
+        ("little", "device"): 0.050,
+        ("gpu", "device"): 0.075,
+    }
+
+    return PlatformSpec(
+        name="exynos9810",
+        cluster_specs=cluster_specs,
+        thermal_nodes=thermal_nodes,
+        thermal_couplings=thermal_couplings,
+        ambient_c=ambient_c,
+        rest_of_platform_power_w=rest_of_platform_power_w,
+        display_refresh_hz=60.0,
+        max_chip_temperature_c=95.0,
+    )
+
+
+def generic_two_cluster_soc(ambient_c: float = 25.0) -> PlatformSpec:
+    """A small synthetic platform (one CPU cluster + one GPU) for tests.
+
+    Useful for unit tests and examples that want a platform with fewer OPPs
+    and therefore a much smaller RL state space.
+    """
+    cpu_table = OppTable.from_frequencies(
+        (400.0, 800.0, 1200.0, 1600.0, 2000.0), v_min=0.7, v_max=1.0, curvature=1.2
+    )
+    gpu_table = OppTable.from_frequencies(
+        (200.0, 400.0, 600.0), v_min=0.7, v_max=0.9, curvature=1.1
+    )
+    cluster_specs = {
+        "cpu": ClusterSpec(
+            name="cpu",
+            kind=ClusterKind.BIG_CPU,
+            opp_table=cpu_table,
+            core_count=4,
+            capacitance_nf=0.5,
+            leakage_w_per_v=0.06,
+            perf_per_mhz=1.0,
+        ),
+        "gpu": ClusterSpec(
+            name="gpu",
+            kind=ClusterKind.GPU,
+            opp_table=gpu_table,
+            core_count=8,
+            capacitance_nf=0.4,
+            leakage_w_per_v=0.02,
+            perf_per_mhz=1.0,
+        ),
+    }
+    thermal_nodes = {
+        "cpu": ThermalNodeSpec(
+            name="cpu", capacitance_j_per_k=5.0, conductance_to_ambient_w_per_k=0.06
+        ),
+        "gpu": ThermalNodeSpec(
+            name="gpu", capacitance_j_per_k=5.0, conductance_to_ambient_w_per_k=0.06
+        ),
+        "device": ThermalNodeSpec(
+            name="device", capacitance_j_per_k=80.0, conductance_to_ambient_w_per_k=0.40
+        ),
+    }
+    thermal_couplings = {
+        ("cpu", "gpu"): 0.25,
+        ("cpu", "device"): 0.10,
+        ("gpu", "device"): 0.10,
+    }
+    return PlatformSpec(
+        name="generic-two-cluster",
+        cluster_specs=cluster_specs,
+        thermal_nodes=thermal_nodes,
+        thermal_couplings=thermal_couplings,
+        ambient_c=ambient_c,
+        rest_of_platform_power_w=0.4,
+        display_refresh_hz=60.0,
+    )

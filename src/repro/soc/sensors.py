@@ -1,0 +1,212 @@
+"""Sensor sampling: power meter, thermal sensors and the virtual device sensor.
+
+On the real Note 9 the agent reads power and temperature through sysfs nodes
+that are updated periodically by the kernel and carry quantisation plus
+measurement noise.  These classes reproduce that observation path so that the
+RL agent never sees the simulator's exact internal values, only periodically
+sampled, noisy readings -- the same epistemic position it would be in on
+hardware.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+
+@dataclass
+class SensorConfig:
+    """Configuration shared by all sampled sensors.
+
+    Attributes
+    ----------
+    sample_period_s:
+        Minimum time between two refreshes of the reported value.  Reads in
+        between return the last sampled value (like a cached sysfs node).
+    noise_std:
+        Standard deviation of additive Gaussian noise applied at sampling
+        time, in the unit of the measured quantity.
+    quantisation:
+        Readings are rounded to a multiple of this value (0 disables it).
+    """
+
+    sample_period_s: float = 0.1
+    noise_std: float = 0.0
+    quantisation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sample_period_s < 0:
+            raise ValueError("sample_period_s must be non-negative")
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        if self.quantisation < 0:
+            raise ValueError("quantisation must be non-negative")
+
+
+class SampledSensor:
+    """Base class implementing the sample-and-hold + noise behaviour."""
+
+    def __init__(
+        self,
+        config: SensorConfig,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.config = config
+        self._rng = rng if rng is not None else random.Random(0)
+        self._last_sample_time_s: Optional[float] = None
+        self._last_value: Optional[float] = None
+
+    def _condition(self, value: float) -> float:
+        if self.config.noise_std > 0:
+            value += self._rng.gauss(0.0, self.config.noise_std)
+        if self.config.quantisation > 0:
+            q = self.config.quantisation
+            value = round(value / q) * q
+        return value
+
+    def read(self, true_value: float, now_s: float) -> float:
+        """Return the sensor reading for the true value at time ``now_s``."""
+        due = (
+            self._last_sample_time_s is None
+            or now_s - self._last_sample_time_s >= self.config.sample_period_s
+        )
+        if due or self._last_value is None:
+            self._last_value = self._condition(true_value)
+            self._last_sample_time_s = now_s
+        return self._last_value
+
+    def reset(self) -> None:
+        """Forget the held sample so the next read refreshes immediately."""
+        self._last_sample_time_s = None
+        self._last_value = None
+
+
+class PowerSensor(SampledSensor):
+    """Platform power sensor (fuel-gauge style), reporting watts."""
+
+    def __init__(
+        self,
+        sample_period_s: float = 0.1,
+        noise_std_w: float = 0.02,
+        quantisation_w: float = 0.001,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(
+            SensorConfig(
+                sample_period_s=sample_period_s,
+                noise_std=noise_std_w,
+                quantisation=quantisation_w,
+            ),
+            rng=rng,
+        )
+
+
+class TemperatureSensor(SampledSensor):
+    """On-die or virtual thermal sensor, reporting Celsius."""
+
+    def __init__(
+        self,
+        sample_period_s: float = 0.1,
+        noise_std_c: float = 0.1,
+        quantisation_c: float = 0.1,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(
+            SensorConfig(
+                sample_period_s=sample_period_s,
+                noise_std=noise_std_c,
+                quantisation=quantisation_c,
+            ),
+            rng=rng,
+        )
+
+
+@dataclass(frozen=True)
+class SensorReadings:
+    """One snapshot of everything the agent can observe from the sensors."""
+
+    power_w: float
+    temperatures_c: Mapping[str, float]
+    device_temperature_c: float
+
+    def temperature_c(self, node: str) -> float:
+        """Temperature reading of a specific sensor node."""
+        return self.temperatures_c[node]
+
+
+class SensorHub:
+    """Bundles the power sensor and all thermal sensors of a platform.
+
+    The hub also computes the *virtual device sensor*.  The vendor formula on
+    the Note 9 is proprietary; the reproduction uses a weighted blend of the
+    physical device-node temperature and the hottest silicon node, which
+    matches the qualitative behaviour described in the paper (a slow-moving
+    temperature that still reflects sustained SoC heating).
+    """
+
+    def __init__(
+        self,
+        thermal_node_names: Mapping[str, float] | list | tuple,
+        power_sensor: Optional[PowerSensor] = None,
+        temperature_sensor_factory: Optional[Callable[[], TemperatureSensor]] = None,
+        device_node: str = "device",
+        device_blend_weight: float = 0.75,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        names = list(thermal_node_names)
+        if not names:
+            raise ValueError("SensorHub needs at least one thermal node")
+        self._rng = rng if rng is not None else random.Random(0)
+        self.power_sensor = power_sensor or PowerSensor(rng=self._rng)
+        factory = temperature_sensor_factory or (lambda: TemperatureSensor(rng=self._rng))
+        self.temperature_sensors: Dict[str, TemperatureSensor] = {
+            name: factory() for name in names
+        }
+        self.device_node = device_node
+        if not 0.0 <= device_blend_weight <= 1.0:
+            raise ValueError("device_blend_weight must be in [0, 1]")
+        self.device_blend_weight = device_blend_weight
+
+    def read(
+        self,
+        true_power_w: float,
+        true_temperatures_c: Mapping[str, float],
+        now_s: float,
+    ) -> SensorReadings:
+        """Sample all sensors at time ``now_s``."""
+        power = self.power_sensor.read(true_power_w, now_s)
+        temps: Dict[str, float] = {}
+        for name, sensor in self.temperature_sensors.items():
+            if name in true_temperatures_c:
+                temps[name] = sensor.read(true_temperatures_c[name], now_s)
+        device_temp = self._virtual_device_temperature(temps, true_temperatures_c)
+        return SensorReadings(
+            power_w=max(0.0, power),
+            temperatures_c=temps,
+            device_temperature_c=device_temp,
+        )
+
+    def _virtual_device_temperature(
+        self,
+        sampled_temps: Mapping[str, float],
+        true_temps: Mapping[str, float],
+    ) -> float:
+        silicon = [
+            value for name, value in sampled_temps.items() if name != self.device_node
+        ]
+        hottest_silicon = max(silicon) if silicon else max(true_temps.values())
+        if self.device_node in sampled_temps:
+            body = sampled_temps[self.device_node]
+        elif self.device_node in true_temps:
+            body = true_temps[self.device_node]
+        else:
+            body = hottest_silicon
+        w = self.device_blend_weight
+        return w * body + (1.0 - w) * hottest_silicon
+
+    def reset(self) -> None:
+        """Reset every sensor's sample-and-hold state."""
+        self.power_sensor.reset()
+        for sensor in self.temperature_sensors.values():
+            sensor.reset()

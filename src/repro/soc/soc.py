@@ -1,0 +1,210 @@
+"""Facade tying clusters, power model, thermal network and sensors together.
+
+:class:`SocSimulator` is the single object the simulation engine talks to.
+Per simulation tick the engine:
+
+1. tells each cluster its utilisation for the tick (computed by the frame
+   pipeline / workload model),
+2. calls :meth:`SocSimulator.step` with the tick length, which evaluates the
+   power model, injects the heat into the thermal network and advances it,
+3. reads :meth:`SocSimulator.sample_sensors` whenever a governor or the agent
+   needs an observation.
+
+Frequency changes are requested through the cluster objects (directly by the
+baseline governors, or through ``maxfreq`` limits by the ``Next`` agent).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.soc.cluster import Cluster
+from repro.soc.platform import PlatformSpec
+from repro.soc.power import PowerBreakdown, SocPowerModel
+from repro.soc.sensors import SensorHub, SensorReadings
+from repro.soc.thermal import ThermalNetwork
+
+
+@dataclass(frozen=True)
+class SocTelemetry:
+    """Ground-truth state of the SoC after one simulation step.
+
+    This is what the *recorder* stores (the experimenter's view).  Governors
+    and the agent should use :meth:`SocSimulator.sample_sensors` instead,
+    which goes through the noisy sensor path.
+    """
+
+    time_s: float
+    power: PowerBreakdown
+    temperatures_c: Mapping[str, float]
+    frequencies_mhz: Mapping[str, float]
+    max_limits_mhz: Mapping[str, float]
+    utilisations: Mapping[str, float]
+
+    @property
+    def total_power_w(self) -> float:
+        """Total platform power in watts."""
+        return self.power.total_w
+
+    def temperature_c(self, node: str) -> float:
+        """Ground-truth temperature of one thermal node."""
+        return self.temperatures_c[node]
+
+
+class SocSimulator:
+    """Simulated MPSoC: clusters + power + thermal + sensors."""
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        rng: Optional[random.Random] = None,
+        thermal_throttle: bool = True,
+    ) -> None:
+        self.platform = platform
+        self._rng = rng if rng is not None else random.Random(0)
+        self.clusters: Dict[str, Cluster] = platform.build_clusters()
+        self.power_model = SocPowerModel(
+            platform.cluster_specs,
+            rest_of_platform_power_w=platform.rest_of_platform_power_w,
+        )
+        self.thermal = ThermalNetwork(
+            platform.thermal_nodes,
+            platform.thermal_couplings,
+            ambient_c=platform.ambient_c,
+        )
+        self.sensors = SensorHub(
+            list(platform.thermal_nodes),
+            rng=self._rng,
+        )
+        self.thermal_throttle = thermal_throttle
+        self._time_s = 0.0
+        self._last_power: Optional[PowerBreakdown] = None
+
+    # -- time -------------------------------------------------------------------
+
+    @property
+    def time_s(self) -> float:
+        """Simulated time elapsed since construction or the last reset."""
+        return self._time_s
+
+    def reset(self) -> None:
+        """Reset time, temperatures, sensors and frequency limits."""
+        self._time_s = 0.0
+        self.thermal.reset()
+        self.sensors.reset()
+        self._last_power = None
+        for cluster in self.clusters.values():
+            cluster.reset_limits()
+            cluster.set_frequency_index(0)
+            cluster.utilisation = 0.0
+
+    # -- cluster access ----------------------------------------------------------
+
+    def cluster(self, name: str) -> Cluster:
+        """Return a cluster by name."""
+        return self.clusters[name]
+
+    @property
+    def cluster_names(self) -> list:
+        """All cluster names in platform order."""
+        return list(self.clusters)
+
+    def set_utilisations(self, utilisations: Mapping[str, float]) -> None:
+        """Set the utilisation of each cluster for the upcoming step."""
+        for name, value in utilisations.items():
+            self.clusters[name].utilisation = value
+
+    # -- stepping ----------------------------------------------------------------
+
+    def step(self, dt_s: float) -> SocTelemetry:
+        """Advance power and thermal state by ``dt_s`` seconds."""
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        temps = self.thermal.temperatures_c()
+        cluster_temps = {
+            name: temps.get(name, self.platform.ambient_c) for name in self.clusters
+        }
+        power = self.power_model.evaluate(self.clusters, cluster_temps)
+
+        heat_in = {
+            name: power.cluster_total_w(name) for name in self.clusters
+        }
+        # A fraction of the rest-of-platform power (display backlight, PMIC)
+        # heats the device body directly.
+        if "device" in self.thermal.node_names:
+            heat_in["device"] = heat_in.get("device", 0.0) + 0.5 * power.rest_of_platform_w
+
+        self.thermal.step(heat_in, dt_s)
+        self._time_s += dt_s
+        self._last_power = power
+
+        if self.thermal_throttle:
+            self._apply_thermal_failsafe()
+
+        return self.telemetry()
+
+    def _apply_thermal_failsafe(self) -> None:
+        """Emergency thermal clamp: mirrors the kernel's last-resort throttling.
+
+        Neither the paper's agent nor the baselines rely on this path in
+        normal operation; it only prevents unphysical runaway when a governor
+        misbehaves, by forcing the hottest cluster to its lowest OPP when the
+        junction temperature exceeds the platform maximum.
+        """
+        limit = self.platform.max_chip_temperature_c
+        for name, cluster in self.clusters.items():
+            if name in self.thermal.node_names and self.thermal.temperature_c(name) > limit:
+                cluster.set_frequency_index(0)
+
+    # -- observation --------------------------------------------------------------
+
+    def telemetry(self) -> SocTelemetry:
+        """Ground-truth snapshot of the current SoC state."""
+        temps = self.thermal.temperatures_c()
+        if self._last_power is None:
+            cluster_temps = {
+                name: temps.get(name, self.platform.ambient_c) for name in self.clusters
+            }
+            self._last_power = self.power_model.evaluate(self.clusters, cluster_temps)
+        return SocTelemetry(
+            time_s=self._time_s,
+            power=self._last_power,
+            temperatures_c=temps,
+            frequencies_mhz={
+                name: c.current_frequency_mhz for name, c in self.clusters.items()
+            },
+            max_limits_mhz={
+                name: c.max_limit_frequency_mhz for name, c in self.clusters.items()
+            },
+            utilisations={name: c.utilisation for name, c in self.clusters.items()},
+        )
+
+    def sample_sensors(self) -> SensorReadings:
+        """Sample the (noisy, periodic) sensors at the current time."""
+        telemetry = self.telemetry()
+        return self.sensors.read(
+            true_power_w=telemetry.total_power_w,
+            true_temperatures_c=telemetry.temperatures_c,
+            now_s=self._time_s,
+        )
+
+    # -- convenience --------------------------------------------------------------
+
+    @property
+    def ambient_c(self) -> float:
+        """Ambient temperature of the platform."""
+        return self.thermal.ambient_c
+
+    def big_cluster_name(self) -> Optional[str]:
+        """Name of the big CPU cluster, if the platform has one."""
+        from repro.soc.cluster import ClusterKind
+
+        return self.platform.cluster_of_kind(ClusterKind.BIG_CPU)
+
+    def gpu_cluster_name(self) -> Optional[str]:
+        """Name of the GPU cluster, if the platform has one."""
+        from repro.soc.cluster import ClusterKind
+
+        return self.platform.cluster_of_kind(ClusterKind.GPU)

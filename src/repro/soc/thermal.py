@@ -1,0 +1,212 @@
+"""Lumped-RC thermal network for the simulated MPSoC.
+
+The paper reads two temperatures: the big-cluster on-die sensor and a
+"virtual" device temperature computed by a proprietary vendor formula from
+battery and SoC sensors.  The simulator replaces the silicon with a standard
+lumped thermal network: each cluster contributes heat to its own node, nodes
+exchange heat through pairwise conductances, and every node leaks heat to the
+ambient.  The device node has a large thermal capacitance (phone body and
+battery) and is driven purely by coupling, which reproduces the slow-moving
+"device temperature" the paper plots.
+
+The network is integrated with forward Euler.  Mobile thermal time constants
+are seconds to minutes, so the default sub-step of 10 ms is far below the
+stability limit for any sane parameterisation; the integrator additionally
+splits long steps to stay stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ThermalNodeSpec:
+    """Static description of one node of the thermal network.
+
+    Attributes
+    ----------
+    name:
+        Node identifier; cluster nodes use the cluster name.
+    capacitance_j_per_k:
+        Thermal capacitance of the node in joules per kelvin.
+    conductance_to_ambient_w_per_k:
+        Direct conductance from the node to the ambient in watts per kelvin.
+    """
+
+    name: str
+    capacitance_j_per_k: float
+    conductance_to_ambient_w_per_k: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance_j_per_k <= 0:
+            raise ValueError("thermal capacitance must be positive")
+        if self.conductance_to_ambient_w_per_k < 0:
+            raise ValueError("conductance to ambient must be non-negative")
+
+
+@dataclass
+class ThermalState:
+    """Mutable snapshot of node temperatures in Celsius."""
+
+    temperatures_c: Dict[str, float] = field(default_factory=dict)
+
+    def copy(self) -> "ThermalState":
+        """Return an independent copy of the state."""
+        return ThermalState(dict(self.temperatures_c))
+
+    def __getitem__(self, name: str) -> float:
+        return self.temperatures_c[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.temperatures_c
+
+    def max_temperature_c(self) -> float:
+        """Hottest node temperature."""
+        return max(self.temperatures_c.values())
+
+
+class ThermalNetwork:
+    """Lumped-RC thermal network with forward-Euler integration."""
+
+    #: Maximum integration sub-step in seconds; longer steps are subdivided.
+    MAX_SUBSTEP_S = 0.05
+
+    def __init__(
+        self,
+        nodes: Mapping[str, ThermalNodeSpec],
+        couplings: Mapping[Tuple[str, str], float],
+        ambient_c: float = 21.0,
+        initial_temperature_c: Optional[float] = None,
+    ) -> None:
+        if not nodes:
+            raise ValueError("a thermal network needs at least one node")
+        self._nodes: Dict[str, ThermalNodeSpec] = dict(nodes)
+        self._couplings: Dict[Tuple[str, str], float] = {}
+        for (a, b), g in couplings.items():
+            if a not in self._nodes or b not in self._nodes:
+                raise ValueError(f"coupling ({a}, {b}) references an unknown node")
+            if a == b:
+                raise ValueError("a node cannot be coupled to itself")
+            if g < 0:
+                raise ValueError("coupling conductance must be non-negative")
+            key = (a, b) if a < b else (b, a)
+            self._couplings[key] = self._couplings.get(key, 0.0) + g
+        self.ambient_c = float(ambient_c)
+        start = self.ambient_c if initial_temperature_c is None else float(initial_temperature_c)
+        self._state = ThermalState({name: start for name in self._nodes})
+        # Pre-compute adjacency for the integration loop.
+        self._neighbours: Dict[str, List[Tuple[str, float]]] = {n: [] for n in self._nodes}
+        for (a, b), g in self._couplings.items():
+            self._neighbours[a].append((b, g))
+            self._neighbours[b].append((a, g))
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def node_names(self) -> List[str]:
+        """All node names."""
+        return list(self._nodes)
+
+    @property
+    def state(self) -> ThermalState:
+        """Current temperatures (live object; copy before mutating)."""
+        return self._state
+
+    def temperature_c(self, name: str) -> float:
+        """Current temperature of ``name`` in Celsius."""
+        return self._state.temperatures_c[name]
+
+    def temperatures_c(self) -> Dict[str, float]:
+        """Current temperatures of every node."""
+        return dict(self._state.temperatures_c)
+
+    # -- manipulation -----------------------------------------------------------
+
+    def reset(self, temperature_c: Optional[float] = None) -> None:
+        """Reset all node temperatures (to ambient by default)."""
+        value = self.ambient_c if temperature_c is None else float(temperature_c)
+        for name in self._nodes:
+            self._state.temperatures_c[name] = value
+
+    def set_temperature(self, name: str, temperature_c: float) -> None:
+        """Force one node to a temperature (used by tests and scenarios)."""
+        if name not in self._nodes:
+            raise KeyError(name)
+        self._state.temperatures_c[name] = float(temperature_c)
+
+    def step(self, power_in_w: Mapping[str, float], dt_s: float) -> ThermalState:
+        """Advance the network by ``dt_s`` seconds.
+
+        Parameters
+        ----------
+        power_in_w:
+            Heat injected into each node in watts.  Missing nodes receive no
+            heat (e.g. the ``device`` node is usually driven only by
+            conduction from the silicon nodes).
+        dt_s:
+            Time to advance, in seconds.  Internally subdivided so that each
+            Euler sub-step is at most :data:`MAX_SUBSTEP_S`.
+
+        Returns
+        -------
+        ThermalState
+            The (live) state after the step.
+        """
+        if dt_s < 0:
+            raise ValueError("dt_s must be non-negative")
+        if dt_s == 0:
+            return self._state
+        remaining = dt_s
+        while remaining > 1e-12:
+            sub = min(self.MAX_SUBSTEP_S, remaining)
+            self._euler_substep(power_in_w, sub)
+            remaining -= sub
+        return self._state
+
+    def _euler_substep(self, power_in_w: Mapping[str, float], dt_s: float) -> None:
+        temps = self._state.temperatures_c
+        derivatives: Dict[str, float] = {}
+        for name, spec in self._nodes.items():
+            t = temps[name]
+            heat_w = float(power_in_w.get(name, 0.0))
+            # Heat loss to ambient.
+            heat_w -= spec.conductance_to_ambient_w_per_k * (t - self.ambient_c)
+            # Conduction to neighbouring nodes.
+            for other, g in self._neighbours[name]:
+                heat_w -= g * (t - temps[other])
+            derivatives[name] = heat_w / spec.capacitance_j_per_k
+        for name, dtemp in derivatives.items():
+            temps[name] += dtemp * dt_s
+            # Physical floor: without an active cooler nothing drops below ambient.
+            if temps[name] < self.ambient_c:
+                temps[name] = self.ambient_c
+
+    # -- analysis helpers --------------------------------------------------------
+
+    def steady_state(
+        self, power_in_w: Mapping[str, float], tolerance_c: float = 0.01, max_time_s: float = 3600.0
+    ) -> ThermalState:
+        """Integrate with constant power until the network settles.
+
+        Returns a copy of the settled state and restores the original state,
+        so the call has no side effect on the live simulation.
+        """
+        saved = self._state.copy()
+        try:
+            elapsed = 0.0
+            step = 1.0
+            while elapsed < max_time_s:
+                before = dict(self._state.temperatures_c)
+                self.step(power_in_w, step)
+                elapsed += step
+                delta = max(
+                    abs(self._state.temperatures_c[n] - before[n]) for n in self._nodes
+                )
+                if delta < tolerance_c:
+                    break
+            return self._state.copy()
+        finally:
+            self._state = saved
+            # Rebuild neighbour temps reference (state dict replaced).

@@ -1,0 +1,58 @@
+"""Workload substrate: applications, user interaction and usage sessions.
+
+The paper's experiments run popular Google Play applications (Facebook,
+Spotify, Chrome, Lineage 2 Revolution, PubG Mobile, YouTube) driven by a real
+user whose interaction pattern makes the frame-rate demand stochastic.  This
+package replaces both with parameterised models:
+
+* :mod:`repro.workloads.phases` -- the phase machine vocabulary (an app is a
+  set of phases such as *splash*, *scroll*, *playback*, *combat*),
+* :mod:`repro.workloads.interaction` -- the user: a stochastic process that
+  modulates how intensely interaction-driven phases demand frames,
+* :mod:`repro.workloads.app` / :mod:`repro.workloads.apps` -- application
+  models, including the six paper applications and the home screen,
+* :mod:`repro.workloads.session` -- session generation following the usage
+  statistics quoted in the paper's introduction, and
+* :mod:`repro.workloads.trace` -- record / replay of workload traces so that
+  different governors can be compared on identical demand.
+"""
+
+from repro.workloads.phases import Phase, PhaseTransition
+from repro.workloads.app import AppModel, TickWorkload
+from repro.workloads.apps import (
+    APP_LIBRARY,
+    chrome_app,
+    facebook_app,
+    home_screen_app,
+    lineage_app,
+    make_app,
+    pubg_app,
+    spotify_app,
+    youtube_app,
+)
+from repro.workloads.interaction import InteractionGenerator, InteractionProfile
+from repro.workloads.session import SessionGenerator, SessionSegment, UsageStatistics
+from repro.workloads.trace import TraceRecorder, WorkloadTrace
+
+__all__ = [
+    "Phase",
+    "PhaseTransition",
+    "AppModel",
+    "TickWorkload",
+    "APP_LIBRARY",
+    "make_app",
+    "home_screen_app",
+    "facebook_app",
+    "spotify_app",
+    "chrome_app",
+    "lineage_app",
+    "pubg_app",
+    "youtube_app",
+    "InteractionGenerator",
+    "InteractionProfile",
+    "SessionGenerator",
+    "SessionSegment",
+    "UsageStatistics",
+    "TraceRecorder",
+    "WorkloadTrace",
+]

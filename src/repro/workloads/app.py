@@ -1,0 +1,189 @@
+"""Application model: phase machine + interaction -> per-tick workload.
+
+:class:`AppModel` is the object the simulation engine steps.  Per tick it
+
+1. advances the phase machine (splash -> browse -> scroll -> ...),
+2. advances the user-interaction activity signal,
+3. converts the current phase's frame-rate demand into a concrete list of
+   :class:`~repro.graphics.pipeline.FrameSpec` frames for this tick, and
+4. reports the background (non-frame) work to place on each cluster.
+
+The produced :class:`TickWorkload` is purely *demand*: it does not depend on
+the governor or on how fast the SoC happens to be running, which is what
+allows an identical demand trace to be replayed against different governors
+for a fair comparison (see :mod:`repro.workloads.trace`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.graphics.pipeline import FrameSpec
+from repro.workloads.interaction import (
+    DEFAULT_PROFILE,
+    InteractionGenerator,
+    InteractionProfile,
+)
+from repro.workloads.phases import Phase, validate_phase_graph
+
+
+@dataclass(frozen=True)
+class TickWorkload:
+    """Demand produced by an application during one simulation tick.
+
+    Attributes
+    ----------
+    time_s:
+        Simulation time at the *start* of the tick.
+    app_name:
+        Name of the application that produced the demand.
+    phase_name:
+        Phase the application was in during the tick.
+    frames:
+        Frames demanded this tick.
+    background_work_mwu:
+        Non-frame work demanded per cluster this tick (mega work units).
+    interaction_activity:
+        User interaction activity during the tick (0..1).
+    """
+
+    time_s: float
+    app_name: str
+    phase_name: str
+    frames: List[FrameSpec]
+    background_work_mwu: Mapping[str, float]
+    interaction_activity: float
+
+    @property
+    def frame_count(self) -> int:
+        """Number of frames demanded this tick."""
+        return len(self.frames)
+
+
+class AppModel:
+    """A mobile application as a phase machine with interaction-driven demand."""
+
+    def __init__(
+        self,
+        name: str,
+        phases: Mapping[str, Phase],
+        initial_phase: str,
+        interaction_profile: InteractionProfile = DEFAULT_PROFILE,
+        big_cluster: str = "big",
+        little_cluster: str = "little",
+        gpu_cluster: str = "gpu",
+        seed: Optional[int] = None,
+    ) -> None:
+        if initial_phase not in phases:
+            raise ValueError(f"initial phase {initial_phase!r} not in phase set")
+        validate_phase_graph(phases)
+        self.name = name
+        self.phases: Dict[str, Phase] = dict(phases)
+        self.initial_phase = initial_phase
+        self.interaction_profile = interaction_profile
+        self.big_cluster = big_cluster
+        self.little_cluster = little_cluster
+        self.gpu_cluster = gpu_cluster
+        self._rng = random.Random(seed if seed is not None else hash(name) & 0xFFFF)
+        self.interaction = InteractionGenerator(interaction_profile, rng=self._rng)
+        self._current_phase = self.phases[initial_phase]
+        self._phase_time_left_s = self._current_phase.sample_dwell_s(self._rng)
+        self._frame_accumulator = 0.0
+        self._time_s = 0.0
+
+    # -- state ---------------------------------------------------------------------
+
+    @property
+    def current_phase(self) -> Phase:
+        """The phase the application is currently in."""
+        return self._current_phase
+
+    @property
+    def time_s(self) -> float:
+        """Time the application has been running."""
+        return self._time_s
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Restart the application from its initial phase."""
+        if seed is not None:
+            self._rng = random.Random(seed)
+        self.interaction = InteractionGenerator(self.interaction_profile, rng=self._rng)
+        self._current_phase = self.phases[self.initial_phase]
+        self._phase_time_left_s = self._current_phase.sample_dwell_s(self._rng)
+        self._frame_accumulator = 0.0
+        self._time_s = 0.0
+
+    # -- phase machine ----------------------------------------------------------------
+
+    def _advance_phase_machine(self, dt_s: float) -> None:
+        self._phase_time_left_s -= dt_s
+        while self._phase_time_left_s <= 0:
+            next_name = self._current_phase.sample_next_phase(self._rng)
+            if next_name is None:
+                # Absorbing phase: stay forever.
+                self._phase_time_left_s = float("inf")
+                return
+            self._current_phase = self.phases[next_name]
+            self._phase_time_left_s += self._current_phase.sample_dwell_s(self._rng)
+
+    # -- demand generation ---------------------------------------------------------------
+
+    def _sample_frame(self, phase: Phase) -> FrameSpec:
+        def jitter(mean: float) -> float:
+            if mean <= 0 or phase.work_cv <= 0:
+                return max(0.0, mean)
+            value = self._rng.gauss(mean, mean * phase.work_cv)
+            return max(0.1 * mean, value)
+
+        return FrameSpec(
+            cpu_work_mwu=jitter(phase.cpu_work_per_frame_mwu),
+            gpu_work_mwu=jitter(phase.gpu_work_per_frame_mwu),
+        )
+
+    def _background_work(self, phase: Phase, dt_s: float) -> Dict[str, float]:
+        burst_scale = 1.0
+        if phase.background_burstiness > 0:
+            # Concentrate the same average work into bursts: with probability p
+            # the work arrives multiplied by 1/p, otherwise nothing arrives.
+            p = 1.0 - phase.background_burstiness
+            p = max(0.05, p)
+            burst_scale = (1.0 / p) if self._rng.random() < p else 0.0
+        return {
+            self.big_cluster: phase.background_big_mwu_per_s * dt_s * burst_scale,
+            self.little_cluster: phase.background_little_mwu_per_s * dt_s * burst_scale,
+            self.gpu_cluster: phase.background_gpu_mwu_per_s * dt_s * burst_scale,
+        }
+
+    def tick(self, dt_s: float) -> TickWorkload:
+        """Produce the demand for the next ``dt_s`` seconds."""
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        start_time = self._time_s
+        phase = self._current_phase
+        activity = self.interaction.step(dt_s)
+
+        effective_rate = phase.frame_rate_hz
+        if phase.interaction_driven:
+            effective_rate *= activity
+
+        self._frame_accumulator += effective_rate * dt_s
+        frames: List[FrameSpec] = []
+        while self._frame_accumulator >= 1.0:
+            frames.append(self._sample_frame(phase))
+            self._frame_accumulator -= 1.0
+
+        background = self._background_work(phase, dt_s)
+
+        self._advance_phase_machine(dt_s)
+        self._time_s += dt_s
+
+        return TickWorkload(
+            time_s=start_time,
+            app_name=self.name,
+            phase_name=phase.name,
+            frames=frames,
+            background_work_mwu=background,
+            interaction_activity=activity,
+        )

@@ -1,0 +1,441 @@
+"""The concrete application models used in the paper's evaluation.
+
+Section V of the paper evaluates six Google Play applications -- Facebook,
+Spotify, Chrome ("Web Browser"), Lineage 2 Revolution, PubG Mobile and
+YouTube -- plus the home screen used in the motivating session of Fig. 1.
+The real binaries obviously cannot ship with the reproduction, so each app is
+modelled as a phase machine whose frame demand and CPU/GPU work reproduce the
+qualitative behaviour the paper relies on:
+
+* social / browsing apps (Facebook, Chrome) demand frames in interaction
+  bursts (scrolling) and are mostly CPU-stage bound,
+* Spotify spends most of its time on a static now-playing screen with
+  near-zero frame demand but non-trivial bursty background CPU work (audio
+  decode, network), which is exactly the "high frequency, near-zero FPS"
+  waste highlighted in Fig. 1,
+* games (Lineage, PubG) demand a steady high frame rate and are GPU-stage
+  bound, with a loading phase whose FPS is near zero despite heavy CPU load,
+* YouTube demands a steady 30 FPS driven by the content, not the user.
+
+Work values are expressed in mega work units (see
+:mod:`repro.graphics.pipeline`) and calibrated against the simulated Exynos
+9810 capacities so that light apps hit 60 FPS well below the top OPPs while
+the games need the upper half of the GPU table for their target frame rate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.workloads.app import AppModel
+from repro.workloads.interaction import (
+    CONTINUOUS_PROFILE,
+    DEFAULT_PROFILE,
+    PASSIVE_PROFILE,
+    InteractionProfile,
+)
+from repro.workloads.phases import Phase, PhaseTransition
+
+
+def home_screen_app(seed: Optional[int] = None) -> AppModel:
+    """Launcher / home screen: mostly idle, occasional swipes."""
+    phases = {
+        "idle": Phase(
+            name="idle",
+            frame_rate_hz=4.0,
+            cpu_work_per_frame_mwu=4.0,
+            gpu_work_per_frame_mwu=10.0,
+            background_little_mwu_per_s=60.0,
+            dwell_mean_s=6.0,
+            dwell_min_s=2.0,
+            dwell_max_s=20.0,
+            interaction_driven=False,
+            transition=PhaseTransition({"swipe": 0.7, "idle": 0.3}),
+        ),
+        "swipe": Phase(
+            name="swipe",
+            frame_rate_hz=60.0,
+            cpu_work_per_frame_mwu=30.0,
+            gpu_work_per_frame_mwu=38.0,
+            background_little_mwu_per_s=120.0,
+            dwell_mean_s=3.0,
+            dwell_min_s=1.0,
+            dwell_max_s=8.0,
+            interaction_driven=True,
+            transition=PhaseTransition({"idle": 1.0}),
+        ),
+    }
+    return AppModel(
+        name="home",
+        phases=phases,
+        initial_phase="idle",
+        interaction_profile=InteractionProfile(
+            engaged_level=0.9, paused_level=0.05, burst_mean_s=1.5, pause_mean_s=4.0
+        ),
+        seed=seed,
+    )
+
+
+def facebook_app(seed: Optional[int] = None) -> AppModel:
+    """Social feed: scroll bursts, media cards, occasional content loading."""
+    phases = {
+        "loading": Phase(
+            name="loading",
+            frame_rate_hz=3.0,
+            cpu_work_per_frame_mwu=6.0,
+            gpu_work_per_frame_mwu=12.0,
+            background_big_mwu_per_s=3800.0,
+            background_little_mwu_per_s=1100.0,
+            background_gpu_mwu_per_s=200.0,
+            background_burstiness=0.3,
+            dwell_mean_s=4.0,
+            dwell_min_s=2.0,
+            dwell_max_s=8.0,
+            interaction_driven=False,
+            transition=PhaseTransition({"scroll": 0.8, "read": 0.2}),
+        ),
+        "scroll": Phase(
+            name="scroll",
+            frame_rate_hz=58.0,
+            cpu_work_per_frame_mwu=38.0,
+            gpu_work_per_frame_mwu=48.0,
+            background_big_mwu_per_s=500.0,
+            background_little_mwu_per_s=350.0,
+            background_burstiness=0.4,
+            dwell_mean_s=12.0,
+            dwell_min_s=4.0,
+            dwell_max_s=40.0,
+            interaction_driven=True,
+            transition=PhaseTransition({"read": 0.5, "media": 0.3, "loading": 0.2}),
+        ),
+        "read": Phase(
+            name="read",
+            frame_rate_hz=12.0,
+            cpu_work_per_frame_mwu=20.0,
+            gpu_work_per_frame_mwu=24.0,
+            background_little_mwu_per_s=200.0,
+            dwell_mean_s=8.0,
+            dwell_min_s=3.0,
+            dwell_max_s=25.0,
+            interaction_driven=True,
+            transition=PhaseTransition({"scroll": 0.7, "media": 0.3}),
+        ),
+        "media": Phase(
+            name="media",
+            frame_rate_hz=30.0,
+            cpu_work_per_frame_mwu=26.0,
+            gpu_work_per_frame_mwu=50.0,
+            background_little_mwu_per_s=450.0,
+            background_gpu_mwu_per_s=300.0,
+            dwell_mean_s=10.0,
+            dwell_min_s=4.0,
+            dwell_max_s=30.0,
+            interaction_driven=False,
+            transition=PhaseTransition({"scroll": 0.6, "read": 0.4}),
+        ),
+    }
+    return AppModel(
+        name="facebook",
+        phases=phases,
+        initial_phase="loading",
+        interaction_profile=DEFAULT_PROFILE,
+        seed=seed,
+    )
+
+
+def spotify_app(seed: Optional[int] = None) -> AppModel:
+    """Music streaming: brief browsing, then a mostly static now-playing screen."""
+    phases = {
+        "browse": Phase(
+            name="browse",
+            frame_rate_hz=50.0,
+            cpu_work_per_frame_mwu=24.0,
+            gpu_work_per_frame_mwu=32.0,
+            background_big_mwu_per_s=700.0,
+            background_little_mwu_per_s=300.0,
+            background_burstiness=0.4,
+            dwell_mean_s=8.0,
+            dwell_min_s=3.0,
+            dwell_max_s=25.0,
+            interaction_driven=True,
+            transition=PhaseTransition({"playback": 0.75, "browse": 0.25}),
+        ),
+        "playback": Phase(
+            name="playback",
+            # The now-playing screen only animates a progress bar; frame demand
+            # is close to zero exactly as the Spotify portion of Fig. 1 shows.
+            frame_rate_hz=2.0,
+            cpu_work_per_frame_mwu=6.0,
+            gpu_work_per_frame_mwu=10.0,
+            background_big_mwu_per_s=1600.0,
+            background_little_mwu_per_s=620.0,
+            background_burstiness=0.65,
+            dwell_mean_s=30.0,
+            dwell_min_s=10.0,
+            dwell_max_s=90.0,
+            interaction_driven=False,
+            transition=PhaseTransition({"browse": 0.35, "playback": 0.65}),
+        ),
+    }
+    return AppModel(
+        name="spotify",
+        phases=phases,
+        initial_phase="browse",
+        interaction_profile=InteractionProfile(
+            engaged_level=0.8, paused_level=0.03, burst_mean_s=1.5, pause_mean_s=6.0
+        ),
+        seed=seed,
+    )
+
+
+def chrome_app(seed: Optional[int] = None) -> AppModel:
+    """Web browser: page loads (CPU heavy, low FPS) alternating with scrolling."""
+    phases = {
+        "page_load": Phase(
+            name="page_load",
+            frame_rate_hz=5.0,
+            cpu_work_per_frame_mwu=10.0,
+            gpu_work_per_frame_mwu=16.0,
+            background_big_mwu_per_s=4200.0,
+            background_little_mwu_per_s=1100.0,
+            background_burstiness=0.25,
+            dwell_mean_s=4.0,
+            dwell_min_s=2.0,
+            dwell_max_s=9.0,
+            interaction_driven=False,
+            transition=PhaseTransition({"scroll": 0.7, "read": 0.3}),
+        ),
+        "scroll": Phase(
+            name="scroll",
+            frame_rate_hz=58.0,
+            cpu_work_per_frame_mwu=46.0,
+            gpu_work_per_frame_mwu=55.0,
+            background_big_mwu_per_s=500.0,
+            background_little_mwu_per_s=250.0,
+            dwell_mean_s=10.0,
+            dwell_min_s=3.0,
+            dwell_max_s=30.0,
+            interaction_driven=True,
+            transition=PhaseTransition({"read": 0.55, "page_load": 0.45}),
+        ),
+        "read": Phase(
+            name="read",
+            frame_rate_hz=8.0,
+            cpu_work_per_frame_mwu=16.0,
+            gpu_work_per_frame_mwu=20.0,
+            background_little_mwu_per_s=150.0,
+            dwell_mean_s=9.0,
+            dwell_min_s=3.0,
+            dwell_max_s=30.0,
+            interaction_driven=True,
+            transition=PhaseTransition({"scroll": 0.6, "page_load": 0.4}),
+        ),
+    }
+    return AppModel(
+        name="web_browser",
+        phases=phases,
+        initial_phase="page_load",
+        interaction_profile=DEFAULT_PROFILE,
+        seed=seed,
+    )
+
+
+def lineage_app(seed: Optional[int] = None) -> AppModel:
+    """Lineage 2 Revolution: GPU-heavy 3D MMORPG with a long loading screen."""
+    phases = {
+        "loading": Phase(
+            name="loading",
+            frame_rate_hz=2.0,
+            cpu_work_per_frame_mwu=8.0,
+            gpu_work_per_frame_mwu=14.0,
+            background_big_mwu_per_s=5200.0,
+            background_little_mwu_per_s=1400.0,
+            background_gpu_mwu_per_s=700.0,
+            background_burstiness=0.15,
+            dwell_mean_s=12.0,
+            dwell_min_s=6.0,
+            dwell_max_s=20.0,
+            interaction_driven=False,
+            transition=PhaseTransition({"combat": 0.6, "town": 0.4}),
+        ),
+        "town": Phase(
+            name="town",
+            frame_rate_hz=60.0,
+            cpu_work_per_frame_mwu=45.0,
+            gpu_work_per_frame_mwu=100.0,
+            background_big_mwu_per_s=900.0,
+            background_little_mwu_per_s=450.0,
+            dwell_mean_s=15.0,
+            dwell_min_s=6.0,
+            dwell_max_s=45.0,
+            interaction_driven=False,
+            transition=PhaseTransition({"combat": 0.6, "menu": 0.25, "town": 0.15}),
+        ),
+        "combat": Phase(
+            name="combat",
+            frame_rate_hz=60.0,
+            cpu_work_per_frame_mwu=55.0,
+            gpu_work_per_frame_mwu=115.0,
+            background_big_mwu_per_s=1300.0,
+            background_little_mwu_per_s=600.0,
+            dwell_mean_s=25.0,
+            dwell_min_s=10.0,
+            dwell_max_s=70.0,
+            interaction_driven=False,
+            transition=PhaseTransition({"town": 0.5, "menu": 0.3, "combat": 0.2}),
+        ),
+        "menu": Phase(
+            name="menu",
+            frame_rate_hz=30.0,
+            cpu_work_per_frame_mwu=14.0,
+            gpu_work_per_frame_mwu=30.0,
+            background_little_mwu_per_s=250.0,
+            dwell_mean_s=8.0,
+            dwell_min_s=3.0,
+            dwell_max_s=20.0,
+            interaction_driven=True,
+            transition=PhaseTransition({"combat": 0.5, "town": 0.5}),
+        ),
+    }
+    return AppModel(
+        name="lineage",
+        phases=phases,
+        initial_phase="loading",
+        interaction_profile=CONTINUOUS_PROFILE,
+        seed=seed,
+    )
+
+
+def pubg_app(seed: Optional[int] = None) -> AppModel:
+    """PubG Mobile: 40 FPS shooter, mixed CPU/GPU load, lobby and drop phases."""
+    phases = {
+        "lobby": Phase(
+            name="lobby",
+            frame_rate_hz=30.0,
+            cpu_work_per_frame_mwu=16.0,
+            gpu_work_per_frame_mwu=40.0,
+            background_big_mwu_per_s=800.0,
+            background_little_mwu_per_s=400.0,
+            dwell_mean_s=10.0,
+            dwell_min_s=4.0,
+            dwell_max_s=25.0,
+            interaction_driven=True,
+            transition=PhaseTransition({"loading": 0.6, "lobby": 0.4}),
+        ),
+        "loading": Phase(
+            name="loading",
+            frame_rate_hz=2.0,
+            cpu_work_per_frame_mwu=8.0,
+            gpu_work_per_frame_mwu=14.0,
+            background_big_mwu_per_s=4600.0,
+            background_little_mwu_per_s=1200.0,
+            background_gpu_mwu_per_s=500.0,
+            background_burstiness=0.2,
+            dwell_mean_s=10.0,
+            dwell_min_s=5.0,
+            dwell_max_s=18.0,
+            interaction_driven=False,
+            transition=PhaseTransition({"match": 1.0}),
+        ),
+        "match": Phase(
+            name="match",
+            frame_rate_hz=40.0,
+            cpu_work_per_frame_mwu=65.0,
+            gpu_work_per_frame_mwu=105.0,
+            background_big_mwu_per_s=1500.0,
+            background_little_mwu_per_s=700.0,
+            dwell_mean_s=40.0,
+            dwell_min_s=15.0,
+            dwell_max_s=120.0,
+            interaction_driven=False,
+            transition=PhaseTransition({"firefight": 0.55, "lobby": 0.15, "match": 0.3}),
+        ),
+        "firefight": Phase(
+            name="firefight",
+            frame_rate_hz=40.0,
+            cpu_work_per_frame_mwu=75.0,
+            gpu_work_per_frame_mwu=120.0,
+            background_big_mwu_per_s=1800.0,
+            background_little_mwu_per_s=800.0,
+            dwell_mean_s=15.0,
+            dwell_min_s=5.0,
+            dwell_max_s=45.0,
+            interaction_driven=False,
+            transition=PhaseTransition({"match": 0.8, "lobby": 0.2}),
+        ),
+    }
+    return AppModel(
+        name="pubg",
+        phases=phases,
+        initial_phase="lobby",
+        interaction_profile=CONTINUOUS_PROFILE,
+        seed=seed,
+    )
+
+
+def youtube_app(seed: Optional[int] = None) -> AppModel:
+    """YouTube: content-driven 30 FPS playback with occasional browsing."""
+    phases = {
+        "browse": Phase(
+            name="browse",
+            frame_rate_hz=55.0,
+            cpu_work_per_frame_mwu=30.0,
+            gpu_work_per_frame_mwu=38.0,
+            background_big_mwu_per_s=900.0,
+            background_little_mwu_per_s=400.0,
+            background_burstiness=0.35,
+            dwell_mean_s=8.0,
+            dwell_min_s=3.0,
+            dwell_max_s=20.0,
+            interaction_driven=True,
+            transition=PhaseTransition({"playback": 0.8, "browse": 0.2}),
+        ),
+        "playback": Phase(
+            name="playback",
+            frame_rate_hz=30.0,
+            cpu_work_per_frame_mwu=18.0,
+            gpu_work_per_frame_mwu=40.0,
+            background_big_mwu_per_s=450.0,
+            background_little_mwu_per_s=800.0,
+            background_gpu_mwu_per_s=700.0,
+            dwell_mean_s=35.0,
+            dwell_min_s=10.0,
+            dwell_max_s=120.0,
+            interaction_driven=False,
+            transition=PhaseTransition({"browse": 0.4, "playback": 0.6}),
+        ),
+    }
+    return AppModel(
+        name="youtube",
+        phases=phases,
+        initial_phase="browse",
+        interaction_profile=PASSIVE_PROFILE,
+        seed=seed,
+    )
+
+
+#: Factory registry of every application model, keyed by the name used in the
+#: paper's evaluation figures.
+APP_LIBRARY: Dict[str, Callable[[Optional[int]], AppModel]] = {
+    "home": home_screen_app,
+    "facebook": facebook_app,
+    "spotify": spotify_app,
+    "web_browser": chrome_app,
+    "lineage": lineage_app,
+    "pubg": pubg_app,
+    "youtube": youtube_app,
+}
+
+#: Apps the paper classifies as games (the only ones Int. QoS PM supports).
+GAME_APPS = ("lineage", "pubg")
+
+
+def make_app(name: str, seed: Optional[int] = None) -> AppModel:
+    """Instantiate an application model from :data:`APP_LIBRARY` by name."""
+    try:
+        factory = APP_LIBRARY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown app {name!r}; available: {sorted(APP_LIBRARY)}"
+        ) from None
+    return factory(seed)

@@ -1,0 +1,157 @@
+"""Phase vocabulary for application models.
+
+Every mobile application is, in the paper's words, "a dynamic application
+consisting of periodic, aperiodic and sporadic tasks" whose load varies with
+user interaction.  The reproduction captures that with a phase machine: an
+application is a set of :class:`Phase` objects (splash screen, feed scroll,
+music playback, 3D combat, ...) plus transition probabilities.  Each phase
+specifies
+
+* how many frames per second the app *wants* to produce while in the phase,
+* how much CPU/GPU work each of those frames costs,
+* how much non-frame background work runs (audio decode, network, loading),
+* how long the phase lasts, and
+* whether the frame demand is modulated by user interaction (a feed scroll
+  only produces frames while the finger moves; a video decodes frames
+  regardless).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PhaseTransition:
+    """Transition probabilities out of a phase.
+
+    Attributes
+    ----------
+    probabilities:
+        Mapping of destination phase name to probability.  Probabilities are
+        normalised at lookup time, so they only need to be relative weights.
+    """
+
+    probabilities: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.probabilities:
+            raise ValueError("a transition needs at least one destination")
+        if any(p < 0 for p in self.probabilities.values()):
+            raise ValueError("transition weights must be non-negative")
+        if sum(self.probabilities.values()) <= 0:
+            raise ValueError("at least one transition weight must be positive")
+
+    def normalised(self) -> Dict[str, float]:
+        """Return destination probabilities normalised to sum to one."""
+        total = sum(self.probabilities.values())
+        return {name: weight / total for name, weight in self.probabilities.items()}
+
+    def sample(self, rng) -> str:
+        """Sample a destination phase name using ``rng`` (random.Random)."""
+        items = list(self.normalised().items())
+        r = rng.random()
+        acc = 0.0
+        for name, prob in items:
+            acc += prob
+            if r <= acc:
+                return name
+        return items[-1][0]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of an application's behaviour.
+
+    Attributes
+    ----------
+    name:
+        Phase identifier, unique within an application.
+    frame_rate_hz:
+        Frame demand rate while the phase is fully active.  The effective
+        demand is this value scaled by the interaction activity when
+        ``interaction_driven`` is true.
+    cpu_work_per_frame_mwu / gpu_work_per_frame_mwu:
+        Mean per-frame work for the CPU and GPU render stages.
+    work_cv:
+        Coefficient of variation of per-frame work (log-normal-ish spread).
+    background_big_mwu_per_s / background_little_mwu_per_s /
+    background_gpu_mwu_per_s:
+        Mean non-frame work rates placed on the big CPU cluster, the LITTLE
+        CPU cluster and the GPU respectively.
+    background_burstiness:
+        0 produces steady background work; values towards 1 concentrate the
+        same average work into bursts (which is what makes utilisation-driven
+        governors ramp up).
+    dwell_mean_s / dwell_min_s / dwell_max_s:
+        Duration of one visit to the phase (exponential-ish, clamped).
+    interaction_driven:
+        Whether frame demand follows the user's interaction activity.
+    transition:
+        Outgoing transition weights; ``None`` makes the phase absorbing.
+    """
+
+    name: str
+    frame_rate_hz: float
+    cpu_work_per_frame_mwu: float
+    gpu_work_per_frame_mwu: float
+    work_cv: float = 0.2
+    background_big_mwu_per_s: float = 0.0
+    background_little_mwu_per_s: float = 0.0
+    background_gpu_mwu_per_s: float = 0.0
+    background_burstiness: float = 0.0
+    dwell_mean_s: float = 10.0
+    dwell_min_s: float = 2.0
+    dwell_max_s: float = 60.0
+    interaction_driven: bool = True
+    transition: Optional[PhaseTransition] = None
+
+    def __post_init__(self) -> None:
+        if self.frame_rate_hz < 0:
+            raise ValueError("frame_rate_hz must be non-negative")
+        if self.cpu_work_per_frame_mwu < 0 or self.gpu_work_per_frame_mwu < 0:
+            raise ValueError("per-frame work must be non-negative")
+        if self.work_cv < 0:
+            raise ValueError("work_cv must be non-negative")
+        if min(
+            self.background_big_mwu_per_s,
+            self.background_little_mwu_per_s,
+            self.background_gpu_mwu_per_s,
+        ) < 0:
+            raise ValueError("background work rates must be non-negative")
+        if not 0.0 <= self.background_burstiness <= 1.0:
+            raise ValueError("background_burstiness must be in [0, 1]")
+        if self.dwell_mean_s <= 0 or self.dwell_min_s < 0 or self.dwell_max_s <= 0:
+            raise ValueError("dwell times must be positive")
+        if self.dwell_min_s > self.dwell_max_s:
+            raise ValueError("dwell_min_s must not exceed dwell_max_s")
+
+    def sample_dwell_s(self, rng) -> float:
+        """Sample how long one visit to this phase lasts."""
+        value = rng.expovariate(1.0 / self.dwell_mean_s)
+        return min(self.dwell_max_s, max(self.dwell_min_s, value))
+
+    def sample_next_phase(self, rng) -> Optional[str]:
+        """Sample the next phase name, or ``None`` if the phase is absorbing."""
+        if self.transition is None:
+            return None
+        return self.transition.sample(rng)
+
+
+def validate_phase_graph(phases: Mapping[str, Phase]) -> None:
+    """Check that every transition destination exists in ``phases``.
+
+    Raises
+    ------
+    ValueError
+        If a transition points at an unknown phase name.
+    """
+    for phase in phases.values():
+        if phase.transition is None:
+            continue
+        for destination in phase.transition.probabilities:
+            if destination not in phases:
+                raise ValueError(
+                    f"phase {phase.name!r} transitions to unknown phase {destination!r}"
+                )

@@ -1,0 +1,218 @@
+"""Workload trace recording and replay.
+
+Comparing two governors fairly requires them to face the *same* demand: the
+same frames, the same background work, arriving at the same times.  Because
+the application models are stochastic, the reproduction records the demand of
+a session once into a :class:`WorkloadTrace` and replays it against every
+governor, which is the simulator equivalent of the paper's "similar session"
+methodology (Figs. 1 and 3) and of running each app with the same usage
+script (Figs. 7 and 8).
+
+Traces are plain data (lists of :class:`~repro.workloads.app.TickWorkload`)
+and can be serialised to/from JSON for archival.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.graphics.pipeline import FrameSpec
+from repro.workloads.app import AppModel, TickWorkload
+
+
+@dataclass
+class WorkloadTrace:
+    """A recorded sequence of per-tick demands."""
+
+    dt_s: float
+    ticks: List[TickWorkload] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+
+    def __len__(self) -> int:
+        return len(self.ticks)
+
+    def __iter__(self) -> Iterator[TickWorkload]:
+        return iter(self.ticks)
+
+    def __getitem__(self, index: int) -> TickWorkload:
+        return self.ticks[index]
+
+    @property
+    def duration_s(self) -> float:
+        """Total duration covered by the trace."""
+        return len(self.ticks) * self.dt_s
+
+    @property
+    def total_frames_demanded(self) -> int:
+        """Total number of frames demanded across the trace."""
+        return sum(tick.frame_count for tick in self.ticks)
+
+    def app_names(self) -> List[str]:
+        """Distinct application names appearing in the trace, in order."""
+        seen: List[str] = []
+        for tick in self.ticks:
+            if tick.app_name not in seen:
+                seen.append(tick.app_name)
+        return seen
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Convert the trace to a JSON-serialisable dictionary."""
+        return {
+            "dt_s": self.dt_s,
+            "ticks": [
+                {
+                    "time_s": tick.time_s,
+                    "app_name": tick.app_name,
+                    "phase_name": tick.phase_name,
+                    "interaction_activity": tick.interaction_activity,
+                    "frames": [
+                        [frame.cpu_work_mwu, frame.gpu_work_mwu] for frame in tick.frames
+                    ],
+                    "background_work_mwu": dict(tick.background_work_mwu),
+                }
+                for tick in self.ticks
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WorkloadTrace":
+        """Rebuild a trace from :meth:`to_dict` output."""
+        ticks = [
+            TickWorkload(
+                time_s=entry["time_s"],
+                app_name=entry["app_name"],
+                phase_name=entry["phase_name"],
+                frames=[FrameSpec(cpu, gpu) for cpu, gpu in entry["frames"]],
+                background_work_mwu=dict(entry["background_work_mwu"]),
+                interaction_activity=entry["interaction_activity"],
+            )
+            for entry in data["ticks"]
+        ]
+        return cls(dt_s=data["dt_s"], ticks=ticks)
+
+    def to_json(self) -> str:
+        """Serialise the trace to a JSON string."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadTrace":
+        """Deserialise a trace from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+class TraceRecorder:
+    """Records application demand into a :class:`WorkloadTrace`."""
+
+    def __init__(self, dt_s: float) -> None:
+        self.trace = WorkloadTrace(dt_s=dt_s)
+
+    def record(self, tick: TickWorkload) -> None:
+        """Append one tick of demand."""
+        self.trace.ticks.append(tick)
+
+    @classmethod
+    def record_app(
+        cls, app: AppModel, duration_s: float, dt_s: float
+    ) -> WorkloadTrace:
+        """Run ``app`` open-loop for ``duration_s`` and return its demand trace."""
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        recorder = cls(dt_s=dt_s)
+        steps = int(round(duration_s / dt_s))
+        for _ in range(steps):
+            recorder.record(app.tick(dt_s))
+        return recorder.trace
+
+    @classmethod
+    def record_segments(
+        cls,
+        segments: Sequence,
+        dt_s: float,
+        seed: Optional[int] = None,
+    ) -> WorkloadTrace:
+        """Record a multi-segment session (see :mod:`repro.workloads.session`).
+
+        ``segments`` is a sequence of objects with ``app_name`` and
+        ``duration_s`` attributes (e.g. :class:`SessionSegment`).
+        """
+        from repro.workloads.apps import make_app
+
+        recorder = cls(dt_s=dt_s)
+        time_offset = 0.0
+        for i, segment in enumerate(segments):
+            app_seed = None if seed is None else seed + i * 7919
+            app = make_app(segment.app_name, seed=app_seed)
+            steps = int(round(segment.duration_s / dt_s))
+            for _ in range(steps):
+                tick = app.tick(dt_s)
+                recorder.record(
+                    TickWorkload(
+                        time_s=time_offset + tick.time_s,
+                        app_name=tick.app_name,
+                        phase_name=tick.phase_name,
+                        frames=tick.frames,
+                        background_work_mwu=tick.background_work_mwu,
+                        interaction_activity=tick.interaction_activity,
+                    )
+                )
+            time_offset += segment.duration_s
+        return recorder.trace
+
+
+class TracePlayer:
+    """Replays a :class:`WorkloadTrace` with the same interface as an app model."""
+
+    def __init__(self, trace: WorkloadTrace, loop: bool = False) -> None:
+        if len(trace) == 0:
+            raise ValueError("cannot replay an empty trace")
+        self.trace = trace
+        self.loop = loop
+        self._index = 0
+
+    @property
+    def name(self) -> str:
+        """Name of the (first) application in the trace."""
+        return self.trace.ticks[0].app_name
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the trace has been fully replayed (never true when looping)."""
+        return not self.loop and self._index >= len(self.trace)
+
+    def reset(self) -> None:
+        """Restart playback from the beginning."""
+        self._index = 0
+
+    def tick(self, dt_s: float) -> TickWorkload:
+        """Return the next tick of recorded demand.
+
+        ``dt_s`` must match the trace's tick length; passing anything else is
+        an error because the demand was discretised at recording time.
+        """
+        if abs(dt_s - self.trace.dt_s) > 1e-9:
+            raise ValueError(
+                f"trace was recorded at dt={self.trace.dt_s}s, cannot replay at dt={dt_s}s"
+            )
+        if self._index >= len(self.trace):
+            if not self.loop:
+                # Replay the final tick's shape with no demand once exhausted.
+                last = self.trace.ticks[-1]
+                return TickWorkload(
+                    time_s=last.time_s + self.trace.dt_s,
+                    app_name=last.app_name,
+                    phase_name="exhausted",
+                    frames=[],
+                    background_work_mwu={},
+                    interaction_activity=0.0,
+                )
+            self._index = 0
+        tick = self.trace.ticks[self._index]
+        self._index += 1
+        return tick

@@ -1,0 +1,243 @@
+"""Unit tests for the Next agent, its governor adapter and federated training."""
+
+import pytest
+
+from repro.core.agent import AgentConfig, NextAgent
+from repro.core.federated import CloudTrainer, CloudTrainingConfig, FederatedAggregator
+from repro.core.frame_window import FrameWindowConfig
+from repro.core.governor import NextGovernor
+from repro.core.qtable import QTable
+from repro.governors.base import GovernorObservation
+from repro.soc.platform import exynos9810
+
+
+@pytest.fixture
+def clusters():
+    return exynos9810().build_clusters()
+
+
+def observation(clusters, fps=30.0, power=3.0, t_big=45.0, t_dev=30.0, time_s=1.0,
+                dropped=0, demanded=3):
+    return GovernorObservation(
+        time_s=time_s,
+        dt_s=0.1,
+        fps=fps,
+        utilisations={name: 0.4 for name in clusters},
+        frequencies_mhz={n: c.current_frequency_mhz for n, c in clusters.items()},
+        max_limits_mhz={n: c.max_limit_frequency_mhz for n, c in clusters.items()},
+        power_w=power,
+        temperature_big_c=t_big,
+        temperature_device_c=t_dev,
+        frames_dropped=dropped,
+        frames_demanded=demanded,
+    )
+
+
+class TestAgentConfig:
+    def test_defaults_match_paper_settings(self):
+        config = AgentConfig()
+        assert config.invocation_period_s == pytest.approx(0.1)
+        assert config.frame_window.sample_period_s == pytest.approx(0.025)
+        assert config.frame_window.window_s == pytest.approx(4.0)
+        assert config.cluster_order == ("big", "little", "gpu")
+
+    def test_discretiser_cluster_order_follows_agent_order(self):
+        config = AgentConfig(cluster_order=("gpu", "big"))
+        assert config.discretiser.cluster_order == ("gpu", "big")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgentConfig(invocation_period_s=0.0)
+        with pytest.raises(ValueError):
+            AgentConfig(trained_visit_threshold=0)
+
+
+class TestNextAgent:
+    def test_nine_actions_on_exynos(self):
+        agent = NextAgent()
+        assert len(agent.action_space) == 9
+
+    def test_step_applies_exactly_one_action(self, clusters):
+        agent = NextAgent(seed=1)
+        agent.set_application("facebook")
+        before = {n: c.max_limit_index for n, c in clusters.items()}
+        info = agent.step(observation(clusters), clusters)
+        after = {n: c.max_limit_index for n, c in clusters.items()}
+        changed = [n for n in clusters if before[n] != after[n]]
+        assert len(changed) <= 1
+        assert 0 <= info.action_index < 9
+
+    def test_first_step_has_no_reward(self, clusters):
+        agent = NextAgent(seed=1)
+        agent.set_application("app")
+        info = agent.step(observation(clusters), clusters)
+        assert info.reward is None
+        info2 = agent.step(observation(clusters, time_s=1.1), clusters)
+        assert info2.reward is not None
+
+    def test_target_fps_follows_frame_window(self, clusters):
+        agent = NextAgent(seed=1)
+        agent.set_application("app")
+        for i in range(200):
+            agent.observe_frame(i * 0.025, 45.0)
+        assert agent.target_fps == pytest.approx(45.0, abs=2.5)
+        info = agent.step(observation(clusters, fps=45.0), clusters)
+        assert info.target_fps == pytest.approx(45.0, abs=2.5)
+
+    def test_per_app_qtables_are_isolated(self, clusters):
+        agent = NextAgent(seed=1)
+        agent.set_application("facebook")
+        for i in range(20):
+            agent.step(observation(clusters, time_s=i * 0.1), clusters)
+        facebook_states = agent.qtable_size("facebook")
+        agent.set_application("spotify")
+        assert agent.qtable_size("spotify") == 0
+        assert agent.qtable_size("facebook") == facebook_states
+
+    def test_switching_app_resets_frame_window(self, clusters):
+        agent = NextAgent(seed=1)
+        agent.set_application("a")
+        for i in range(200):
+            agent.observe_frame(i * 0.025, 50.0)
+        agent.set_application("b")
+        assert agent.frame_window.sample_count == 0
+
+    def test_training_toggle_freezes_qtable(self, clusters):
+        agent = NextAgent(seed=1)
+        agent.set_application("app")
+        agent.set_training(False)
+        for i in range(30):
+            agent.step(observation(clusters, time_s=i * 0.1), clusters)
+        assert agent.store.table_for("app").total_visits() == 0
+        assert agent.training is False
+
+    def test_training_accumulates_time_and_steps(self, clusters):
+        agent = NextAgent(seed=1)
+        agent.set_application("app")
+        for i in range(50):
+            agent.step(observation(clusters, time_s=i * 0.1), clusters)
+        assert agent.steps_for("app") == 50
+        assert agent.training_time_s("app") == pytest.approx(5.0)
+        assert agent.cumulative_reward != 0.0
+
+    def test_convergence_diagnostics(self, clusters):
+        agent = NextAgent(config=AgentConfig(td_error_window=10), seed=1)
+        agent.set_application("app")
+        assert agent.recent_td_error() == float("inf")
+        assert not agent.has_converged()
+        for i in range(60):
+            agent.step(observation(clusters, time_s=i * 0.1), clusters)
+        assert agent.recent_td_error() < float("inf")
+
+    def test_default_application_when_unset(self, clusters):
+        agent = NextAgent(seed=1)
+        agent.step(observation(clusters), clusters)
+        assert agent.app_name == "default"
+
+    def test_is_trained_threshold(self, clusters):
+        config = AgentConfig(trained_visit_threshold=10)
+        agent = NextAgent(config=config, seed=1)
+        agent.set_application("app")
+        assert not agent.is_trained()
+        for i in range(30):
+            agent.step(observation(clusters, time_s=i * 0.1), clusters)
+        assert agent.is_trained()
+
+
+class TestNextGovernor:
+    def test_governor_period_matches_agent(self):
+        governor = NextGovernor(seed=1)
+        assert governor.invocation_period_s == pytest.approx(0.1)
+
+    def test_observe_tick_feeds_frame_window(self):
+        governor = NextGovernor(seed=1)
+        governor.on_session_start("app")
+        for i in range(200):
+            governor.observe_tick(i * 1.0 / 60.0, 30.0)
+        # At 60 Hz ticks and 25 ms sampling roughly every other tick is kept.
+        assert governor.agent.frame_window.sample_count >= 80
+
+    def test_update_records_last_step(self, clusters):
+        governor = NextGovernor(seed=1)
+        governor.on_session_start("app")
+        governor.update(observation(clusters), clusters)
+        assert governor.last_step is not None
+
+    def test_session_start_switches_agent_app(self):
+        governor = NextGovernor(seed=1)
+        governor.on_session_start("pubg")
+        assert governor.agent.app_name == "pubg"
+
+    def test_training_toggle_proxies_to_agent(self):
+        governor = NextGovernor(seed=1, training=False)
+        assert governor.training is False
+        governor.set_training(True)
+        assert governor.agent.training is True
+
+    def test_reset_releases_limits_but_keeps_tables(self, clusters):
+        governor = NextGovernor(seed=1)
+        governor.on_session_start("app")
+        for i in range(20):
+            governor.update(observation(clusters, time_s=i * 0.1), clusters)
+        states_before = governor.agent.qtable_size("app")
+        governor.reset(clusters)
+        assert governor.agent.qtable_size("app") == states_before
+        for cluster in clusters.values():
+            assert cluster.max_limit_index == len(cluster.opp_table) - 1
+
+
+class TestFederated:
+    def test_cloud_time_model(self):
+        trainer = CloudTrainer(CloudTrainingConfig(speedup_factor=7.0, communication_overhead_s=4.0))
+        assert trainer.cloud_time_s(70.0) == pytest.approx(14.0)
+        assert trainer.speedup(70.0) == pytest.approx(5.0)
+        assert trainer.cloud_time_s(0.0) == pytest.approx(4.0)
+
+    def test_cloud_config_validation(self):
+        with pytest.raises(ValueError):
+            CloudTrainingConfig(speedup_factor=0.0)
+        with pytest.raises(ValueError):
+            CloudTrainingConfig(communication_overhead_s=-1.0)
+        with pytest.raises(ValueError):
+            CloudTrainer().cloud_time_s(-1.0)
+
+    def test_aggregate_weighted_by_visits(self):
+        aggregator = FederatedAggregator(action_count=2)
+        a = QTable(action_count=2)
+        b = QTable(action_count=2)
+        # Device A visited the state three times, device B once.
+        for _ in range(3):
+            a.set("s", 0, 3.0)
+        b.set("s", 0, 7.0)
+        merged = aggregator.aggregate([a, b])
+        assert merged.get("s", 0) == pytest.approx((3.0 * 3 + 7.0 * 1) / 4)
+
+    def test_aggregate_union_of_states(self):
+        aggregator = FederatedAggregator(action_count=2)
+        a = QTable(action_count=2)
+        b = QTable(action_count=2)
+        a.set("only_a", 1, 1.0)
+        b.set("only_b", 0, 2.0)
+        merged = aggregator.aggregate([a, b])
+        assert merged.get("only_a", 1) == pytest.approx(1.0)
+        assert merged.get("only_b", 0) == pytest.approx(2.0)
+
+    def test_distribute_clones(self):
+        aggregator = FederatedAggregator(action_count=2)
+        table = QTable(action_count=2)
+        table.set("s", 0, 1.0)
+        clones = aggregator.distribute(table, 3)
+        assert len(clones) == 3
+        clones[0].set("s", 0, 99.0)
+        assert clones[1].get("s", 0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        aggregator = FederatedAggregator(action_count=2)
+        with pytest.raises(ValueError):
+            aggregator.aggregate([])
+        with pytest.raises(ValueError):
+            aggregator.aggregate([QTable(action_count=3)])
+        with pytest.raises(ValueError):
+            aggregator.distribute(QTable(action_count=2), 0)
+        with pytest.raises(ValueError):
+            FederatedAggregator(action_count=0)

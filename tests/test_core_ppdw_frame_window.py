@@ -1,0 +1,232 @@
+"""Unit tests for the PPDW metric, the reward and the frame window."""
+
+import pytest
+
+from repro.core.frame_window import (
+    FrameWindowConfig,
+    FrameWindowMonitor,
+    dequantise_fps,
+    quantise_fps,
+)
+from repro.core.ppdw import (
+    MIN_DELTA_T_C,
+    PpdwBounds,
+    RewardConfig,
+    compute_ppdw,
+    compute_reward,
+)
+
+
+# ---------------------------------------------------------------------------
+# PPDW (Eq. 1 / Eq. 2)
+# ---------------------------------------------------------------------------
+
+class TestComputePpdw:
+    def test_matches_equation_one(self):
+        # PPDW = FPS / ((T - Ta) * P)
+        assert compute_ppdw(60.0, 2.0, 41.0, 21.0) == pytest.approx(60.0 / (20.0 * 2.0))
+
+    def test_zero_fps_gives_zero(self):
+        assert compute_ppdw(0.0, 5.0, 60.0, 21.0) == 0.0
+
+    def test_negative_fps_rejected(self):
+        with pytest.raises(ValueError):
+            compute_ppdw(-1.0, 5.0, 60.0, 21.0)
+
+    def test_guard_when_at_ambient(self):
+        value = compute_ppdw(30.0, 2.0, 21.0, 21.0)
+        assert value == pytest.approx(30.0 / (MIN_DELTA_T_C * 2.0))
+
+    def test_higher_power_lowers_ppdw(self):
+        low = compute_ppdw(60.0, 2.0, 50.0, 21.0)
+        high = compute_ppdw(60.0, 6.0, 50.0, 21.0)
+        assert high < low
+
+    def test_higher_temperature_lowers_ppdw(self):
+        cool = compute_ppdw(60.0, 3.0, 40.0, 21.0)
+        hot = compute_ppdw(60.0, 3.0, 80.0, 21.0)
+        assert hot < cool
+
+    def test_paper_figure4_trend_best_values_increase_with_fps(self):
+        # Fig. 4: at matched (power, temperature) the PPDW grows with FPS.
+        values = [compute_ppdw(fps, 5.0, 70.0, 21.0) for fps in (10, 20, 30, 40, 50, 60)]
+        assert values == sorted(values)
+
+
+class TestPpdwBounds:
+    def test_from_platform_limits_ordering(self):
+        bounds = PpdwBounds.from_platform_limits(
+            fps_max=60.0,
+            fps_least=1.0,
+            power_max_w=15.0,
+            power_least_w=1.0,
+            temperature_max_c=95.0,
+            temperature_least_c=25.0,
+            ambient_c=21.0,
+        )
+        assert bounds.best > bounds.worst
+
+    def test_normalise_clamps(self):
+        bounds = PpdwBounds(worst=0.1, best=1.1)
+        assert bounds.normalise(0.05) == 0.0
+        assert bounds.normalise(2.0) == 1.0
+        assert 0.0 < bounds.normalise(0.6) < 1.0
+
+    def test_contains_matches_equation_two(self):
+        bounds = PpdwBounds(worst=0.1, best=1.0)
+        assert bounds.contains(0.5)
+        assert bounds.contains(1.0)
+        assert not bounds.contains(0.1)   # strict lower bound
+        assert not bounds.contains(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PpdwBounds(worst=1.0, best=0.5)
+        with pytest.raises(ValueError):
+            PpdwBounds(worst=-0.1, best=1.0)
+
+
+class TestReward:
+    def test_meeting_target_at_lower_power_pays_more(self):
+        at_high_power = compute_reward(60.0, 60.0, 6.0, 70.0, 21.0)
+        at_low_power = compute_reward(60.0, 60.0, 2.5, 45.0, 21.0)
+        assert at_low_power > at_high_power
+
+    def test_fps_shortfall_penalised(self):
+        met = compute_reward(60.0, 60.0, 3.0, 50.0, 21.0)
+        missed = compute_reward(30.0, 60.0, 3.0, 50.0, 21.0)
+        assert missed < met
+
+    def test_frame_drops_penalised(self):
+        clean = compute_reward(40.0, 40.0, 3.0, 50.0, 21.0, dropped_frames=0, demanded_frames=24)
+        dropped = compute_reward(40.0, 40.0, 3.0, 50.0, 21.0, dropped_frames=12, demanded_frames=24)
+        assert dropped < clean
+
+    def test_zero_weights_reduce_to_pure_ppdw(self):
+        config = RewardConfig(fps_shortfall_weight=0.0, frame_drop_weight=0.0, ppdw_scale=1.0)
+        reward = compute_reward(30.0, 60.0, 3.0, 50.0, 21.0, config=config,
+                                dropped_frames=10, demanded_frames=20)
+        assert reward == pytest.approx(compute_ppdw(30.0, 3.0, 50.0, 21.0))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RewardConfig(fps_shortfall_weight=-1.0)
+        with pytest.raises(ValueError):
+            RewardConfig(frame_drop_weight=-1.0)
+        with pytest.raises(ValueError):
+            RewardConfig(ppdw_scale=0.0)
+
+
+# ---------------------------------------------------------------------------
+# FPS quantisation
+# ---------------------------------------------------------------------------
+
+class TestQuantisation:
+    def test_sixty_levels_is_identity_on_integers(self):
+        for fps in range(0, 61):
+            assert quantise_fps(float(fps), levels=60) == fps
+
+    def test_thirty_levels_halves_resolution(self):
+        assert quantise_fps(60.0, levels=30) == 30
+        assert quantise_fps(30.0, levels=30) == 15
+        assert quantise_fps(1.0, levels=30) in (0, 1)
+
+    def test_clamping(self):
+        assert quantise_fps(1000.0, levels=30) == 30
+        assert quantise_fps(-5.0, levels=30) == 0
+
+    def test_dequantise_round_trip_within_bin(self):
+        for fps in (0.0, 12.0, 30.0, 45.0, 60.0):
+            level = quantise_fps(fps, levels=30)
+            assert dequantise_fps(level, levels=30) == pytest.approx(fps, abs=1.0)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            quantise_fps(30.0, levels=0)
+        with pytest.raises(ValueError):
+            dequantise_fps(1, levels=0)
+
+
+# ---------------------------------------------------------------------------
+# Frame window
+# ---------------------------------------------------------------------------
+
+class TestFrameWindowConfig:
+    def test_paper_defaults(self):
+        config = FrameWindowConfig()
+        assert config.sample_period_s == pytest.approx(0.025)
+        assert config.window_s == pytest.approx(4.0)
+        # 4 s at 25 ms sampling = 160 samples, as stated in Section IV-A.
+        assert config.samples_per_window == 160
+        assert config.quantisation_levels == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameWindowConfig(sample_period_s=0.0)
+        with pytest.raises(ValueError):
+            FrameWindowConfig(window_s=0.01)
+        with pytest.raises(ValueError):
+            FrameWindowConfig(quantisation_levels=0)
+
+
+class TestFrameWindowMonitor:
+    def test_respects_25ms_cadence(self):
+        monitor = FrameWindowMonitor()
+        assert monitor.observe(0.000, 60.0) is True
+        assert monitor.observe(0.010, 60.0) is False   # too soon
+        assert monitor.observe(0.025, 60.0) is True
+        assert monitor.sample_count == 2
+
+    def test_mode_of_constant_signal(self):
+        monitor = FrameWindowMonitor()
+        for i in range(200):
+            monitor.observe(i * 0.025, 58.0)
+        assert monitor.is_full
+        assert monitor.target_fps() == pytest.approx(58.0, abs=2.0)
+
+    def test_mode_picks_dominant_plateau(self):
+        monitor = FrameWindowMonitor()
+        t = 0.0
+        # 70 % of the window at ~12 FPS (reading), 30 % at ~58 FPS (scrolling).
+        for i in range(112):
+            monitor.observe(t, 12.0)
+            t += 0.025
+        for i in range(48):
+            monitor.observe(t, 58.0)
+            t += 0.025
+        assert monitor.target_fps() == pytest.approx(12.0, abs=2.0)
+
+    def test_tie_breaks_towards_higher_fps(self):
+        monitor = FrameWindowMonitor(FrameWindowConfig(window_s=1.0, sample_period_s=0.025))
+        t = 0.0
+        for _ in range(20):
+            monitor.observe(t, 10.0)
+            t += 0.025
+        for _ in range(20):
+            monitor.observe(t, 50.0)
+            t += 0.025
+        assert monitor.target_fps() >= 48.0
+
+    def test_sliding_window_forgets_old_behaviour(self):
+        monitor = FrameWindowMonitor()
+        t = 0.0
+        for _ in range(160):
+            monitor.observe(t, 58.0)
+            t += 0.025
+        for _ in range(160):
+            monitor.observe(t, 2.0)
+            t += 0.025
+        assert monitor.target_fps() < 10.0
+
+    def test_empty_window_targets_zero(self):
+        assert FrameWindowMonitor().target_fps() == 0.0
+
+    def test_histogram_and_reset(self):
+        monitor = FrameWindowMonitor()
+        for i in range(10):
+            monitor.observe(i * 0.025, 30.0)
+        assert monitor.histogram()
+        assert monitor.last_fps == 30.0
+        monitor.reset()
+        assert monitor.sample_count == 0
+        assert monitor.last_fps == 0.0

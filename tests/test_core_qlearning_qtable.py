@@ -1,0 +1,213 @@
+"""Unit tests for the Q-table store and the tabular Q-learning core."""
+
+import random
+
+import pytest
+
+from repro.core.qlearning import QLearningConfig, QLearningCore
+from repro.core.qtable import QTable, QTableStore
+
+
+# ---------------------------------------------------------------------------
+# QTable
+# ---------------------------------------------------------------------------
+
+class TestQTable:
+    def test_lazy_rows_use_initial_q(self):
+        table = QTable(action_count=3, initial_q=0.7)
+        assert table.values("s") == [0.7, 0.7, 0.7]
+        assert "s" in table
+        assert len(table) == 1
+
+    def test_set_and_get(self):
+        table = QTable(action_count=2)
+        table.set("s", 1, 3.5)
+        assert table.get("s", 1) == 3.5
+        assert table.get("s", 0) == 0.0
+        assert table.visits("s") == 1
+        assert table.total_visits() == 1
+
+    def test_merge_blends_common_states(self):
+        a = QTable(action_count=2)
+        b = QTable(action_count=2)
+        a.set("s", 0, 1.0)
+        b.set("s", 0, 3.0)
+        b.set("only_b", 1, 5.0)
+        a.merge(b, weight=0.5)
+        assert a.get("s", 0) == pytest.approx(2.0)
+        assert a.get("only_b", 1) == pytest.approx(5.0)
+
+    def test_merge_validation(self):
+        a = QTable(action_count=2)
+        b = QTable(action_count=3)
+        with pytest.raises(ValueError):
+            a.merge(b)
+        with pytest.raises(ValueError):
+            a.merge(QTable(action_count=2), weight=2.0)
+
+    def test_serialisation_round_trip_with_tuple_states(self):
+        table = QTable(action_count=4, initial_q=0.1)
+        table.set((1, 2, 3), 2, -1.5)
+        table.set((0, 0, 0), 0, 2.25)
+        restored = QTable.from_dict(table.to_dict())
+        assert restored.get((1, 2, 3), 2) == -1.5
+        assert restored.get((0, 0, 0), 0) == 2.25
+        assert restored.visits((1, 2, 3)) == 1
+        assert restored.action_count == 4
+
+    def test_rejects_invalid_action_count(self):
+        with pytest.raises(ValueError):
+            QTable(action_count=0)
+
+
+class TestQTableStore:
+    def test_table_per_app(self):
+        store = QTableStore(action_count=9)
+        facebook = store.table_for("facebook")
+        spotify = store.table_for("spotify")
+        assert facebook is not spotify
+        assert store.table_for("facebook") is facebook
+        assert set(store.app_names()) == {"facebook", "spotify"}
+
+    def test_is_trained_threshold(self):
+        store = QTableStore(action_count=2)
+        table = store.table_for("app")
+        assert not store.is_trained("app", min_visits=3)
+        for i in range(3):
+            table.set(f"s{i}", 0, 1.0)
+        assert store.is_trained("app", min_visits=3)
+
+    def test_save_and_load(self, tmp_path):
+        store = QTableStore(action_count=3, initial_q=0.5)
+        store.table_for("pubg").set((1, 2), 1, 4.0)
+        paths = store.save(str(tmp_path))
+        assert len(paths) == 1
+        loaded = QTableStore.load(str(tmp_path), action_count=3, initial_q=0.5)
+        assert "pubg" in loaded
+        assert loaded.table_for("pubg").get((1, 2), 1) == 4.0
+
+    def test_load_missing_directory(self, tmp_path):
+        loaded = QTableStore.load(str(tmp_path / "nope"), action_count=3)
+        assert loaded.app_names() == []
+
+    def test_set_table_validates_action_count(self):
+        store = QTableStore(action_count=3)
+        with pytest.raises(ValueError):
+            store.set_table("x", QTable(action_count=5))
+
+
+# ---------------------------------------------------------------------------
+# QLearningCore
+# ---------------------------------------------------------------------------
+
+class TestQLearningConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QLearningConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            QLearningConfig(discount=1.0)
+        with pytest.raises(ValueError):
+            QLearningConfig(epsilon_start=0.1, epsilon_min=0.5)
+        with pytest.raises(ValueError):
+            QLearningConfig(epsilon_decay=0.0)
+        with pytest.raises(ValueError):
+            QLearningConfig(exploration_hold_steps=0)
+
+
+class TestQLearningCore:
+    def test_update_matches_equation_three(self):
+        config = QLearningConfig(learning_rate=0.5, discount=0.9, initial_q=0.0)
+        core = QLearningCore(action_count=2, config=config, rng=random.Random(0))
+        core.qtable.set("next", 0, 2.0)  # max_a Q(s', a) = 2.0
+        core.qtable.set("s", 1, 1.0)
+        new_value = core.update("s", 1, reward=0.5, next_state="next")
+        # Q <- Q + alpha * (r - Q + gamma * max Q(s'))
+        expected = 1.0 + 0.5 * (0.5 - 1.0 + 0.9 * 2.0)
+        assert new_value == pytest.approx(expected)
+        assert core.qtable.get("s", 1) == pytest.approx(expected)
+
+    def test_epsilon_decays_towards_minimum(self):
+        config = QLearningConfig(epsilon_start=0.5, epsilon_min=0.1, epsilon_decay=0.5)
+        core = QLearningCore(action_count=2, config=config, rng=random.Random(0))
+        for _ in range(20):
+            core.update("s", 0, 1.0, "s")
+        assert core.epsilon == pytest.approx(0.1)
+
+    def test_epsilon_frozen_when_not_exploring(self):
+        core = QLearningCore(action_count=2, rng=random.Random(0))
+        core.set_exploration(False)
+        start = core.epsilon
+        core.update("s", 0, 1.0, "s")
+        assert core.epsilon == start
+
+    def test_greedy_action_picks_max(self):
+        core = QLearningCore(action_count=3, rng=random.Random(0))
+        core.qtable.set("s", 0, 0.1)
+        core.qtable.set("s", 1, 0.9)
+        core.qtable.set("s", 2, 0.5)
+        assert core.greedy_action("s") == 1
+
+    def test_exploitation_is_deterministic_given_table(self):
+        core = QLearningCore(action_count=3, rng=random.Random(0))
+        core.set_exploration(False)
+        core.qtable.set("s", 2, 10.0)
+        assert all(core.select_action("s") == 2 for _ in range(20))
+
+    def test_exploration_hold_repeats_action(self):
+        config = QLearningConfig(
+            epsilon_start=1.0, epsilon_min=1.0, epsilon_decay=1.0, exploration_hold_steps=4
+        )
+        core = QLearningCore(action_count=5, config=config, rng=random.Random(1))
+        actions = [core.select_action("s") for _ in range(4)]
+        assert len(set(actions)) == 1
+
+    def test_learns_simple_bandit(self):
+        # Action 1 always pays 1.0, action 0 pays 0.0: greedy must find action 1.
+        config = QLearningConfig(
+            learning_rate=0.3, discount=0.0, epsilon_start=1.0, epsilon_min=1.0,
+            epsilon_decay=1.0, initial_q=0.0, exploration_hold_steps=1
+        )
+        core = QLearningCore(action_count=2, config=config, rng=random.Random(3))
+        for _ in range(200):
+            action = core.select_action("s")
+            reward = 1.0 if action == 1 else 0.0
+            core.update("s", action, reward, "s")
+        assert core.greedy_action("s") == 1
+
+    def test_learns_chain_towards_goal(self):
+        # States 0..4; action 0 moves left, action 1 moves right; reward only
+        # at state 4.  Q-learning must learn to go right from every state.
+        config = QLearningConfig(
+            learning_rate=0.5, discount=0.9, epsilon_start=1.0, epsilon_min=1.0,
+            epsilon_decay=1.0, initial_q=0.0, exploration_hold_steps=1
+        )
+        core = QLearningCore(action_count=2, config=config, rng=random.Random(0))
+        for _ in range(300):
+            state = 0
+            for _step in range(20):
+                action = core.select_action(state)
+                next_state = max(0, min(4, state + (1 if action == 1 else -1)))
+                reward = 1.0 if next_state == 4 else 0.0
+                core.update(state, action, reward, next_state)
+                state = next_state
+                if state == 4:
+                    break
+        for state in range(4):
+            assert core.greedy_action(state) == 1
+
+    def test_diagnostics(self):
+        core = QLearningCore(action_count=2, rng=random.Random(0))
+        core.update("a", 0, 1.0, "b")
+        assert core.update_count == 1
+        assert set(core.visited_states()) >= {"a", "b"}
+        snapshot = core.policy_snapshot()
+        assert "a" in snapshot
+
+    def test_invalid_action_index(self):
+        core = QLearningCore(action_count=2)
+        with pytest.raises(IndexError):
+            core.update("s", 5, 1.0, "s")
+
+    def test_mismatched_table_rejected(self):
+        with pytest.raises(ValueError):
+            QLearningCore(action_count=2, qtable=QTable(action_count=4))

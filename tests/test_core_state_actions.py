@@ -1,0 +1,189 @@
+"""Unit tests for state discretisation and the 9-action space."""
+
+import pytest
+
+from repro.core.actions import Action, ActionDirection, ActionSpace
+from repro.core.state import NextState, StateDiscretiser, StateDiscretiserConfig
+from repro.governors.base import GovernorObservation
+from repro.soc.platform import exynos9810
+
+
+@pytest.fixture
+def clusters():
+    return exynos9810().build_clusters()
+
+
+def observation(clusters, fps=30.0, power=3.0, t_big=45.0, t_dev=30.0):
+    return GovernorObservation(
+        time_s=1.0,
+        dt_s=0.1,
+        fps=fps,
+        utilisations={name: 0.5 for name in clusters},
+        frequencies_mhz={n: c.current_frequency_mhz for n, c in clusters.items()},
+        max_limits_mhz={n: c.max_limit_frequency_mhz for n, c in clusters.items()},
+        power_w=power,
+        temperature_big_c=t_big,
+        temperature_device_c=t_dev,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Action space
+# ---------------------------------------------------------------------------
+
+class TestActionSpace:
+    def test_paper_has_nine_actions_for_three_clusters(self):
+        space = ActionSpace(["big", "little", "gpu"])
+        assert len(space) == 9
+        labels = space.labels()
+        assert "big_frequency_up" in labels
+        assert "gpu_frequency_down" in labels
+        assert "little_frequency_hold" in labels
+
+    def test_three_actions_per_cluster(self):
+        space = ActionSpace(["cpu"])
+        assert len(space) == 3
+
+    def test_duplicate_clusters_rejected(self):
+        with pytest.raises(ValueError):
+            ActionSpace(["big", "big"])
+        with pytest.raises(ValueError):
+            ActionSpace([])
+
+    def test_apply_down_moves_maxfreq_one_step(self, clusters):
+        space = ActionSpace(["big", "little", "gpu"])
+        start = clusters["big"].max_limit_index
+        index = space.index_of(Action("big", ActionDirection.DOWN))
+        applied = space.apply(index, clusters)
+        assert applied.cluster_name == "big"
+        assert clusters["big"].max_limit_index == start - 1
+
+    def test_apply_up_clamps_at_top(self, clusters):
+        space = ActionSpace(["big", "little", "gpu"])
+        index = space.index_of(Action("gpu", ActionDirection.UP))
+        space.apply(index, clusters)
+        assert clusters["gpu"].max_limit_index == len(clusters["gpu"].opp_table) - 1
+
+    def test_apply_hold_changes_nothing(self, clusters):
+        space = ActionSpace(["big", "little", "gpu"])
+        before = {n: c.max_limit_index for n, c in clusters.items()}
+        for hold_index in space.hold_indices():
+            space.apply(hold_index, clusters)
+        after = {n: c.max_limit_index for n, c in clusters.items()}
+        assert before == after
+
+    def test_apply_missing_cluster_is_noop(self, clusters):
+        space = ActionSpace(["big", "little", "gpu", "npu"])
+        index = space.index_of(Action("npu", ActionDirection.DOWN))
+        space.apply(index, clusters)  # must not raise
+
+    def test_apply_out_of_range_index(self, clusters):
+        space = ActionSpace(["big"])
+        with pytest.raises(IndexError):
+            space.apply(99, clusters)
+
+    def test_only_one_cluster_changes_per_action(self, clusters):
+        space = ActionSpace(["big", "little", "gpu"])
+        index = space.index_of(Action("little", ActionDirection.DOWN))
+        before = {n: c.max_limit_index for n, c in clusters.items()}
+        space.apply(index, clusters)
+        changed = [n for n, c in clusters.items() if c.max_limit_index != before[n]]
+        assert changed == ["little"]
+
+    def test_direction_steps(self):
+        assert ActionDirection.UP.step == 1
+        assert ActionDirection.DOWN.step == -1
+        assert ActionDirection.HOLD.step == 0
+
+
+# ---------------------------------------------------------------------------
+# State discretisation
+# ---------------------------------------------------------------------------
+
+class TestStateDiscretiserConfig:
+    def test_state_space_size(self):
+        config = StateDiscretiserConfig(
+            cluster_order=("a", "b"),
+            frequency_bins=3,
+            fps_bins=4,
+            target_fps_bins=4,
+            power_bins=2,
+            temperature_bins=2,
+            device_temperature_bins=1,
+        )
+        assert config.state_space_size == 3 * 3 * 5 * 5 * 2 * 2 * 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StateDiscretiserConfig(frequency_bins=0)
+        with pytest.raises(ValueError):
+            StateDiscretiserConfig(cluster_order=())
+        with pytest.raises(ValueError):
+            StateDiscretiserConfig(max_temperature_c=10.0, ambient_c=21.0)
+
+
+class TestStateDiscretiser:
+    def test_state_is_hashable_and_stable(self, clusters):
+        discretiser = StateDiscretiser()
+        state_a = discretiser.discretise(observation(clusters), clusters, target_fps=30.0)
+        state_b = discretiser.discretise(observation(clusters), clusters, target_fps=30.0)
+        assert state_a == state_b
+        assert hash(state_a) == hash(state_b)
+        assert isinstance(state_a, NextState)
+        assert len(state_a.as_tuple()) == 3 + 5
+
+    def test_frequency_bin_tracks_operating_point(self, clusters):
+        discretiser = StateDiscretiser()
+        clusters["big"].set_frequency_index(0)
+        low = discretiser.frequency_bin(clusters["big"])
+        clusters["big"].set_frequency_index(17)
+        high = discretiser.frequency_bin(clusters["big"])
+        assert low == 0
+        assert high == discretiser.config.frequency_bins - 1
+
+    def test_fps_and_target_bins_change_state(self, clusters):
+        discretiser = StateDiscretiser()
+        slow = discretiser.discretise(observation(clusters, fps=5.0), clusters, target_fps=5.0)
+        fast = discretiser.discretise(observation(clusters, fps=58.0), clusters, target_fps=58.0)
+        assert slow != fast
+        assert fast.fps_bin > slow.fps_bin
+        assert fast.target_fps_bin > slow.target_fps_bin
+
+    def test_power_and_temperature_bins(self, clusters):
+        discretiser = StateDiscretiser()
+        cold = discretiser.discretise(
+            observation(clusters, power=1.0, t_big=25.0), clusters, target_fps=30.0
+        )
+        hot = discretiser.discretise(
+            observation(clusters, power=11.0, t_big=90.0), clusters, target_fps=30.0
+        )
+        assert hot.power_bin >= cold.power_bin
+        assert hot.temperature_big_bin >= cold.temperature_big_bin
+
+    def test_values_out_of_range_are_clamped(self, clusters):
+        discretiser = StateDiscretiser()
+        state = discretiser.discretise(
+            observation(clusters, power=1000.0, t_big=500.0, fps=500.0),
+            clusters,
+            target_fps=500.0,
+        )
+        cfg = discretiser.config
+        assert state.power_bin == cfg.power_bins - 1
+        assert state.temperature_big_bin == cfg.temperature_bins - 1
+        assert state.fps_bin <= cfg.fps_bins
+
+    def test_missing_cluster_maps_to_zero_bin(self, clusters):
+        config = StateDiscretiserConfig(cluster_order=("big", "npu"))
+        discretiser = StateDiscretiser(config)
+        state = discretiser.discretise(observation(clusters), clusters, target_fps=30.0)
+        assert state.frequency_bins[1] == 0
+
+    def test_single_bin_axes_collapse(self, clusters):
+        config = StateDiscretiserConfig(
+            power_bins=1, temperature_bins=1, device_temperature_bins=1
+        )
+        discretiser = StateDiscretiser(config)
+        a = discretiser.discretise(observation(clusters, power=1.0, t_big=25.0), clusters, 30.0)
+        b = discretiser.discretise(observation(clusters, power=11.0, t_big=90.0), clusters, 30.0)
+        assert a.power_bin == b.power_bin == 0
+        assert a.temperature_big_bin == b.temperature_big_bin == 0

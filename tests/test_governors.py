@@ -1,0 +1,219 @@
+"""Unit tests for the baseline governors and the schedutil scaler."""
+
+import pytest
+
+from repro.governors.base import GovernorObservation
+from repro.governors.intqos import IntQosConfig, IntQosGovernor
+from repro.governors.schedutil import SchedutilConfig, SchedutilGovernor, SchedutilScaler
+from repro.governors.simple import (
+    ConservativeGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+)
+from repro.soc.platform import exynos9810
+
+
+@pytest.fixture
+def clusters():
+    return exynos9810().build_clusters()
+
+
+def observation(clusters, fps=30.0, utils=None, power=3.0, t_big=45.0, t_dev=30.0,
+                time_s=10.0, dropped=0, demanded=3):
+    utils = utils or {name: 0.3 for name in clusters}
+    return GovernorObservation(
+        time_s=time_s,
+        dt_s=0.1,
+        fps=fps,
+        utilisations=utils,
+        frequencies_mhz={n: c.current_frequency_mhz for n, c in clusters.items()},
+        max_limits_mhz={n: c.max_limit_frequency_mhz for n, c in clusters.items()},
+        power_w=power,
+        temperature_big_c=t_big,
+        temperature_device_c=t_dev,
+        frames_dropped=dropped,
+        frames_demanded=demanded,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Schedutil scaler (inner frequency selection)
+# ---------------------------------------------------------------------------
+
+class TestSchedutilScaler:
+    def test_zero_utilisation_drops_to_min_without_boost(self, clusters):
+        scaler = SchedutilScaler(SchedutilConfig(touch_boost_fraction=0.0, down_rate_limit_s=0.0))
+        big = clusters["big"]
+        big.set_frequency_index(10)
+        scaler.select(big, utilisation=0.0, now_s=1.0)
+        assert big.current_index == 0
+
+    def test_high_utilisation_raises_frequency(self, clusters):
+        scaler = SchedutilScaler(SchedutilConfig(touch_boost_fraction=0.0))
+        big = clusters["big"]
+        big.set_frequency_index(5)
+        scaler.select(big, utilisation=1.0, now_s=1.0)
+        assert big.current_index > 5
+
+    def test_headroom_keeps_frequency_above_exact_need(self, clusters):
+        scaler = SchedutilScaler(SchedutilConfig(touch_boost_fraction=0.0, down_rate_limit_s=0.0))
+        big = clusters["big"]
+        big.set_frequency_index(17)
+        # 60 % utilisation at the top OPP: 1.25 * 0.6 = 0.75 of max is needed.
+        scaler.select(big, utilisation=0.6, now_s=1.0)
+        assert big.current_frequency_mhz >= 0.74 * 2704.0
+
+    def test_down_rate_limit_delays_reduction(self, clusters):
+        scaler = SchedutilScaler(
+            SchedutilConfig(touch_boost_fraction=0.0, down_rate_limit_s=1.0)
+        )
+        big = clusters["big"]
+        big.set_frequency_index(17)
+        scaler.select(big, utilisation=0.4, now_s=0.0)   # first drop allowed
+        first = big.current_index
+        assert 0 < first < 17
+        scaler.select(big, utilisation=0.0, now_s=0.5)   # within rate limit
+        assert big.current_index == first
+        scaler.select(big, utilisation=0.0, now_s=2.0)   # after rate limit
+        assert big.current_index < first
+
+    def test_touch_boost_pins_cpu_high_despite_low_utilisation(self, clusters):
+        scaler = SchedutilScaler(SchedutilConfig(touch_boost_fraction=0.95))
+        big = clusters["big"]
+        big.set_frequency_index(0)
+        scaler.select(big, utilisation=0.08, now_s=1.0)
+        assert big.current_frequency_mhz >= 0.9 * 2704.0
+
+    def test_touch_boost_does_not_apply_to_gpu_by_default(self, clusters):
+        scaler = SchedutilScaler(SchedutilConfig(touch_boost_fraction=0.95, down_rate_limit_s=0.0))
+        gpu = clusters["gpu"]
+        gpu.set_frequency_index(0)
+        scaler.select(gpu, utilisation=0.08, now_s=1.0)
+        assert gpu.current_index <= 1
+
+    def test_touch_boost_expires_after_hold(self, clusters):
+        scaler = SchedutilScaler(
+            SchedutilConfig(touch_boost_fraction=0.95, touch_boost_hold_s=0.5, down_rate_limit_s=0.0)
+        )
+        big = clusters["big"]
+        scaler.select(big, utilisation=0.2, now_s=0.0)
+        assert big.current_frequency_mhz >= 0.9 * 2704.0
+        scaler.select(big, utilisation=0.0, now_s=2.0)
+        assert big.current_index == 0
+
+    def test_boost_respects_maxfreq_limit(self, clusters):
+        scaler = SchedutilScaler()
+        big = clusters["big"]
+        big.set_max_limit_index(4)
+        scaler.select(big, utilisation=0.5, now_s=1.0)
+        assert big.current_index <= 4
+
+    def test_select_all_covers_every_cluster(self, clusters):
+        scaler = SchedutilScaler()
+        indices = scaler.select_all(clusters, {n: 0.5 for n in clusters}, now_s=1.0)
+        assert set(indices) == set(clusters)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SchedutilConfig(headroom=0.9)
+        with pytest.raises(ValueError):
+            SchedutilConfig(touch_boost_fraction=1.5)
+        with pytest.raises(ValueError):
+            SchedutilConfig(down_rate_limit_s=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Policy governors
+# ---------------------------------------------------------------------------
+
+class TestSchedutilGovernor:
+    def test_keeps_limits_wide_open(self, clusters):
+        governor = SchedutilGovernor()
+        clusters["big"].set_max_limit_index(3)
+        governor.update(observation(clusters), clusters)
+        assert clusters["big"].max_limit_index == 17
+        assert clusters["big"].min_limit_index == 0
+
+
+class TestSimpleGovernors:
+    def test_performance_pins_top(self, clusters):
+        PerformanceGovernor().update(observation(clusters), clusters)
+        for cluster in clusters.values():
+            assert cluster.current_index == len(cluster.opp_table) - 1
+
+    def test_powersave_pins_bottom(self, clusters):
+        PowersaveGovernor().update(observation(clusters), clusters)
+        for cluster in clusters.values():
+            assert cluster.current_index == 0
+
+    def test_conservative_steps_cap_with_utilisation(self, clusters):
+        governor = ConservativeGovernor()
+        start = clusters["big"].max_limit_index
+        governor.update(observation(clusters, utils={"big": 0.1, "little": 0.1, "gpu": 0.1}), clusters)
+        assert clusters["big"].max_limit_index == start - 1
+        governor.update(observation(clusters, utils={"big": 0.95, "little": 0.95, "gpu": 0.95}), clusters)
+        assert clusters["big"].max_limit_index == start
+
+    def test_conservative_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ConservativeGovernor(up_threshold=0.3, down_threshold=0.5)
+
+
+class TestIntQosGovernor:
+    def test_pins_frequencies(self, clusters):
+        governor = IntQosGovernor()
+        governor.update(observation(clusters, fps=50.0), clusters)
+        for cluster in clusters.values():
+            assert cluster.min_limit_index == cluster.max_limit_index
+
+    def test_low_average_fps_leads_to_lower_frequencies(self, clusters):
+        governor = IntQosGovernor()
+        # Feed a long history of moderate FPS with modest utilisation.
+        for step in range(30):
+            governor.update(
+                observation(clusters, fps=30.0, utils={"big": 0.2, "little": 0.2, "gpu": 0.3},
+                            time_s=float(step)),
+                clusters,
+            )
+        assert clusters["big"].current_index < len(clusters["big"].opp_table) - 1
+
+    def test_closed_loop_raises_capacity_when_fps_short(self, clusters):
+        governor = IntQosGovernor()
+        for step in range(20):
+            governor.update(
+                observation(clusters, fps=55.0, utils={"big": 0.4, "little": 0.3, "gpu": 0.6},
+                            time_s=float(step)),
+                clusters,
+            )
+        settled = clusters["gpu"].current_index
+        # FPS collapses below the averaged target -> the correction factor must
+        # push the chosen OPPs back up (or at least not lower them).
+        for step in range(20, 26):
+            governor.update(
+                observation(clusters, fps=20.0, utils={"big": 0.4, "little": 0.3, "gpu": 0.9},
+                            time_s=float(step)),
+                clusters,
+            )
+        assert clusters["gpu"].current_index >= settled
+
+    def test_session_start_clears_history(self, clusters):
+        governor = IntQosGovernor()
+        governor.update(observation(clusters, fps=60.0), clusters)
+        governor.on_session_start("pubg")
+        assert len(governor._fps_history) == 0
+
+    def test_reset_releases_limits(self, clusters):
+        governor = IntQosGovernor()
+        governor.update(observation(clusters, fps=30.0), clusters)
+        governor.reset(clusters)
+        for cluster in clusters.values():
+            assert cluster.min_limit_index == 0
+            assert cluster.max_limit_index == len(cluster.opp_table) - 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            IntQosConfig(fps_window_s=0.0)
+        with pytest.raises(ValueError):
+            IntQosConfig(capacity_margin=0.9)
+        with pytest.raises(ValueError):
+            IntQosConfig(invocation_period_s=0.0)

@@ -1,0 +1,250 @@
+"""Unit tests for the simulation clock, config, recorder and engine."""
+
+import pytest
+
+from repro.governors.schedutil import SchedutilGovernor
+from repro.governors.simple import PerformanceGovernor, PowersaveGovernor
+from repro.sim.clock import SimulationClock
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SessionWorkload, Simulation
+from repro.sim.recorder import Recorder, SimulationSample
+from repro.soc.platform import exynos9810
+from repro.workloads.apps import make_app
+from repro.workloads.session import SessionSegment
+from repro.workloads.trace import TracePlayer, TraceRecorder
+
+
+# ---------------------------------------------------------------------------
+# Clock / config
+# ---------------------------------------------------------------------------
+
+class TestSimulationClock:
+    def test_advance_and_time(self):
+        clock = SimulationClock(dt_s=0.5)
+        assert clock.now_s == 0.0
+        clock.advance()
+        clock.advance()
+        assert clock.now_s == pytest.approx(1.0)
+        assert clock.ticks == 2
+
+    def test_no_floating_point_drift(self):
+        clock = SimulationClock(dt_s=1.0 / 60.0)
+        for _ in range(60 * 60):
+            clock.advance()
+        assert clock.now_s == pytest.approx(60.0, abs=1e-9)
+
+    def test_ticks_for(self):
+        clock = SimulationClock(dt_s=1.0 / 60.0)
+        assert clock.ticks_for(1.0) == 60
+        with pytest.raises(ValueError):
+            clock.ticks_for(-1.0)
+
+    def test_reset(self):
+        clock = SimulationClock(dt_s=0.1)
+        clock.advance()
+        clock.reset()
+        assert clock.ticks == 0
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            SimulationClock(dt_s=0.0)
+
+
+class TestSimulationConfig:
+    def test_dt_is_vsync_period(self):
+        config = SimulationConfig(refresh_hz=60.0)
+        assert config.dt_s == pytest.approx(1.0 / 60.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(refresh_hz=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(duration_s=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(record_every_n_ticks=0)
+
+
+# ---------------------------------------------------------------------------
+# Recorder
+# ---------------------------------------------------------------------------
+
+def make_sample(time_s, power=2.0, fps=30.0, big=45.0, device=30.0, displayed=1,
+                demanded=1, dropped=0):
+    return SimulationSample(
+        time_s=time_s,
+        app_name="app",
+        phase_name="phase",
+        fps=fps,
+        target_fps=fps,
+        frames_demanded=demanded,
+        frames_displayed=displayed,
+        frames_dropped=dropped,
+        power_total_w=power,
+        power_per_cluster_w={"big": power * 0.6},
+        temperatures_c={"big": big, "device": device},
+        frequencies_mhz={"big": 1690.0},
+        max_limits_mhz={"big": 2704.0},
+        utilisations={"big": 0.4},
+        interaction_activity=0.5,
+    )
+
+
+class TestRecorder:
+    def test_summary_basics(self):
+        recorder = Recorder(ambient_c=21.0)
+        for i in range(10):
+            recorder.record(make_sample(i * 1.0, power=2.0 + i * 0.1, fps=30.0))
+        summary = recorder.summary()
+        assert summary.average_power_w == pytest.approx(2.45, abs=0.01)
+        assert summary.peak_power_w == pytest.approx(2.9)
+        assert summary.average_fps == pytest.approx(30.0)
+        assert summary.peak_temperature_c["big"] == pytest.approx(45.0)
+        assert summary.total_frames_displayed == 10
+        assert summary.duration_s == pytest.approx(9.0)
+        assert summary.energy_j > 0.0
+
+    def test_frame_delivery_ratio(self):
+        recorder = Recorder()
+        recorder.record(make_sample(0.0, displayed=1, demanded=2, dropped=1))
+        recorder.record(make_sample(1.0, displayed=1, demanded=2, dropped=1))
+        assert recorder.summary().frame_delivery_ratio == pytest.approx(0.5)
+
+    def test_empty_delivery_ratio_is_one(self):
+        recorder = Recorder()
+        recorder.record(make_sample(0.0, displayed=0, demanded=0))
+        assert recorder.summary().frame_delivery_ratio == 1.0
+
+    def test_summary_of_empty_recording_rejected(self):
+        with pytest.raises(ValueError):
+            Recorder().summary()
+
+    def test_series_access(self):
+        recorder = Recorder()
+        for i in range(5):
+            recorder.record(make_sample(float(i)))
+        assert len(recorder.column("fps")) == 5
+        assert len(recorder.temperature_series("big")) == 5
+        assert len(recorder.frequency_series("big")) == 5
+        assert len(recorder) == 5
+
+    def test_resample(self):
+        recorder = Recorder()
+        for i in range(100):
+            recorder.record(make_sample(i * 0.1))
+        resampled = recorder.resample(1.0)
+        assert 9 <= len(resampled) <= 11
+        with pytest.raises(ValueError):
+            recorder.resample(0.0)
+
+
+# ---------------------------------------------------------------------------
+# SessionWorkload
+# ---------------------------------------------------------------------------
+
+class TestSessionWorkload:
+    def test_switches_apps_at_segment_boundaries(self):
+        workload = SessionWorkload(
+            [SessionSegment("home", 2.0), SessionSegment("spotify", 2.0)], seed=1
+        )
+        dt = 1.0 / 60.0
+        names = []
+        for _ in range(int(4.0 / dt)):
+            names.append(workload.tick(dt).app_name)
+        assert "home" in names and "spotify" in names
+        assert names.index("spotify") > 0
+        assert workload.exhausted
+
+    def test_exhausted_session_emits_idle(self):
+        workload = SessionWorkload([SessionSegment("home", 0.5)], seed=1)
+        dt = 1.0 / 60.0
+        for _ in range(int(0.5 / dt) + 5):
+            tick = workload.tick(dt)
+        assert tick.app_name == "idle"
+        assert tick.frame_count == 0
+
+    def test_empty_segments_rejected(self):
+        with pytest.raises(ValueError):
+            SessionWorkload([])
+
+
+# ---------------------------------------------------------------------------
+# Simulation engine
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def platform():
+    return exynos9810()
+
+
+class TestSimulation:
+    def test_runs_and_records(self, platform):
+        config = SimulationConfig(duration_s=10.0, seed=1)
+        simulation = Simulation(platform, SchedutilGovernor(), config=config)
+        recorder = simulation.run(make_app("facebook", seed=1), duration_s=10.0)
+        assert len(recorder) == pytest.approx(600, abs=2)
+        summary = recorder.summary()
+        assert summary.average_power_w > 0.5
+        assert summary.peak_temperature_c["big"] > platform.ambient_c
+
+    def test_performance_governor_uses_more_power_than_powersave(self, platform):
+        trace = TraceRecorder.record_app(make_app("facebook", seed=2), 15.0, 1.0 / 60.0)
+        high = Simulation(platform, PerformanceGovernor(), config=SimulationConfig(seed=2))
+        low = Simulation(platform, PowersaveGovernor(), config=SimulationConfig(seed=2))
+        summary_high = high.run(TracePlayer(trace), 15.0).summary()
+        summary_low = low.run(TracePlayer(trace), 15.0).summary()
+        assert summary_high.average_power_w > summary_low.average_power_w
+        assert (
+            summary_high.peak_temperature_c["big"] >= summary_low.peak_temperature_c["big"]
+        )
+
+    def test_powersave_hurts_game_fps(self, platform):
+        trace = TraceRecorder.record_app(make_app("lineage", seed=3), 20.0, 1.0 / 60.0)
+        fast = Simulation(platform, PerformanceGovernor(), config=SimulationConfig(seed=3))
+        slow = Simulation(platform, PowersaveGovernor(), config=SimulationConfig(seed=3))
+        fps_fast = fast.run(TracePlayer(trace), 20.0).summary().average_fps
+        fps_slow = slow.run(TracePlayer(trace), 20.0).summary().average_fps
+        assert fps_fast > fps_slow
+
+    def test_warm_start_temperature(self, platform):
+        config = SimulationConfig(duration_s=2.0, warm_start_temperature_c=35.0, seed=1)
+        simulation = Simulation(platform, SchedutilGovernor(), config=config)
+        recorder = simulation.run(make_app("home", seed=1), duration_s=2.0)
+        assert recorder.samples[0].temperatures_c["big"] >= 30.0
+
+    def test_governor_invocation_period_respected(self, platform):
+        class CountingGovernor(SchedutilGovernor):
+            def __init__(self):
+                super().__init__()
+                self.calls = 0
+                self.invocation_period_s = 0.5
+
+            def update(self, observation, clusters):
+                self.calls += 1
+                super().update(observation, clusters)
+
+        governor = CountingGovernor()
+        simulation = Simulation(platform, governor, config=SimulationConfig(seed=1))
+        simulation.run(make_app("home", seed=1), duration_s=5.0)
+        assert 9 <= governor.calls <= 12
+
+    def test_session_hooks_fire_on_app_switch(self, platform):
+        class HookRecorder(SchedutilGovernor):
+            def __init__(self):
+                super().__init__()
+                self.started = []
+
+            def on_session_start(self, app_name):
+                self.started.append(app_name)
+
+        governor = HookRecorder()
+        workload = SessionWorkload(
+            [SessionSegment("home", 2.0), SessionSegment("facebook", 2.0)], seed=1
+        )
+        Simulation(platform, governor, config=SimulationConfig(seed=1)).run(workload, 4.0)
+        assert governor.started == ["home", "facebook"]
+
+    def test_record_downsampling(self, platform):
+        config = SimulationConfig(duration_s=5.0, record_every_n_ticks=10, seed=1)
+        simulation = Simulation(platform, SchedutilGovernor(), config=config)
+        recorder = simulation.run(make_app("home", seed=1), duration_s=5.0)
+        assert len(recorder) == pytest.approx(30, abs=2)

@@ -1,0 +1,193 @@
+"""Tests for the experiment runners and the analysis helpers."""
+
+import pytest
+
+from repro.analysis.compare import (
+    percentage_reduction,
+    percentage_saving,
+    power_saving_pct,
+    temperature_reduction_pct,
+)
+from repro.analysis.metrics import (
+    fps_statistics,
+    peak_temperature_rise_c,
+    ppdw_series,
+    series_statistics,
+)
+from repro.analysis.tables import format_comparison_table, format_series_table
+from repro.core.governor import NextGovernor
+from repro.sim.config import SimulationConfig
+from repro.sim.experiment import (
+    GOVERNOR_FACTORIES,
+    compare_governors_on_trace,
+    make_governor,
+    record_session_trace,
+    run_app_session,
+    run_trace,
+    train_next_governor,
+)
+from repro.soc.platform import exynos9810
+from repro.workloads.apps import make_app
+from repro.workloads.session import SessionSegment
+from repro.workloads.trace import TraceRecorder
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return exynos9810()
+
+
+@pytest.fixture(scope="module")
+def short_trace(platform):
+    return TraceRecorder.record_app(make_app("facebook", seed=5), 12.0, 1.0 / 60.0)
+
+
+# ---------------------------------------------------------------------------
+# Experiment runners
+# ---------------------------------------------------------------------------
+
+class TestGovernorFactory:
+    def test_all_registry_names_instantiate(self):
+        for name in GOVERNOR_FACTORIES:
+            governor = make_governor(name)
+            assert governor.invocation_period_s > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_governor("not_a_governor")
+
+
+class TestRunners:
+    def test_run_trace_produces_summary(self, platform, short_trace):
+        result = run_trace(short_trace, make_governor("schedutil"), platform=platform)
+        assert result.governor_name == "schedutil"
+        assert result.app_names == ["facebook"]
+        assert result.summary.average_power_w > 0.0
+
+    def test_run_app_session(self, platform):
+        result = run_app_session(
+            "home", make_governor("powersave"), duration_s=8.0, platform=platform, seed=2
+        )
+        assert result.summary.duration_s > 6.0
+
+    def test_record_session_trace(self, platform):
+        trace = record_session_trace(
+            [SessionSegment("home", 3.0), SessionSegment("spotify", 3.0)],
+            platform=platform,
+            seed=4,
+        )
+        assert trace.app_names() == ["home", "spotify"]
+
+    def test_compare_governors_on_same_trace(self, platform, short_trace):
+        comparison = compare_governors_on_trace(
+            short_trace,
+            {
+                "schedutil": make_governor("schedutil"),
+                "powersave": make_governor("powersave"),
+            },
+            baseline="schedutil",
+            platform=platform,
+        )
+        saving = comparison.power_saving_pct("powersave")
+        assert saving > 0.0
+        assert comparison.power_saving_pct("schedutil") == pytest.approx(0.0)
+        reduction = comparison.peak_temperature_reduction_pct("powersave", "big")
+        assert reduction > 0.0
+
+    def test_compare_requires_baseline_present(self, platform, short_trace):
+        with pytest.raises(ValueError):
+            compare_governors_on_trace(
+                short_trace, {"powersave": make_governor("powersave")}, baseline="schedutil"
+            )
+
+    def test_train_next_governor_learns_states(self, platform):
+        governor = NextGovernor(seed=3)
+        result = train_next_governor(
+            governor,
+            "home",
+            platform=platform,
+            episodes=2,
+            episode_duration_s=10.0,
+            seed=3,
+            td_error_threshold=0.0,
+        )
+        assert result.app_name == "home"
+        assert result.episodes == 2
+        assert result.agent_steps > 100
+        assert result.qtable_states > 0
+        assert result.training_time_s == pytest.approx(result.agent_steps * 0.1, rel=0.05)
+
+
+# ---------------------------------------------------------------------------
+# Analysis helpers
+# ---------------------------------------------------------------------------
+
+class TestMetrics:
+    def test_series_statistics(self):
+        stats = series_statistics([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.count == 4
+        assert stats.std > 0.0
+        with pytest.raises(ValueError):
+            series_statistics([])
+
+    def test_recorder_derived_metrics(self, platform, short_trace):
+        result = run_trace(short_trace, make_governor("schedutil"), platform=platform)
+        stats = fps_statistics(result.recorder)
+        assert 0.0 <= stats["frame_delivery_ratio"] <= 1.0
+        assert stats["fps_max"] <= 60.0
+        series = ppdw_series(result.recorder)
+        assert len(series) == len(result.recorder)
+        assert all(value >= 0.0 for value in series)
+        assert peak_temperature_rise_c(result.recorder, "big") > 0.0
+
+
+class TestCompareHelpers:
+    def test_percentage_saving(self):
+        assert percentage_saving(4.0, 3.0) == pytest.approx(25.0)
+        assert percentage_saving(0.0, 3.0) == 0.0
+        assert percentage_saving(4.0, 5.0) < 0.0
+
+    def test_percentage_reduction_above_floor(self):
+        assert percentage_reduction(61.0, 41.0, floor=21.0) == pytest.approx(50.0)
+        assert percentage_reduction(21.0, 25.0, floor=21.0) == 0.0
+
+    def test_summary_based_helpers(self, platform, short_trace):
+        baseline = run_trace(short_trace, make_governor("schedutil"), platform=platform).summary
+        candidate = run_trace(short_trace, make_governor("powersave"), platform=platform).summary
+        assert power_saving_pct(baseline, candidate) > 0.0
+        assert temperature_reduction_pct(baseline, candidate, "big", ambient_c=21.0) > 0.0
+        absolute = temperature_reduction_pct(
+            baseline, candidate, "big", ambient_c=21.0, absolute=True
+        )
+        assert 0.0 < absolute < 100.0
+        assert temperature_reduction_pct(baseline, candidate, "missing_node") == 0.0
+
+
+class TestTables:
+    def test_format_series_table(self):
+        text = format_series_table(
+            ["fps", "power_w"], [[60, 3.5], [30, 2.0]], title="Example"
+        )
+        assert "Example" in text
+        assert "fps" in text and "power_w" in text
+        assert "3.500" in text
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_series_table(["a", "b"], [[1]])
+        with pytest.raises(ValueError):
+            format_series_table([], [])
+
+    def test_format_comparison_table_handles_missing_cells(self):
+        table = format_comparison_table(
+            {"facebook": {"schedutil": 2.9, "next": 2.1}, "lineage": {"schedutil": 7.4}},
+            governor_order=["schedutil", "next"],
+            value_label="average power (W)",
+            title="Fig. 7",
+        )
+        assert "Fig. 7" in table
+        assert "-" in table  # missing lineage/next cell
+        assert "2.900" in table

@@ -1,0 +1,259 @@
+"""Unit tests for OPP tables, clusters and the Exynos 9810 platform spec."""
+
+import pytest
+
+from repro.soc.cluster import Cluster, ClusterKind, ClusterSpec
+from repro.soc.frequency import FrequencyPoint, OppTable, interpolate_voltages
+from repro.soc.platform import (
+    EXYNOS9810_BIG_FREQUENCIES_MHZ,
+    EXYNOS9810_GPU_FREQUENCIES_MHZ,
+    EXYNOS9810_LITTLE_FREQUENCIES_MHZ,
+    exynos9810,
+    generic_two_cluster_soc,
+)
+
+
+# ---------------------------------------------------------------------------
+# FrequencyPoint / voltage interpolation
+# ---------------------------------------------------------------------------
+
+class TestFrequencyPoint:
+    def test_basic_properties(self):
+        point = FrequencyPoint(frequency_mhz=1000.0, voltage_v=0.8)
+        assert point.frequency_hz == pytest.approx(1e9)
+        assert point.frequency_ghz == pytest.approx(1.0)
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError):
+            FrequencyPoint(frequency_mhz=0.0, voltage_v=0.8)
+
+    def test_rejects_non_positive_voltage(self):
+        with pytest.raises(ValueError):
+            FrequencyPoint(frequency_mhz=100.0, voltage_v=0.0)
+
+
+class TestInterpolateVoltages:
+    def test_endpoints(self):
+        volts = interpolate_voltages([100.0, 200.0, 300.0], v_min=0.7, v_max=1.0)
+        assert volts[0] == pytest.approx(0.7)
+        assert volts[-1] == pytest.approx(1.0)
+
+    def test_monotone_in_frequency(self):
+        freqs = [100.0, 400.0, 800.0, 1600.0]
+        volts = interpolate_voltages(freqs, v_min=0.6, v_max=1.1, curvature=1.4)
+        assert volts == sorted(volts)
+
+    def test_curvature_penalises_top_frequencies(self):
+        freqs = [0.0 + f for f in (100.0, 550.0, 1000.0)]
+        linear = interpolate_voltages(freqs, 0.7, 1.0, curvature=1.0)
+        curved = interpolate_voltages(freqs, 0.7, 1.0, curvature=2.0)
+        # Mid-frequency voltage is lower with curvature > 1.
+        assert curved[1] < linear[1]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            interpolate_voltages([100.0], v_min=-1.0, v_max=1.0)
+        with pytest.raises(ValueError):
+            interpolate_voltages([100.0], v_min=1.0, v_max=0.5)
+        with pytest.raises(ValueError):
+            interpolate_voltages([100.0], v_min=0.5, v_max=1.0, curvature=0.0)
+
+
+# ---------------------------------------------------------------------------
+# OppTable
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def table():
+    return OppTable.from_frequencies([400.0, 800.0, 1200.0, 1600.0], v_min=0.7, v_max=1.0)
+
+
+class TestOppTable:
+    def test_sorted_ascending(self, table):
+        assert table.frequencies_mhz == [400.0, 800.0, 1200.0, 1600.0]
+        assert table.min_frequency_mhz == 400.0
+        assert table.max_frequency_mhz == 1600.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            OppTable(points=tuple())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            OppTable.from_frequencies([500.0, 500.0], v_min=0.7, v_max=1.0)
+
+    def test_index_of_exact(self, table):
+        assert table.index_of(800.0) == 1
+        with pytest.raises(ValueError):
+            table.index_of(900.0)
+
+    def test_nearest_index(self, table):
+        assert table.nearest_index(350.0) == 0
+        assert table.nearest_index(900.0) == 1
+        assert table.nearest_index(1100.0) == 2
+        assert table.nearest_index(5000.0) == 3
+
+    def test_floor_and_ceil(self, table):
+        assert table.floor_index(1000.0) == 1
+        assert table.ceil_index(1000.0) == 2
+        # Below the lowest OPP the floor clamps to 0.
+        assert table.floor_index(100.0) == 0
+        # Above the highest OPP the ceiling clamps to the top.
+        assert table.ceil_index(9999.0) == 3
+
+    def test_step_clamps(self, table):
+        assert table.step(0, -5) == 0
+        assert table.step(3, 10) == 3
+        assert table.step(1, 1) == 2
+
+    def test_normalised_frequency(self, table):
+        assert table.normalised_frequency(3) == pytest.approx(1.0)
+        assert table.normalised_frequency(0) == pytest.approx(400.0 / 1600.0)
+
+    def test_iteration_and_len(self, table):
+        assert len(table) == 4
+        assert [p.frequency_mhz for p in table] == table.frequencies_mhz
+
+
+# ---------------------------------------------------------------------------
+# Cluster
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def cluster(table):
+    spec = ClusterSpec(
+        name="cpu",
+        kind=ClusterKind.BIG_CPU,
+        opp_table=table,
+        core_count=4,
+        capacitance_nf=0.5,
+        perf_per_mhz=1.0,
+    )
+    return Cluster(spec)
+
+
+class TestCluster:
+    def test_starts_at_top_opp(self, cluster):
+        assert cluster.current_frequency_mhz == 1600.0
+        assert cluster.max_limit_frequency_mhz == 1600.0
+        assert cluster.min_limit_frequency_mhz == 400.0
+
+    def test_set_frequency_clamps_to_limits(self, cluster):
+        cluster.set_max_limit_index(2)
+        applied = cluster.set_frequency_index(3)
+        assert applied == 2
+        assert cluster.current_frequency_mhz == 1200.0
+
+    def test_lowering_max_limit_pulls_down_current(self, cluster):
+        cluster.set_frequency_index(3)
+        cluster.set_max_limit_index(1)
+        assert cluster.current_index == 1
+
+    def test_raising_min_limit_pushes_up_current(self, cluster):
+        cluster.set_frequency_index(0)
+        cluster.set_min_limit_index(2)
+        assert cluster.current_index == 2
+
+    def test_limits_stay_consistent(self, cluster):
+        cluster.set_max_limit_index(1)
+        cluster.set_min_limit_index(3)  # above max -> clamped to max
+        assert cluster.min_limit_index <= cluster.max_limit_index
+
+    def test_set_max_limit_mhz_uses_floor(self, cluster):
+        applied = cluster.set_max_limit_mhz(1000.0)
+        assert applied == 800.0
+
+    def test_reset_limits(self, cluster):
+        cluster.set_max_limit_index(0)
+        cluster.reset_limits()
+        assert cluster.max_limit_index == 3
+        assert cluster.min_limit_index == 0
+
+    def test_utilisation_clamped(self, cluster):
+        cluster.utilisation = 1.7
+        assert cluster.utilisation == 1.0
+        cluster.utilisation = -0.5
+        assert cluster.utilisation == 0.0
+
+    def test_capacity_scales_with_frequency(self, cluster):
+        assert cluster.capacity_at_index(3) > cluster.capacity_at_index(0)
+        assert cluster.max_capacity == cluster.capacity_at_index(3)
+
+    def test_out_of_range_requests_are_clamped(self, cluster):
+        assert cluster.set_frequency_index(99) == 3
+        assert cluster.set_max_limit_index(-5) == 0
+
+
+class TestClusterSpecValidation:
+    def test_rejects_bad_core_count(self, table):
+        with pytest.raises(ValueError):
+            ClusterSpec(name="x", kind=ClusterKind.GPU, opp_table=table, core_count=0)
+
+    def test_rejects_bad_capacitance(self, table):
+        with pytest.raises(ValueError):
+            ClusterSpec(
+                name="x", kind=ClusterKind.GPU, opp_table=table, capacitance_nf=0.0
+            )
+
+    def test_kind_is_cpu(self):
+        assert ClusterKind.BIG_CPU.is_cpu
+        assert ClusterKind.LITTLE_CPU.is_cpu
+        assert not ClusterKind.GPU.is_cpu
+
+
+# ---------------------------------------------------------------------------
+# Platform specs
+# ---------------------------------------------------------------------------
+
+class TestExynos9810Platform:
+    def test_has_three_clusters(self):
+        platform = exynos9810()
+        assert set(platform.cluster_names) == {"big", "little", "gpu"}
+
+    def test_exact_frequency_tables_from_the_paper(self):
+        platform = exynos9810()
+        big = platform.cluster_specs["big"].opp_table
+        little = platform.cluster_specs["little"].opp_table
+        gpu = platform.cluster_specs["gpu"].opp_table
+        assert len(big) == 18
+        assert len(little) == 10
+        assert len(gpu) == 6
+        assert big.min_frequency_mhz == 650.0 and big.max_frequency_mhz == 2704.0
+        assert little.min_frequency_mhz == 455.0 and little.max_frequency_mhz == 1794.0
+        assert gpu.min_frequency_mhz == 260.0 and gpu.max_frequency_mhz == 572.0
+        assert tuple(big.frequencies_mhz) == EXYNOS9810_BIG_FREQUENCIES_MHZ
+        assert tuple(little.frequencies_mhz) == EXYNOS9810_LITTLE_FREQUENCIES_MHZ
+        assert tuple(gpu.frequencies_mhz) == EXYNOS9810_GPU_FREQUENCIES_MHZ
+
+    def test_cluster_kinds(self):
+        platform = exynos9810()
+        assert platform.cluster_specs["big"].kind is ClusterKind.BIG_CPU
+        assert platform.cluster_specs["little"].kind is ClusterKind.LITTLE_CPU
+        assert platform.cluster_specs["gpu"].kind is ClusterKind.GPU
+        assert platform.cluster_of_kind(ClusterKind.BIG_CPU) == "big"
+        assert platform.cluster_of_kind(ClusterKind.GPU) == "gpu"
+
+    def test_every_cluster_has_a_thermal_node(self):
+        platform = exynos9810()
+        for name in platform.cluster_names:
+            assert name in platform.thermal_nodes
+        assert "device" in platform.thermal_nodes
+
+    def test_build_clusters_returns_fresh_objects(self):
+        platform = exynos9810()
+        first = platform.build_clusters()
+        second = platform.build_clusters()
+        assert first["big"] is not second["big"]
+
+    def test_ambient_default_matches_paper_setup(self):
+        assert exynos9810().ambient_c == pytest.approx(21.0)
+
+    def test_display_is_60hz(self):
+        assert exynos9810().display_refresh_hz == 60.0
+
+
+class TestGenericPlatform:
+    def test_builds_and_has_gpu(self):
+        platform = generic_two_cluster_soc()
+        assert "gpu" in platform.cluster_names
+        assert platform.cluster_of_kind(ClusterKind.LITTLE_CPU) is None

@@ -1,0 +1,209 @@
+"""Unit tests for the power model and the lumped-RC thermal network."""
+
+import pytest
+
+from repro.soc.cluster import Cluster, ClusterKind, ClusterSpec
+from repro.soc.frequency import OppTable
+from repro.soc.platform import exynos9810
+from repro.soc.power import (
+    LEAKAGE_REFERENCE_TEMPERATURE_C,
+    ClusterPowerModel,
+    SocPowerModel,
+)
+from repro.soc.thermal import ThermalNetwork, ThermalNodeSpec
+
+
+@pytest.fixture
+def spec():
+    table = OppTable.from_frequencies([400.0, 800.0, 1600.0], v_min=0.7, v_max=1.0)
+    return ClusterSpec(
+        name="cpu",
+        kind=ClusterKind.BIG_CPU,
+        opp_table=table,
+        core_count=4,
+        capacitance_nf=0.5,
+        leakage_w_per_v=0.05,
+        leakage_temp_coeff=0.012,
+    )
+
+
+class TestClusterPowerModel:
+    def test_dynamic_power_scales_with_utilisation(self, spec):
+        model = ClusterPowerModel(spec)
+        low = model.dynamic_power_w(1600.0, 1.0, 0.25)
+        high = model.dynamic_power_w(1600.0, 1.0, 1.0)
+        assert high == pytest.approx(4 * low)
+
+    def test_dynamic_power_scales_with_v_squared(self, spec):
+        model = ClusterPowerModel(spec)
+        at_07 = model.dynamic_power_w(800.0, 0.7, 1.0)
+        at_10 = model.dynamic_power_w(800.0, 1.0, 1.0)
+        assert at_10 / at_07 == pytest.approx((1.0 / 0.7) ** 2)
+
+    def test_dynamic_power_zero_when_idle(self, spec):
+        model = ClusterPowerModel(spec)
+        assert model.dynamic_power_w(1600.0, 1.0, 0.0) == 0.0
+
+    def test_utilisation_is_clamped(self, spec):
+        model = ClusterPowerModel(spec)
+        assert model.dynamic_power_w(800.0, 0.8, 2.0) == model.dynamic_power_w(800.0, 0.8, 1.0)
+
+    def test_leakage_grows_with_temperature(self, spec):
+        model = ClusterPowerModel(spec)
+        cold = model.leakage_power_w(1.0, LEAKAGE_REFERENCE_TEMPERATURE_C)
+        hot = model.leakage_power_w(1.0, LEAKAGE_REFERENCE_TEMPERATURE_C + 50.0)
+        assert hot > cold
+        assert cold == pytest.approx(0.05 * 1.0 * 4)
+
+    def test_total_power_is_sum(self, spec):
+        model = ClusterPowerModel(spec)
+        total = model.total_power_w(800.0, 0.8, 0.5, 40.0)
+        assert total == pytest.approx(
+            model.dynamic_power_w(800.0, 0.8, 0.5) + model.leakage_power_w(0.8, 40.0)
+        )
+
+    def test_max_power_at_top_opp_dominates(self, spec):
+        model = ClusterPowerModel(spec)
+        assert model.max_power_w(2) > model.max_power_w(0)
+
+
+class TestSocPowerModel:
+    def test_evaluate_breakdown(self, spec):
+        soc_model = SocPowerModel({"cpu": spec}, rest_of_platform_power_w=0.5)
+        cluster = Cluster(spec)
+        cluster.utilisation = 0.5
+        breakdown = soc_model.evaluate({"cpu": cluster}, {"cpu": 40.0})
+        assert breakdown.total_w == pytest.approx(
+            breakdown.cluster_total_w("cpu") + 0.5
+        )
+        assert breakdown.clusters_total_w > 0
+
+    def test_peak_exceeds_min_active(self, spec):
+        soc_model = SocPowerModel({"cpu": spec}, rest_of_platform_power_w=0.3)
+        assert soc_model.peak_power_w() > soc_model.min_active_power_w()
+
+    def test_rejects_negative_floor(self, spec):
+        with pytest.raises(ValueError):
+            SocPowerModel({"cpu": spec}, rest_of_platform_power_w=-1.0)
+
+    def test_exynos_peak_power_plausible(self):
+        platform = exynos9810()
+        model = SocPowerModel(
+            platform.cluster_specs, platform.rest_of_platform_power_w
+        )
+        peak = model.peak_power_w()
+        # The Note 9 can transiently draw well above 10 W (Fig. 3 shows ~14 W
+        # spikes); the calibration should sit in that ballpark.
+        assert 9.0 < peak < 25.0
+
+
+# ---------------------------------------------------------------------------
+# Thermal network
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def two_node_network():
+    nodes = {
+        "chip": ThermalNodeSpec("chip", capacitance_j_per_k=2.0, conductance_to_ambient_w_per_k=0.02),
+        "body": ThermalNodeSpec("body", capacitance_j_per_k=50.0, conductance_to_ambient_w_per_k=0.2),
+    }
+    couplings = {("chip", "body"): 0.1}
+    return ThermalNetwork(nodes, couplings, ambient_c=21.0)
+
+
+class TestThermalNetwork:
+    def test_starts_at_ambient(self, two_node_network):
+        assert two_node_network.temperature_c("chip") == pytest.approx(21.0)
+        assert two_node_network.temperature_c("body") == pytest.approx(21.0)
+
+    def test_heating_raises_temperature(self, two_node_network):
+        two_node_network.step({"chip": 2.0}, dt_s=10.0)
+        assert two_node_network.temperature_c("chip") > 21.0
+
+    def test_heat_conducts_to_coupled_node(self, two_node_network):
+        two_node_network.step({"chip": 2.0}, dt_s=60.0)
+        assert two_node_network.temperature_c("body") > 21.0
+        assert two_node_network.temperature_c("chip") > two_node_network.temperature_c("body")
+
+    def test_cooling_returns_towards_ambient(self, two_node_network):
+        two_node_network.step({"chip": 3.0}, dt_s=60.0)
+        hot = two_node_network.temperature_c("chip")
+        two_node_network.step({}, dt_s=300.0)
+        assert two_node_network.temperature_c("chip") < hot
+
+    def test_never_below_ambient(self, two_node_network):
+        two_node_network.step({}, dt_s=1000.0)
+        for name in two_node_network.node_names:
+            assert two_node_network.temperature_c(name) >= 21.0
+
+    def test_zero_dt_is_noop(self, two_node_network):
+        before = two_node_network.temperatures_c()
+        two_node_network.step({"chip": 5.0}, dt_s=0.0)
+        assert two_node_network.temperatures_c() == before
+
+    def test_negative_dt_rejected(self, two_node_network):
+        with pytest.raises(ValueError):
+            two_node_network.step({}, dt_s=-1.0)
+
+    def test_steady_state_does_not_mutate_live_state(self, two_node_network):
+        before = two_node_network.temperatures_c()
+        steady = two_node_network.steady_state({"chip": 2.0})
+        assert two_node_network.temperatures_c() == before
+        assert steady.temperatures_c["chip"] > before["chip"]
+
+    def test_steady_state_energy_balance(self, two_node_network):
+        power = 2.0
+        steady = two_node_network.steady_state({"chip": power}, tolerance_c=0.001)
+        # In steady state the heat leaving to ambient must equal the heat in.
+        out = 0.02 * (steady.temperatures_c["chip"] - 21.0) + 0.2 * (
+            steady.temperatures_c["body"] - 21.0
+        )
+        assert out == pytest.approx(power, rel=0.05)
+
+    def test_reset(self, two_node_network):
+        two_node_network.step({"chip": 3.0}, dt_s=60.0)
+        two_node_network.reset()
+        assert two_node_network.temperature_c("chip") == pytest.approx(21.0)
+
+    def test_set_temperature_and_max(self, two_node_network):
+        two_node_network.set_temperature("chip", 55.0)
+        assert two_node_network.state.max_temperature_c() == pytest.approx(55.0)
+        with pytest.raises(KeyError):
+            two_node_network.set_temperature("missing", 30.0)
+
+    def test_invalid_construction(self):
+        nodes = {"a": ThermalNodeSpec("a", 1.0, 0.1)}
+        with pytest.raises(ValueError):
+            ThermalNetwork({}, {})
+        with pytest.raises(ValueError):
+            ThermalNetwork(nodes, {("a", "b"): 0.1})
+        with pytest.raises(ValueError):
+            ThermalNetwork(nodes, {("a", "a"): 0.1})
+
+    def test_node_spec_validation(self):
+        with pytest.raises(ValueError):
+            ThermalNodeSpec("x", capacitance_j_per_k=0.0, conductance_to_ambient_w_per_k=0.1)
+        with pytest.raises(ValueError):
+            ThermalNodeSpec("x", capacitance_j_per_k=1.0, conductance_to_ambient_w_per_k=-0.1)
+
+    def test_long_step_is_subdivided_and_stable(self, two_node_network):
+        # A single huge step must not blow up the forward-Euler integration.
+        two_node_network.step({"chip": 5.0}, dt_s=600.0)
+        assert two_node_network.temperature_c("chip") < 500.0
+
+
+class TestExynosThermalCalibration:
+    def test_sustained_mixed_load_lands_in_paper_range(self):
+        platform = exynos9810()
+        network = ThermalNetwork(
+            platform.thermal_nodes, platform.thermal_couplings, ambient_c=platform.ambient_c
+        )
+        # Roughly the heat split of a mixed (Fig. 3 style) session.
+        steady = network.steady_state(
+            {"big": 1.5, "little": 0.2, "gpu": 0.5, "device": 0.4}, tolerance_c=0.005
+        )
+        big = steady.temperatures_c["big"]
+        device = steady.temperatures_c["device"]
+        assert 40.0 < big < 75.0
+        assert 25.0 < device < 45.0
+        assert big > device

@@ -1,0 +1,136 @@
+"""Unit tests for sensor sampling and the SocSimulator facade."""
+
+import random
+
+import pytest
+
+from repro.soc.platform import exynos9810, generic_two_cluster_soc
+from repro.soc.sensors import (
+    PowerSensor,
+    SampledSensor,
+    SensorConfig,
+    SensorHub,
+    TemperatureSensor,
+)
+from repro.soc.soc import SocSimulator
+
+
+class TestSampledSensor:
+    def test_sample_and_hold(self):
+        sensor = SampledSensor(SensorConfig(sample_period_s=1.0, noise_std=0.0))
+        first = sensor.read(10.0, now_s=0.0)
+        held = sensor.read(99.0, now_s=0.5)
+        refreshed = sensor.read(99.0, now_s=1.5)
+        assert first == 10.0
+        assert held == 10.0
+        assert refreshed == 99.0
+
+    def test_quantisation(self):
+        sensor = SampledSensor(SensorConfig(sample_period_s=0.0, noise_std=0.0, quantisation=0.5))
+        assert sensor.read(10.26, now_s=0.0) == pytest.approx(10.5)
+
+    def test_noise_is_deterministic_with_seeded_rng(self):
+        a = SampledSensor(SensorConfig(noise_std=0.5), rng=random.Random(3))
+        b = SampledSensor(SensorConfig(noise_std=0.5), rng=random.Random(3))
+        assert a.read(5.0, 0.0) == b.read(5.0, 0.0)
+
+    def test_reset_forces_refresh(self):
+        sensor = SampledSensor(SensorConfig(sample_period_s=10.0))
+        sensor.read(1.0, now_s=0.0)
+        sensor.reset()
+        assert sensor.read(2.0, now_s=0.1) == 2.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SensorConfig(sample_period_s=-1.0)
+        with pytest.raises(ValueError):
+            SensorConfig(noise_std=-0.1)
+        with pytest.raises(ValueError):
+            SensorConfig(quantisation=-0.1)
+
+
+class TestSensorHub:
+    def test_readings_include_all_nodes(self):
+        hub = SensorHub(["big", "little", "device"], rng=random.Random(0))
+        readings = hub.read(3.0, {"big": 50.0, "little": 40.0, "device": 30.0}, now_s=0.0)
+        assert set(readings.temperatures_c) == {"big", "little", "device"}
+        assert readings.power_w >= 0.0
+
+    def test_device_virtual_sensor_blends_body_and_silicon(self):
+        hub = SensorHub(
+            ["big", "device"],
+            rng=random.Random(0),
+            device_blend_weight=0.75,
+            temperature_sensor_factory=lambda: TemperatureSensor(noise_std_c=0.0, quantisation_c=0.0),
+        )
+        readings = hub.read(2.0, {"big": 60.0, "device": 30.0}, now_s=0.0)
+        expected = 0.75 * 30.0 + 0.25 * 60.0
+        assert readings.device_temperature_c == pytest.approx(expected, abs=0.2)
+
+    def test_empty_node_list_rejected(self):
+        with pytest.raises(ValueError):
+            SensorHub([])
+
+    def test_power_never_negative(self):
+        hub = SensorHub(["big"], power_sensor=PowerSensor(noise_std_w=5.0), rng=random.Random(1))
+        for i in range(20):
+            readings = hub.read(0.01, {"big": 25.0}, now_s=float(i))
+            assert readings.power_w >= 0.0
+
+
+class TestSocSimulator:
+    def test_step_advances_time_and_heats(self):
+        soc = SocSimulator(exynos9810(), rng=random.Random(0))
+        soc.set_utilisations({"big": 0.8, "little": 0.3, "gpu": 0.5})
+        for _ in range(60):
+            telemetry = soc.step(1.0)
+        assert soc.time_s == pytest.approx(60.0)
+        assert telemetry.temperature_c("big") > soc.ambient_c
+        assert telemetry.total_power_w > 0.0
+
+    def test_higher_frequency_means_more_power(self):
+        soc = SocSimulator(exynos9810(), rng=random.Random(0))
+        soc.set_utilisations({"big": 0.5, "little": 0.2, "gpu": 0.2})
+        soc.cluster("big").set_frequency_index(0)
+        low = soc.step(0.1).total_power_w
+        soc.cluster("big").set_frequency_index(17)
+        high = soc.step(0.1).total_power_w
+        assert high > low
+
+    def test_sensor_sampling_path(self):
+        soc = SocSimulator(exynos9810(), rng=random.Random(0))
+        soc.set_utilisations({"big": 0.5})
+        soc.step(0.2)
+        readings = soc.sample_sensors()
+        assert readings.power_w > 0.0
+        assert "big" in readings.temperatures_c
+
+    def test_reset_restores_everything(self):
+        soc = SocSimulator(exynos9810(), rng=random.Random(0))
+        soc.set_utilisations({"big": 1.0, "gpu": 1.0})
+        soc.step(30.0)
+        soc.reset()
+        assert soc.time_s == 0.0
+        assert soc.thermal.temperature_c("big") == pytest.approx(soc.ambient_c)
+        assert soc.cluster("big").max_limit_index == 17
+
+    def test_thermal_failsafe_clamps_runaway(self):
+        platform = exynos9810()
+        soc = SocSimulator(platform, rng=random.Random(0), thermal_throttle=True)
+        soc.set_utilisations({"big": 1.0, "little": 1.0, "gpu": 1.0})
+        for _ in range(600):
+            soc.step(1.0)
+        # Junction temperature is clamped near the failsafe threshold instead
+        # of growing without bound.
+        assert soc.thermal.temperature_c("big") < platform.max_chip_temperature_c + 15.0
+
+    def test_helper_cluster_names(self):
+        soc = SocSimulator(exynos9810())
+        assert soc.big_cluster_name() == "big"
+        assert soc.gpu_cluster_name() == "gpu"
+        assert set(soc.cluster_names) == {"big", "little", "gpu"}
+
+    def test_invalid_step(self):
+        soc = SocSimulator(generic_two_cluster_soc())
+        with pytest.raises(ValueError):
+            soc.step(0.0)

@@ -1,0 +1,98 @@
+"""Unit tests for workload trace recording, serialisation and replay."""
+
+import pytest
+
+from repro.workloads.apps import make_app
+from repro.workloads.session import SessionSegment
+from repro.workloads.trace import TracePlayer, TraceRecorder, WorkloadTrace
+
+VSYNC = 1.0 / 60.0
+
+
+class TestTraceRecording:
+    def test_record_app_length_and_duration(self):
+        trace = TraceRecorder.record_app(make_app("facebook", seed=1), 10.0, VSYNC)
+        assert len(trace) == int(round(10.0 / VSYNC))
+        assert trace.duration_s == pytest.approx(10.0, abs=0.1)
+        assert trace.total_frames_demanded > 0
+
+    def test_record_segments_concatenates_apps(self):
+        segments = [SessionSegment("home", 5.0), SessionSegment("spotify", 5.0)]
+        trace = TraceRecorder.record_segments(segments, dt_s=VSYNC, seed=3)
+        assert trace.app_names() == ["home", "spotify"]
+        # Times are monotonically non-decreasing across the segment boundary.
+        times = [tick.time_s for tick in trace]
+        assert times == sorted(times)
+
+    def test_record_app_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            TraceRecorder.record_app(make_app("home"), 0.0, VSYNC)
+
+    def test_same_seed_same_trace(self):
+        a = TraceRecorder.record_segments([SessionSegment("facebook", 5.0)], VSYNC, seed=7)
+        b = TraceRecorder.record_segments([SessionSegment("facebook", 5.0)], VSYNC, seed=7)
+        assert a.total_frames_demanded == b.total_frames_demanded
+
+
+class TestTraceSerialisation:
+    def test_json_round_trip(self):
+        trace = TraceRecorder.record_app(make_app("home", seed=2), 3.0, VSYNC)
+        restored = WorkloadTrace.from_json(trace.to_json())
+        assert len(restored) == len(trace)
+        assert restored.dt_s == trace.dt_s
+        assert restored.total_frames_demanded == trace.total_frames_demanded
+        assert restored[0].app_name == trace[0].app_name
+
+    def test_dict_round_trip_preserves_frame_work(self):
+        trace = TraceRecorder.record_app(make_app("lineage", seed=2), 2.0, VSYNC)
+        restored = WorkloadTrace.from_dict(trace.to_dict())
+        original_work = sum(f.gpu_work_mwu for t in trace for f in t.frames)
+        restored_work = sum(f.gpu_work_mwu for t in restored for f in t.frames)
+        assert restored_work == pytest.approx(original_work)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace(dt_s=0.0)
+
+
+class TestTracePlayer:
+    def test_replays_in_order(self):
+        trace = TraceRecorder.record_app(make_app("home", seed=4), 2.0, VSYNC)
+        player = TracePlayer(trace)
+        replayed = [player.tick(VSYNC) for _ in range(len(trace))]
+        assert [t.frame_count for t in replayed] == [t.frame_count for t in trace]
+        assert player.exhausted
+
+    def test_exhausted_player_emits_empty_demand(self):
+        trace = TraceRecorder.record_app(make_app("home", seed=4), 1.0, VSYNC)
+        player = TracePlayer(trace)
+        for _ in range(len(trace)):
+            player.tick(VSYNC)
+        extra = player.tick(VSYNC)
+        assert extra.frame_count == 0
+        assert extra.phase_name == "exhausted"
+
+    def test_looping_player_never_exhausts(self):
+        trace = TraceRecorder.record_app(make_app("home", seed=4), 1.0, VSYNC)
+        player = TracePlayer(trace, loop=True)
+        for _ in range(3 * len(trace)):
+            player.tick(VSYNC)
+        assert not player.exhausted
+
+    def test_wrong_dt_rejected(self):
+        trace = TraceRecorder.record_app(make_app("home", seed=4), 1.0, VSYNC)
+        player = TracePlayer(trace)
+        with pytest.raises(ValueError):
+            player.tick(0.5)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TracePlayer(WorkloadTrace(dt_s=VSYNC))
+
+    def test_reset(self):
+        trace = TraceRecorder.record_app(make_app("home", seed=4), 1.0, VSYNC)
+        player = TracePlayer(trace)
+        first = player.tick(VSYNC)
+        player.reset()
+        again = player.tick(VSYNC)
+        assert first.frame_count == again.frame_count

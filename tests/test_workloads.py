@@ -1,0 +1,285 @@
+"""Unit tests for phases, interaction, application models and sessions."""
+
+import random
+
+import pytest
+
+from repro.workloads.app import AppModel, TickWorkload
+from repro.workloads.apps import APP_LIBRARY, GAME_APPS, make_app
+from repro.workloads.interaction import (
+    CONTINUOUS_PROFILE,
+    DEFAULT_PROFILE,
+    PASSIVE_PROFILE,
+    InteractionGenerator,
+    InteractionProfile,
+)
+from repro.workloads.phases import Phase, PhaseTransition, validate_phase_graph
+from repro.workloads.session import (
+    FIGURE1_SESSION,
+    Session,
+    SessionGenerator,
+    SessionSegment,
+    UsageStatistics,
+)
+
+VSYNC = 1.0 / 60.0
+
+
+# ---------------------------------------------------------------------------
+# Phases
+# ---------------------------------------------------------------------------
+
+class TestPhaseTransition:
+    def test_normalisation(self):
+        transition = PhaseTransition({"a": 2.0, "b": 2.0})
+        probs = transition.normalised()
+        assert probs["a"] == pytest.approx(0.5)
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_sampling_respects_support(self):
+        transition = PhaseTransition({"a": 1.0, "b": 3.0})
+        rng = random.Random(0)
+        samples = {transition.sample(rng) for _ in range(200)}
+        assert samples == {"a", "b"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseTransition({})
+        with pytest.raises(ValueError):
+            PhaseTransition({"a": -1.0})
+        with pytest.raises(ValueError):
+            PhaseTransition({"a": 0.0})
+
+
+class TestPhase:
+    def test_dwell_sampling_is_clamped(self):
+        phase = Phase(
+            name="p",
+            frame_rate_hz=30.0,
+            cpu_work_per_frame_mwu=1.0,
+            gpu_work_per_frame_mwu=1.0,
+            dwell_mean_s=5.0,
+            dwell_min_s=2.0,
+            dwell_max_s=8.0,
+        )
+        rng = random.Random(1)
+        for _ in range(100):
+            dwell = phase.sample_dwell_s(rng)
+            assert 2.0 <= dwell <= 8.0
+
+    def test_absorbing_phase(self):
+        phase = Phase(
+            name="p", frame_rate_hz=1.0, cpu_work_per_frame_mwu=1.0, gpu_work_per_frame_mwu=1.0
+        )
+        assert phase.sample_next_phase(random.Random(0)) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Phase(name="p", frame_rate_hz=-1.0, cpu_work_per_frame_mwu=1.0, gpu_work_per_frame_mwu=1.0)
+        with pytest.raises(ValueError):
+            Phase(
+                name="p",
+                frame_rate_hz=1.0,
+                cpu_work_per_frame_mwu=1.0,
+                gpu_work_per_frame_mwu=1.0,
+                dwell_min_s=10.0,
+                dwell_max_s=5.0,
+            )
+        with pytest.raises(ValueError):
+            Phase(
+                name="p",
+                frame_rate_hz=1.0,
+                cpu_work_per_frame_mwu=1.0,
+                gpu_work_per_frame_mwu=1.0,
+                background_burstiness=1.5,
+            )
+
+    def test_phase_graph_validation(self):
+        good = {
+            "a": Phase(
+                name="a",
+                frame_rate_hz=1.0,
+                cpu_work_per_frame_mwu=1.0,
+                gpu_work_per_frame_mwu=1.0,
+                transition=PhaseTransition({"b": 1.0}),
+            ),
+            "b": Phase(
+                name="b", frame_rate_hz=1.0, cpu_work_per_frame_mwu=1.0, gpu_work_per_frame_mwu=1.0
+            ),
+        }
+        validate_phase_graph(good)
+        bad = dict(good)
+        bad["a"] = Phase(
+            name="a",
+            frame_rate_hz=1.0,
+            cpu_work_per_frame_mwu=1.0,
+            gpu_work_per_frame_mwu=1.0,
+            transition=PhaseTransition({"missing": 1.0}),
+        )
+        with pytest.raises(ValueError):
+            validate_phase_graph(bad)
+
+
+# ---------------------------------------------------------------------------
+# Interaction
+# ---------------------------------------------------------------------------
+
+class TestInteractionGenerator:
+    def test_activity_stays_in_unit_interval(self):
+        generator = InteractionGenerator(DEFAULT_PROFILE, rng=random.Random(0))
+        for _ in range(2000):
+            activity = generator.step(VSYNC)
+            assert 0.0 <= activity <= 1.0
+
+    def test_continuous_profile_keeps_activity_high(self):
+        generator = InteractionGenerator(CONTINUOUS_PROFILE, rng=random.Random(0))
+        values = [generator.step(VSYNC) for _ in range(3000)]
+        assert sum(values) / len(values) > 0.6
+
+    def test_passive_profile_keeps_activity_low(self):
+        generator = InteractionGenerator(PASSIVE_PROFILE, rng=random.Random(0))
+        values = [generator.step(VSYNC) for _ in range(3000)]
+        assert sum(values) / len(values) < 0.4
+
+    def test_reset(self):
+        generator = InteractionGenerator(DEFAULT_PROFILE, rng=random.Random(0))
+        generator.step(10.0)
+        generator.reset()
+        assert generator.activity == DEFAULT_PROFILE.paused_level
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionGenerator().step(-1.0)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            InteractionProfile(engaged_level=1.5)
+        with pytest.raises(ValueError):
+            InteractionProfile(engaged_level=0.2, paused_level=0.5)
+        with pytest.raises(ValueError):
+            InteractionProfile(burst_mean_s=0.0)
+
+
+# ---------------------------------------------------------------------------
+# App models
+# ---------------------------------------------------------------------------
+
+class TestAppLibrary:
+    def test_contains_all_paper_apps(self):
+        expected = {"home", "facebook", "spotify", "web_browser", "lineage", "pubg", "youtube"}
+        assert expected == set(APP_LIBRARY)
+        assert set(GAME_APPS) <= set(APP_LIBRARY)
+
+    def test_make_app_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_app("tiktok")
+
+    @pytest.mark.parametrize("app_name", sorted(APP_LIBRARY))
+    def test_every_app_produces_demand(self, app_name):
+        app = make_app(app_name, seed=5)
+        total_frames = 0
+        for _ in range(int(30.0 / VSYNC)):
+            tick = app.tick(VSYNC)
+            assert isinstance(tick, TickWorkload)
+            assert tick.app_name == app.name
+            total_frames += tick.frame_count
+            for value in tick.background_work_mwu.values():
+                assert value >= 0.0
+        assert total_frames > 0
+
+    def test_game_is_gpu_heavier_than_social(self):
+        def average_gpu_work(app_name):
+            app = make_app(app_name, seed=2)
+            total, count = 0.0, 0
+            for _ in range(int(60.0 / VSYNC)):
+                for frame in app.tick(VSYNC).frames:
+                    total += frame.gpu_work_mwu
+                    count += 1
+            return total / max(1, count)
+
+        assert average_gpu_work("lineage") > 1.5 * average_gpu_work("facebook")
+
+    def test_spotify_mostly_low_frame_demand(self):
+        app = make_app("spotify", seed=3)
+        ticks = [app.tick(VSYNC) for _ in range(int(120.0 / VSYNC))]
+        playback = [t for t in ticks if t.phase_name == "playback"]
+        assert playback, "spotify should reach its playback phase within 2 minutes"
+        demand_rate = sum(t.frame_count for t in playback) / (len(playback) * VSYNC)
+        assert demand_rate < 6.0
+
+    def test_reproducible_with_same_seed(self):
+        a = make_app("facebook", seed=11)
+        b = make_app("facebook", seed=11)
+        for _ in range(500):
+            ta, tb = a.tick(VSYNC), b.tick(VSYNC)
+            assert ta.frame_count == tb.frame_count
+            assert ta.phase_name == tb.phase_name
+
+    def test_reset_restarts_from_initial_phase(self):
+        app = make_app("lineage", seed=1)
+        for _ in range(int(40.0 / VSYNC)):
+            app.tick(VSYNC)
+        app.reset(seed=1)
+        assert app.current_phase.name == "loading"
+        assert app.time_s == 0.0
+
+    def test_invalid_initial_phase(self):
+        phase = Phase(
+            name="only", frame_rate_hz=1.0, cpu_work_per_frame_mwu=1.0, gpu_work_per_frame_mwu=1.0
+        )
+        with pytest.raises(ValueError):
+            AppModel(name="x", phases={"only": phase}, initial_phase="missing")
+
+    def test_invalid_tick(self):
+        with pytest.raises(ValueError):
+            make_app("home").tick(0.0)
+
+
+# ---------------------------------------------------------------------------
+# Sessions
+# ---------------------------------------------------------------------------
+
+class TestUsageStatistics:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            UsageStatistics(short_fraction=0.5, medium_fraction=0.5, long_fraction=0.5)
+
+    def test_sampled_durations_match_classes(self):
+        stats = UsageStatistics()
+        rng = random.Random(0)
+        durations = [stats.sample_session_duration_s(rng) for _ in range(500)]
+        short = sum(1 for d in durations if d < 120.0)
+        # Roughly 70 % of sessions should be under two minutes.
+        assert 0.55 < short / len(durations) < 0.85
+
+
+class TestSessionGeneration:
+    def test_figure1_session_structure(self):
+        assert FIGURE1_SESSION.app_names == ["home", "facebook", "spotify"]
+        assert FIGURE1_SESSION.total_duration_s == pytest.approx(210.0)
+
+    def test_single_app_session_durations(self):
+        generator = SessionGenerator(seed=0)
+        game = generator.single_app_session("lineage")
+        other = generator.single_app_session("facebook")
+        assert game.total_duration_s == pytest.approx(300.0)
+        assert 90.0 <= other.total_duration_s <= 180.0
+
+    def test_mixed_session(self):
+        generator = SessionGenerator(seed=1)
+        session = generator.mixed_session(["home", "facebook"], total_duration_s=100.0)
+        assert session.app_names == ["home", "facebook"]
+        assert session.total_duration_s == pytest.approx(100.0, abs=25.0)
+
+    def test_day_of_sessions_default_pickups(self):
+        generator = SessionGenerator(seed=2)
+        day = generator.day_of_sessions()
+        assert len(day) == UsageStatistics().pickups_per_day
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            SessionSegment("unknown_app", 10.0)
+        with pytest.raises(ValueError):
+            SessionSegment("facebook", 0.0)
+        with pytest.raises(ValueError):
+            Session(segments=tuple())
