@@ -1,0 +1,51 @@
+"""Scenario-matrix harness throughput: parallel sweep vs sequential loop.
+
+Not a paper figure: this benchmark measures the scaling substrate added for
+multi-scenario studies.  It runs the same 2-governor x 2-app x 2-seed matrix
+(8 cells) once through the in-process sequential path and once through the
+process pool, asserts the two produce identical per-cell summaries (the
+determinism contract the result cache relies on), and reports the speed-up.
+"""
+
+import os
+
+from repro.analysis.tables import format_series_table
+from repro.experiments.matrix import ScenarioMatrix
+from repro.experiments.runner import run_matrix
+
+
+def _bench_matrix() -> ScenarioMatrix:
+    return ScenarioMatrix.build(
+        name="bench-sweep",
+        governors=("schedutil", "powersave"),
+        apps=("facebook", "spotify"),
+        seeds=(0, 1),
+        duration_s=20.0,
+    )
+
+
+def test_parallel_sweep_matches_sequential(benchmark):
+    matrix = _bench_matrix()
+    sequential = run_matrix(matrix, max_workers=1)
+
+    workers = min(4, os.cpu_count() or 1)
+    pooled = benchmark.pedantic(
+        lambda: run_matrix(matrix, max_workers=workers), rounds=1, iterations=1
+    )
+
+    assert all(result.ok for result in pooled.results)
+    assert [result.summary for result in pooled.results] == [
+        result.summary for result in sequential.results
+    ]
+
+    print()
+    print(
+        format_series_table(
+            ["path", "cells", "total_cell_time_s"],
+            [
+                ["sequential", len(sequential), sum(r.elapsed_s for r in sequential.results)],
+                [f"pool({workers})", len(pooled), sum(r.elapsed_s for r in pooled.results)],
+            ],
+            title="Scenario-matrix harness: per-cell compute time",
+        )
+    )

@@ -1,10 +1,28 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so the package can be installed in editable
-mode on systems without the ``wheel`` package (offline environments fall back
-to the legacy ``setup.py develop`` path).
+Carries the package metadata (pyproject.toml only declares the build system
+and tool configuration) so the package can be installed in editable mode on
+systems without the ``wheel`` package -- offline environments fall back to
+the legacy ``setup.py develop`` path.  Installing exposes the ``repro-sweep``
+console script (the scenario-matrix sweep CLI in
+:mod:`repro.experiments.cli`).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-next-mpsoc",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'User Interaction Aware Reinforcement Learning for "
+        "Power and Thermal Efficiency of CPU-GPU Mobile MPSoCs' (DATE 2020)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro-sweep = repro.experiments.cli:main",
+        ],
+    },
+)

@@ -19,6 +19,10 @@ The package is organised as:
   runners.
 * :mod:`repro.analysis` -- metric aggregation and text-table rendering used
   by the benchmark harness.
+* :mod:`repro.experiments` -- the parallel scenario-matrix harness:
+  declarative factorial sweeps (governors x workloads x platforms x seeds)
+  with deterministic cell seeding, process-pool execution, result caching
+  and replication-aware aggregation (the ``repro-sweep`` CLI).
 
 Quickstart::
 
@@ -48,6 +52,16 @@ from repro.governors import (
     SchedutilGovernor,
     SchedutilScaler,
 )
+from repro.experiments import (
+    CellResult,
+    ScenarioCell,
+    ScenarioMatrix,
+    SweepResult,
+    SweepRunner,
+    WorkloadSpec,
+    named_matrix,
+    run_matrix,
+)
 from repro.sim import (
     GovernorComparison,
     Recorder,
@@ -57,12 +71,19 @@ from repro.sim import (
     SimulationConfig,
     TrainingResult,
     compare_governors_on_trace,
+    execute_session,
     make_governor,
     run_app_session,
     run_trace,
     train_next_governor,
 )
-from repro.soc import PlatformSpec, SocSimulator, exynos9810, generic_two_cluster_soc
+from repro.soc import (
+    PlatformSpec,
+    SocSimulator,
+    exynos9810,
+    generic_two_cluster_soc,
+    make_platform,
+)
 from repro.workloads import (
     APP_LIBRARY,
     AppModel,
@@ -98,6 +119,7 @@ __all__ = [
     "SocSimulator",
     "exynos9810",
     "generic_two_cluster_soc",
+    "make_platform",
     # workloads
     "APP_LIBRARY",
     "AppModel",
@@ -113,9 +135,19 @@ __all__ = [
     "SessionResult",
     "TrainingResult",
     "GovernorComparison",
+    "execute_session",
     "run_app_session",
     "run_trace",
     "train_next_governor",
     "compare_governors_on_trace",
     "make_governor",
+    # experiments
+    "ScenarioMatrix",
+    "ScenarioCell",
+    "WorkloadSpec",
+    "SweepRunner",
+    "SweepResult",
+    "CellResult",
+    "named_matrix",
+    "run_matrix",
 ]

@@ -21,13 +21,21 @@ class SeriesStatistics:
     count: int
 
 
-def series_statistics(values: Sequence[float]) -> SeriesStatistics:
-    """Mean / min / max / population standard deviation of a series."""
+def series_statistics(values: Sequence[float], ddof: int = 0) -> SeriesStatistics:
+    """Mean / min / max / standard deviation of a series.
+
+    ``ddof=0`` (default) gives the population standard deviation; ``ddof=1``
+    the sample standard deviation, which the scenario-matrix aggregation uses
+    across replication seeds.
+    """
     if not values:
         raise ValueError("cannot summarise an empty series")
     count = len(values)
     mean = sum(values) / count
-    variance = sum((v - mean) ** 2 for v in values) / count
+    if count > ddof:
+        variance = sum((v - mean) ** 2 for v in values) / (count - ddof)
+    else:
+        variance = 0.0
     return SeriesStatistics(
         mean=mean,
         minimum=min(values),

@@ -1,0 +1,74 @@
+"""Parallel scenario-matrix experiment harness.
+
+The paper evaluates a handful of apps and governors on one platform; this
+package opens that up into pre-registered factorial sweeps that run as fast
+as the machine allows:
+
+* :mod:`repro.experiments.matrix` -- declarative factorial designs
+  (governors x workloads x platforms x seeds) expanding into
+  deterministically seeded :class:`ScenarioCell` objects,
+* :mod:`repro.experiments.runner` -- sequential or process-pool execution
+  with failure isolation and an on-disk result cache keyed by cell
+  fingerprint,
+* :mod:`repro.experiments.aggregate` -- replication-aware statistics,
+  comparison tables and per-axis marginal effects on top of
+  :mod:`repro.analysis`,
+* :mod:`repro.experiments.cli` -- the ``repro-sweep`` console script.
+"""
+
+from repro.experiments.aggregate import (
+    ConditionKey,
+    MetricStatistics,
+    condition_table,
+    metric_statistics,
+    group_replicates,
+    marginal_savings,
+    marginal_table,
+    paired_savings,
+    replicate_statistics,
+)
+from repro.experiments.matrix import (
+    NAMED_MATRICES,
+    ScenarioCell,
+    ScenarioMatrix,
+    WorkloadSpec,
+    derive_seed,
+    named_matrix,
+)
+from repro.experiments.runner import (
+    CellResult,
+    ResultCache,
+    SweepResult,
+    SweepRunner,
+    execute_cell,
+    run_cell_session,
+    run_matrix,
+)
+
+__all__ = [
+    # matrix
+    "ScenarioMatrix",
+    "ScenarioCell",
+    "WorkloadSpec",
+    "NAMED_MATRICES",
+    "named_matrix",
+    "derive_seed",
+    # runner
+    "SweepRunner",
+    "SweepResult",
+    "CellResult",
+    "ResultCache",
+    "execute_cell",
+    "run_cell_session",
+    "run_matrix",
+    # aggregate
+    "MetricStatistics",
+    "metric_statistics",
+    "ConditionKey",
+    "group_replicates",
+    "replicate_statistics",
+    "paired_savings",
+    "marginal_savings",
+    "condition_table",
+    "marginal_table",
+]

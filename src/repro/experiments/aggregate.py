@@ -1,0 +1,189 @@
+"""Replication-aware aggregation of sweep results.
+
+A factorial sweep produces one summary per cell; the quantities worth
+reporting are aggregates: the mean and spread of each metric across the
+replication seeds of one (governor, workload, platform) condition, the
+app x governor comparison tables of Figs. 7 and 8, and per-axis marginal
+effects such as "average power saving of each governor, marginalised over
+all workloads and platforms".  Everything here feeds the existing
+:mod:`repro.analysis` layer for rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.compare import percentage_saving
+from repro.analysis.metrics import SeriesStatistics, series_statistics
+from repro.analysis.tables import format_comparison_table, format_series_table
+from repro.experiments.runner import CellResult, SweepResult
+
+#: Cell coordinates an aggregation axis can select on.
+AXES = ("governor", "workload", "platform", "seed")
+
+#: Replication statistics reuse the shared series-statistics type from
+#: :mod:`repro.analysis.metrics`.
+MetricStatistics = SeriesStatistics
+
+
+def metric_statistics(values: Sequence[float]) -> MetricStatistics:
+    """Aggregate raw per-replication values (sample standard deviation)."""
+    return series_statistics(values, ddof=1)
+
+
+@dataclass(frozen=True)
+class ConditionKey:
+    """One experimental condition: all cell coordinates except the seed."""
+
+    governor: str
+    workload: str
+    platform: str
+
+
+def axis_value(result: CellResult, axis: str) -> str:
+    """Read one axis coordinate of a cell result as a string."""
+    if axis not in AXES:
+        raise ValueError(f"unknown axis {axis!r}; available: {AXES}")
+    cell = result.cell
+    if axis == "governor":
+        return cell.governor
+    if axis == "workload":
+        return cell.workload.key
+    if axis == "platform":
+        return cell.platform
+    return str(cell.seed)
+
+
+def group_replicates(results: Sequence[CellResult]) -> Dict[ConditionKey, List[CellResult]]:
+    """Group successful cells by condition (replications collapse together)."""
+    groups: Dict[ConditionKey, List[CellResult]] = {}
+    for result in results:
+        if not result.ok:
+            continue
+        key = ConditionKey(
+            governor=result.cell.governor,
+            workload=result.cell.workload.key,
+            platform=result.cell.platform,
+        )
+        groups.setdefault(key, []).append(result)
+    return groups
+
+
+def replicate_statistics(
+    results: Sequence[CellResult], metric: str
+) -> Dict[ConditionKey, MetricStatistics]:
+    """Per-condition mean/std of ``metric`` across replication seeds."""
+    return {
+        key: metric_statistics(
+            [replicate.metric(metric) for replicate in replicates]
+        )
+        for key, replicates in group_replicates(results).items()
+    }
+
+
+def paired_savings(
+    results: Sequence[CellResult],
+    metric: str = "average_power_w",
+    baseline: str = "schedutil",
+) -> List[Tuple[CellResult, float]]:
+    """Per-cell percentage saving versus the matched baseline cell.
+
+    Each non-baseline cell is paired with the baseline-governor cell sharing
+    its (workload, platform, seed) coordinates -- i.e. the run that faced the
+    identical demand trace -- and the saving is computed pairwise before any
+    averaging, which keeps replications statistically independent.
+    """
+    baselines: Dict[Tuple[str, str, int], CellResult] = {}
+    for result in results:
+        if result.ok and result.cell.governor == baseline:
+            coords = (result.cell.workload.key, result.cell.platform, result.cell.seed)
+            baselines[coords] = result
+    pairs: List[Tuple[CellResult, float]] = []
+    for result in results:
+        if not result.ok or result.cell.governor == baseline:
+            continue
+        coords = (result.cell.workload.key, result.cell.platform, result.cell.seed)
+        base = baselines.get(coords)
+        if base is None:
+            continue
+        pairs.append(
+            (result, percentage_saving(base.metric(metric), result.metric(metric)))
+        )
+    return pairs
+
+
+def marginal_savings(
+    results: Sequence[CellResult],
+    axis: str,
+    metric: str = "average_power_w",
+    baseline: str = "schedutil",
+) -> Dict[str, MetricStatistics]:
+    """Marginal effect of one axis: savings vs baseline, grouped by the axis.
+
+    E.g. ``axis="governor"`` answers "how much does each governor save on
+    average across every workload/platform/seed", ``axis="platform"`` answers
+    "how big are the savings on each platform".
+    """
+    grouped: Dict[str, List[float]] = {}
+    for result, saving in paired_savings(results, metric=metric, baseline=baseline):
+        grouped.setdefault(axis_value(result, axis), []).append(saving)
+    return {
+        value: metric_statistics(savings)
+        for value, savings in sorted(grouped.items())
+    }
+
+
+def condition_table(
+    sweep: SweepResult,
+    metric: str = "average_power_w",
+    title: str = "",
+) -> str:
+    """Workload x governor table of per-condition means (one row per platform).
+
+    Single-platform sweeps label rows with the bare workload key; multi-
+    platform sweeps append ``@platform`` so marginal platform effects stay
+    visible.  Rendering goes through the shared
+    :func:`repro.analysis.tables.format_comparison_table`.
+    """
+    statistics = replicate_statistics(sweep.results, metric)
+    multi_platform = len(sweep.matrix.platforms) > 1
+    per_row: Dict[str, Dict[str, float]] = {}
+    for workload in sweep.matrix.workloads:
+        for platform in sweep.matrix.platforms:
+            row_key = (
+                f"{workload.key}@{platform}" if multi_platform else workload.key
+            )
+            for governor in sweep.matrix.governors:
+                key = ConditionKey(
+                    governor=governor, workload=workload.key, platform=platform
+                )
+                if key in statistics:
+                    per_row.setdefault(row_key, {})[governor] = statistics[key].mean
+    return format_comparison_table(
+        per_row,
+        governor_order=list(sweep.matrix.governors),
+        value_label=f"mean {metric} over {len(sweep.matrix.seeds)} seed(s)",
+        title=title or f"Sweep '{sweep.matrix.name}'",
+    )
+
+
+def marginal_table(
+    sweep: SweepResult,
+    axis: str,
+    metric: str = "average_power_w",
+    baseline: str = "schedutil",
+) -> str:
+    """Text table of :func:`marginal_savings` for one axis."""
+    effects = marginal_savings(
+        sweep.results, axis=axis, metric=metric, baseline=baseline
+    )
+    rows = [
+        [value, stats.mean, stats.std, stats.minimum, stats.maximum, stats.count]
+        for value, stats in effects.items()
+    ]
+    return format_series_table(
+        [axis, "saving_pct_mean", "saving_pct_std", "min", "max", "n"],
+        rows,
+        title=f"Marginal {metric} saving vs {baseline}, by {axis}",
+    )

@@ -1,0 +1,184 @@
+"""``repro-sweep``: run a scenario matrix from the command line.
+
+Examples::
+
+    repro-sweep smoke                       # predefined 2x2x2 smoke matrix
+    repro-sweep baselines --max-workers 8   # parallel baseline sweep
+    repro-sweep --spec sweep.yaml --cache-dir .sweep-cache
+    repro-sweep --list                      # show predefined matrices
+
+The command prints per-cell progress, the workload x governor mean-metric
+table, per-axis marginal savings and any failures, and exits non-zero if any
+cell failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.experiments.aggregate import condition_table, marginal_table
+from repro.experiments.matrix import NAMED_MATRICES, ScenarioMatrix, named_matrix
+from repro.experiments.runner import CellResult, SweepRunner
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-sweep`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="Run a factorial governor/workload/platform/seed sweep.",
+    )
+    parser.add_argument(
+        "matrix",
+        nargs="?",
+        help=f"predefined matrix name ({', '.join(sorted(NAMED_MATRICES))})",
+    )
+    parser.add_argument(
+        "--spec",
+        help="path to a YAML/JSON matrix description (instead of a named matrix)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=1,
+        help="process-pool size; 1 runs sequentially in-process (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="directory for the on-disk result cache (re-runs skip completed cells)",
+    )
+    parser.add_argument(
+        "--metric",
+        default="average_power_w",
+        help="summary metric for the comparison table (default: average_power_w)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline governor for marginal savings (default: schedutil)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list predefined matrices and exit"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+    return parser
+
+
+def _validate_metric(metric: str) -> None:
+    """Reject unknown metric names before any cell has been computed."""
+    import typing
+
+    from repro.sim.recorder import SummaryStatistics
+
+    # Derive the scalar fields from the dataclass types so a future
+    # dict-valued summary field can never slip past this guard.
+    hints = typing.get_type_hints(SummaryStatistics)
+    scalar_metrics = sorted(
+        name for name, hint in hints.items() if hint in (float, int)
+    ) + ["frame_delivery_ratio"]
+    if metric not in scalar_metrics:
+        raise ValueError(f"unknown metric {metric!r}; available: {scalar_metrics}")
+
+
+def _resolve_matrix(args: argparse.Namespace) -> ScenarioMatrix:
+    if args.spec and args.matrix:
+        raise ValueError(
+            f"got both matrix name {args.matrix!r} and --spec {args.spec!r}; "
+            "give exactly one"
+        )
+    if args.spec:
+        return ScenarioMatrix.from_file(args.spec)
+    if args.matrix:
+        return named_matrix(args.matrix)
+    raise ValueError("give a matrix name or --spec FILE (see --list)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        # Output consumer (e.g. `| head`) closed the pipe early.  Point stdout
+        # at devnull so the interpreter's exit-time flush cannot raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except (ValueError, TypeError, KeyError, OSError, RuntimeError) as exc:
+        print(f"repro-sweep: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(argv: Optional[List[str]]) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list:
+        for name in sorted(NAMED_MATRICES):
+            matrix = named_matrix(name)
+            print(
+                f"{name}: {len(matrix.governors)} governors x "
+                f"{len(matrix.workloads)} workloads x "
+                f"{len(matrix.platforms)} platforms x "
+                f"{len(matrix.seeds)} seeds = {len(matrix)} cells"
+            )
+        return 0
+
+    matrix = _resolve_matrix(args)
+    _validate_metric(args.metric)
+    # An explicitly requested baseline must exist; the implicit schedutil
+    # default merely suppresses marginal tables on matrices that lack it.
+    if args.baseline is not None and args.baseline not in matrix.governors:
+        raise ValueError(
+            f"baseline governor {args.baseline!r} is not on the governors axis; "
+            f"available: {list(matrix.governors)}"
+        )
+    baseline = args.baseline or "schedutil"
+    print(
+        f"Sweep '{matrix.name}': {len(matrix)} cells "
+        f"({len(matrix.governors)} governors x {len(matrix.workloads)} workloads "
+        f"x {len(matrix.platforms)} platforms x {len(matrix.seeds)} seeds), "
+        f"max_workers={args.max_workers}"
+    )
+
+    def progress(done: int, total: int, result: CellResult) -> None:
+        if args.quiet:
+            return
+        origin = "cached" if result.from_cache else f"{result.elapsed_s:.1f}s"
+        print(f"  [{done}/{total}] {result.status:5s} {result.cell.label()} ({origin})")
+
+    runner = SweepRunner(max_workers=args.max_workers, cache_dir=args.cache_dir)
+    sweep = runner.run(matrix, progress=progress)
+
+    print()
+    print(condition_table(sweep, metric=args.metric))
+    if baseline in matrix.governors and len(matrix.governors) > 1:
+        # Marginalising over a single-value axis is a no-op table; only show
+        # the axes the design actually varies.
+        axis_sizes = {
+            "governor": len(matrix.governors),
+            "workload": len(matrix.workloads),
+            "platform": len(matrix.platforms),
+        }
+        for axis, size in axis_sizes.items():
+            if size > 1:
+                print()
+                print(
+                    marginal_table(
+                        sweep, axis=axis, metric=args.metric, baseline=baseline
+                    )
+                )
+
+    print()
+    print(
+        f"{len(sweep.completed)}/{len(sweep)} cells ok, "
+        f"{sweep.cached_count} from cache, {len(sweep.failures)} failed"
+    )
+    for failure in sweep.failures:
+        print(f"\nFAILED {failure.cell.label()}:\n{failure.error}")
+    return 1 if sweep.failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

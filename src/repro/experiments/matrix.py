@@ -1,0 +1,510 @@
+"""Declarative factorial scenario matrices and their deterministic cells.
+
+A :class:`ScenarioMatrix` is the pre-registered experimental design of a
+sweep: the full factorial product of governors x workloads (apps or
+multi-app sessions) x platforms x replication seeds, optionally narrowed by
+per-governor parameters and simulation-config overrides.  Expanding the
+matrix yields one :class:`ScenarioCell` per combination, in a deterministic
+order, each with stable derived seeds and a content fingerprint.
+
+Seeding scheme
+--------------
+Every cell derives three independent 31-bit seeds from a SHA-256 hash of its
+coordinates (never from Python's process-randomised ``hash``):
+
+* ``trace_seed``   <- (base_seed, workload, platform, seed): the demand trace
+  is *governor-independent*, so every governor in the same (workload,
+  platform, seed) row faces bit-identical user behaviour -- the paper's
+  "similar session" fairness requirement.
+* ``sim_seed``     <- same coordinates: sensor noise is likewise shared
+  across governors within a row.
+* ``governor_seed``<- additionally includes the governor name, so stochastic
+  policies (the Next agent's exploration) are decoupled between columns.
+
+Because the derivation is pure hashing, any cell can be reconstructed and
+re-run in any process and produce the same result, which is what makes the
+on-disk result cache and cross-process replication trustworthy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sim.config import SimulationConfig
+from repro.sim.experiment import GOVERNOR_FACTORIES
+from repro.soc.platform import PLATFORM_LIBRARY
+from repro.workloads.apps import APP_LIBRARY
+from repro.workloads.session import NAMED_SESSIONS, Session, session_matrix
+
+#: Bumped whenever cell execution semantics change, so stale cache entries
+#: from older schemes can never be mistaken for current results.
+SCHEMA_VERSION = 1
+
+_SEED_MODULUS = 2**31
+
+
+def derive_seed(*parts: Any) -> int:
+    """Derive a stable 31-bit seed from arbitrary coordinate parts.
+
+    Uses SHA-256 over the stringified parts so the value is identical across
+    processes, interpreter runs and machines (unlike built-in ``hash``).
+    """
+    text = "\x1f".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_MODULUS
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One value of the apps/sessions axis: a named sequence of app segments."""
+
+    key: str
+    segments: Tuple[Tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError("a workload spec needs a non-empty key")
+        if not self.segments:
+            raise ValueError(f"workload {self.key!r} needs at least one segment")
+        for app_name, duration_s in self.segments:
+            if app_name not in APP_LIBRARY:
+                raise ValueError(f"workload {self.key!r}: unknown app {app_name!r}")
+            if duration_s <= 0:
+                raise ValueError(f"workload {self.key!r}: duration must be positive")
+
+    @property
+    def duration_s(self) -> float:
+        """Total session duration across all segments."""
+        return sum(duration for _, duration in self.segments)
+
+    @classmethod
+    def single_app(cls, app_name: str, duration_s: float) -> "WorkloadSpec":
+        """A one-segment workload named after its app."""
+        return cls(key=app_name, segments=((app_name, float(duration_s)),))
+
+    @classmethod
+    def from_session(cls, key: str, session: Session) -> "WorkloadSpec":
+        """Wrap a :class:`~repro.workloads.session.Session` under ``key``."""
+        return cls(
+            key=key,
+            segments=tuple(
+                (segment.app_name, float(segment.duration_s))
+                for segment in session.segments
+            ),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form."""
+        return {"key": self.key, "segments": [list(pair) for pair in self.segments]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            key=data["key"],
+            segments=tuple((app, float(dur)) for app, dur in data["segments"]),
+        )
+
+
+def _freeze_mapping(mapping: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+    if not mapping:
+        return ()
+    return tuple(sorted(mapping.items()))
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One pre-registered point of the factorial design.
+
+    Cells are plain, hashable, picklable data: they can be shipped to a
+    worker process, serialised into the result cache and reconstructed from
+    their :meth:`spec` without loss.
+    """
+
+    matrix_name: str
+    governor: str
+    workload: WorkloadSpec
+    platform: str
+    seed: int
+    config_overrides: Tuple[Tuple[str, Any], ...] = ()
+    governor_params: Tuple[Tuple[str, Any], ...] = ()
+
+    # -- derived seeds -----------------------------------------------------------
+
+    @property
+    def trace_seed(self) -> int:
+        """Demand-trace seed; governor-independent for fair comparisons."""
+        return derive_seed("trace", self.seed, self.workload.key, self.platform)
+
+    @property
+    def sim_seed(self) -> int:
+        """Engine/sensor-noise seed; governor-independent for fair comparisons."""
+        return derive_seed("sim", self.seed, self.workload.key, self.platform)
+
+    @property
+    def governor_seed(self) -> int:
+        """Seed for stochastic governors; unique per cell."""
+        return derive_seed(
+            "governor", self.seed, self.workload.key, self.platform, self.governor
+        )
+
+    # -- identity ----------------------------------------------------------------
+
+    def spec(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable description of this cell."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "matrix_name": self.matrix_name,
+            "governor": self.governor,
+            "workload": self.workload.to_dict(),
+            "platform": self.platform,
+            "seed": self.seed,
+            "config_overrides": [list(pair) for pair in self.config_overrides],
+            "governor_params": [list(pair) for pair in self.governor_params],
+        }
+
+    @classmethod
+    def from_spec(cls, data: Mapping[str, Any]) -> "ScenarioCell":
+        """Rebuild a cell from :meth:`spec` output."""
+        return cls(
+            matrix_name=data["matrix_name"],
+            governor=data["governor"],
+            workload=WorkloadSpec.from_dict(data["workload"]),
+            platform=data["platform"],
+            seed=int(data["seed"]),
+            config_overrides=tuple(
+                (key, value) for key, value in data.get("config_overrides", ())
+            ),
+            governor_params=tuple(
+                (key, value) for key, value in data.get("governor_params", ())
+            ),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the cell: the result-cache key.
+
+        The matrix name is deliberately excluded so renaming a matrix (or
+        running the same cell from two different matrices) still hits the
+        cache; everything that affects the simulation outcome is included.
+        """
+        payload = self.spec()
+        payload.pop("matrix_name")
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+    def label(self) -> str:
+        """Short human-readable identifier for progress lines."""
+        return f"{self.governor}/{self.workload.key}/{self.platform}/s{self.seed}"
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """A declarative factorial experiment: axes and their full product.
+
+    Attributes
+    ----------
+    name:
+        Matrix name (used in progress output and cell metadata).
+    governors:
+        Governor registry names (columns of the comparison tables).
+    workloads:
+        Apps/sessions axis values.
+    platforms:
+        Platform registry names.
+    seeds:
+        Replication seeds; every (governor, workload, platform) combination
+        is replicated once per seed.
+    config_overrides:
+        Extra :class:`~repro.sim.config.SimulationConfig` keyword arguments
+        applied to every cell (e.g. ``warm_start_temperature_c``).
+    governor_params:
+        Per-governor constructor keyword arguments, keyed by governor name.
+    """
+
+    name: str
+    governors: Tuple[str, ...]
+    workloads: Tuple[WorkloadSpec, ...]
+    platforms: Tuple[str, ...] = ("exynos9810",)
+    seeds: Tuple[int, ...] = (0,)
+    config_overrides: Tuple[Tuple[str, Any], ...] = ()
+    governor_params: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a matrix needs a name")
+        for axis, values in (
+            ("governors", self.governors),
+            ("workloads", self.workloads),
+            ("platforms", self.platforms),
+            ("seeds", self.seeds),
+        ):
+            if not values:
+                raise ValueError(f"axis {axis!r} must not be empty")
+            if len(set(values)) != len(values):
+                raise ValueError(f"axis {axis!r} contains duplicate values")
+        for governor in self.governors:
+            if governor not in GOVERNOR_FACTORIES:
+                raise ValueError(
+                    f"unknown governor {governor!r}; available: "
+                    f"{sorted(GOVERNOR_FACTORIES)}"
+                )
+        for platform in self.platforms:
+            if platform not in PLATFORM_LIBRARY:
+                raise ValueError(
+                    f"unknown platform {platform!r}; available: "
+                    f"{sorted(PLATFORM_LIBRARY)}"
+                )
+        keys = [workload.key for workload in self.workloads]
+        if len(set(keys)) != len(keys):
+            raise ValueError("workload keys must be unique")
+        reserved = {"refresh_hz", "duration_s", "seed"}
+        allowed = set(SimulationConfig.__dataclass_fields__) - reserved
+        for key, _ in self.config_overrides:
+            if key in reserved:
+                raise ValueError(
+                    f"config override {key!r} is reserved: refresh_hz comes from the "
+                    "platform, duration_s from the workload and seed from the cell"
+                )
+            if key not in allowed:
+                raise ValueError(
+                    f"unknown config override {key!r}; available: {sorted(allowed)}"
+                )
+        for governor, _ in self.governor_params:
+            if governor not in self.governors:
+                raise ValueError(
+                    f"governor_params given for {governor!r}, which is not on the "
+                    "governors axis"
+                )
+
+    def __len__(self) -> int:
+        return (
+            len(self.governors)
+            * len(self.workloads)
+            * len(self.platforms)
+            * len(self.seeds)
+        )
+
+    def params_for(self, governor: str) -> Tuple[Tuple[str, Any], ...]:
+        """Constructor kwargs registered for ``governor`` (possibly empty)."""
+        for name, params in self.governor_params:
+            if name == governor:
+                return params
+        return ()
+
+    def cells(self) -> List[ScenarioCell]:
+        """Expand the full factorial product, in pre-registered order.
+
+        The order is workload-major, then platform, seed and governor, so all
+        columns of one comparison row are adjacent -- convenient both for
+        progress output and for cache-locality of paired baselines.
+        """
+        expanded: List[ScenarioCell] = []
+        for workload in self.workloads:
+            for platform in self.platforms:
+                for seed in self.seeds:
+                    for governor in self.governors:
+                        expanded.append(
+                            ScenarioCell(
+                                matrix_name=self.name,
+                                governor=governor,
+                                workload=workload,
+                                platform=platform,
+                                seed=seed,
+                                config_overrides=self.config_overrides,
+                                governor_params=self.params_for(governor),
+                            )
+                        )
+        return expanded
+
+    # -- construction ----------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        governors: Sequence[str],
+        apps: Sequence[str] = (),
+        sessions: Optional[Mapping[str, Session]] = None,
+        platforms: Sequence[str] = ("exynos9810",),
+        seeds: Sequence[int] = (0,),
+        duration_s: float = 90.0,
+        game_duration_s: Optional[float] = None,
+        config_overrides: Optional[Mapping[str, Any]] = None,
+        governor_params: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    ) -> "ScenarioMatrix":
+        """Convenience constructor from app names and/or named sessions."""
+        workloads: List[WorkloadSpec] = []
+        if apps:
+            for key, session in session_matrix(
+                apps, duration_s=duration_s, game_duration_s=game_duration_s
+            ).items():
+                workloads.append(WorkloadSpec.from_session(key, session))
+        for key, session in (sessions or {}).items():
+            workloads.append(WorkloadSpec.from_session(key, session))
+        return cls(
+            name=name,
+            governors=tuple(governors),
+            workloads=tuple(workloads),
+            platforms=tuple(platforms),
+            seeds=tuple(int(seed) for seed in seeds),
+            config_overrides=_freeze_mapping(config_overrides),
+            governor_params=tuple(
+                sorted(
+                    (governor, _freeze_mapping(params))
+                    for governor, params in (governor_params or {}).items()
+                )
+            ),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON/YAML-serialisable description of the matrix."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "governors": list(self.governors),
+            "workloads": [workload.to_dict() for workload in self.workloads],
+            "platforms": list(self.platforms),
+            "seeds": list(self.seeds),
+            "config_overrides": dict(self.config_overrides),
+            "governor_params": {
+                governor: dict(params) for governor, params in self.governor_params
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioMatrix":
+        """Build a matrix from a plain-dict description (YAML/JSON sweeps).
+
+        Workload entries may be either a bare app name (expanded to a single
+        segment of ``duration_s``, games getting ``game_duration_s``, or of a
+        named session from :data:`~repro.workloads.session.NAMED_SESSIONS`),
+        or an explicit ``{"key": ..., "segments": [[app, duration], ...]}``
+        mapping.  Unknown top-level keys are rejected so a typo'd spec cannot
+        silently run a different experiment than its author pre-registered.
+        """
+        known_keys = {
+            "schema_version", "name", "governors", "workloads", "platforms",
+            "seeds", "duration_s", "game_duration_s", "config_overrides",
+            "governor_params",
+        }
+        unknown = sorted(set(data) - known_keys)
+        if unknown:
+            raise ValueError(
+                f"unknown matrix key(s) {unknown}; available: {sorted(known_keys)}"
+            )
+        duration_s = float(data.get("duration_s", 90.0))
+        game_duration_s = float(data.get("game_duration_s", duration_s))
+        workloads: List[WorkloadSpec] = []
+        for entry in data.get("workloads", ()):
+            if isinstance(entry, str):
+                if entry in NAMED_SESSIONS:
+                    workloads.append(
+                        WorkloadSpec.from_session(entry, NAMED_SESSIONS[entry])
+                    )
+                else:
+                    # session_matrix owns the games-run-longer rule.
+                    session = session_matrix(
+                        [entry], duration_s=duration_s, game_duration_s=game_duration_s
+                    )[entry]
+                    workloads.append(WorkloadSpec.from_session(entry, session))
+            else:
+                workloads.append(WorkloadSpec.from_dict(entry))
+        return cls(
+            name=data.get("name", "unnamed"),
+            governors=tuple(data.get("governors", ())),
+            workloads=tuple(workloads),
+            platforms=tuple(data.get("platforms", ("exynos9810",))),
+            seeds=tuple(int(seed) for seed in data.get("seeds", (0,))),
+            config_overrides=_freeze_mapping(data.get("config_overrides")),
+            governor_params=tuple(
+                sorted(
+                    (governor, _freeze_mapping(params))
+                    for governor, params in dict(data.get("governor_params", {})).items()
+                )
+            ),
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "ScenarioMatrix":
+        """Load a matrix description from a ``.json``, ``.yaml`` or ``.yml`` file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        if path.endswith((".yaml", ".yml")):
+            try:
+                import yaml
+            except ImportError:  # pragma: no cover - depends on environment
+                raise RuntimeError(
+                    "PyYAML is not installed; use a .json matrix description instead"
+                ) from None
+            try:
+                data = yaml.safe_load(text)
+            except yaml.YAMLError as exc:
+                raise ValueError(f"invalid YAML in {path}: {exc}") from None
+        else:
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"invalid JSON in {path}: {exc}") from None
+        return cls.from_dict(data)
+
+
+# ----------------------------------------------------------------------------------
+# Named matrices
+# ----------------------------------------------------------------------------------
+
+def _smoke_matrix() -> ScenarioMatrix:
+    """2 governors x 2 apps x 2 seeds, a few seconds per cell: CI smoke sweep."""
+    return ScenarioMatrix.build(
+        name="smoke",
+        governors=("schedutil", "powersave"),
+        apps=("facebook", "spotify"),
+        seeds=(0, 1),
+        duration_s=6.0,
+    )
+
+
+def _baselines_matrix() -> ScenarioMatrix:
+    """Every non-learning governor across the six paper apps, 3 replications."""
+    return ScenarioMatrix.build(
+        name="baselines",
+        governors=("schedutil", "performance", "powersave", "conservative"),
+        apps=("facebook", "lineage", "pubg", "spotify", "web_browser", "youtube"),
+        seeds=(0, 1, 2),
+        duration_s=90.0,
+        game_duration_s=120.0,
+    )
+
+
+def _platforms_matrix() -> ScenarioMatrix:
+    """Cross-platform sweep in the spirit of SysScale's multi-domain study."""
+    return ScenarioMatrix.build(
+        name="platforms",
+        governors=("schedutil", "powersave", "conservative"),
+        apps=("facebook", "lineage", "youtube"),
+        platforms=("exynos9810", "generic-two-cluster"),
+        seeds=(0, 1),
+        duration_s=60.0,
+    )
+
+
+#: Registry of predefined matrices, keyed by the name accepted by the
+#: ``repro-sweep`` CLI.
+NAMED_MATRICES = {
+    "smoke": _smoke_matrix,
+    "baselines": _baselines_matrix,
+    "platforms": _platforms_matrix,
+}
+
+
+def named_matrix(name: str) -> ScenarioMatrix:
+    """Instantiate a predefined matrix from :data:`NAMED_MATRICES` by name."""
+    try:
+        factory = NAMED_MATRICES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown matrix {name!r}; available: {sorted(NAMED_MATRICES)}"
+        ) from None
+    return factory()

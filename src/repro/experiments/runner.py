@@ -1,0 +1,332 @@
+"""Scenario-matrix execution: sequential or process-parallel, with caching.
+
+The runner owns no simulation logic of its own: every cell funnels through
+:func:`execute_cell`, which records the cell's demand trace and hands it to
+:func:`repro.sim.experiment.run_trace` -- the same single-cell primitive the
+sequential helpers use.  Running with ``max_workers=1`` therefore produces
+bit-identical summaries to a pooled run, which the determinism regression
+tests assert.
+
+Failure isolation: a cell that raises reports an error :class:`CellResult`
+(status ``"error"`` with the traceback) instead of killing the sweep, so a
+1000-cell overnight run survives one diverging configuration.
+
+Caching: with a ``cache_dir``, each completed cell is written to
+``<fingerprint>.json``; re-running a sweep serves completed cells from disk
+and only computes the missing ones.  Error results are *not* cached, so a
+fixed bug re-runs its cells automatically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.matrix import ScenarioCell, ScenarioMatrix
+from repro.sim.config import SimulationConfig
+from repro.sim.experiment import (
+    STOCHASTIC_GOVERNORS,
+    SessionResult,
+    make_governor,
+    record_session_trace,
+    run_trace,
+)
+from repro.soc.platform import make_platform
+from repro.workloads.session import SessionSegment
+
+#: Progress callback signature: (completed_count, total_count, latest_result).
+ProgressCallback = Callable[[int, int, "CellResult"], None]
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: a summary dict on success, a traceback on failure."""
+
+    cell: ScenarioCell
+    status: str
+    summary: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    from_cache: bool = False
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell completed successfully."""
+        return self.status == "ok"
+
+    def metric(self, name: str) -> float:
+        """Read one summary metric by name (raises on error results)."""
+        if self.summary is None:
+            raise ValueError(f"cell {self.cell.label()} has no summary ({self.status})")
+        value = self.summary.get(name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            scalars = sorted(
+                key
+                for key, entry in self.summary.items()
+                if isinstance(entry, (int, float)) and not isinstance(entry, bool)
+            )
+            raise ValueError(f"unknown metric {name!r}; available: {scalars}")
+        return value
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (used by the result cache)."""
+        return {
+            "cell": self.cell.spec(),
+            "status": self.status,
+            "summary": self.summary,
+            "error": self.error,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CellResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            cell=ScenarioCell.from_spec(data["cell"]),
+            status=data["status"],
+            summary=data.get("summary"),
+            error=data.get("error"),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
+
+
+def summary_to_dict(result: SessionResult) -> Dict[str, Any]:
+    """Flatten a :class:`SessionResult` summary into a JSON-clean dict.
+
+    JSON float serialisation round-trips exactly (shortest-repr), so a cached
+    summary compares equal to a freshly computed one -- the property the
+    determinism tests pin down.
+    """
+    summary = asdict(result.summary)
+    summary["frame_delivery_ratio"] = result.summary.frame_delivery_ratio
+    summary["app_names"] = list(result.app_names)
+    summary["governor_name"] = result.governor_name
+    return summary
+
+
+def run_cell_session(cell: ScenarioCell) -> SessionResult:
+    """Execute one cell in-process and return the full session result.
+
+    Records the cell's demand trace with its governor-independent
+    ``trace_seed``, instantiates the governor (seeding stochastic ones with
+    the cell's ``governor_seed``) and replays the trace through the shared
+    single-cell primitive.
+    """
+    platform = make_platform(cell.platform)
+    segments = [
+        SessionSegment(app_name, duration_s)
+        for app_name, duration_s in cell.workload.segments
+    ]
+    trace = record_session_trace(segments, platform=platform, seed=cell.trace_seed)
+    params = dict(cell.governor_params)
+    if cell.governor in STOCHASTIC_GOVERNORS:
+        params.setdefault("seed", cell.governor_seed)
+    governor = make_governor(cell.governor, **params)
+    config = SimulationConfig(
+        refresh_hz=platform.display_refresh_hz,
+        duration_s=trace.duration_s,
+        seed=cell.sim_seed,
+        **dict(cell.config_overrides),
+    )
+    return run_trace(trace, governor, platform=platform, config=config)
+
+
+def execute_cell(cell: ScenarioCell) -> CellResult:
+    """Run one cell with failure isolation (the process-pool work unit)."""
+    started = time.perf_counter()
+    try:
+        session = run_cell_session(cell)
+        return CellResult(
+            cell=cell,
+            status="ok",
+            summary=summary_to_dict(session),
+            elapsed_s=time.perf_counter() - started,
+        )
+    except Exception:
+        return CellResult(
+            cell=cell,
+            status="error",
+            error=traceback.format_exc(),
+            elapsed_s=time.perf_counter() - started,
+        )
+
+
+class ResultCache:
+    """On-disk JSON cache of completed cells, keyed by cell fingerprint."""
+
+    def __init__(self, directory: Optional[str]) -> None:
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    def _path(self, cell: ScenarioCell) -> Optional[str]:
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, f"{cell.fingerprint()}.json")
+
+    def load(self, cell: ScenarioCell) -> Optional[CellResult]:
+        """Return the cached result for ``cell``, or ``None`` on a miss."""
+        path = self._path(cell)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            result = CellResult.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            return None  # corrupt entry: treat as a miss and recompute
+        # Fingerprints are truncated hashes; verify the stored spec really is
+        # this cell before trusting the hit.  Compare in JSON-canonical form:
+        # the cached spec already went through JSON (tuples became lists), so
+        # the live spec must be normalised the same way.
+        cached_spec = result.cell.spec()
+        cached_spec["matrix_name"] = cell.matrix_name
+        live_spec = json.loads(json.dumps(cell.spec()))
+        if json.loads(json.dumps(cached_spec)) != live_spec or not result.ok:
+            return None
+        result.cell = cell
+        result.from_cache = True
+        return result
+
+    def store(self, result: CellResult) -> None:
+        """Persist a successful result (errors are never cached)."""
+        path = self._path(result.cell)
+        if path is None or not result.ok:
+            return
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle)
+        os.replace(tmp_path, path)
+
+
+@dataclass
+class SweepResult:
+    """All cell results of one sweep, in the matrix's pre-registered order."""
+
+    matrix: ScenarioMatrix
+    results: List[CellResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def completed(self) -> List[CellResult]:
+        """Successful cells."""
+        return [result for result in self.results if result.ok]
+
+    @property
+    def failures(self) -> List[CellResult]:
+        """Failed cells (error results)."""
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def cached_count(self) -> int:
+        """How many cells were served from the result cache."""
+        return sum(1 for result in self.results if result.from_cache)
+
+    def result_for(self, cell: ScenarioCell) -> CellResult:
+        """The result of one specific cell (by fingerprint)."""
+        wanted = cell.fingerprint()
+        for result in self.results:
+            if result.cell.fingerprint() == wanted:
+                return result
+        raise KeyError(f"no result for cell {cell.label()}")
+
+
+class SweepRunner:
+    """Runs every cell of a matrix, optionally across a process pool.
+
+    ``max_workers=1`` (or a single pending cell) executes in-process through
+    exactly the same :func:`execute_cell` path the pool workers use.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers
+        self.cache = ResultCache(cache_dir)
+
+    def run(
+        self,
+        matrix: ScenarioMatrix,
+        progress: Optional[ProgressCallback] = None,
+    ) -> SweepResult:
+        """Execute the full matrix and return results in cell order."""
+        cells = matrix.cells()
+        total = len(cells)
+        slots: List[Optional[CellResult]] = [None] * total
+        done = 0
+
+        def deliver(index: int, result: CellResult) -> None:
+            nonlocal done
+            slots[index] = result
+            done += 1
+            if progress is not None:
+                progress(done, total, result)
+
+        pending: List[Tuple[int, ScenarioCell]] = []
+        for index, cell in enumerate(cells):
+            cached = self.cache.load(cell)
+            if cached is not None:
+                deliver(index, cached)
+            else:
+                pending.append((index, cell))
+
+        workers = self.max_workers if self.max_workers is not None else os.cpu_count() or 1
+        if workers <= 1 or len(pending) <= 1:
+            for index, cell in pending:
+                result = execute_cell(cell)
+                self.cache.store(result)
+                deliver(index, result)
+        else:
+            self._run_pool(pending, min(workers, len(pending)), deliver)
+
+        return SweepResult(matrix=matrix, results=[slot for slot in slots if slot is not None])
+
+    def _run_pool(
+        self,
+        pending: Sequence[Tuple[int, ScenarioCell]],
+        workers: int,
+        deliver: Callable[[int, CellResult], None],
+    ) -> None:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_cell, cell): (index, cell)
+                for index, cell in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index, cell = futures[future]
+                    try:
+                        result = future.result()
+                    except Exception:
+                        # execute_cell catches workload errors itself; reaching
+                        # here means the pool infrastructure failed (e.g. a
+                        # worker was killed).  Isolate it like any other error.
+                        result = CellResult(
+                            cell=cell, status="error", error=traceback.format_exc()
+                        )
+                    self.cache.store(result)
+                    deliver(index, result)
+
+
+def run_matrix(
+    matrix: ScenarioMatrix,
+    max_workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepResult:
+    """One-call convenience wrapper around :class:`SweepRunner`."""
+    runner = SweepRunner(max_workers=max_workers, cache_dir=cache_dir)
+    return runner.run(matrix, progress=progress)

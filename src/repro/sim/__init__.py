@@ -18,9 +18,12 @@ from repro.sim.experiment import (
     SessionResult,
     TrainingResult,
     compare_governors_on_trace,
+    execute_session,
     make_governor,
+    pretrained_next_governor,
     run_app_session,
     run_trace,
+    select_best_next_governor,
     train_next_governor,
 )
 
@@ -35,9 +38,12 @@ __all__ = [
     "SessionResult",
     "TrainingResult",
     "GovernorComparison",
+    "execute_session",
     "run_trace",
     "run_app_session",
     "train_next_governor",
+    "pretrained_next_governor",
+    "select_best_next_governor",
     "compare_governors_on_trace",
     "make_governor",
 ]

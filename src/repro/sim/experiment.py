@@ -102,6 +102,12 @@ GOVERNOR_FACTORIES: Dict[str, Callable[..., Governor]] = {
     "next": NextGovernor,
 }
 
+#: Governors whose factory takes a ``seed`` kwarg because the policy itself is
+#: stochastic (e.g. exploration).  The scenario-matrix runner seeds these
+#: automatically per cell; add any new stochastic governor here or its cells
+#: will draw from global randomness and break run-to-run determinism.
+STOCHASTIC_GOVERNORS = frozenset({"next"})
+
 
 def make_governor(name: str, **kwargs) -> Governor:
     """Instantiate a governor by its registry name."""
@@ -118,6 +124,44 @@ def make_governor(name: str, **kwargs) -> Governor:
 # Session runners
 # ----------------------------------------------------------------------------------
 
+def execute_session(
+    workload,
+    governor: Governor,
+    platform: Optional[PlatformSpec] = None,
+    config: Optional[SimulationConfig] = None,
+    duration_s: Optional[float] = None,
+    app_names: Optional[Sequence[str]] = None,
+) -> SessionResult:
+    """Run one workload under one governor and summarise it.
+
+    This is the single-cell execution primitive: every higher-level runner --
+    the sequential helpers below and the parallel scenario-matrix sweep in
+    :mod:`repro.experiments.runner` -- funnels through it, so sequential and
+    parallel paths cannot drift apart.  ``workload`` is anything with a
+    ``tick(dt_s) -> TickWorkload`` method (an app model, a
+    :class:`~repro.workloads.trace.TracePlayer`, a
+    :class:`~repro.sim.engine.SessionWorkload`).
+    """
+    platform = platform or exynos9810()
+    if duration_s is None:
+        duration_s = config.duration_s if config is not None else None
+    if config is None:
+        config_kwargs = {"refresh_hz": platform.display_refresh_hz}
+        if duration_s is not None:
+            config_kwargs["duration_s"] = duration_s
+        config = SimulationConfig(**config_kwargs)
+    simulation = Simulation(platform=platform, governor=governor, config=config)
+    recorder = simulation.run(workload, duration_s=duration_s)
+    if app_names is None:
+        app_names = [getattr(workload, "name", type(workload).__name__)]
+    return SessionResult(
+        governor_name=governor.name,
+        app_names=list(app_names),
+        recorder=recorder,
+        summary=recorder.summary(),
+    )
+
+
 def run_trace(
     trace: WorkloadTrace,
     governor: Governor,
@@ -125,18 +169,13 @@ def run_trace(
     config: Optional[SimulationConfig] = None,
 ) -> SessionResult:
     """Replay a recorded demand trace under ``governor`` and summarise it."""
-    platform = platform or exynos9810()
-    config = config or SimulationConfig(
-        refresh_hz=platform.display_refresh_hz, duration_s=trace.duration_s
-    )
-    simulation = Simulation(platform=platform, governor=governor, config=config)
-    player = TracePlayer(trace)
-    recorder = simulation.run(player, duration_s=trace.duration_s)
-    return SessionResult(
-        governor_name=governor.name,
+    return execute_session(
+        TracePlayer(trace),
+        governor,
+        platform=platform,
+        config=config,
+        duration_s=trace.duration_s,
         app_names=trace.app_names(),
-        recorder=recorder,
-        summary=recorder.summary(),
     )
 
 
@@ -262,6 +301,25 @@ def pretrained_next_governor(
     return governor
 
 
+def candidate_sort_key(
+    total_power_w: float,
+    worst_delivery_ratio: float,
+    min_delivery_ratio: float = 0.93,
+):
+    """Ranking key for trained-candidate selection (lower sorts first).
+
+    QoS-preserving candidates (worst frame-delivery ratio at or above
+    ``min_delivery_ratio``) always rank ahead of QoS violators and are ordered
+    by ascending power; among violators the least-bad delivery ratio wins.
+    This mirrors the paper's "savings must not come from dropping frames"
+    constraint.
+    """
+    qos_ok = worst_delivery_ratio >= min_delivery_ratio
+    if qos_ok:
+        return (0, total_power_w)
+    return (1, -worst_delivery_ratio)
+
+
 def select_best_next_governor(
     app_names: Sequence[str],
     platform: Optional[PlatformSpec] = None,
@@ -314,10 +372,7 @@ def select_best_next_governor(
             result = run_trace(trace, governor, platform=platform)
             total_power += result.summary.average_power_w
             worst_delivery = min(worst_delivery, result.summary.frame_delivery_ratio)
-        qos_ok = worst_delivery >= min_delivery_ratio
-        # Sort key: QoS-preserving candidates first, then lowest power; among
-        # QoS violators, the least-bad delivery wins.
-        key = (0, total_power) if qos_ok else (1, -worst_delivery)
+        key = candidate_sort_key(total_power, worst_delivery, min_delivery_ratio)
         if best_key is None or key < best_key:
             best_key = key
             best_governor = governor

@@ -17,7 +17,14 @@ Galaxy Note 9 built around the Exynos 9810 MPSoC -- at the level of detail the
 
 from repro.soc.frequency import FrequencyPoint, OppTable
 from repro.soc.cluster import Cluster, ClusterKind
-from repro.soc.platform import PlatformSpec, exynos9810, generic_two_cluster_soc
+from repro.soc.platform import (
+    PLATFORM_LIBRARY,
+    PlatformSpec,
+    exynos9810,
+    generic_two_cluster_soc,
+    make_platform,
+    register_platform,
+)
 from repro.soc.power import ClusterPowerModel, PowerBreakdown, SocPowerModel
 from repro.soc.thermal import ThermalNetwork, ThermalNodeSpec, ThermalState
 from repro.soc.sensors import PowerSensor, SensorHub, TemperatureSensor

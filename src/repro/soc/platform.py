@@ -17,7 +17,7 @@ power and temperature ranges the paper reports (about 3.5 W average and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.soc.cluster import Cluster, ClusterKind, ClusterSpec
 from repro.soc.frequency import OppTable
@@ -247,6 +247,37 @@ def exynos9810(
     )
 
 
+#: Factory registry of every simulated platform, keyed by the name used on
+#: the ``platforms`` axis of a scenario matrix (see :mod:`repro.experiments`).
+PLATFORM_LIBRARY: Dict[str, Callable[[], "PlatformSpec"]] = {}
+
+
+def register_platform(name: str, factory: Callable[[], "PlatformSpec"]) -> None:
+    """Register a platform factory under ``name`` (new sweep-axis values).
+
+    Register at import time of a module that worker processes also import:
+    under the ``spawn`` multiprocessing start method (macOS/Windows default)
+    a registration made only inside a script's ``__main__`` guard is
+    invisible to process-pool workers, so parallel sweeps on that platform
+    would fail every cell.  Put the call at module level of an imported
+    module, or run such sweeps with ``max_workers=1``.
+    """
+    if name in PLATFORM_LIBRARY:
+        raise ValueError(f"platform {name!r} is already registered")
+    PLATFORM_LIBRARY[name] = factory
+
+
+def make_platform(name: str) -> "PlatformSpec":
+    """Instantiate a platform from :data:`PLATFORM_LIBRARY` by name."""
+    try:
+        factory = PLATFORM_LIBRARY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {name!r}; available: {sorted(PLATFORM_LIBRARY)}"
+        ) from None
+    return factory()
+
+
 def generic_two_cluster_soc(ambient_c: float = 25.0) -> PlatformSpec:
     """A small synthetic platform (one CPU cluster + one GPU) for tests.
 
@@ -304,3 +335,7 @@ def generic_two_cluster_soc(ambient_c: float = 25.0) -> PlatformSpec:
         rest_of_platform_power_w=0.4,
         display_refresh_hz=60.0,
     )
+
+
+register_platform("exynos9810", exynos9810)
+register_platform("generic-two-cluster", generic_two_cluster_soc)

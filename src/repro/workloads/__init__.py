@@ -31,7 +31,15 @@ from repro.workloads.apps import (
     youtube_app,
 )
 from repro.workloads.interaction import InteractionGenerator, InteractionProfile
-from repro.workloads.session import SessionGenerator, SessionSegment, UsageStatistics
+from repro.workloads.session import (
+    FIGURE1_SESSION,
+    NAMED_SESSIONS,
+    Session,
+    SessionGenerator,
+    SessionSegment,
+    UsageStatistics,
+    session_matrix,
+)
 from repro.workloads.trace import TraceRecorder, WorkloadTrace
 
 __all__ = [
@@ -50,9 +58,13 @@ __all__ = [
     "youtube_app",
     "InteractionGenerator",
     "InteractionProfile",
+    "Session",
     "SessionGenerator",
     "SessionSegment",
     "UsageStatistics",
+    "session_matrix",
+    "NAMED_SESSIONS",
+    "FIGURE1_SESSION",
     "TraceRecorder",
     "WorkloadTrace",
 ]

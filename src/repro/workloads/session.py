@@ -112,6 +112,43 @@ FIGURE1_SESSION = Session(
 )
 
 
+#: Sessions referred to by name on the apps/sessions axis of a scenario
+#: matrix (see :mod:`repro.experiments.matrix`).
+NAMED_SESSIONS: Dict[str, Session] = {
+    "fig1": FIGURE1_SESSION,
+}
+
+
+def session_matrix(
+    app_names: Sequence[str],
+    duration_s: float = 90.0,
+    game_duration_s: Optional[float] = None,
+) -> Dict[str, Session]:
+    """One fixed-duration single-app :class:`Session` per application.
+
+    This is the helper that expands the apps axis of a scenario matrix into
+    pre-registered sessions: every cell that shares an app faces a session of
+    identical length, so replications differ only in their seed.  Games get
+    ``game_duration_s`` (defaulting to ``duration_s``), mirroring the paper's
+    longer gaming sessions.
+    """
+    if not app_names:
+        raise ValueError("app_names must not be empty")
+    if len(set(app_names)) != len(app_names):
+        raise ValueError("app_names must be unique")
+    game_duration_s = game_duration_s if game_duration_s is not None else duration_s
+    return {
+        name: Session(
+            segments=(
+                SessionSegment(
+                    name, game_duration_s if name in GAME_APPS else duration_s
+                ),
+            )
+        )
+        for name in app_names
+    }
+
+
 class SessionGenerator:
     """Samples usage sessions from the paper's statistics."""
 

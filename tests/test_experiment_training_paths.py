@@ -1,0 +1,127 @@
+"""Coverage for the Next training/selection helpers in ``sim.experiment``.
+
+``pretrained_next_governor`` and ``select_best_next_governor`` encode the
+paper's evaluation protocol (train fully, then evaluate greedily; pick the
+candidate that saves the most power *without* violating QoS).  These tests
+exercise both with tiny budgets and pin the QoS-first selection ordering.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+import repro.sim.experiment as experiment
+from repro.sim.experiment import (
+    candidate_sort_key,
+    pretrained_next_governor,
+    select_best_next_governor,
+)
+from repro.soc.platform import generic_two_cluster_soc
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return generic_two_cluster_soc()
+
+
+class TestPretrainedNextGovernor:
+    def test_trains_each_app_and_disables_exploration(self, platform):
+        governor = pretrained_next_governor(
+            ("home", "spotify"),
+            platform=platform,
+            episodes=1,
+            episode_duration_s=4.0,
+            seed=5,
+        )
+        assert governor.training is False
+        assert governor.agent.qtable_size("home") > 0
+        assert governor.agent.qtable_size("spotify") > 0
+
+    def test_pretrained_governor_is_usable_for_evaluation(self, platform):
+        governor = pretrained_next_governor(
+            ("home",), platform=platform, episodes=1, episode_duration_s=4.0, seed=5
+        )
+        result = experiment.run_app_session(
+            "home", governor, duration_s=4.0, platform=platform, seed=9
+        )
+        assert result.governor_name == "next"
+        assert result.summary.average_power_w > 0.0
+
+
+class TestCandidateSortKey:
+    def test_qos_ok_candidates_ranked_by_power(self):
+        assert candidate_sort_key(2.0, 0.99) < candidate_sort_key(3.0, 0.95)
+
+    def test_qos_preservation_beats_any_power_saving(self):
+        # A violator with spectacular savings still loses to a QoS-ok run.
+        assert candidate_sort_key(9.0, 0.95) < candidate_sort_key(0.5, 0.80)
+
+    def test_violators_ranked_by_least_bad_delivery(self):
+        assert candidate_sort_key(5.0, 0.90) < candidate_sort_key(1.0, 0.70)
+
+    def test_threshold_is_inclusive(self):
+        ok_key = candidate_sort_key(1.0, 0.93, min_delivery_ratio=0.93)
+        assert ok_key[0] == 0
+
+
+class TestSelectBestNextGovernor:
+    def test_tiny_end_to_end_selection(self, platform):
+        governor = select_best_next_governor(
+            ("home",),
+            platform=platform,
+            candidate_seeds=(1, 2),
+            episodes=1,
+            episode_duration_s=4.0,
+            validation_duration_s=4.0,
+        )
+        assert governor.name == "next"
+        assert governor.training is False
+
+    def _fake_selection(self, monkeypatch, platform, powers, deliveries):
+        """Run selection with fabricated per-candidate validation outcomes."""
+        candidates = []
+
+        def fake_train(governor, app_name, **kwargs):
+            if governor not in candidates:
+                candidates.append(governor)
+
+        def fake_run_trace(trace, governor, platform=None, config=None):
+            index = candidates.index(governor)
+            return SimpleNamespace(
+                summary=SimpleNamespace(
+                    average_power_w=powers[index],
+                    frame_delivery_ratio=deliveries[index],
+                )
+            )
+
+        monkeypatch.setattr(experiment, "train_next_governor", fake_train)
+        monkeypatch.setattr(experiment, "run_trace", fake_run_trace)
+        winner = select_best_next_governor(
+            ("home",),
+            platform=platform,
+            candidate_seeds=tuple(range(1, len(powers) + 1)),
+            validation_duration_s=0.5,
+        )
+        return candidates.index(winner)
+
+    def test_qos_ok_low_power_candidate_wins(self, monkeypatch, platform):
+        # Candidate 0 violates QoS despite the lowest power; candidate 2 is
+        # QoS-preserving and cheaper than candidate 1.
+        winner = self._fake_selection(
+            monkeypatch,
+            platform,
+            powers=[0.5, 5.0, 3.0],
+            deliveries=[0.50, 0.99, 0.97],
+        )
+        assert winner == 2
+
+    def test_least_bad_violator_wins_when_no_candidate_preserves_qos(
+        self, monkeypatch, platform
+    ):
+        winner = self._fake_selection(
+            monkeypatch,
+            platform,
+            powers=[1.0, 9.0],
+            deliveries=[0.70, 0.85],
+        )
+        assert winner == 1

@@ -1,0 +1,420 @@
+"""Tests for the scenario-matrix harness: matrix, runner, aggregate, CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.aggregate import (
+    MetricStatistics,
+    condition_table,
+    metric_statistics,
+    marginal_savings,
+    marginal_table,
+    paired_savings,
+    replicate_statistics,
+)
+from repro.experiments.matrix import (
+    NAMED_MATRICES,
+    ScenarioCell,
+    ScenarioMatrix,
+    WorkloadSpec,
+    named_matrix,
+)
+from repro.experiments.runner import CellResult, SweepRunner, execute_cell, run_matrix
+from repro.experiments import cli
+from repro.workloads.session import FIGURE1_SESSION, session_matrix
+
+
+# ---------------------------------------------------------------------------
+# Matrix expansion
+# ---------------------------------------------------------------------------
+
+class TestWorkloadSpec:
+    def test_single_app(self):
+        spec = WorkloadSpec.single_app("facebook", 30.0)
+        assert spec.key == "facebook"
+        assert spec.duration_s == pytest.approx(30.0)
+
+    def test_from_session(self):
+        spec = WorkloadSpec.from_session("fig1", FIGURE1_SESSION)
+        assert [app for app, _ in spec.segments] == ["home", "facebook", "spotify"]
+        assert spec.duration_s == pytest.approx(FIGURE1_SESSION.total_duration_s)
+
+    def test_rejects_unknown_app_and_bad_duration(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec.single_app("not_an_app", 10.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec.single_app("facebook", 0.0)
+
+    def test_dict_roundtrip(self):
+        spec = WorkloadSpec.from_session("fig1", FIGURE1_SESSION)
+        assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestScenarioMatrix:
+    def test_full_factorial_expansion(self):
+        matrix = ScenarioMatrix.build(
+            name="t",
+            governors=("schedutil", "powersave"),
+            apps=("facebook", "spotify"),
+            platforms=("exynos9810", "generic-two-cluster"),
+            seeds=(0, 1, 2),
+            duration_s=5.0,
+        )
+        cells = matrix.cells()
+        assert len(cells) == len(matrix) == 2 * 2 * 2 * 3
+        assert len({cell.fingerprint() for cell in cells}) == len(cells)
+        # pre-registered order: workload-major, governor fastest
+        assert [cell.governor for cell in cells[:2]] == ["schedutil", "powersave"]
+
+    def test_validates_axes(self):
+        workloads = (WorkloadSpec.single_app("facebook", 5.0),)
+        with pytest.raises(ValueError):
+            ScenarioMatrix(name="t", governors=(), workloads=workloads)
+        with pytest.raises(ValueError):
+            ScenarioMatrix(name="t", governors=("nope",), workloads=workloads)
+        with pytest.raises(ValueError):
+            ScenarioMatrix(
+                name="t", governors=("schedutil",), workloads=workloads,
+                platforms=("martian-soc",),
+            )
+        with pytest.raises(ValueError):
+            ScenarioMatrix(
+                name="t", governors=("schedutil",), workloads=workloads,
+                seeds=(0, 0),
+            )
+
+    def test_config_overrides_validated_at_construction(self):
+        # Typos and reserved keys fail fast with a clear message, not as an
+        # opaque per-cell TypeError after the sweep has started.
+        with pytest.raises(ValueError, match="unknown config override"):
+            ScenarioMatrix.build(
+                name="t", governors=("schedutil",), apps=("facebook",),
+                config_overrides={"bogus_knob": 1},
+            )
+        with pytest.raises(ValueError, match="reserved"):
+            ScenarioMatrix.build(
+                name="t", governors=("schedutil",), apps=("facebook",),
+                config_overrides={"duration_s": 30.0},
+            )
+        matrix = ScenarioMatrix.build(
+            name="t", governors=("schedutil",), apps=("facebook",),
+            duration_s=3.0, config_overrides={"warm_start_temperature_c": 30.0},
+        )
+        sweep = run_matrix(matrix, max_workers=1)
+        assert all(result.ok for result in sweep.results)
+
+    def test_governor_params_must_match_axis(self):
+        with pytest.raises(ValueError):
+            ScenarioMatrix.build(
+                name="t",
+                governors=("schedutil",),
+                apps=("facebook",),
+                governor_params={"next": {"seed": 1}},
+            )
+
+    def test_dict_roundtrip(self):
+        matrix = named_matrix("smoke")
+        rebuilt = ScenarioMatrix.from_dict(matrix.to_dict())
+        assert rebuilt == matrix
+        assert [c.fingerprint() for c in rebuilt.cells()] == [
+            c.fingerprint() for c in matrix.cells()
+        ]
+
+    def test_from_dict_bare_names_and_named_sessions(self):
+        matrix = ScenarioMatrix.from_dict(
+            {
+                "name": "mix",
+                "governors": ["schedutil"],
+                "workloads": ["facebook", "fig1"],
+                "duration_s": 12.0,
+            }
+        )
+        keys = {workload.key: workload for workload in matrix.workloads}
+        assert keys["facebook"].duration_s == pytest.approx(12.0)
+        assert keys["fig1"].duration_s == pytest.approx(
+            FIGURE1_SESSION.total_duration_s
+        )
+
+    def test_from_dict_game_duration_and_unknown_keys(self):
+        matrix = ScenarioMatrix.from_dict(
+            {
+                "name": "g",
+                "governors": ["schedutil"],
+                "workloads": ["facebook", "pubg"],
+                "duration_s": 30.0,
+                "game_duration_s": 120.0,
+            }
+        )
+        durations = {w.key: w.duration_s for w in matrix.workloads}
+        assert durations["facebook"] == pytest.approx(30.0)
+        assert durations["pubg"] == pytest.approx(120.0)
+        # A typo'd key must not silently run a different experiment.
+        with pytest.raises(ValueError, match="unknown matrix key"):
+            ScenarioMatrix.from_dict(
+                {"name": "g", "governors": ["schedutil"],
+                 "workloads": ["facebook"], "governors_params": {}}
+            )
+
+    def test_from_file_json(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(named_matrix("smoke").to_dict()))
+        assert ScenarioMatrix.from_file(str(path)) == named_matrix("smoke")
+
+    def test_from_file_malformed_json_raises_value_error(self, tmp_path):
+        bad_json = tmp_path / "bad.json"
+        bad_json.write_text("{not json")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            ScenarioMatrix.from_file(str(bad_json))
+
+    def test_from_file_malformed_yaml_raises_value_error(self, tmp_path):
+        pytest.importorskip("yaml")  # PyYAML is an optional dependency
+        bad_yaml = tmp_path / "bad.yaml"
+        bad_yaml.write_text("governors: [schedutil")
+        with pytest.raises(ValueError, match="invalid YAML"):
+            ScenarioMatrix.from_file(str(bad_yaml))
+
+    def test_named_matrices_all_expand(self):
+        for name in NAMED_MATRICES:
+            matrix = named_matrix(name)
+            assert len(matrix.cells()) == len(matrix) > 0
+        with pytest.raises(ValueError):
+            named_matrix("nope")
+
+
+class TestSessionMatrixHelper:
+    def test_games_get_game_duration(self):
+        sessions = session_matrix(
+            ("facebook", "pubg"), duration_s=60.0, game_duration_s=120.0
+        )
+        assert sessions["facebook"].total_duration_s == pytest.approx(60.0)
+        assert sessions["pubg"].total_duration_s == pytest.approx(120.0)
+
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError):
+            session_matrix(())
+        with pytest.raises(ValueError):
+            session_matrix(("facebook", "facebook"))
+
+
+# ---------------------------------------------------------------------------
+# Runner behaviour
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    matrix = ScenarioMatrix.build(
+        name="small",
+        governors=("schedutil", "powersave"),
+        apps=("facebook", "spotify"),
+        seeds=(0, 1),
+        duration_s=4.0,
+    )
+    return matrix, run_matrix(matrix, max_workers=1)
+
+
+class TestRunner:
+    def test_results_in_cell_order(self, small_sweep):
+        matrix, sweep = small_sweep
+        assert [result.cell for result in sweep.results] == matrix.cells()
+        assert all(result.ok for result in sweep.results)
+        assert all(result.metric("average_power_w") > 0 for result in sweep.results)
+
+    def test_failure_isolation(self, monkeypatch):
+        matrix = ScenarioMatrix.build(
+            name="crashy",
+            governors=("schedutil", "powersave"),
+            apps=("facebook",),
+            duration_s=3.0,
+        )
+        import repro.experiments.runner as runner_module
+
+        real = runner_module.run_cell_session
+
+        def crash_on_powersave(cell):
+            if cell.governor == "powersave":
+                raise RuntimeError("boom")
+            return real(cell)
+
+        monkeypatch.setattr(runner_module, "run_cell_session", crash_on_powersave)
+        sweep = runner_module.run_matrix(matrix, max_workers=1)
+        assert len(sweep.completed) == 1
+        assert len(sweep.failures) == 1
+        failure = sweep.failures[0]
+        assert failure.cell.governor == "powersave"
+        assert "boom" in failure.error
+        with pytest.raises(ValueError):
+            failure.metric("average_power_w")
+
+    def test_errors_not_cached(self, monkeypatch, tmp_path):
+        matrix = ScenarioMatrix.build(
+            name="crashy", governors=("powersave",), apps=("facebook",), duration_s=3.0
+        )
+        import repro.experiments.runner as runner_module
+
+        def crash(cell):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(runner_module, "run_cell_session", crash)
+        runner = SweepRunner(max_workers=1, cache_dir=str(tmp_path))
+        assert len(runner.run(matrix).failures) == 1
+        assert list(tmp_path.glob("*.json")) == []
+        # Once "fixed", the cell runs for real and then caches.
+        monkeypatch.undo()
+        sweep = runner.run(matrix)
+        assert sweep.failures == [] and sweep.cached_count == 0
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_progress_callback(self, small_sweep):
+        matrix, _ = small_sweep
+        seen = []
+        run_matrix(
+            matrix,
+            max_workers=1,
+            progress=lambda done, total, result: seen.append((done, total, result.ok)),
+        )
+        assert [entry[0] for entry in seen] == list(range(1, len(matrix) + 1))
+        assert all(total == len(matrix) for _, total, _ in seen)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            SweepRunner(max_workers=0)
+
+    def test_result_for_looks_up_by_fingerprint(self, small_sweep):
+        matrix, sweep = small_sweep
+        cell = matrix.cells()[3]
+        assert sweep.result_for(cell) is sweep.results[3]
+        foreign = ScenarioMatrix.build(
+            name="other", governors=("schedutil",), apps=("youtube",), duration_s=3.0
+        ).cells()[0]
+        with pytest.raises(KeyError):
+            sweep.result_for(foreign)
+
+    def test_unknown_metric_is_a_value_error(self, small_sweep):
+        _, sweep = small_sweep
+        with pytest.raises(ValueError, match="unknown metric"):
+            sweep.results[0].metric("average_pwoer_w")
+        # Real-but-non-scalar summary entries are rejected the same way, so
+        # programmatic aggregation gets the clear error the CLI gives.
+        with pytest.raises(ValueError, match="unknown metric"):
+            sweep.results[0].metric("peak_temperature_c")
+
+    def test_result_dict_roundtrip(self, small_sweep):
+        _, sweep = small_sweep
+        result = sweep.results[0]
+        rebuilt = CellResult.from_dict(result.to_dict())
+        assert rebuilt.cell == result.cell
+        assert rebuilt.summary == result.summary
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+class TestAggregate:
+    def test_metric_statistics(self):
+        stats = metric_statistics([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.std == pytest.approx(1.0)  # sample std (ddof=1)
+        assert (stats.minimum, stats.maximum, stats.count) == (1.0, 3.0, 3)
+        assert metric_statistics([5.0]).std == 0.0
+        with pytest.raises(ValueError):
+            metric_statistics([])
+
+    def test_replicate_statistics_collapses_seeds(self, small_sweep):
+        matrix, sweep = small_sweep
+        stats = replicate_statistics(sweep.results, "average_power_w")
+        # 2 governors x 2 workloads x 1 platform conditions, 2 seeds each
+        assert len(stats) == 4
+        assert all(entry.count == 2 for entry in stats.values())
+
+    def test_paired_savings_pairs_by_row(self, small_sweep):
+        _, sweep = small_sweep
+        pairs = paired_savings(sweep.results, baseline="schedutil")
+        assert len(pairs) == 4  # powersave cells only
+        assert all(result.cell.governor == "powersave" for result, _ in pairs)
+        assert all(saving > 0 for _, saving in pairs)
+
+    def test_marginal_savings_by_axis(self, small_sweep):
+        _, sweep = small_sweep
+        by_governor = marginal_savings(sweep.results, axis="governor")
+        assert set(by_governor) == {"powersave"}
+        assert by_governor["powersave"].count == 4
+        by_workload = marginal_savings(sweep.results, axis="workload")
+        assert set(by_workload) == {"facebook", "spotify"}
+        with pytest.raises(ValueError):
+            marginal_savings(sweep.results, axis="colour")
+
+    def test_tables_render(self, small_sweep):
+        _, sweep = small_sweep
+        table = condition_table(sweep)
+        assert "schedutil" in table and "facebook" in table
+        marginal = marginal_table(sweep, axis="governor")
+        assert "powersave" in marginal
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "cells" in out
+
+    def test_spec_file_sweep_with_cache(self, tmp_path, capsys):
+        spec = {
+            "name": "cli-test",
+            "governors": ["schedutil", "powersave"],
+            "workloads": ["facebook"],
+            "seeds": [0],
+            "duration_s": 3.0,
+        }
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(spec))
+        cache_dir = str(tmp_path / "cache")
+        assert cli.main(["--spec", str(path), "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 cells ok" in out
+        assert "Marginal average_power_w saving" in out
+        # Second invocation: everything from cache.
+        assert cli.main(["--spec", str(path), "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2 from cache" in out
+
+    def test_requires_matrix_or_spec(self, capsys):
+        assert cli.main([]) == 2
+        assert "give a matrix name or --spec" in capsys.readouterr().err
+
+    def test_matrix_name_and_spec_conflict(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(named_matrix("smoke").to_dict()))
+        assert cli.main(["baselines", "--spec", str(path)]) == 2
+        assert "give exactly one" in capsys.readouterr().err
+
+    def test_bad_baseline_rejected_before_sweep_runs(self, capsys):
+        assert cli.main(["baselines", "--baseline", "scheduti"]) == 2
+        err = capsys.readouterr().err
+        assert "baseline governor" in err and "schedutil" in err
+
+    def test_bad_metric_rejected_before_sweep_runs(self, capsys):
+        # Must fail fast: a typo'd metric on a 72-cell sweep would otherwise
+        # only surface after minutes of compute.
+        assert cli.main(["baselines", "--metric", "average_pwoer_w"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown metric" in err and "average_power_w" in err
+
+    def test_user_errors_exit_2_with_clean_message(self, capsys, tmp_path):
+        assert cli.main(["not-a-matrix"]) == 2
+        assert "unknown matrix" in capsys.readouterr().err
+        assert cli.main(["--spec", "/does/not/exist.json"]) == 2
+        assert "repro-sweep: error:" in capsys.readouterr().err
+        # Malformed syntax and wrong-typed values both stay clean errors.
+        bad_type = tmp_path / "bad_type.json"
+        bad_type.write_text(
+            '{"name":"x","governors":["schedutil"],"workloads":["facebook"],'
+            '"duration_s":[3]}'
+        )
+        assert cli.main(["--spec", str(bad_type)]) == 2
+        assert "repro-sweep: error:" in capsys.readouterr().err

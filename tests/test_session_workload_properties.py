@@ -1,0 +1,101 @@
+"""Property tests for ``SessionWorkload`` segment boundaries.
+
+The scenario-matrix harness replays multi-segment sessions through
+:class:`repro.sim.engine.SessionWorkload`; these properties guarantee that a
+session's demand stream is well-formed however the segments are sliced:
+time is monotonically increasing across segment boundaries, no tick is lost
+or duplicated when one app hands over to the next, and a drained session
+degrades to the documented idle workload.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SessionWorkload
+from repro.workloads.session import SessionSegment
+
+DT_S = 1.0 / 60.0
+
+APP_CHOICES = ("home", "facebook", "spotify", "web_browser")
+
+# Segment plans: 1-3 distinct apps, each playing an exact number of ticks.
+segment_plans = st.lists(
+    st.sampled_from(APP_CHOICES), min_size=1, max_size=3, unique=True
+).flatmap(
+    lambda apps: st.tuples(
+        st.just(apps),
+        st.lists(
+            st.integers(min_value=1, max_value=40),
+            min_size=len(apps),
+            max_size=len(apps),
+        ),
+    )
+)
+
+
+def _build(apps, tick_counts, seed=0):
+    segments = [
+        SessionSegment(app, ticks * DT_S) for app, ticks in zip(apps, tick_counts)
+    ]
+    return SessionWorkload(segments, seed=seed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(plan=segment_plans)
+def test_time_is_strictly_monotonic_across_segments(plan):
+    apps, tick_counts = plan
+    workload = _build(apps, tick_counts)
+    times = []
+    while not workload.exhausted:
+        times.append(workload.tick(DT_S).time_s)
+    assert all(later > earlier for earlier, later in zip(times, times[1:]))
+    # ...and the step size never deviates from one VSync period.
+    for earlier, later in zip(times, times[1:]):
+        assert later - earlier == pytest.approx(DT_S)
+
+
+@settings(max_examples=40, deadline=None)
+@given(plan=segment_plans)
+def test_no_tick_lost_or_duplicated_at_boundaries(plan):
+    apps, tick_counts = plan
+    workload = _build(apps, tick_counts)
+    emitted = []
+    while not workload.exhausted:
+        emitted.append(workload.tick(DT_S).app_name)
+    assert len(emitted) == sum(tick_counts)
+    # Every segment contributes exactly its tick budget, in order.
+    expected = [app for app, ticks in zip(apps, tick_counts) for _ in range(ticks)]
+    assert emitted == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(plan=segment_plans)
+def test_post_exhausted_tick_is_documented_idle_workload(plan):
+    apps, tick_counts = plan
+    workload = _build(apps, tick_counts)
+    while not workload.exhausted:
+        last_time = workload.tick(DT_S).time_s
+    for _ in range(3):  # stays idle however often it is ticked
+        idle = workload.tick(DT_S)
+        assert idle.app_name == "idle"
+        assert idle.phase_name == "exhausted"
+        assert idle.frames == []
+        assert idle.background_work_mwu == {}
+        assert idle.interaction_activity == 0.0
+        assert idle.time_s > last_time
+
+
+def test_fractional_segment_duration_rounds_up_to_whole_ticks():
+    # A segment of 2.5 ticks still plays whole VSync periods: 3 of them.
+    workload = SessionWorkload([SessionSegment("home", 2.5 * DT_S)], seed=1)
+    count = 0
+    while not workload.exhausted:
+        workload.tick(DT_S)
+        count += 1
+    assert count == 3
+
+
+def test_empty_segments_rejected():
+    with pytest.raises(ValueError):
+        SessionWorkload([])
