@@ -1,0 +1,85 @@
+"""Artifact pipeline throughput: train-once versus retrain-per-cell.
+
+Not a paper figure: this benchmark measures the scaling substrate behind the
+paper's evaluation protocol.  Section IV-B trains each application once and
+stores its Q-table; a sweep replicating a trained-``next`` condition over
+many seeds must therefore train once per distinct spec, not once per cell.
+The benchmark runs the same 1-workload x N-seed pretrained matrix twice:
+
+* *retrain-per-cell*: every pretrained cell trains its own agent inline
+  (what standalone ``execute_cell`` does without an artifact), and
+* *train-once*: through a ``SweepRunner`` with an artifact store, so one
+  training serves all N replication seeds,
+
+asserts both paths produce identical per-cell summaries, and reports the
+timing plus a third, fully warm pass in which the store serves the artifact
+from disk and zero training happens.
+"""
+
+import time
+
+from repro.analysis.tables import format_series_table
+from repro.experiments.matrix import ScenarioMatrix
+from repro.experiments.runner import SweepRunner, execute_cell
+
+SEEDS = (0, 1, 2)
+
+
+def _bench_matrix() -> ScenarioMatrix:
+    return ScenarioMatrix.build(
+        name="bench-artifact",
+        governors=("next",),
+        apps=("facebook",),
+        seeds=SEEDS,
+        duration_s=10.0,
+        training={
+            "key": "pretrained",
+            "mode": "pretrained",
+            "episodes": 2,
+            "episode_duration_s": 15.0,
+        },
+    )
+
+
+def test_train_once_beats_retrain_per_cell(benchmark, tmp_path):
+    matrix = _bench_matrix()
+    cells = matrix.cells()
+    assert all(cell.pretrained for cell in cells)
+
+    started = time.perf_counter()
+    retrained = [execute_cell(cell) for cell in cells]
+    retrain_s = time.perf_counter() - started
+    assert all(result.ok for result in retrained)
+
+    artifact_dir = str(tmp_path / "artifacts")
+
+    def train_once_sweep():
+        return SweepRunner(max_workers=1, artifact_dir=artifact_dir).run(matrix)
+
+    started = time.perf_counter()
+    shared = benchmark.pedantic(train_once_sweep, rounds=1, iterations=1)
+    train_once_s = time.perf_counter() - started
+    assert all(result.ok for result in shared.results)
+
+    # Train-once is an optimisation, never a semantic change.
+    assert [r.summary for r in shared.results] == [r.summary for r in retrained]
+
+    warm_runner = SweepRunner(max_workers=1, artifact_dir=artifact_dir)
+    started = time.perf_counter()
+    warm = warm_runner.run(matrix)
+    warm_s = time.perf_counter() - started
+    assert warm_runner.artifacts.trained_count == 0  # served from the store
+    assert [r.summary for r in warm.results] == [r.summary for r in retrained]
+
+    print()
+    print(
+        format_series_table(
+            ["path", "trainings", "cells", "elapsed_s"],
+            [
+                ["retrain-per-cell", len(cells), len(cells), retrain_s],
+                ["train-once (cold store)", 1, len(cells), train_once_s],
+                ["train-once (warm store)", 0, len(cells), warm_s],
+            ],
+            title=f"Trained-next artifact pipeline over {len(SEEDS)} seeds",
+        )
+    )

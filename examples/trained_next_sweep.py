@@ -1,0 +1,72 @@
+"""Trained-Next sweep: the paper's evaluation protocol at matrix scale.
+
+Section V evaluates Next only "when it was fully trained on the respective
+applications".  This example builds a cold-vs-pretrained design -- schedutil
+as the baseline, ``next`` both untrained (exploring) and pre-trained via the
+artifact pipeline -- so the printed table shows exactly what the training
+axis buys: the pretrained rows evaluate a frozen greedy policy whose agent
+was trained once per workload and cached under
+``.sweep-cache/artifacts/<fingerprint>.agent.json``.
+
+Run it twice: the second run trains zero times (artifacts and cell results
+are both served from the cache).
+
+Run with::
+
+    python examples/trained_next_sweep.py
+"""
+
+from repro.experiments import (
+    ScenarioMatrix,
+    SweepRunner,
+    condition_table,
+    marginal_table,
+)
+
+
+def main() -> None:
+    matrix = ScenarioMatrix.build(
+        name="trained-example",
+        governors=("schedutil", "next"),
+        apps=("facebook", "spotify"),
+        seeds=(0, 1),
+        duration_s=30.0,
+        training=(
+            {"key": "cold", "mode": "cold"},
+            {
+                "key": "pretrained",
+                "mode": "pretrained",
+                "episodes": 4,
+                "episode_duration_s": 45.0,
+                "seed": 0,
+            },
+        ),
+    )
+    print(
+        f"Running {len(matrix)} cells "
+        "(schedutil once per row; next cold and pretrained)...\n"
+    )
+
+    runner = SweepRunner(max_workers=4, cache_dir=".sweep-cache")
+    sweep = runner.run(
+        matrix,
+        progress=lambda done, total, result: print(
+            f"  [{done:2d}/{total}] {result.status} {result.cell.label()}"
+            + (" (cached)" if result.from_cache else "")
+        ),
+    )
+
+    print()
+    print(condition_table(sweep, metric="average_power_w"))
+    print()
+    print(marginal_table(sweep, axis="training", baseline="schedutil"))
+    print(
+        f"\n{len(sweep.completed)}/{len(sweep)} cells ok, "
+        f"{sweep.cached_count} from cache; artifacts: "
+        f"{runner.artifacts.trained_count} trained, "
+        f"{runner.artifacts.reused_count} reused"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -29,9 +29,10 @@ from repro.core.frame_window import FrameWindowConfig, FrameWindowMonitor, quant
 from repro.core.state import NextState, StateDiscretiser, StateDiscretiserConfig
 from repro.core.actions import Action, ActionDirection, ActionSpace
 from repro.core.qlearning import QLearningConfig, QLearningCore
-from repro.core.qtable import QTable, QTableStore
+from repro.core.qtable import QTable, QTableStore, escape_app_name, unescape_app_name
 from repro.core.agent import AgentConfig, NextAgent
 from repro.core.governor import NextGovernor
+from repro.core.artifact import ARTIFACT_SCHEMA_VERSION, AgentArtifact, TrainingSpec
 from repro.core.federated import CloudTrainer, CloudTrainingConfig, FederatedAggregator
 
 __all__ = [
@@ -52,9 +53,14 @@ __all__ = [
     "QLearningCore",
     "QTable",
     "QTableStore",
+    "escape_app_name",
+    "unescape_app_name",
     "AgentConfig",
     "NextAgent",
     "NextGovernor",
+    "ARTIFACT_SCHEMA_VERSION",
+    "AgentArtifact",
+    "TrainingSpec",
     "CloudTrainer",
     "CloudTrainingConfig",
     "FederatedAggregator",

@@ -18,10 +18,11 @@ mirrors the on-device deployment:
 
 from __future__ import annotations
 
+import json
 import random
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Mapping, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.actions import Action, ActionSpace
 from repro.core.frame_window import FrameWindowConfig, FrameWindowMonitor
@@ -96,6 +97,41 @@ class AgentConfig:
                     ambient_c=self.discretiser.ambient_c,
                 ),
             )
+
+    # -- serialisation -----------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form of the full (nested) configuration."""
+        return json.loads(json.dumps(asdict(self)))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AgentConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        discretiser = dict(data["discretiser"])
+        discretiser["cluster_order"] = tuple(discretiser["cluster_order"])
+        return cls(
+            cluster_order=tuple(data["cluster_order"]),
+            invocation_period_s=float(data["invocation_period_s"]),
+            frame_window=FrameWindowConfig(**data["frame_window"]),
+            discretiser=StateDiscretiserConfig(**discretiser),
+            qlearning=QLearningConfig(**data["qlearning"]),
+            reward=RewardConfig(**data["reward"]),
+            ambient_c=float(data["ambient_c"]),
+            trained_visit_threshold=int(data["trained_visit_threshold"]),
+            td_error_window=int(data["td_error_window"]),
+        )
+
+
+def _encode_rng_state(state: Tuple[Any, ...]) -> List[Any]:
+    """``random.Random.getstate()`` output as JSON-safe nested lists."""
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def _decode_rng_state(data: Sequence[Any]) -> Tuple[Any, ...]:
+    """Inverse of :func:`_encode_rng_state`."""
+    version, internal, gauss_next = data
+    return (version, tuple(internal), gauss_next)
 
 
 @dataclass
@@ -286,3 +322,68 @@ class NextAgent:
         if name is None:
             return 0
         return len(self.store.table_for(name))
+
+    # -- serialisation ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full JSON-serialisable agent state.
+
+        Beyond the per-application Q-tables this captures every piece of
+        mutable state -- per-app learner epsilons and update counts, the
+        shared RNG, the frame window, the in-flight transition and the
+        step/training-time accounting -- so a restored agent continues (and
+        in particular evaluates greedily) bit-identically to this one.
+        """
+        previous: Optional[List[Any]] = None
+        if self._previous is not None:
+            prev_state, prev_action, prev_target = self._previous
+            previous = [list(prev_state), prev_action, prev_target]
+        return {
+            "config": self.config.to_dict(),
+            "rng_state": _encode_rng_state(self._rng.getstate()),
+            "training": self._training,
+            "app_name": self._app_name,
+            "tables": self.store.to_dict(),
+            "learners": {
+                app_name: learner.state_dict()
+                for app_name, learner in sorted(self._learners.items())
+            },
+            "frame_window": self.frame_window.state_dict(),
+            "previous": previous,
+            "td_errors": list(self._td_errors),
+            "steps_per_app": dict(sorted(self._steps_per_app.items())),
+            "training_time_per_app": dict(sorted(self._training_time_per_app.items())),
+            "cumulative_reward": self._cumulative_reward,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NextAgent":
+        """Rebuild an agent from :meth:`to_dict` output."""
+        config = AgentConfig.from_dict(data["config"])
+        agent = cls(config=config)
+        agent._training = bool(data["training"])
+        agent.store = QTableStore.from_dict(data["tables"])
+        for app_name, learner_state in data.get("learners", {}).items():
+            agent._learner_for(app_name).load_state_dict(learner_state)
+        # Restore the shared RNG only after learner construction so that any
+        # draws made during rebuild cannot shift the evaluation-time stream.
+        agent._rng.setstate(_decode_rng_state(data["rng_state"]))
+        agent._app_name = data.get("app_name")
+        agent.frame_window.load_state_dict(data.get("frame_window", {}))
+        previous = data.get("previous")
+        if previous is not None:
+            prev_state, prev_action, prev_target = previous
+            agent._previous = (tuple(prev_state), int(prev_action), float(prev_target))
+        agent._td_errors = deque(
+            (float(error) for error in data.get("td_errors", ())),
+            maxlen=config.td_error_window,
+        )
+        agent._steps_per_app = {
+            app: int(steps) for app, steps in data.get("steps_per_app", {}).items()
+        }
+        agent._training_time_per_app = {
+            app: float(seconds)
+            for app, seconds in data.get("training_time_per_app", {}).items()
+        }
+        agent._cumulative_reward = float(data.get("cumulative_reward", 0.0))
+        return agent

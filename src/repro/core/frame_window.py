@@ -109,11 +109,17 @@ class FrameWindowMonitor:
         The monitor keeps its own 25 ms cadence: observations arriving faster
         than ``sample_period_s`` are ignored, so the caller may simply forward
         every simulation tick.  Returns ``True`` when a sample was recorded.
+
+        Time running *backwards* means the session clock restarted (a new
+        training episode, or an agent restored from an artifact entering a
+        fresh evaluation run): the sample is accepted and the cadence
+        restarts from the new clock, instead of rejecting every observation
+        until the new clock catches up with the old one.
         """
         self._raw_last_fps = fps
         if (
             self._last_sample_time_s is not None
-            and time_s - self._last_sample_time_s < self.config.sample_period_s - 1e-9
+            and 0.0 <= time_s - self._last_sample_time_s < self.config.sample_period_s - 1e-9
         ):
             return False
         self._last_sample_time_s = time_s
@@ -167,3 +173,21 @@ class FrameWindowMonitor:
         self._samples.clear()
         self._last_sample_time_s = None
         self._raw_last_fps = 0.0
+
+    # -- serialisation ------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable monitor state (window contents and cadence)."""
+        return {
+            "samples": list(self._samples),
+            "last_sample_time_s": self._last_sample_time_s,
+            "raw_last_fps": self._raw_last_fps,
+        }
+
+    def load_state_dict(self, data: dict) -> None:
+        """Restore the monitor from :meth:`state_dict` output."""
+        self._samples.clear()
+        self._samples.extend(int(level) for level in data.get("samples", ()))
+        last = data.get("last_sample_time_s")
+        self._last_sample_time_s = None if last is None else float(last)
+        self._raw_last_fps = float(data.get("raw_last_fps", 0.0))

@@ -27,6 +27,11 @@ class NextGovernor(Governor):
         training: bool = True,
     ) -> None:
         super().__init__(name="next")
+        if agent is not None and (config is not None or seed is not None):
+            # A supplied agent (e.g. one restored from an AgentArtifact)
+            # carries its own config and RNG state; silently ignoring the
+            # other arguments would hide a mis-wired evaluation run.
+            raise ValueError("pass either a ready agent or config/seed, not both")
         self.agent = agent if agent is not None else NextAgent(config=config, seed=seed)
         self.invocation_period_s = self.agent.config.invocation_period_s
         self.agent.set_training(training)

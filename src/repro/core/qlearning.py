@@ -150,6 +150,33 @@ class QLearningCore:
             self.epsilon = max(cfg.epsilon_min, self.epsilon * cfg.epsilon_decay)
         return new_value
 
+    # -- serialisation ---------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable learner state (the Q-table is stored separately).
+
+        Captures everything the learner mutates while training -- the decayed
+        epsilon, the update counter and the exploration-hold bookkeeping -- so
+        a restored learner resumes (or evaluates) exactly where this one
+        stopped.  The RNG is owned by the agent and serialised there.
+        """
+        return {
+            "epsilon": self.epsilon,
+            "exploring": self.exploring,
+            "updates": self._updates,
+            "held_action": self._held_action,
+            "hold_remaining": self._hold_remaining,
+        }
+
+    def load_state_dict(self, data: dict) -> None:
+        """Restore the mutable learner state from :meth:`state_dict` output."""
+        self.epsilon = float(data["epsilon"])
+        self.exploring = bool(data["exploring"])
+        self._updates = int(data["updates"])
+        held = data.get("held_action")
+        self._held_action = None if held is None else int(held)
+        self._hold_remaining = int(data.get("hold_remaining", 0))
+
     # -- diagnostics -----------------------------------------------------------------
 
     def visited_states(self) -> List[Hashable]:

@@ -17,6 +17,24 @@ from __future__ import annotations
 import json
 import os
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from urllib.parse import quote, unquote
+
+
+def escape_app_name(app_name: str) -> str:
+    """Map an application name to a path-safe filename component.
+
+    Application names come from arbitrary package identifiers, so they may
+    contain ``/``, ``..``, ``%`` or other characters that would corrupt or
+    collide file paths.  Percent-encoding everything outside the URL-unreserved
+    set (``[A-Za-z0-9._~-]``) is injective -- ``%`` itself is always encoded --
+    so :func:`unescape_app_name` recovers the exact name.
+    """
+    return quote(app_name, safe="")
+
+
+def unescape_app_name(escaped: str) -> str:
+    """Inverse of :func:`escape_app_name`."""
+    return unquote(escaped)
 
 
 def _encode_state(state: Hashable) -> str:
@@ -166,14 +184,40 @@ class QTableStore:
         table = self._tables.get(app_name)
         return table is not None and table.total_visits() >= min_visits
 
+    # -- serialisation -----------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable representation of every application's table."""
+        return {
+            "action_count": self.action_count,
+            "initial_q": self.initial_q,
+            "tables": {name: table.to_dict() for name, table in self._tables.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "QTableStore":
+        """Rebuild a store from :meth:`to_dict` output."""
+        store = cls(
+            action_count=data["action_count"], initial_q=data.get("initial_q", 0.0)
+        )
+        for app_name, table_data in data.get("tables", {}).items():
+            store.set_table(app_name, QTable.from_dict(table_data))
+        return store
+
     # -- persistence --------------------------------------------------------------------
 
     def save(self, directory: str) -> List[str]:
-        """Write one ``<app>.qtable.json`` file per application; returns paths."""
+        """Write one ``<escaped-app>.qtable.json`` file per application.
+
+        Application names are escaped with :func:`escape_app_name`, so names
+        containing ``/``, ``..`` or other path-unsafe characters neither
+        escape the directory nor collide with each other, and :meth:`load`
+        recovers the original names exactly.  Returns the written paths.
+        """
         os.makedirs(directory, exist_ok=True)
         paths = []
         for app_name, table in self._tables.items():
-            path = os.path.join(directory, f"{app_name}.qtable.json")
+            path = os.path.join(directory, f"{escape_app_name(app_name)}.qtable.json")
             with open(path, "w", encoding="utf-8") as handle:
                 json.dump(table.to_dict(), handle)
             paths.append(path)
@@ -188,7 +232,7 @@ class QTableStore:
         for filename in os.listdir(directory):
             if not filename.endswith(".qtable.json"):
                 continue
-            app_name = filename[: -len(".qtable.json")]
+            app_name = unescape_app_name(filename[: -len(".qtable.json")])
             path = os.path.join(directory, filename)
             with open(path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)

@@ -10,6 +10,10 @@ as the machine allows:
 * :mod:`repro.experiments.runner` -- sequential or process-pool execution
   with failure isolation and an on-disk result cache keyed by cell
   fingerprint,
+* :mod:`repro.experiments.artifacts` -- trained-agent artifacts: each
+  distinct training spec is trained exactly once per sweep (in parallel,
+  through the same pool) and pretrained ``next`` cells evaluate the frozen
+  greedy policy,
 * :mod:`repro.experiments.aggregate` -- replication-aware statistics,
   comparison tables and per-axis marginal effects on top of
   :mod:`repro.analysis`,
@@ -27,10 +31,13 @@ from repro.experiments.aggregate import (
     paired_savings,
     replicate_statistics,
 )
+from repro.experiments.artifacts import ArtifactStore, train_artifact
 from repro.experiments.matrix import (
+    COLD_TRAINING,
     NAMED_MATRICES,
     ScenarioCell,
     ScenarioMatrix,
+    TrainingVariant,
     WorkloadSpec,
     derive_seed,
     named_matrix,
@@ -50,9 +57,14 @@ __all__ = [
     "ScenarioMatrix",
     "ScenarioCell",
     "WorkloadSpec",
+    "TrainingVariant",
+    "COLD_TRAINING",
     "NAMED_MATRICES",
     "named_matrix",
     "derive_seed",
+    # artifacts
+    "ArtifactStore",
+    "train_artifact",
     # runner
     "SweepRunner",
     "SweepResult",

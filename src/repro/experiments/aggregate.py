@@ -20,7 +20,7 @@ from repro.analysis.tables import format_comparison_table, format_series_table
 from repro.experiments.runner import CellResult, SweepResult
 
 #: Cell coordinates an aggregation axis can select on.
-AXES = ("governor", "workload", "platform", "seed")
+AXES = ("governor", "workload", "platform", "seed", "training")
 
 #: Replication statistics reuse the shared series-statistics type from
 #: :mod:`repro.analysis.metrics`.
@@ -39,6 +39,7 @@ class ConditionKey:
     governor: str
     workload: str
     platform: str
+    training: str = "cold"
 
 
 def axis_value(result: CellResult, axis: str) -> str:
@@ -52,6 +53,8 @@ def axis_value(result: CellResult, axis: str) -> str:
         return cell.workload.key
     if axis == "platform":
         return cell.platform
+    if axis == "training":
+        return cell.training.key
     return str(cell.seed)
 
 
@@ -65,6 +68,7 @@ def group_replicates(results: Sequence[CellResult]) -> Dict[ConditionKey, List[C
             governor=result.cell.governor,
             workload=result.cell.workload.key,
             platform=result.cell.platform,
+            training=result.cell.training.key,
         )
         groups.setdefault(key, []).append(result)
     return groups
@@ -98,6 +102,15 @@ def paired_savings(
     for result in results:
         if result.ok and result.cell.governor == baseline:
             coords = (result.cell.workload.key, result.cell.platform, result.cell.seed)
+            if coords in baselines:
+                # A trainable baseline on a multi-variant training axis has
+                # several cells per row; picking one silently would report
+                # savings against an unspecified policy.
+                raise ValueError(
+                    f"ambiguous baseline: multiple {baseline!r} cells share "
+                    f"(workload, platform, seed)={coords}; restrict the "
+                    "baseline governor to a single training variant"
+                )
             baselines[coords] = result
     pairs: List[Tuple[CellResult, float]] = []
     for result in results:
@@ -148,18 +161,33 @@ def condition_table(
     """
     statistics = replicate_statistics(sweep.results, metric)
     multi_platform = len(sweep.matrix.platforms) > 1
+    multi_training = len(sweep.matrix.training) > 1
     per_row: Dict[str, Dict[str, float]] = {}
     for workload in sweep.matrix.workloads:
         for platform in sweep.matrix.platforms:
-            row_key = (
-                f"{workload.key}@{platform}" if multi_platform else workload.key
-            )
-            for governor in sweep.matrix.governors:
-                key = ConditionKey(
-                    governor=governor, workload=workload.key, platform=platform
+            for variant in sweep.matrix.training:
+                row_key = (
+                    f"{workload.key}@{platform}" if multi_platform else workload.key
                 )
-                if key in statistics:
-                    per_row.setdefault(row_key, {})[governor] = statistics[key].mean
+                if multi_training:
+                    row_key = f"{row_key}+{variant.key}"
+                for governor in sweep.matrix.governors:
+                    # A governor that does not expand across the training
+                    # axis contributes its single variant's cells to every
+                    # row, so cold baselines stay visible next to each
+                    # trained column.
+                    variants = sweep.matrix.variants_for(governor)
+                    training_key = (
+                        variant.key if variant in variants else variants[0].key
+                    )
+                    key = ConditionKey(
+                        governor=governor,
+                        workload=workload.key,
+                        platform=platform,
+                        training=training_key,
+                    )
+                    if key in statistics:
+                        per_row.setdefault(row_key, {})[governor] = statistics[key].mean
     return format_comparison_table(
         per_row,
         governor_order=list(sweep.matrix.governors),

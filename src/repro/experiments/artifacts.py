@@ -1,0 +1,195 @@
+"""Training and storage of trained-agent artifacts for the sweep harness.
+
+The paper's protocol trains Next once per application and evaluates the
+frozen policy (Sections IV-B and V).  At sweep scale that split matters
+twice over: correctness (evaluation cells must not measure a cold,
+epsilon-exploring agent) and cost (a matrix with many seeds and workloads
+must not retrain the same agent per cell).  This module provides both
+halves:
+
+* :func:`train_artifact` is the deterministic, picklable work unit that
+  turns a :class:`~repro.core.artifact.TrainingSpec` into an
+  :class:`~repro.core.artifact.AgentArtifact` -- shippable to a process-pool
+  worker exactly like a scenario cell, and
+* :class:`ArtifactStore` mirrors the runner's ``ResultCache``: a
+  fingerprint-keyed store (in memory, optionally backed by a directory) that
+  trains each distinct spec exactly once and serves every later request from
+  the stored artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from dataclasses import asdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.agent import AgentConfig
+from repro.core.artifact import AgentArtifact, TrainingSpec
+from repro.core.governor import NextGovernor
+from repro.sim.config import SimulationConfig
+from repro.sim.experiment import train_next_on_apps
+from repro.soc.platform import make_platform
+
+
+def train_artifact(
+    spec: TrainingSpec, agent_config: Optional[AgentConfig] = None
+) -> AgentArtifact:
+    """Train one agent per ``spec`` and freeze it into an artifact.
+
+    Training runs through :func:`repro.sim.experiment.train_next_on_apps` --
+    the same train-then-freeze path as ``pretrained_next_governor`` -- so
+    the captured agent evaluates greedily with the documented per-app seed
+    scheme.  The function is a plain top-level callable returning plain
+    data: process pools can run it like any cell.
+    """
+    platform = make_platform(spec.platform)
+    overrides = dict(spec.config_overrides)
+    simulation_config = None
+    if overrides:
+        # Train under the spec's environment overrides (the per-episode seed
+        # is re-derived by train_next_governor).
+        simulation_config = SimulationConfig(
+            refresh_hz=platform.display_refresh_hz,
+            duration_s=spec.episode_duration_s,
+            seed=spec.seed,
+            **overrides,
+        )
+    governor = NextGovernor(config=agent_config, seed=spec.seed)
+    results = train_next_on_apps(
+        governor,
+        spec.apps,
+        platform=platform,
+        episodes=spec.episodes,
+        episode_duration_s=spec.episode_duration_s,
+        seed=spec.seed,
+        config=simulation_config,
+    )
+    return AgentArtifact.capture(spec, governor.agent, [asdict(r) for r in results])
+
+
+class ArtifactStore:
+    """Fingerprint-keyed store of trained agents, mirroring ``ResultCache``.
+
+    With a ``directory`` the store persists each artifact to
+    ``<fingerprint>.agent.json`` and re-runs of the same sweep (or other
+    sweeps sharing a training spec) load instead of retrain; without one it
+    de-duplicates within the process only.  ``trained_count`` /
+    ``reused_count`` expose how much training a sweep actually performed.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        # The directory is created lazily on the first store(), so read-only
+        # uses (cache lookups, --list-artifacts) never create paths.
+        self.directory = directory
+        self._memory: Dict[str, AgentArtifact] = {}
+        self.trained_count = 0
+        self.reused_count = 0
+
+    def _path(self, fingerprint: str) -> Optional[str]:
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, f"{fingerprint}.agent.json")
+
+    # -- access -------------------------------------------------------------------------
+
+    def load(
+        self, spec: TrainingSpec, agent_config: Optional[AgentConfig] = None
+    ) -> Optional[AgentArtifact]:
+        """Return the stored artifact for ``spec``, or ``None`` on a miss."""
+        fingerprint = spec.fingerprint(agent_config)
+        artifact = self._memory.get(fingerprint)
+        if artifact is not None:
+            return artifact
+        path = self._path(fingerprint)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            artifact = AgentArtifact.load(path)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None  # corrupt or stale entry: treat as a miss and retrain
+        if artifact.fingerprint != fingerprint:
+            return None
+        self._memory[fingerprint] = artifact
+        return artifact
+
+    def store(self, artifact: AgentArtifact) -> None:
+        """Keep an artifact in memory and, when backed by a directory, on disk."""
+        self._memory[artifact.fingerprint] = artifact
+        path = self._path(artifact.fingerprint)
+        if path is not None:
+            artifact.save(path)
+
+    def resolve(
+        self, spec: TrainingSpec, agent_config: Optional[AgentConfig] = None
+    ) -> Optional[AgentArtifact]:
+        """:meth:`load` that also counts the hit as a reuse.
+
+        The single accounting point for "this spec did not need training";
+        both the sequential and the pool execution paths go through it.
+        """
+        artifact = self.load(spec, agent_config)
+        if artifact is not None:
+            self.reused_count += 1
+        return artifact
+
+    def accept(self, artifact: AgentArtifact) -> None:
+        """Store a freshly trained artifact and count the training."""
+        self.store(artifact)
+        self.trained_count += 1
+
+    def entries(self) -> List[AgentArtifact]:
+        """Every stored artifact (memory plus directory), sorted by fingerprint."""
+        by_fingerprint = dict(self._memory)
+        if self.directory is not None and os.path.isdir(self.directory):
+            for filename in sorted(os.listdir(self.directory)):
+                if not filename.endswith(".agent.json"):
+                    continue
+                fingerprint = filename[: -len(".agent.json")]
+                if fingerprint in by_fingerprint:
+                    continue
+                try:
+                    by_fingerprint[fingerprint] = AgentArtifact.load(
+                        os.path.join(self.directory, filename)
+                    )
+                except (OSError, ValueError, KeyError, TypeError):
+                    continue
+        return [by_fingerprint[key] for key in sorted(by_fingerprint)]
+
+    # -- bulk resolution ----------------------------------------------------------------
+
+    def ensure(
+        self,
+        specs: Iterable[TrainingSpec],
+        agent_config: Optional[AgentConfig] = None,
+    ) -> Tuple[Dict[str, AgentArtifact], Dict[str, str]]:
+        """Resolve every spec to an artifact, training the missing ones once.
+
+        Already-stored specs are served from the store (counted in
+        ``reused_count``); missing ones are trained in-process, persisted and
+        counted in ``trained_count``.  (The sweep runner's pool path
+        schedules training jobs across its workers itself, gating each
+        pretrained cell only on its own artifact.)  Returns
+        ``(artifacts, errors)``, both keyed by spec fingerprint; a spec whose
+        training raised lands in ``errors`` with its traceback instead of
+        aborting the whole resolution, so the sweep's failure isolation
+        extends to the training phase.
+        """
+        artifacts: Dict[str, AgentArtifact] = {}
+        errors: Dict[str, str] = {}
+        for spec in specs:
+            fingerprint = spec.fingerprint(agent_config)
+            if fingerprint in artifacts or fingerprint in errors:
+                continue
+            artifact = self.resolve(spec, agent_config)
+            if artifact is not None:
+                artifacts[fingerprint] = artifact
+                continue
+            try:
+                artifact = train_artifact(spec, agent_config)
+            except Exception:
+                errors[fingerprint] = traceback.format_exc()
+                continue
+            self.accept(artifact)
+            artifacts[fingerprint] = artifact
+        return artifacts, errors

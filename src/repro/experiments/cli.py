@@ -5,11 +5,15 @@ Examples::
     repro-sweep smoke                       # predefined 2x2x2 smoke matrix
     repro-sweep baselines --max-workers 8   # parallel baseline sweep
     repro-sweep --spec sweep.yaml --cache-dir .sweep-cache
+    repro-sweep trained-next --cache-dir .sweep-cache   # paper protocol
+    repro-sweep trained-next --pretrained --train-episodes 2  # smaller budget
     repro-sweep --list                      # show predefined matrices
+    repro-sweep --list-artifacts --cache-dir .sweep-cache
 
 The command prints per-cell progress, the workload x governor mean-metric
 table, per-axis marginal savings and any failures, and exits non-zero if any
-cell failed.
+cell failed.  Sweeps with pretrained cells additionally report how many
+agents were trained versus served from the artifact store.
 """
 
 from __future__ import annotations
@@ -17,11 +21,18 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.experiments.aggregate import condition_table, marginal_table
-from repro.experiments.matrix import NAMED_MATRICES, ScenarioMatrix, named_matrix
-from repro.experiments.runner import CellResult, SweepRunner
+from repro.experiments.artifacts import ArtifactStore
+from repro.experiments.matrix import (
+    NAMED_MATRICES,
+    ScenarioMatrix,
+    TrainingVariant,
+    named_matrix,
+)
+from repro.experiments.runner import CellResult, SweepRunner, default_artifact_dir
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,6 +59,45 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-dir",
         help="directory for the on-disk result cache (re-runs skip completed cells)",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        help=(
+            "directory for trained-agent artifacts "
+            "(default: <cache-dir>/artifacts when --cache-dir is given)"
+        ),
+    )
+    parser.add_argument(
+        "--pretrained",
+        action="store_true",
+        help=(
+            "replace the matrix's training axis with one pretrained variant: "
+            "learning governors are trained once per distinct spec and "
+            "evaluated greedily (the paper's fully-trained protocol)"
+        ),
+    )
+    parser.add_argument(
+        "--train-episodes",
+        type=int,
+        default=None,
+        help="episodes per app for --pretrained training (default: 6)",
+    )
+    parser.add_argument(
+        "--train-duration",
+        type=float,
+        default=None,
+        help="episode duration in seconds for --pretrained training (default: 60)",
+    )
+    parser.add_argument(
+        "--train-seed",
+        type=int,
+        default=None,
+        help="base training seed for --pretrained training (default: 0)",
+    )
+    parser.add_argument(
+        "--list-artifacts",
+        action="store_true",
+        help="list stored trained-agent artifacts (needs --artifact-dir or --cache-dir)",
     )
     parser.add_argument(
         "--metric",
@@ -91,10 +141,60 @@ def _resolve_matrix(args: argparse.Namespace) -> ScenarioMatrix:
             "give exactly one"
         )
     if args.spec:
-        return ScenarioMatrix.from_file(args.spec)
-    if args.matrix:
-        return named_matrix(args.matrix)
-    raise ValueError("give a matrix name or --spec FILE (see --list)")
+        matrix = ScenarioMatrix.from_file(args.spec)
+    elif args.matrix:
+        matrix = named_matrix(args.matrix)
+    else:
+        raise ValueError("give a matrix name or --spec FILE (see --list)")
+    train_flags = {
+        "--train-episodes": args.train_episodes,
+        "--train-duration": args.train_duration,
+        "--train-seed": args.train_seed,
+    }
+    if args.pretrained:
+        # Replace (not extend) the training axis: matrix validation rejects
+        # the override when no trainable governor is on the governors axis.
+        variant = TrainingVariant(
+            key="pretrained",
+            mode="pretrained",
+            episodes=6 if args.train_episodes is None else args.train_episodes,
+            episode_duration_s=(
+                60.0 if args.train_duration is None else args.train_duration
+            ),
+            seed=0 if args.train_seed is None else args.train_seed,
+        )
+        matrix = replace(matrix, training=(variant,))
+    else:
+        given = sorted(name for name, value in train_flags.items() if value is not None)
+        if given:
+            # A named matrix or spec file carries its own training axis; a
+            # silently ignored budget flag would misreport the experiment.
+            raise ValueError(
+                f"{', '.join(given)} only take effect together with --pretrained"
+            )
+    return matrix
+
+
+def _list_artifacts(args: argparse.Namespace) -> int:
+    directory = args.artifact_dir or default_artifact_dir(args.cache_dir)
+    if directory is None:
+        raise ValueError("--list-artifacts needs --artifact-dir or --cache-dir")
+    entries = ArtifactStore(directory).entries()
+    if not entries:
+        print(f"no artifacts in {directory}")
+        return 0
+    for artifact in entries:
+        spec = artifact.spec
+        episodes_run = sum(
+            int(result.get("episodes", 0)) for result in artifact.training_results
+        )
+        print(
+            f"{artifact.fingerprint}  apps={','.join(spec.apps)} "
+            f"platform={spec.platform} episodes={spec.episodes}"
+            f"x{spec.episode_duration_s:g}s seed={spec.seed} "
+            f"(ran {episodes_run} episodes)"
+        )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -117,13 +217,19 @@ def _run(argv: Optional[List[str]]) -> int:
     if args.list:
         for name in sorted(NAMED_MATRICES):
             matrix = named_matrix(name)
+            training = ""
+            if any(variant.pretrained for variant in matrix.training):
+                training = f" x {len(matrix.training)} training"
             print(
                 f"{name}: {len(matrix.governors)} governors x "
                 f"{len(matrix.workloads)} workloads x "
                 f"{len(matrix.platforms)} platforms x "
-                f"{len(matrix.seeds)} seeds = {len(matrix)} cells"
+                f"{len(matrix.seeds)} seeds{training} = {len(matrix)} cells"
             )
         return 0
+
+    if args.list_artifacts:
+        return _list_artifacts(args)
 
     matrix = _resolve_matrix(args)
     _validate_metric(args.metric)
@@ -135,11 +241,24 @@ def _run(argv: Optional[List[str]]) -> int:
             f"available: {list(matrix.governors)}"
         )
     baseline = args.baseline or "schedutil"
+    if baseline in matrix.governors and len(matrix.variants_for(baseline)) > 1:
+        # Fail before the sweep runs: paired savings against a baseline that
+        # expands across several training variants would be ambiguous, and
+        # discovering that only at reporting time wastes the whole sweep.
+        raise ValueError(
+            f"baseline governor {baseline!r} expands across "
+            f"{len(matrix.variants_for(baseline))} training variants, so paired "
+            "savings would be ambiguous; pick a single-variant baseline or "
+            "restrict the training axis"
+        )
+    training = (
+        f" x {len(matrix.training)} training" if len(matrix.training) > 1 else ""
+    )
     print(
         f"Sweep '{matrix.name}': {len(matrix)} cells "
         f"({len(matrix.governors)} governors x {len(matrix.workloads)} workloads "
-        f"x {len(matrix.platforms)} platforms x {len(matrix.seeds)} seeds), "
-        f"max_workers={args.max_workers}"
+        f"x {len(matrix.platforms)} platforms x {len(matrix.seeds)} seeds"
+        f"{training}), max_workers={args.max_workers}"
     )
 
     def progress(done: int, total: int, result: CellResult) -> None:
@@ -148,7 +267,11 @@ def _run(argv: Optional[List[str]]) -> int:
         origin = "cached" if result.from_cache else f"{result.elapsed_s:.1f}s"
         print(f"  [{done}/{total}] {result.status:5s} {result.cell.label()} ({origin})")
 
-    runner = SweepRunner(max_workers=args.max_workers, cache_dir=args.cache_dir)
+    runner = SweepRunner(
+        max_workers=args.max_workers,
+        cache_dir=args.cache_dir,
+        artifact_dir=args.artifact_dir,
+    )
     sweep = runner.run(matrix, progress=progress)
 
     print()
@@ -160,6 +283,7 @@ def _run(argv: Optional[List[str]]) -> int:
             "governor": len(matrix.governors),
             "workload": len(matrix.workloads),
             "platform": len(matrix.platforms),
+            "training": len(matrix.training),
         }
         for axis, size in axis_sizes.items():
             if size > 1:
@@ -175,6 +299,11 @@ def _run(argv: Optional[List[str]]) -> int:
         f"{len(sweep.completed)}/{len(sweep)} cells ok, "
         f"{sweep.cached_count} from cache, {len(sweep.failures)} failed"
     )
+    if any(cell.pretrained for cell in matrix.cells()):
+        print(
+            f"artifacts: {runner.artifacts.trained_count} trained, "
+            f"{runner.artifacts.reused_count} reused"
+        )
     for failure in sweep.failures:
         print(f"\nFAILED {failure.cell.label()}:\n{failure.error}")
     return 1 if sweep.failures else 0

@@ -33,15 +33,17 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.artifact import TrainingSpec
 from repro.sim.config import SimulationConfig
-from repro.sim.experiment import GOVERNOR_FACTORIES
+from repro.sim.experiment import GOVERNOR_FACTORIES, TRAINABLE_GOVERNORS
 from repro.soc.platform import PLATFORM_LIBRARY
 from repro.workloads.apps import APP_LIBRARY
 from repro.workloads.session import NAMED_SESSIONS, Session, session_matrix
 
 #: Bumped whenever cell execution semantics change, so stale cache entries
-#: from older schemes can never be mistaken for current results.
-SCHEMA_VERSION = 1
+#: from older schemes can never be mistaken for current results.  Version 2
+#: added the training axis to every cell spec.
+SCHEMA_VERSION = 2
 
 _SEED_MODULUS = 2**31
 
@@ -109,6 +111,120 @@ class WorkloadSpec:
         )
 
 
+@dataclass(frozen=True)
+class TrainingVariant:
+    """One value of the training axis: how learning governors enter a cell.
+
+    ``cold`` (the default, and the only pre-existing behaviour) instantiates
+    the learning governor untrained with exploration on.  ``pretrained``
+    trains it first -- via the artifact pipeline, once per distinct
+    :class:`~repro.core.artifact.TrainingSpec` -- and evaluates the frozen
+    greedy policy, the paper's "fully trained" protocol.  Non-trainable
+    governors (schedutil & co.) are unaffected by the axis: their cells are
+    emitted once, under the design's cold variant.
+
+    Attributes
+    ----------
+    key:
+        Axis value name (used in cell labels, tables and aggregation).
+    mode:
+        ``"cold"`` or ``"pretrained"``.
+    apps:
+        Applications to train on; empty means "the apps of the cell's own
+        workload, in order of first appearance".  Pinning an explicit list
+        lets many workloads share one artifact.
+    episodes / episode_duration_s / seed:
+        Training budget and base seed of the artifact's
+        :class:`~repro.core.artifact.TrainingSpec`.  The seed is deliberately
+        independent of the cell's replication seed so that replications
+        evaluate the *same* trained policy rather than retraining per seed.
+    """
+
+    key: str = "cold"
+    mode: str = "cold"
+    apps: Tuple[str, ...] = ()
+    episodes: int = 6
+    episode_duration_s: float = 60.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError("a training variant needs a non-empty key")
+        if self.mode not in ("cold", "pretrained"):
+            raise ValueError(
+                f"unknown training mode {self.mode!r}; available: cold, pretrained"
+            )
+        if self.episodes < 1:
+            raise ValueError("episodes must be at least 1")
+        if self.episode_duration_s <= 0:
+            raise ValueError("episode_duration_s must be positive")
+        for app_name in self.apps:
+            if app_name not in APP_LIBRARY:
+                raise ValueError(
+                    f"training variant {self.key!r}: unknown app {app_name!r}"
+                )
+
+    @property
+    def pretrained(self) -> bool:
+        """Whether this variant evaluates a pre-trained (frozen) agent."""
+        return self.mode == "pretrained"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "key": self.key,
+            "mode": self.mode,
+            "apps": list(self.apps),
+            "episodes": self.episodes,
+            "episode_duration_s": self.episode_duration_s,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrainingVariant":
+        """Rebuild a variant from a plain-dict description.
+
+        Unknown keys are rejected so a typo'd training spec cannot silently
+        pre-register a different experiment.
+        """
+        known_keys = {"key", "mode", "apps", "episodes", "episode_duration_s", "seed"}
+        unknown = sorted(set(data) - known_keys)
+        if unknown:
+            raise ValueError(
+                f"unknown training key(s) {unknown}; available: {sorted(known_keys)}"
+            )
+        mode = data.get("mode", "cold")
+        return cls(
+            key=data.get("key", mode),
+            mode=mode,
+            apps=tuple(data.get("apps", ())),
+            episodes=int(data.get("episodes", 6)),
+            episode_duration_s=float(data.get("episode_duration_s", 60.0)),
+            seed=int(data.get("seed", 0)),
+        )
+
+
+#: The default training axis value: today's cold, exploring agent.
+COLD_TRAINING = TrainingVariant()
+
+
+def _coerce_training(
+    training: Optional[Any],
+) -> Tuple[TrainingVariant, ...]:
+    """Accept ``None`` / one variant / a mapping / sequences thereof."""
+    if training is None:
+        return (COLD_TRAINING,)
+    if isinstance(training, (TrainingVariant, Mapping)):
+        training = (training,)
+    variants = []
+    for entry in training:
+        if isinstance(entry, TrainingVariant):
+            variants.append(entry)
+        else:
+            variants.append(TrainingVariant.from_dict(entry))
+    return tuple(variants)
+
+
 def _freeze_mapping(mapping: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
     if not mapping:
         return ()
@@ -131,6 +247,7 @@ class ScenarioCell:
     seed: int
     config_overrides: Tuple[Tuple[str, Any], ...] = ()
     governor_params: Tuple[Tuple[str, Any], ...] = ()
+    training: TrainingVariant = COLD_TRAINING
 
     # -- derived seeds -----------------------------------------------------------
 
@@ -164,11 +281,13 @@ class ScenarioCell:
             "seed": self.seed,
             "config_overrides": [list(pair) for pair in self.config_overrides],
             "governor_params": [list(pair) for pair in self.governor_params],
+            "training": self.training.to_dict(),
         }
 
     @classmethod
     def from_spec(cls, data: Mapping[str, Any]) -> "ScenarioCell":
         """Rebuild a cell from :meth:`spec` output."""
+        training = data.get("training")
         return cls(
             matrix_name=data["matrix_name"],
             governor=data["governor"],
@@ -181,23 +300,82 @@ class ScenarioCell:
             governor_params=tuple(
                 (key, value) for key, value in data.get("governor_params", ())
             ),
+            training=(
+                COLD_TRAINING if training is None else TrainingVariant.from_dict(training)
+            ),
         )
+
+    # -- training ----------------------------------------------------------------
+
+    @property
+    def pretrained(self) -> bool:
+        """Whether this cell evaluates a pre-trained agent."""
+        return self.training.pretrained and self.governor in TRAINABLE_GOVERNORS
+
+    def training_spec(self) -> Optional[TrainingSpec]:
+        """The artifact :class:`TrainingSpec` of this cell, or ``None`` when cold.
+
+        When the variant does not pin an explicit app list, the agent is
+        trained on the cell workload's own applications in order of first
+        appearance -- the per-app Q-table store makes the order irrelevant to
+        the policy, but keeping it deterministic keeps the fingerprint (and
+        therefore the train-once accounting) stable.
+        """
+        if not self.pretrained:
+            return None
+        apps = self.training.apps or tuple(
+            dict.fromkeys(app_name for app_name, _ in self.workload.segments)
+        )
+        return TrainingSpec(
+            apps=apps,
+            platform=self.platform,
+            episodes=self.training.episodes,
+            episode_duration_s=self.training.episode_duration_s,
+            seed=self.training.seed,
+            # Train in the same simulated environment the evaluation cell
+            # runs in (e.g. warm-start temperature).
+            config_overrides=self.config_overrides,
+        )
+
+    def canonical_payload(self) -> Dict[str, Any]:
+        """The cell's execution-semantic content: the fingerprint hash input.
+
+        The matrix name is deliberately excluded so renaming a matrix (or
+        running the same cell from two different matrices) still hits the
+        cache, and the training variant is normalised to what actually
+        reaches execution: cold cells reduce to ``{"mode": "cold"}`` (the
+        variant's display key and unused training budget cannot change the
+        run), pretrained cells to their resolved :class:`TrainingSpec` (so
+        an explicit app list equal to the workload's own apps, or a renamed
+        variant, still shares cached results).
+        """
+        payload = self.spec()
+        payload.pop("matrix_name")
+        spec = self.training_spec()
+        payload["training"] = (
+            {"mode": "cold"}
+            if spec is None
+            else {"mode": "pretrained", "spec": spec.to_dict()}
+        )
+        return payload
 
     def fingerprint(self) -> str:
         """Stable content hash of the cell: the result-cache key.
 
-        The matrix name is deliberately excluded so renaming a matrix (or
-        running the same cell from two different matrices) still hits the
-        cache; everything that affects the simulation outcome is included.
+        Everything that affects the simulation outcome -- and nothing else;
+        see :meth:`canonical_payload` -- is included.
         """
-        payload = self.spec()
-        payload.pop("matrix_name")
-        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        canonical = json.dumps(
+            self.canonical_payload(), sort_keys=True, separators=(",", ":")
+        )
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
 
     def label(self) -> str:
         """Short human-readable identifier for progress lines."""
-        return f"{self.governor}/{self.workload.key}/{self.platform}/s{self.seed}"
+        label = f"{self.governor}/{self.workload.key}/{self.platform}/s{self.seed}"
+        if self.training != COLD_TRAINING:
+            label += f"/{self.training.key}"
+        return label
 
 
 @dataclass(frozen=True)
@@ -222,6 +400,10 @@ class ScenarioMatrix:
         applied to every cell (e.g. ``warm_start_temperature_c``).
     governor_params:
         Per-governor constructor keyword arguments, keyed by governor name.
+    training:
+        Training-axis values (:class:`TrainingVariant`).  Only trainable
+        governors expand across this axis; every other governor contributes
+        one cell per (workload, platform, seed) under the cold variant.
     """
 
     name: str
@@ -231,6 +413,7 @@ class ScenarioMatrix:
     seeds: Tuple[int, ...] = (0,)
     config_overrides: Tuple[Tuple[str, Any], ...] = ()
     governor_params: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = ()
+    training: Tuple[TrainingVariant, ...] = (COLD_TRAINING,)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -278,13 +461,61 @@ class ScenarioMatrix:
                     f"governor_params given for {governor!r}, which is not on the "
                     "governors axis"
                 )
+        if not self.training:
+            raise ValueError("axis 'training' must not be empty")
+        keys = [variant.key for variant in self.training]
+        if len(set(keys)) != len(keys):
+            raise ValueError("training variant keys must be unique")
+        if any(variant.pretrained for variant in self.training):
+            if not any(g in TRAINABLE_GOVERNORS for g in self.governors):
+                raise ValueError(
+                    "a pretrained training variant needs a trainable governor "
+                    f"on the governors axis (trainable: {sorted(TRAINABLE_GOVERNORS)})"
+                )
+            for governor, params in self.governor_params:
+                if governor in TRAINABLE_GOVERNORS and params:
+                    raise ValueError(
+                        f"governor_params for trainable governor {governor!r} cannot "
+                        "be combined with a pretrained training variant; the "
+                        "artifact's agent carries its own configuration and seed"
+                    )
+        for variant in self.training:
+            if not (variant.pretrained and variant.apps):
+                continue
+            # A pinned training-app list that misses a workload app would
+            # evaluate an untrained (cold, greedy-on-initial-Q) policy for
+            # that app while labelling the cell "pretrained".
+            pinned = set(variant.apps)
+            for workload in self.workloads:
+                missing = sorted(
+                    {app for app, _ in workload.segments} - pinned
+                )
+                if missing:
+                    raise ValueError(
+                        f"training variant {variant.key!r} pins apps "
+                        f"{list(variant.apps)} but workload {workload.key!r} "
+                        f"also runs {missing}; pinned training apps must cover "
+                        "every workload's apps"
+                    )
+
+    def variants_for(self, governor: str) -> Tuple[TrainingVariant, ...]:
+        """Training variants ``governor`` expands across.
+
+        Trainable governors cover the whole axis; stateless governors run
+        once, under the design's (first) cold variant so their cells keep the
+        default-training fingerprint.
+        """
+        if governor in TRAINABLE_GOVERNORS:
+            return self.training
+        for variant in self.training:
+            if not variant.pretrained:
+                return (variant,)
+        return (COLD_TRAINING,)
 
     def __len__(self) -> int:
-        return (
-            len(self.governors)
-            * len(self.workloads)
-            * len(self.platforms)
-            * len(self.seeds)
+        rows = len(self.workloads) * len(self.platforms) * len(self.seeds)
+        return rows * sum(
+            len(self.variants_for(governor)) for governor in self.governors
         )
 
     def params_for(self, governor: str) -> Tuple[Tuple[str, Any], ...]:
@@ -297,26 +528,29 @@ class ScenarioMatrix:
     def cells(self) -> List[ScenarioCell]:
         """Expand the full factorial product, in pre-registered order.
 
-        The order is workload-major, then platform, seed and governor, so all
-        columns of one comparison row are adjacent -- convenient both for
-        progress output and for cache-locality of paired baselines.
+        The order is workload-major, then platform, seed and governor (each
+        governor's training variants adjacent), so all columns of one
+        comparison row are adjacent -- convenient both for progress output
+        and for cache-locality of paired baselines.
         """
         expanded: List[ScenarioCell] = []
         for workload in self.workloads:
             for platform in self.platforms:
                 for seed in self.seeds:
                     for governor in self.governors:
-                        expanded.append(
-                            ScenarioCell(
-                                matrix_name=self.name,
-                                governor=governor,
-                                workload=workload,
-                                platform=platform,
-                                seed=seed,
-                                config_overrides=self.config_overrides,
-                                governor_params=self.params_for(governor),
+                        for variant in self.variants_for(governor):
+                            expanded.append(
+                                ScenarioCell(
+                                    matrix_name=self.name,
+                                    governor=governor,
+                                    workload=workload,
+                                    platform=platform,
+                                    seed=seed,
+                                    config_overrides=self.config_overrides,
+                                    governor_params=self.params_for(governor),
+                                    training=variant,
+                                )
                             )
-                        )
         return expanded
 
     # -- construction ----------------------------------------------------------------
@@ -334,8 +568,14 @@ class ScenarioMatrix:
         game_duration_s: Optional[float] = None,
         config_overrides: Optional[Mapping[str, Any]] = None,
         governor_params: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        training: Optional[Any] = None,
     ) -> "ScenarioMatrix":
-        """Convenience constructor from app names and/or named sessions."""
+        """Convenience constructor from app names and/or named sessions.
+
+        ``training`` accepts a single :class:`TrainingVariant` (or its
+        plain-dict form) or a sequence of them; ``None`` keeps the cold-only
+        axis.
+        """
         workloads: List[WorkloadSpec] = []
         if apps:
             for key, session in session_matrix(
@@ -357,6 +597,7 @@ class ScenarioMatrix:
                     for governor, params in (governor_params or {}).items()
                 )
             ),
+            training=_coerce_training(training),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -372,6 +613,7 @@ class ScenarioMatrix:
             "governor_params": {
                 governor: dict(params) for governor, params in self.governor_params
             },
+            "training": [variant.to_dict() for variant in self.training],
         }
 
     @classmethod
@@ -388,7 +630,7 @@ class ScenarioMatrix:
         known_keys = {
             "schema_version", "name", "governors", "workloads", "platforms",
             "seeds", "duration_s", "game_duration_s", "config_overrides",
-            "governor_params",
+            "governor_params", "training",
         }
         unknown = sorted(set(data) - known_keys)
         if unknown:
@@ -425,6 +667,7 @@ class ScenarioMatrix:
                     for governor, params in dict(data.get("governor_params", {})).items()
                 )
             ),
+            training=_coerce_training(data.get("training")),
         )
 
     @classmethod
@@ -490,12 +733,37 @@ def _platforms_matrix() -> ScenarioMatrix:
     )
 
 
+def _trained_next_matrix() -> ScenarioMatrix:
+    """Trained Next vs schedutil: the paper's actual evaluation protocol.
+
+    Every ``next`` cell loads a per-workload artifact trained once for the
+    whole sweep (Section V: "all results for Next were observed when it was
+    fully trained on the respective applications"); the replication seeds
+    vary the evaluated session, never the trained policy.
+    """
+    return ScenarioMatrix.build(
+        name="trained-next",
+        governors=("schedutil", "next"),
+        apps=("facebook", "spotify", "youtube"),
+        seeds=(0, 1),
+        duration_s=60.0,
+        training={
+            "key": "pretrained",
+            "mode": "pretrained",
+            "episodes": 6,
+            "episode_duration_s": 60.0,
+            "seed": 0,
+        },
+    )
+
+
 #: Registry of predefined matrices, keyed by the name accepted by the
 #: ``repro-sweep`` CLI.
 NAMED_MATRICES = {
     "smoke": _smoke_matrix,
     "baselines": _baselines_matrix,
     "platforms": _platforms_matrix,
+    "trained-next": _trained_next_matrix,
 }
 
 

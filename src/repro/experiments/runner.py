@@ -25,8 +25,10 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.core.artifact import AgentArtifact, TrainingSpec
+from repro.experiments.artifacts import ArtifactStore, train_artifact
 from repro.experiments.matrix import ScenarioCell, ScenarioMatrix
 from repro.sim.config import SimulationConfig
 from repro.sim.experiment import (
@@ -109,13 +111,22 @@ def summary_to_dict(result: SessionResult) -> Dict[str, Any]:
     return summary
 
 
-def run_cell_session(cell: ScenarioCell) -> SessionResult:
+def run_cell_session(
+    cell: ScenarioCell, artifact: Optional[AgentArtifact] = None
+) -> SessionResult:
     """Execute one cell in-process and return the full session result.
 
     Records the cell's demand trace with its governor-independent
     ``trace_seed``, instantiates the governor (seeding stochastic ones with
     the cell's ``governor_seed``) and replays the trace through the shared
     single-cell primitive.
+
+    A pretrained cell evaluates the frozen greedy policy of its trained
+    artifact (``training=False``), never a cold exploring agent.  The sweep
+    runner resolves artifacts up front through its :class:`ArtifactStore`
+    and passes them in; standalone callers may omit ``artifact``, in which
+    case the cell's :class:`TrainingSpec` is trained inline -- identical
+    result, just without the train-once sharing.
     """
     platform = make_platform(cell.platform)
     segments = [
@@ -123,10 +134,21 @@ def run_cell_session(cell: ScenarioCell) -> SessionResult:
         for app_name, duration_s in cell.workload.segments
     ]
     trace = record_session_trace(segments, platform=platform, seed=cell.trace_seed)
-    params = dict(cell.governor_params)
-    if cell.governor in STOCHASTIC_GOVERNORS:
-        params.setdefault("seed", cell.governor_seed)
-    governor = make_governor(cell.governor, **params)
+    spec = cell.training_spec()
+    if spec is not None:
+        if artifact is None:
+            artifact = train_artifact(spec)
+        elif artifact.fingerprint != spec.fingerprint():
+            raise ValueError(
+                f"artifact {artifact.fingerprint!r} does not match cell "
+                f"{cell.label()} training spec {spec.fingerprint()!r}"
+            )
+        governor = artifact.build_governor()
+    else:
+        params = dict(cell.governor_params)
+        if cell.governor in STOCHASTIC_GOVERNORS:
+            params.setdefault("seed", cell.governor_seed)
+        governor = make_governor(cell.governor, **params)
     config = SimulationConfig(
         refresh_hz=platform.display_refresh_hz,
         duration_s=trace.duration_s,
@@ -136,11 +158,13 @@ def run_cell_session(cell: ScenarioCell) -> SessionResult:
     return run_trace(trace, governor, platform=platform, config=config)
 
 
-def execute_cell(cell: ScenarioCell) -> CellResult:
+def execute_cell(
+    cell: ScenarioCell, artifact: Optional[AgentArtifact] = None
+) -> CellResult:
     """Run one cell with failure isolation (the process-pool work unit)."""
     started = time.perf_counter()
     try:
-        session = run_cell_session(cell)
+        session = run_cell_session(cell, artifact=artifact)
         return CellResult(
             cell=cell,
             status="ok",
@@ -154,6 +178,20 @@ def execute_cell(cell: ScenarioCell) -> CellResult:
             error=traceback.format_exc(),
             elapsed_s=time.perf_counter() - started,
         )
+
+
+def _training_error(fingerprint: str, spec: TrainingSpec, details: str) -> str:
+    """One message format for "this cell's artifact failed to train"."""
+    return (
+        f"training failed for artifact {fingerprint} ({spec.label()}):\n{details}"
+    )
+
+
+def default_artifact_dir(cache_dir: Optional[str]) -> Optional[str]:
+    """Where a sweep with this result cache keeps its trained-agent artifacts."""
+    if cache_dir is None:
+        return None
+    return os.path.join(cache_dir, "artifacts")
 
 
 class ResultCache:
@@ -180,14 +218,16 @@ class ResultCache:
             result = CellResult.from_dict(data)
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
             return None  # corrupt entry: treat as a miss and recompute
-        # Fingerprints are truncated hashes; verify the stored spec really is
-        # this cell before trusting the hit.  Compare in JSON-canonical form:
-        # the cached spec already went through JSON (tuples became lists), so
-        # the live spec must be normalised the same way.
-        cached_spec = result.cell.spec()
-        cached_spec["matrix_name"] = cell.matrix_name
-        live_spec = json.loads(json.dumps(cell.spec()))
-        if json.loads(json.dumps(cached_spec)) != live_spec or not result.ok:
+        # Fingerprints are truncated hashes; verify the stored cell really is
+        # semantically this cell before trusting the hit.  Comparing the
+        # canonical payloads (the fingerprint hash inputs) applies the same
+        # normalisation the fingerprint does -- matrix name excluded,
+        # training variant reduced to its execution semantics -- in
+        # JSON-canonical form: the cached payload already went through JSON
+        # (tuples became lists), so the live one is normalised the same way.
+        cached_payload = json.loads(json.dumps(result.cell.canonical_payload()))
+        live_payload = json.loads(json.dumps(cell.canonical_payload()))
+        if cached_payload != live_payload or not result.ok:
             return None
         result.cell = cell
         result.from_cache = True
@@ -243,17 +283,28 @@ class SweepRunner:
 
     ``max_workers=1`` (or a single pending cell) executes in-process through
     exactly the same :func:`execute_cell` path the pool workers use.
+
+    Pretrained cells add a phase before cell execution: every distinct
+    :class:`TrainingSpec` among the pending cells is resolved through the
+    runner's :class:`ArtifactStore` -- loaded when stored, trained exactly
+    once otherwise (across the same process pool the cells use) -- and each
+    cell then evaluates its frozen artifact.  ``artifact_dir`` defaults to
+    ``<cache_dir>/artifacts`` so cached sweeps also reuse their agents.
     """
 
     def __init__(
         self,
         max_workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
+        artifact_dir: Optional[str] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         self.max_workers = max_workers
         self.cache = ResultCache(cache_dir)
+        if artifact_dir is None:
+            artifact_dir = default_artifact_dir(cache_dir)
+        self.artifacts = ArtifactStore(artifact_dir)
 
     def run(
         self,
@@ -274,59 +325,150 @@ class SweepRunner:
                 progress(done, total, result)
 
         pending: List[Tuple[int, ScenarioCell]] = []
+        specs: Dict[str, TrainingSpec] = {}
         for index, cell in enumerate(cells):
             cached = self.cache.load(cell)
             if cached is not None:
                 deliver(index, cached)
             else:
                 pending.append((index, cell))
+                spec = cell.training_spec()
+                if spec is not None:
+                    specs.setdefault(spec.fingerprint(), spec)
 
         workers = self.max_workers if self.max_workers is not None else os.cpu_count() or 1
         if workers <= 1 or len(pending) <= 1:
+            artifacts, errors = self.artifacts.ensure(specs.values())
             for index, cell in pending:
-                result = execute_cell(cell)
+                result = self._execute_pending(cell, artifacts, errors)
                 self.cache.store(result)
                 deliver(index, result)
         else:
-            self._run_pool(pending, min(workers, len(pending)), deliver)
+            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+                self._run_pool(pool, pending, specs, deliver)
 
         return SweepResult(matrix=matrix, results=[slot for slot in slots if slot is not None])
 
     def _run_pool(
         self,
-        pending: Sequence[Tuple[int, ScenarioCell]],
-        workers: int,
+        pool: ProcessPoolExecutor,
+        pending: List[Tuple[int, ScenarioCell]],
+        specs: Dict[str, TrainingSpec],
         deliver: Callable[[int, CellResult], None],
     ) -> None:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(execute_cell, cell): (index, cell)
-                for index, cell in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    index, cell = futures[future]
+        """Pool scheduling: training jobs gate only their own dependent cells.
+
+        Missing artifacts are submitted *first* (so training starts on the
+        first free workers), artifact-free cells run concurrently with the
+        training phase, already-stored artifacts dispatch their cells
+        immediately, and each freshly trained artifact releases its cells the
+        moment it lands -- no cell ever waits on an unrelated spec.
+        """
+        artifacts: Dict[str, AgentArtifact] = {}
+        missing: Dict[str, TrainingSpec] = {}
+        for fingerprint, spec in specs.items():
+            artifact = self.artifacts.resolve(spec)
+            if artifact is not None:
+                artifacts[fingerprint] = artifact
+            else:
+                missing[fingerprint] = spec
+
+        training_futures = {
+            pool.submit(train_artifact, spec): fingerprint
+            for fingerprint, spec in missing.items()
+        }
+        cell_futures: Dict[Any, Tuple[int, ScenarioCell]] = {}
+        waiting: Dict[str, List[Tuple[int, ScenarioCell]]] = {}
+        for index, cell in pending:
+            spec = cell.training_spec()
+            if spec is None:
+                cell_futures[pool.submit(execute_cell, cell)] = (index, cell)
+                continue
+            fingerprint = spec.fingerprint()
+            if fingerprint in artifacts:
+                cell_futures[pool.submit(execute_cell, cell, artifacts[fingerprint])] = (
+                    index,
+                    cell,
+                )
+            else:
+                waiting.setdefault(fingerprint, []).append((index, cell))
+
+        remaining = set(training_futures) | set(cell_futures)
+        while remaining:
+            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in finished:
+                if future in training_futures:
+                    fingerprint = training_futures[future]
+                    spec = missing[fingerprint]
+                    try:
+                        artifact = future.result()
+                    except Exception:
+                        # The artifact failed to train: fail its cells without
+                        # occupying workers (errors are never cached).
+                        error = _training_error(
+                            fingerprint, spec, traceback.format_exc()
+                        )
+                        for index, cell in waiting.pop(fingerprint, ()):
+                            deliver(
+                                index,
+                                CellResult(cell=cell, status="error", error=error),
+                            )
+                        continue
+                    self.artifacts.accept(artifact)
+                    for index, cell in waiting.pop(fingerprint, ()):
+                        released = pool.submit(execute_cell, cell, artifact)
+                        cell_futures[released] = (index, cell)
+                        remaining.add(released)
+                else:
+                    index, cell = cell_futures[future]
                     try:
                         result = future.result()
                     except Exception:
-                        # execute_cell catches workload errors itself; reaching
-                        # here means the pool infrastructure failed (e.g. a
-                        # worker was killed).  Isolate it like any other error.
+                        # execute_cell catches workload errors itself;
+                        # reaching here means the pool infrastructure failed
+                        # (e.g. a worker was killed).  Isolate it like any
+                        # other error.
                         result = CellResult(
                             cell=cell, status="error", error=traceback.format_exc()
                         )
                     self.cache.store(result)
                     deliver(index, result)
 
+    @staticmethod
+    def _resolve_artifact(
+        cell: ScenarioCell,
+        artifacts: Dict[str, "AgentArtifact"],
+        errors: Dict[str, str],
+    ) -> Tuple[Optional["AgentArtifact"], Optional[str]]:
+        """The cell's trained artifact, or the training error that doomed it."""
+        spec = cell.training_spec()
+        if spec is None:
+            return None, None
+        fingerprint = spec.fingerprint()
+        if fingerprint in errors:
+            return None, _training_error(fingerprint, spec, errors[fingerprint])
+        return artifacts.get(fingerprint), None
+
+    def _execute_pending(
+        self,
+        cell: ScenarioCell,
+        artifacts: Dict[str, "AgentArtifact"],
+        errors: Dict[str, str],
+    ) -> CellResult:
+        artifact, error = self._resolve_artifact(cell, artifacts, errors)
+        if error is not None:
+            return CellResult(cell=cell, status="error", error=error)
+        return execute_cell(cell, artifact=artifact)
 
 def run_matrix(
     matrix: ScenarioMatrix,
     max_workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    artifact_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`SweepRunner`."""
-    runner = SweepRunner(max_workers=max_workers, cache_dir=cache_dir)
+    runner = SweepRunner(
+        max_workers=max_workers, cache_dir=cache_dir, artifact_dir=artifact_dir
+    )
     return runner.run(matrix, progress=progress)

@@ -25,6 +25,7 @@ from repro.sim.experiment import (
     run_trace,
     select_best_next_governor,
     train_next_governor,
+    train_next_on_apps,
 )
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "run_trace",
     "run_app_session",
     "train_next_governor",
+    "train_next_on_apps",
     "pretrained_next_governor",
     "select_best_next_governor",
     "compare_governors_on_trace",

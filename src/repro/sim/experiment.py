@@ -16,7 +16,7 @@ These helpers encode the paper's experimental methodology:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.agent import AgentConfig, NextAgent
@@ -84,7 +84,12 @@ class GovernorComparison:
         """Peak-temperature-rise reduction (above ambient) relative to the baseline."""
         ambient = self.results[self.baseline_name].recorder.ambient_c
         base = self.summary(self.baseline_name).peak_temperature_c.get(node, ambient)
-        other = self.summary(governor_name).peak_temperature_c.get(node, ambient)
+        # A node missing from a run's summary means it never rose above that
+        # run's own ambient -- fall back to the governor's own recorder, not
+        # the baseline's, which may sit at a different ambient temperature.
+        other = self.summary(governor_name).peak_temperature_c.get(
+            node, self.results[governor_name].recorder.ambient_c
+        )
         base_rise = max(1e-9, base - ambient)
         return 100.0 * (base - other) / base_rise
 
@@ -107,6 +112,12 @@ GOVERNOR_FACTORIES: Dict[str, Callable[..., Governor]] = {
 #: automatically per cell; add any new stochastic governor here or its cells
 #: will draw from global randomness and break run-to-run determinism.
 STOCHASTIC_GOVERNORS = frozenset({"next"})
+
+#: Governors that learn and can therefore be pre-trained into an
+#: :class:`~repro.core.artifact.AgentArtifact`.  A ``pretrained`` training
+#: variant on a scenario matrix only applies to these; all other governors
+#: are stateless policies for which training is meaningless.
+TRAINABLE_GOVERNORS = frozenset({"next"})
 
 
 def make_governor(name: str, **kwargs) -> Governor:
@@ -250,11 +261,17 @@ def train_next_governor(
     for episode in range(episodes):
         episodes_run += 1
         episode_seed = seed + episode * 101
-        episode_config = config or SimulationConfig(
-            refresh_hz=platform.display_refresh_hz,
-            duration_s=episode_duration_s,
-            seed=episode_seed,
-        )
+        if config is not None:
+            # Keep the caller's knobs but still vary the sensor-noise seed per
+            # episode; reusing one seed would de-randomise "freshly seeded"
+            # episodes and narrow the experience the agent trains on.
+            episode_config = replace(config, seed=episode_seed)
+        else:
+            episode_config = SimulationConfig(
+                refresh_hz=platform.display_refresh_hz,
+                duration_s=episode_duration_s,
+                seed=episode_seed,
+            )
         simulation = Simulation(platform=platform, governor=governor, config=episode_config)
         app = make_app(app_name, seed=episode_seed)
         simulation.run(app, duration_s=episode_duration_s)
@@ -272,6 +289,49 @@ def train_next_governor(
     )
 
 
+#: Stride between the base seeds of consecutive apps when one governor is
+#: trained on several applications, so their episode seeds cannot overlap.
+APP_SEED_STRIDE = 1009
+
+
+def train_next_on_apps(
+    governor: NextGovernor,
+    app_names: Sequence[str],
+    platform: Optional[PlatformSpec] = None,
+    episodes: int = 6,
+    episode_duration_s: float = 60.0,
+    seed: int = 0,
+    td_error_threshold: float = 0.02,
+    config: Optional[SimulationConfig] = None,
+) -> List[TrainingResult]:
+    """Train one governor on several applications, then freeze it.
+
+    Each app trains through :func:`train_next_governor` with a base seed of
+    ``seed + index * APP_SEED_STRIDE``; afterwards exploration is switched
+    off so the governor evaluates the greedy (fully trained) policy.  This
+    is the single train-then-freeze path shared by
+    :func:`pretrained_next_governor`, :func:`select_best_next_governor` and
+    the sweep harness's artifact trainer, so their trained policies cannot
+    drift apart.
+    """
+    platform = platform or exynos9810()
+    results = [
+        train_next_governor(
+            governor,
+            app_name,
+            platform=platform,
+            episodes=episodes,
+            episode_duration_s=episode_duration_s,
+            seed=seed + index * APP_SEED_STRIDE,
+            td_error_threshold=td_error_threshold,
+            config=config,
+        )
+        for index, app_name in enumerate(app_names)
+    ]
+    governor.set_training(False)
+    return results
+
+
 def pretrained_next_governor(
     app_names: Sequence[str],
     platform: Optional[PlatformSpec] = None,
@@ -286,18 +346,15 @@ def pretrained_next_governor(
     the greedy (fully trained) policy, matching the paper's "all results for
     Next were observed when it was fully trained" protocol.
     """
-    platform = platform or exynos9810()
     governor = NextGovernor(config=agent_config, seed=seed)
-    for index, app_name in enumerate(app_names):
-        train_next_governor(
-            governor,
-            app_name,
-            platform=platform,
-            episodes=episodes,
-            episode_duration_s=episode_duration_s,
-            seed=seed + index * 1009,
-        )
-    governor.set_training(False)
+    train_next_on_apps(
+        governor,
+        app_names,
+        platform=platform,
+        episodes=episodes,
+        episode_duration_s=episode_duration_s,
+        seed=seed,
+    )
     return governor
 
 
@@ -355,17 +412,15 @@ def select_best_next_governor(
     best_key = None
     for seed in candidate_seeds:
         governor = NextGovernor(config=agent_config, seed=seed)
-        for index, app_name in enumerate(app_names):
-            train_next_governor(
-                governor,
-                app_name,
-                platform=platform,
-                episodes=episodes,
-                episode_duration_s=episode_duration_s,
-                seed=seed + index * 1009,
-                td_error_threshold=0.0,
-            )
-        governor.set_training(False)
+        train_next_on_apps(
+            governor,
+            app_names,
+            platform=platform,
+            episodes=episodes,
+            episode_duration_s=episode_duration_s,
+            seed=seed,
+            td_error_threshold=0.0,
+        )
         total_power = 0.0
         worst_delivery = 1.0
         for app_name, trace in validation_traces.items():

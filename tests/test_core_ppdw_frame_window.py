@@ -177,6 +177,18 @@ class TestFrameWindowMonitor:
         assert monitor.observe(0.025, 60.0) is True
         assert monitor.sample_count == 2
 
+    def test_clock_restart_resets_the_cadence(self):
+        # A new training episode (or an agent restored from an artifact)
+        # restarts the session clock at zero; the monitor must keep sampling
+        # instead of rejecting everything until the new clock catches up
+        # with the old one.
+        monitor = FrameWindowMonitor()
+        assert monitor.observe(59.975, 60.0) is True
+        assert monitor.observe(0.000, 30.0) is True   # clock went backwards
+        assert monitor.observe(0.010, 30.0) is False  # cadence restarted here
+        assert monitor.observe(0.025, 30.0) is True
+        assert monitor.sample_count == 3
+
     def test_mode_of_constant_signal(self):
         monitor = FrameWindowMonitor()
         for i in range(200):

@@ -1,11 +1,19 @@
 """Unit tests for the Q-table store and the tabular Q-learning core."""
 
 import random
+from pathlib import Path
 
 import pytest
 
 from repro.core.qlearning import QLearningConfig, QLearningCore
-from repro.core.qtable import QTable, QTableStore
+from repro.core.qtable import (
+    QTable,
+    QTableStore,
+    _decode_state,
+    _encode_state,
+    escape_app_name,
+    unescape_app_name,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -45,6 +53,30 @@ class TestQTable:
         with pytest.raises(ValueError):
             a.merge(QTable(action_count=2), weight=2.0)
 
+    def test_merge_accumulates_visit_counts(self):
+        # Visit accounting drives is_trained(); a merge must add the other
+        # table's experience for both common and copied states.
+        a = QTable(action_count=2)
+        b = QTable(action_count=2)
+        a.set("both", 0, 1.0)
+        a.set("both", 1, 1.0)
+        b.set("both", 0, 3.0)
+        b.set("only_b", 1, 5.0)
+        b.set("only_b", 1, 6.0)
+        a.merge(b, weight=0.5)
+        assert a.visits("both") == 3  # 2 of ours + 1 of theirs
+        assert a.visits("only_b") == 2  # copied states keep their visits
+        assert a.total_visits() == 5
+
+    def test_merge_into_unvisited_lazy_row(self):
+        a = QTable(action_count=2)
+        b = QTable(action_count=2)
+        a.values("lazy")  # row exists but was never updated
+        b.set("lazy", 0, 4.0)
+        a.merge(b, weight=1.0)
+        assert a.get("lazy", 0) == pytest.approx(4.0)
+        assert a.visits("lazy") == 1
+
     def test_serialisation_round_trip_with_tuple_states(self):
         table = QTable(action_count=4, initial_q=0.1)
         table.set((1, 2, 3), 2, -1.5)
@@ -58,6 +90,57 @@ class TestQTable:
     def test_rejects_invalid_action_count(self):
         with pytest.raises(ValueError):
             QTable(action_count=0)
+
+
+class TestStateEncoding:
+    @pytest.mark.parametrize(
+        "state",
+        [
+            (1, 2, 3),
+            (),
+            (0,),
+            (-1, 0, 7, 42),
+            "plain-string",
+            5,
+            ("mixed", 1, 2.5),
+        ],
+    )
+    def test_encode_decode_round_trip(self, state):
+        assert _decode_state(_encode_state(state)) == state
+
+    def test_tuple_and_list_like_strings_stay_distinct(self):
+        # A string that *looks* like an encoded tuple must not collide with
+        # the actual tuple after a round trip.
+        tuple_key = _encode_state((1, 2))
+        string_key = _encode_state("[1, 2]")
+        assert tuple_key != string_key
+        assert _decode_state(tuple_key) == (1, 2)
+        assert _decode_state(string_key) == "[1, 2]"
+
+
+class TestAppNameEscaping:
+    @pytest.mark.parametrize(
+        "app_name",
+        [
+            "facebook",
+            "com.example/app",
+            "../../etc/passwd",
+            "a b%20c",
+            "trailing.",
+            "..",
+            "per%cent",
+            "unicode-éü",
+        ],
+    )
+    def test_round_trip(self, app_name):
+        escaped = escape_app_name(app_name)
+        assert "/" not in escaped
+        assert unescape_app_name(escaped) == app_name
+
+    def test_distinct_names_stay_distinct(self):
+        # '%' is always encoded, so a name containing an escape sequence
+        # cannot collide with the name it would decode to.
+        assert escape_app_name("a/b") != escape_app_name("a%2Fb")
 
 
 class TestQTableStore:
@@ -89,6 +172,32 @@ class TestQTableStore:
     def test_load_missing_directory(self, tmp_path):
         loaded = QTableStore.load(str(tmp_path / "nope"), action_count=3)
         assert loaded.app_names() == []
+
+    def test_save_and_load_path_unsafe_app_names(self, tmp_path):
+        # Names with separators or traversal components must neither write
+        # outside the directory nor collide, and must round-trip exactly.
+        store = QTableStore(action_count=2)
+        names = ["com.example/app", "../escape", "a/b", "a%2Fb", "plain"]
+        for index, name in enumerate(names):
+            store.table_for(name).set("s", 0, float(index))
+        paths = store.save(str(tmp_path))
+        assert len(paths) == len(names)
+        for path in paths:
+            assert Path(path).parent == tmp_path
+        loaded = QTableStore.load(str(tmp_path), action_count=2)
+        assert sorted(loaded.app_names()) == sorted(names)
+        for index, name in enumerate(names):
+            assert loaded.table_for(name).get("s", 0) == float(index)
+
+    def test_store_dict_round_trip(self):
+        store = QTableStore(action_count=3, initial_q=0.5)
+        store.table_for("facebook").set((1, 2), 1, 4.0)
+        store.table_for("pubg").set((0, 0), 2, -1.0)
+        rebuilt = QTableStore.from_dict(store.to_dict())
+        assert rebuilt.app_names() == store.app_names()
+        assert rebuilt.table_for("facebook").get((1, 2), 1) == 4.0
+        assert rebuilt.table_for("pubg").visits((0, 0)) == 1
+        assert rebuilt.initial_q == 0.5
 
     def test_set_table_validates_action_count(self):
         store = QTableStore(action_count=3)

@@ -154,3 +154,57 @@ class TestCrossProcessDeterminism:
 
         summary = summary_to_dict(run_cell_session(cell))
         assert json.loads(json.dumps(summary)) == summary
+
+
+@pytest.fixture(scope="module")
+def trained_next_matrix():
+    return ScenarioMatrix.build(
+        name="trained-determinism",
+        governors=("schedutil", "next"),
+        apps=("facebook",),
+        seeds=(0,),
+        duration_s=4.0,
+        training={
+            "key": "pretrained",
+            "mode": "pretrained",
+            "episodes": 1,
+            "episode_duration_s": 4.0,
+        },
+    )
+
+
+class TestTrainedNextDeterminism:
+    """The ISSUE acceptance criterion for the trained-agent pipeline.
+
+    A trained-``next`` cell must summarise identically whether its artifact
+    is trained in-process, trained across the pool, or loaded back from the
+    artifact store -- otherwise the train-once optimisation would silently
+    change the science.
+    """
+
+    def test_pretrained_cell_runs_greedy_from_artifact(self, trained_next_matrix):
+        from repro.experiments.artifacts import train_artifact
+
+        cell = next(c for c in trained_next_matrix.cells() if c.pretrained)
+        artifact = train_artifact(cell.training_spec())
+        governor = artifact.build_governor()
+        assert governor.training is False
+        assert governor.agent.qtable_size("facebook") > 0
+
+    def test_pool_sequential_and_artifact_cache_parity(
+        self, trained_next_matrix, tmp_path
+    ):
+        sequential = run_matrix(trained_next_matrix, max_workers=1)
+        pooled = run_matrix(trained_next_matrix, max_workers=2)
+        artifact_dir = str(tmp_path / "artifacts")
+        trained = run_matrix(trained_next_matrix, max_workers=1, artifact_dir=artifact_dir)
+        served_runner = SweepRunner(max_workers=1, artifact_dir=artifact_dir)
+        served = served_runner.run(trained_next_matrix)
+        assert served_runner.artifacts.trained_count == 0  # artifact from store
+        assert served_runner.artifacts.reused_count == 1
+        for sweep in (pooled, trained, served):
+            assert all(result.ok for result in sweep.results)
+            assert [r.cell for r in sweep.results] == [r.cell for r in sequential.results]
+            assert [r.summary for r in sweep.results] == [
+                r.summary for r in sequential.results
+            ]

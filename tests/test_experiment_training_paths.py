@@ -11,10 +11,13 @@ from types import SimpleNamespace
 import pytest
 
 import repro.sim.experiment as experiment
+from repro.core.governor import NextGovernor
+from repro.sim.config import SimulationConfig
 from repro.sim.experiment import (
     candidate_sort_key,
     pretrained_next_governor,
     select_best_next_governor,
+    train_next_governor,
 )
 from repro.soc.platform import generic_two_cluster_soc
 
@@ -46,6 +49,70 @@ class TestPretrainedNextGovernor:
         )
         assert result.governor_name == "next"
         assert result.summary.average_power_w > 0.0
+
+
+class TestTrainNextGovernorSeeding:
+    def _captured_seeds(self, monkeypatch, platform, config=None):
+        """Run training with a stubbed Simulation and record per-episode seeds."""
+        seeds = []
+
+        class FakeSimulation:
+            def __init__(self, platform=None, governor=None, config=None):
+                seeds.append(config.seed)
+
+            def run(self, workload, duration_s=None):
+                return None
+
+        monkeypatch.setattr(experiment, "Simulation", FakeSimulation)
+        governor = NextGovernor(seed=1)
+        monkeypatch.setattr(governor.agent, "has_converged", lambda *a, **k: False)
+        train_next_governor(
+            governor,
+            "home",
+            platform=platform,
+            episodes=3,
+            episode_duration_s=4.0,
+            seed=40,
+            config=config,
+        )
+        return seeds
+
+    def test_default_config_varies_seed_per_episode(self, monkeypatch, platform):
+        seeds = self._captured_seeds(monkeypatch, platform)
+        assert seeds == [40, 141, 242]
+
+    def test_explicit_config_still_varies_seed_per_episode(
+        self, monkeypatch, platform
+    ):
+        # Regression: a caller-supplied config used to pin one sensor-noise
+        # seed across all "freshly seeded" episodes.
+        config = SimulationConfig(refresh_hz=60.0, duration_s=4.0, seed=7)
+        seeds = self._captured_seeds(monkeypatch, platform, config=config)
+        assert seeds == [40, 141, 242]
+        assert config.seed == 7  # the caller's config object is not mutated
+
+    def test_explicit_config_other_knobs_are_kept(self, monkeypatch, platform):
+        captured = []
+
+        class FakeSimulation:
+            def __init__(self, platform=None, governor=None, config=None):
+                captured.append(config)
+
+            def run(self, workload, duration_s=None):
+                return None
+
+        monkeypatch.setattr(experiment, "Simulation", FakeSimulation)
+        governor = NextGovernor(seed=1)
+        monkeypatch.setattr(governor.agent, "has_converged", lambda *a, **k: False)
+        config = SimulationConfig(
+            refresh_hz=60.0, duration_s=4.0, seed=7, warm_start_temperature_c=33.0
+        )
+        train_next_governor(
+            governor, "home", platform=platform, episodes=2,
+            episode_duration_s=4.0, seed=0, config=config,
+        )
+        assert all(c.warm_start_temperature_c == 33.0 for c in captured)
+        assert [c.seed for c in captured] == [0, 101]
 
 
 class TestCandidateSortKey:

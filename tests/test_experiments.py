@@ -14,9 +14,11 @@ from repro.experiments.aggregate import (
     replicate_statistics,
 )
 from repro.experiments.matrix import (
+    COLD_TRAINING,
     NAMED_MATRICES,
     ScenarioCell,
     ScenarioMatrix,
+    TrainingVariant,
     WorkloadSpec,
     named_matrix,
 )
@@ -182,6 +184,162 @@ class TestScenarioMatrix:
             named_matrix("nope")
 
 
+class TestTrainingAxis:
+    PRETRAINED = {
+        "key": "pretrained",
+        "mode": "pretrained",
+        "episodes": 1,
+        "episode_duration_s": 4.0,
+    }
+
+    def test_default_axis_is_cold_only(self):
+        matrix = named_matrix("smoke")
+        assert matrix.training == (COLD_TRAINING,)
+        assert all(cell.training == COLD_TRAINING for cell in matrix.cells())
+        assert not any(cell.pretrained for cell in matrix.cells())
+
+    def test_only_trainable_governors_expand_across_the_axis(self):
+        matrix = ScenarioMatrix.build(
+            name="t",
+            governors=("schedutil", "next"),
+            apps=("facebook",),
+            duration_s=4.0,
+            training=({"mode": "cold"}, self.PRETRAINED),
+        )
+        cells = matrix.cells()
+        assert len(cells) == len(matrix) == 3  # schedutil once, next twice
+        by_governor = {}
+        for cell in cells:
+            by_governor.setdefault(cell.governor, []).append(cell.training.key)
+        assert by_governor["schedutil"] == ["cold"]
+        assert by_governor["next"] == ["cold", "pretrained"]
+        assert len({cell.fingerprint() for cell in cells}) == 3
+
+    def test_pretrained_cell_spec_and_label(self):
+        matrix = ScenarioMatrix.build(
+            name="t",
+            governors=("next",),
+            apps=("facebook",),
+            duration_s=4.0,
+            training=self.PRETRAINED,
+        )
+        cell = matrix.cells()[0]
+        assert cell.pretrained
+        assert cell.label().endswith("/pretrained")
+        spec = cell.training_spec()
+        assert spec.apps == ("facebook",)  # derived from the workload
+        assert spec.platform == cell.platform
+        assert spec.episodes == 1
+        rebuilt = ScenarioCell.from_spec(cell.spec())
+        assert rebuilt == cell
+        assert rebuilt.fingerprint() == cell.fingerprint()
+
+    def test_training_changes_the_fingerprint(self):
+        base = ScenarioMatrix.build(
+            name="t", governors=("next",), apps=("facebook",), duration_s=4.0
+        ).cells()[0]
+        trained = ScenarioMatrix.build(
+            name="t", governors=("next",), apps=("facebook",), duration_s=4.0,
+            training=self.PRETRAINED,
+        ).cells()[0]
+        assert base.fingerprint() != trained.fingerprint()
+
+    def test_cosmetic_variant_differences_share_fingerprints_and_cache(self, tmp_path):
+        # Only execution semantics may enter the fingerprint: a renamed cold
+        # variant (or an unused training budget on it) describes the same
+        # run, and a pretrained variant pinning exactly the workload's own
+        # apps resolves to the same TrainingSpec as one that derives them.
+        def cell_with_training(training):
+            return ScenarioMatrix.build(
+                name="t", governors=("next",), apps=("facebook",),
+                duration_s=4.0, training=training,
+            ).cells()[0]
+
+        default_cold = cell_with_training(None)
+        renamed_cold = cell_with_training(
+            {"key": "baseline", "mode": "cold", "episodes": 3}
+        )
+        assert default_cold.fingerprint() == renamed_cold.fingerprint()
+        derived_apps = cell_with_training(self.PRETRAINED)
+        pinned_apps = cell_with_training(dict(self.PRETRAINED, apps=["facebook"]))
+        assert derived_apps.fingerprint() == pinned_apps.fingerprint()
+        # The result cache honours the same equivalence end to end.
+        from repro.experiments.runner import ResultCache, execute_cell
+
+        cache = ResultCache(str(tmp_path))
+        cache.store(execute_cell(default_cold))
+        hit = cache.load(renamed_cold)
+        assert hit is not None and hit.from_cache
+        assert hit.cell == renamed_cold  # served under the requesting cell
+
+    def test_matrix_config_overrides_reach_the_training_spec(self):
+        # The agent must train in the same simulated environment its
+        # evaluation cells run in.
+        matrix = ScenarioMatrix.build(
+            name="t", governors=("next",), apps=("facebook",), duration_s=4.0,
+            training=self.PRETRAINED,
+            config_overrides={"warm_start_temperature_c": 40.0},
+        )
+        spec = matrix.cells()[0].training_spec()
+        assert spec.config_overrides == (("warm_start_temperature_c", 40.0),)
+
+    def test_explicit_training_apps_override_the_workload(self):
+        # Pinning a superset lets many workloads share one artifact; the pin
+        # must still cover every workload's own apps.
+        variant = dict(self.PRETRAINED, apps=["facebook", "youtube"])
+        matrix = ScenarioMatrix.build(
+            name="t", governors=("next",), apps=("youtube",), duration_s=4.0,
+            training=variant,
+        )
+        assert matrix.cells()[0].training_spec().apps == ("facebook", "youtube")
+
+    def test_pinned_training_apps_must_cover_the_workload(self):
+        with pytest.raises(ValueError, match="must cover"):
+            ScenarioMatrix.build(
+                name="t", governors=("next",), apps=("youtube",), duration_s=4.0,
+                training=dict(self.PRETRAINED, apps=["facebook"]),
+            )
+
+    def test_pretrained_axis_requires_a_trainable_governor(self):
+        with pytest.raises(ValueError, match="trainable governor"):
+            ScenarioMatrix.build(
+                name="t", governors=("schedutil",), apps=("facebook",),
+                duration_s=4.0, training=self.PRETRAINED,
+            )
+
+    def test_pretrained_axis_rejects_trainable_governor_params(self):
+        with pytest.raises(ValueError, match="governor_params"):
+            ScenarioMatrix.build(
+                name="t", governors=("next",), apps=("facebook",),
+                duration_s=4.0, training=self.PRETRAINED,
+                governor_params={"next": {"seed": 3}},
+            )
+
+    def test_variant_validation(self):
+        with pytest.raises(ValueError, match="unknown training mode"):
+            TrainingVariant(mode="lukewarm")
+        with pytest.raises(ValueError, match="unknown app"):
+            TrainingVariant(mode="pretrained", apps=("not_an_app",))
+        with pytest.raises(ValueError, match="unknown training key"):
+            TrainingVariant.from_dict({"mode": "pretrained", "episoeds": 3})
+        with pytest.raises(ValueError, match="unique"):
+            ScenarioMatrix.build(
+                name="t", governors=("next",), apps=("facebook",), duration_s=4.0,
+                training=({"mode": "cold"}, {"mode": "cold"}),
+            )
+
+    def test_matrix_dict_round_trip_with_training(self):
+        matrix = ScenarioMatrix.build(
+            name="t", governors=("schedutil", "next"), apps=("facebook",),
+            duration_s=4.0, training=self.PRETRAINED,
+        )
+        rebuilt = ScenarioMatrix.from_dict(matrix.to_dict())
+        assert rebuilt == matrix
+        assert [c.fingerprint() for c in rebuilt.cells()] == [
+            c.fingerprint() for c in matrix.cells()
+        ]
+
+
 class TestSessionMatrixHelper:
     def test_games_get_game_duration(self):
         sessions = session_matrix(
@@ -231,10 +389,10 @@ class TestRunner:
 
         real = runner_module.run_cell_session
 
-        def crash_on_powersave(cell):
+        def crash_on_powersave(cell, artifact=None):
             if cell.governor == "powersave":
                 raise RuntimeError("boom")
-            return real(cell)
+            return real(cell, artifact=artifact)
 
         monkeypatch.setattr(runner_module, "run_cell_session", crash_on_powersave)
         sweep = runner_module.run_matrix(matrix, max_workers=1)
@@ -252,7 +410,7 @@ class TestRunner:
         )
         import repro.experiments.runner as runner_module
 
-        def crash(cell):
+        def crash(cell, artifact=None):
             raise RuntimeError("boom")
 
         monkeypatch.setattr(runner_module, "run_cell_session", crash)
@@ -307,6 +465,62 @@ class TestRunner:
         assert rebuilt.summary == result.summary
 
 
+class TestPretrainedCells:
+    @staticmethod
+    def _matrix():
+        return ScenarioMatrix.build(
+            name="pretrained",
+            governors=("schedutil", "next"),
+            apps=("facebook",),
+            duration_s=4.0,
+            training={
+                "key": "pretrained",
+                "mode": "pretrained",
+                "episodes": 1,
+                "episode_duration_s": 4.0,
+            },
+        )
+
+    def test_sweep_trains_once_and_rerun_trains_zero_times(self, tmp_path):
+        from repro.experiments.runner import SweepRunner
+
+        matrix = self._matrix()
+        artifact_dir = str(tmp_path / "artifacts")
+        runner = SweepRunner(max_workers=1, artifact_dir=artifact_dir)
+        sweep = runner.run(matrix)
+        assert all(result.ok for result in sweep.results)
+        assert runner.artifacts.trained_count == 1
+        # The full matrix again, fresh runner: every artifact comes from the
+        # store, zero training happens, summaries are identical.
+        rerun_runner = SweepRunner(max_workers=1, artifact_dir=artifact_dir)
+        rerun = rerun_runner.run(matrix)
+        assert rerun_runner.artifacts.trained_count == 0
+        assert rerun_runner.artifacts.reused_count == 1
+        assert [r.summary for r in rerun.results] == [r.summary for r in sweep.results]
+
+    def test_training_failure_fails_only_dependent_cells(self, monkeypatch):
+        import repro.experiments.artifacts as artifacts_module
+        import repro.experiments.runner as runner_module
+
+        def crash(spec, agent_config=None):
+            raise RuntimeError("training boom")
+
+        monkeypatch.setattr(artifacts_module, "train_artifact", crash)
+        sweep = runner_module.run_matrix(self._matrix(), max_workers=1)
+        by_governor = {result.cell.governor: result for result in sweep.results}
+        assert by_governor["schedutil"].ok
+        assert not by_governor["next"].ok
+        assert "training boom" in by_governor["next"].error
+
+    def test_standalone_execute_cell_trains_inline(self):
+        from repro.experiments.runner import execute_cell
+
+        cell = next(c for c in self._matrix().cells() if c.pretrained)
+        result = execute_cell(cell)
+        assert result.ok
+        assert result.metric("average_power_w") > 0
+
+
 # ---------------------------------------------------------------------------
 # Aggregation
 # ---------------------------------------------------------------------------
@@ -352,6 +566,30 @@ class TestAggregate:
         marginal = marginal_table(sweep, axis="governor")
         assert "powersave" in marginal
 
+    def test_ambiguous_trainable_baseline_is_rejected(self):
+        # A trainable baseline expanding across several training variants has
+        # multiple cells per (workload, platform, seed) row; pairing against
+        # an arbitrary one would report savings vs an unspecified policy.
+        matrix = ScenarioMatrix.build(
+            name="t", governors=("schedutil", "next"), apps=("facebook",),
+            duration_s=4.0,
+            training=(
+                {"mode": "cold"},
+                {"key": "pretrained", "mode": "pretrained", "episodes": 1,
+                 "episode_duration_s": 4.0},
+            ),
+        )
+        from repro.experiments.runner import CellResult
+
+        results = [
+            CellResult(cell=cell, status="ok", summary={"average_power_w": 1.0})
+            for cell in matrix.cells()
+        ]
+        with pytest.raises(ValueError, match="ambiguous baseline"):
+            paired_savings(results, baseline="next")
+        # The stateless baseline still pairs fine.
+        assert len(paired_savings(results, baseline="schedutil")) == 2
+
 
 # ---------------------------------------------------------------------------
 # CLI
@@ -382,6 +620,75 @@ class TestCli:
         assert cli.main(["--spec", str(path), "--cache-dir", cache_dir]) == 0
         out = capsys.readouterr().out
         assert "2 from cache" in out
+
+    def test_pretrained_flag_and_artifact_listing(self, tmp_path, capsys):
+        spec = {
+            "name": "cli-pretrained",
+            "governors": ["schedutil", "next"],
+            "workloads": ["facebook"],
+            "seeds": [0],
+            "duration_s": 3.0,
+        }
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(spec))
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "--spec", str(path), "--cache-dir", cache_dir,
+            "--pretrained", "--train-episodes", "1", "--train-duration", "3.0",
+        ]
+        assert cli.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "artifacts: 1 trained, 0 reused" in out
+        # Re-run: cells come from the result cache, nothing retrains.
+        assert cli.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 from cache" in out
+        assert "artifacts: 0 trained, 0 reused" in out
+        assert cli.main(["--list-artifacts", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "apps=facebook" in out
+
+    def test_pretrained_flag_needs_trainable_governor(self, capsys):
+        assert cli.main(["smoke", "--pretrained"]) == 2
+        assert "trainable governor" in capsys.readouterr().err
+
+    def test_multi_variant_trainable_baseline_rejected_before_sweep(
+        self, tmp_path, capsys
+    ):
+        # An ambiguous baseline must fail before any cell runs, not after
+        # the whole sweep has been computed.
+        spec = {
+            "name": "ambiguous",
+            "governors": ["schedutil", "next"],
+            "workloads": ["facebook"],
+            "duration_s": 3.0,
+            "training": [
+                {"mode": "cold"},
+                {"key": "pretrained", "mode": "pretrained", "episodes": 1,
+                 "episode_duration_s": 3.0},
+            ],
+        }
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(spec))
+        assert cli.main(["--spec", str(path), "--baseline", "next"]) == 2
+        err = capsys.readouterr().err
+        assert "training variants" in err and "ambiguous" in err
+
+    def test_train_flags_without_pretrained_are_an_error(self, capsys):
+        # Silently ignoring a training budget would misreport the experiment.
+        assert cli.main(["trained-next", "--train-episodes", "12"]) == 2
+        err = capsys.readouterr().err
+        assert "--train-episodes" in err and "--pretrained" in err
+
+    def test_list_artifacts_needs_a_directory(self, capsys):
+        assert cli.main(["--list-artifacts"]) == 2
+        assert "--artifact-dir or --cache-dir" in capsys.readouterr().err
+
+    def test_list_artifacts_does_not_create_the_directory(self, tmp_path, capsys):
+        missing = tmp_path / "typo" / "artifacts"
+        assert cli.main(["--list-artifacts", "--artifact-dir", str(missing)]) == 0
+        assert "no artifacts" in capsys.readouterr().out
+        assert not missing.exists()  # read-only query leaves no trace
 
     def test_requires_matrix_or_spec(self, capsys):
         assert cli.main([]) == 2

@@ -100,6 +100,34 @@ class TestRunners:
                 short_trace, {"powersave": make_governor("powersave")}, baseline="schedutil"
             )
 
+    def test_peak_temperature_fallback_uses_each_runs_own_ambient(self):
+        # Regression: the fallback for a node missing from the *other*
+        # governor's summary used the baseline recorder's ambient.  When the
+        # two runs were recorded at different ambients (e.g. traces captured
+        # in different conditions), that misattributes the other run's rise.
+        from types import SimpleNamespace
+
+        from repro.sim.experiment import GovernorComparison
+
+        def fake_result(ambient_c, peaks):
+            return SimpleNamespace(
+                recorder=SimpleNamespace(ambient_c=ambient_c),
+                summary=SimpleNamespace(peak_temperature_c=peaks),
+            )
+
+        comparison = GovernorComparison(
+            baseline_name="schedutil",
+            results={
+                "schedutil": fake_result(21.0, {"big": 41.0}),
+                # 'big' missing from the candidate summary: it must fall back
+                # to the candidate's own 26 C ambient, not the baseline's 21.
+                "candidate": fake_result(26.0, {}),
+            },
+        )
+        reduction = comparison.peak_temperature_reduction_pct("candidate", "big")
+        # rise reduction = (41 - 26) / (41 - 21) = 75%
+        assert reduction == pytest.approx(75.0)
+
     def test_train_next_governor_learns_states(self, platform):
         governor = NextGovernor(seed=3)
         result = train_next_governor(
