@@ -1,0 +1,83 @@
+"""Federated fleet throughput: train-once, resume, and round scaling.
+
+Not a paper figure: this benchmark measures the scaling substrate behind
+Section IV-C's cloud-assisted training.  A federated sweep must (a) train
+each distinct fleet exactly once however many cells evaluate it, (b) reuse
+per-device round-0 artifacts across fleets that share a lineage, and
+(c) deepen an existing fleet by running only the missing rounds.  The
+benchmark times the three paths and asserts the resumed fleet is
+bit-identical to one trained from scratch -- the property that makes
+incremental fleet training trustworthy.
+"""
+
+import time
+from dataclasses import replace
+
+from repro.analysis.tables import format_series_table
+from repro.core.federated import FleetSpec
+from repro.experiments.artifacts import ArtifactStore
+from repro.experiments.federated import FleetStore, train_fleet_artifact
+
+BASE_SPEC = FleetSpec(
+    apps=("facebook",),
+    devices=3,
+    rounds=2,
+    episodes=1,
+    episode_duration_s=15.0,
+    fleet_seed=0,
+)
+DEEP_ROUNDS = 3
+
+
+def test_fleet_resume_beats_retrain_from_scratch(benchmark, tmp_path):
+    artifact_dir = str(tmp_path / "artifacts")
+    store = FleetStore(artifact_dir)
+    artifacts = ArtifactStore(artifact_dir)
+
+    started = time.perf_counter()
+    shallow, errors = store.ensure([BASE_SPEC], artifacts=artifacts)
+    scratch_s = time.perf_counter() - started
+    assert not errors
+
+    deep_spec = replace(BASE_SPEC, rounds=DEEP_ROUNDS)
+
+    def resume_deepening():
+        fleets, deep_errors = store.ensure([deep_spec], artifacts=artifacts)
+        assert not deep_errors
+        return fleets[deep_spec.fingerprint()]
+
+    started = time.perf_counter()
+    resumed = benchmark.pedantic(resume_deepening, rounds=1, iterations=1)
+    resume_s = time.perf_counter() - started
+    assert store.resumed_count == 1
+
+    started = time.perf_counter()
+    from_scratch = train_fleet_artifact(deep_spec)
+    deep_scratch_s = time.perf_counter() - started
+    assert resumed.to_dict() == from_scratch.to_dict()
+
+    started = time.perf_counter()
+    served, errors = FleetStore(artifact_dir).ensure([deep_spec], artifacts=artifacts)
+    warm_s = time.perf_counter() - started
+    assert not errors
+    assert served[deep_spec.fingerprint()].to_dict() == from_scratch.to_dict()
+
+    print()
+    print(
+        format_series_table(
+            ["path", "rounds", "seconds"],
+            [
+                [f"train {BASE_SPEC.rounds}-round fleet", BASE_SPEC.rounds, scratch_s],
+                [f"resume to {DEEP_ROUNDS} rounds", DEEP_ROUNDS, resume_s],
+                [f"train {DEEP_ROUNDS} rounds from scratch", DEEP_ROUNDS, deep_scratch_s],
+                ["serve from store (warm)", DEEP_ROUNDS, warm_s],
+            ],
+            title=(
+                f"Federated fleet ({BASE_SPEC.devices} devices, "
+                f"{BASE_SPEC.episodes}x{BASE_SPEC.episode_duration_s:g}s episodes)"
+            ),
+        )
+    )
+    # Resuming runs one round instead of three; the warm path trains nothing.
+    assert resume_s < deep_scratch_s
+    assert warm_s < resume_s

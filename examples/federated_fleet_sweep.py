@@ -1,0 +1,72 @@
+"""Federated device-fleet sweep: cold vs pretrained vs fleet-merged Next.
+
+Section IV-C of the paper envisions a cloud back-end where many devices of
+the same model pool their training experience.  This example runs the
+``federated`` named matrix -- the training axis carries ``cold``,
+``pretrained`` (one device's budget) and ``federated`` (a device fleet
+merged per round) variants of the Next governor next to schedutil -- and
+prints the comparison tables plus the fleet's round-by-round convergence.
+
+Equivalent CLI invocation::
+
+    repro-sweep federated --devices 3 --rounds 2 --max-workers 4
+
+Run with::
+
+    python examples/federated_fleet_sweep.py
+"""
+
+from dataclasses import replace
+
+from repro.experiments.aggregate import condition_table, marginal_table
+from repro.experiments.federated import fleet_convergence_table
+from repro.experiments.matrix import named_matrix
+from repro.experiments.runner import SweepRunner
+
+DEVICES = 3
+ROUNDS = 2
+
+
+def main() -> None:
+    matrix = named_matrix("federated")
+    matrix = replace(
+        matrix,
+        training=tuple(
+            replace(variant, devices=DEVICES, rounds=ROUNDS)
+            if variant.federated
+            else variant
+            for variant in matrix.training
+        ),
+    )
+    print(f"Sweep '{matrix.name}': {len(matrix)} cells, "
+          f"fleet of {DEVICES} devices x {ROUNDS} rounds")
+
+    runner = SweepRunner(max_workers=4)
+    sweep = runner.run(
+        matrix,
+        progress=lambda done, total, result: print(
+            f"  [{done}/{total}] {result.status} {result.cell.label()}"
+        ),
+    )
+
+    print()
+    print(condition_table(sweep, metric="average_power_w"))
+    print()
+    print(marginal_table(sweep, axis="training", metric="average_power_w"))
+
+    for cell in matrix.cells():
+        fleet = cell.fleet_spec()
+        if fleet is None:
+            continue
+        artifact = runner.fleets.load(fleet)
+        if artifact is not None:
+            print()
+            print(fleet_convergence_table(artifact))
+        break
+
+    print(f"\nfleets trained: {runner.fleets.trained_count}, "
+          f"device artifacts trained: {runner.artifacts.trained_count}")
+
+
+if __name__ == "__main__":
+    main()

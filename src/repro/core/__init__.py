@@ -32,8 +32,22 @@ from repro.core.qlearning import QLearningConfig, QLearningCore
 from repro.core.qtable import QTable, QTableStore, escape_app_name, unescape_app_name
 from repro.core.agent import AgentConfig, NextAgent
 from repro.core.governor import NextGovernor
-from repro.core.artifact import ARTIFACT_SCHEMA_VERSION, AgentArtifact, TrainingSpec
-from repro.core.federated import CloudTrainer, CloudTrainingConfig, FederatedAggregator
+from repro.core.artifact import (
+    ARTIFACT_SCHEMA_VERSION,
+    AgentArtifact,
+    TrainingSpec,
+    atomic_write_json,
+)
+from repro.core.federated import (
+    FLEET_SCHEMA_VERSION,
+    CloudTrainer,
+    CloudTrainingConfig,
+    FederatedAggregator,
+    FleetArtifact,
+    FleetSpec,
+    RoundReport,
+)
+from repro.core.seeding import derive_seed
 
 __all__ = [
     "compute_ppdw",
@@ -61,7 +75,13 @@ __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
     "AgentArtifact",
     "TrainingSpec",
+    "atomic_write_json",
+    "derive_seed",
     "CloudTrainer",
     "CloudTrainingConfig",
     "FederatedAggregator",
+    "FLEET_SCHEMA_VERSION",
+    "FleetSpec",
+    "FleetArtifact",
+    "RoundReport",
 ]

@@ -211,6 +211,19 @@ class NextAgent:
             self.frame_window.reset()
             self._learner_for(app_name)
 
+    def install_table(self, app_name: str, table) -> None:
+        """Install an externally supplied Q-table (e.g. a federated merge).
+
+        The per-app learner, when one already exists, holds a direct
+        reference to the table it was built with; swapping the store entry
+        alone would leave it training (and acting from) the stale object, so
+        the learner is re-pointed at the new table too.
+        """
+        self.store.set_table(app_name, table)
+        learner = self._learners.get(app_name)
+        if learner is not None:
+            learner.qtable = table
+
     def is_trained(self, app_name: Optional[str] = None) -> bool:
         """Whether the (current or named) application's table looks converged."""
         name = app_name if app_name is not None else self._app_name

@@ -33,6 +33,25 @@ from repro.core.governor import NextGovernor
 ARTIFACT_SCHEMA_VERSION = 1
 
 
+def atomic_write_json(path: str, payload: Mapping[str, Any]) -> str:
+    """Write ``payload`` as JSON via a same-directory rename; returns ``path``.
+
+    Readers either see the complete previous file or the complete new one,
+    never a truncated intermediate -- the property that lets several sweep
+    runners share one artifact directory.  The temporary name carries the
+    writer's PID so concurrent writers cannot clobber each other's staging
+    file.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp_path, path)
+    return path
+
+
 @dataclass(frozen=True)
 class TrainingSpec:
     """Pre-registered description of one agent-training run.
@@ -186,14 +205,7 @@ class AgentArtifact:
 
     def save(self, path: str) -> str:
         """Atomically write the artifact as JSON; returns ``path``."""
-        directory = os.path.dirname(path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        tmp_path = f"{path}.tmp.{os.getpid()}"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle)
-        os.replace(tmp_path, path)
-        return path
+        return atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load(cls, path: str) -> "AgentArtifact":

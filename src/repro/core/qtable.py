@@ -94,6 +94,27 @@ class QTable:
         row[action] = value
         self._visits[state] = self._visits.get(state, 0) + 1
 
+    def set_row(self, state: Hashable, values: Iterable[float], visits: int) -> None:
+        """Install a whole row -- values *and* visit count -- in one call.
+
+        Unlike :meth:`set`, this does not count the write as a fresh update:
+        the caller supplies the visit mass explicitly.  Federated aggregation
+        needs this to carry the pooled per-device visit counts into a merged
+        table; writing the averaged values through :meth:`set` would reset
+        every state's weight to the action count and distort any later
+        visit-weighted round.
+        """
+        row = [float(value) for value in values]
+        if len(row) != self.action_count:
+            raise ValueError(
+                f"row has {len(row)} values but the table has "
+                f"{self.action_count} actions"
+            )
+        if visits < 0:
+            raise ValueError("visits must be non-negative")
+        self._values[state] = row
+        self._visits[state] = int(visits)
+
     def visits(self, state: Hashable) -> int:
         """Number of updates performed on ``state``."""
         return self._visits.get(state, 0)

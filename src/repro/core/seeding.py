@@ -1,0 +1,31 @@
+"""Deterministic seed derivation shared by the experiment layers.
+
+Every pre-registered run in this codebase -- scenario cells, training specs,
+federated fleet devices -- derives its RNG seeds by hashing its coordinates
+rather than by calling Python's process-randomised ``hash`` or drawing from
+global randomness.  That is what makes results reproducible across
+processes, interpreter runs and machines, and what makes fingerprint-keyed
+caches trustworthy: the same coordinates always denote the same run.
+
+The helper lives in :mod:`repro.core` so both the core federated-fleet data
+model and the :mod:`repro.experiments` harness can use one derivation scheme
+(:mod:`repro.experiments.matrix` re-exports it for backwards compatibility).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+_SEED_MODULUS = 2**31
+
+
+def derive_seed(*parts: Any) -> int:
+    """Derive a stable 31-bit seed from arbitrary coordinate parts.
+
+    Uses SHA-256 over the stringified parts so the value is identical across
+    processes, interpreter runs and machines (unlike built-in ``hash``).
+    """
+    text = "\x1f".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_MODULUS

@@ -14,6 +14,11 @@ as the machine allows:
   distinct training spec is trained exactly once per sweep (in parallel,
   through the same pool) and pretrained ``next`` cells evaluate the frozen
   greedy policy,
+* :mod:`repro.experiments.federated` -- federated device fleets: N virtual
+  devices train locally (round 0 through the artifact pipeline), a server
+  merges their Q-tables visit-weighted each round, and federated ``next``
+  cells evaluate the merged fleet agent greedily; fleets persist as
+  resumable :class:`~repro.core.federated.FleetArtifact` documents,
 * :mod:`repro.experiments.aggregate` -- replication-aware statistics,
   comparison tables and per-axis marginal effects on top of
   :mod:`repro.analysis`,
@@ -32,6 +37,12 @@ from repro.experiments.aggregate import (
     replicate_statistics,
 )
 from repro.experiments.artifacts import ArtifactStore, train_artifact
+from repro.experiments.federated import (
+    FleetStore,
+    fleet_convergence_table,
+    train_device_round,
+    train_fleet_artifact,
+)
 from repro.experiments.matrix import (
     COLD_TRAINING,
     NAMED_MATRICES,
@@ -65,6 +76,11 @@ __all__ = [
     # artifacts
     "ArtifactStore",
     "train_artifact",
+    # federated fleets
+    "FleetStore",
+    "train_fleet_artifact",
+    "train_device_round",
+    "fleet_convergence_table",
     # runner
     "SweepRunner",
     "SweepResult",

@@ -19,8 +19,12 @@ from repro.analysis.metrics import SeriesStatistics, series_statistics
 from repro.analysis.tables import format_comparison_table, format_series_table
 from repro.experiments.runner import CellResult, SweepResult
 
-#: Cell coordinates an aggregation axis can select on.
-AXES = ("governor", "workload", "platform", "seed", "training")
+#: Cell coordinates an aggregation axis can select on.  ``training`` groups
+#: by the variant's display key (one value per axis entry), ``training_mode``
+#: by its execution mode (cold / pretrained / federated), which collapses
+#: several same-mode variants -- e.g. federated fleets of different sizes --
+#: into one marginal row.
+AXES = ("governor", "workload", "platform", "seed", "training", "training_mode")
 
 #: Replication statistics reuse the shared series-statistics type from
 #: :mod:`repro.analysis.metrics`.
@@ -55,6 +59,8 @@ def axis_value(result: CellResult, axis: str) -> str:
         return cell.platform
     if axis == "training":
         return cell.training.key
+    if axis == "training_mode":
+        return cell.training.mode
     return str(cell.seed)
 
 

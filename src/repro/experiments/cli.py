@@ -7,6 +7,7 @@ Examples::
     repro-sweep --spec sweep.yaml --cache-dir .sweep-cache
     repro-sweep trained-next --cache-dir .sweep-cache   # paper protocol
     repro-sweep trained-next --pretrained --train-episodes 2  # smaller budget
+    repro-sweep federated --devices 4 --rounds 3  # device-fleet training
     repro-sweep --list                      # show predefined matrices
     repro-sweep --list-artifacts --cache-dir .sweep-cache
 
@@ -26,6 +27,7 @@ from typing import List, Optional
 
 from repro.experiments.aggregate import condition_table, marginal_table
 from repro.experiments.artifacts import ArtifactStore
+from repro.experiments.federated import FleetStore, fleet_convergence_table
 from repro.experiments.matrix import (
     NAMED_MATRICES,
     ScenarioMatrix,
@@ -95,9 +97,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="base training seed for --pretrained training (default: 0)",
     )
     parser.add_argument(
+        "--devices",
+        type=int,
+        default=None,
+        help="override the fleet size of the matrix's federated training variant(s)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help=(
+            "override the federated round count of the matrix's federated "
+            "training variant(s)"
+        ),
+    )
+    parser.add_argument(
+        "--fleet-seed",
+        type=int,
+        default=None,
+        help="override the fleet seed of the matrix's federated training variant(s)",
+    )
+    parser.add_argument(
         "--list-artifacts",
         action="store_true",
-        help="list stored trained-agent artifacts (needs --artifact-dir or --cache-dir)",
+        help=(
+            "list stored trained-agent and fleet artifacts "
+            "(needs --artifact-dir or --cache-dir)"
+        ),
     )
     parser.add_argument(
         "--metric",
@@ -172,6 +198,36 @@ def _resolve_matrix(args: argparse.Namespace) -> ScenarioMatrix:
             raise ValueError(
                 f"{', '.join(given)} only take effect together with --pretrained"
             )
+    fleet_flags = {
+        "--devices": args.devices,
+        "--rounds": args.rounds,
+        "--fleet-seed": args.fleet_seed,
+    }
+    given = sorted(name for name, value in fleet_flags.items() if value is not None)
+    if given:
+        if not any(variant.federated for variant in matrix.training):
+            # Same principle as the --train-* flags: a silently ignored
+            # fleet-shape flag would misreport the experiment.
+            raise ValueError(
+                f"{', '.join(given)} only take effect on a matrix with a "
+                "federated training variant (e.g. the 'federated' named matrix)"
+            )
+        matrix = replace(
+            matrix,
+            training=tuple(
+                replace(
+                    variant,
+                    devices=(
+                        variant.devices if args.devices is None else args.devices
+                    ),
+                    rounds=variant.rounds if args.rounds is None else args.rounds,
+                    seed=variant.seed if args.fleet_seed is None else args.fleet_seed,
+                )
+                if variant.federated
+                else variant
+                for variant in matrix.training
+            ),
+        )
     return matrix
 
 
@@ -180,7 +236,8 @@ def _list_artifacts(args: argparse.Namespace) -> int:
     if directory is None:
         raise ValueError("--list-artifacts needs --artifact-dir or --cache-dir")
     entries = ArtifactStore(directory).entries()
-    if not entries:
+    fleet_entries = FleetStore(directory).entries()
+    if not entries and not fleet_entries:
         print(f"no artifacts in {directory}")
         return 0
     for artifact in entries:
@@ -193,6 +250,14 @@ def _list_artifacts(args: argparse.Namespace) -> int:
             f"platform={spec.platform} episodes={spec.episodes}"
             f"x{spec.episode_duration_s:g}s seed={spec.seed} "
             f"(ran {episodes_run} episodes)"
+        )
+    for fleet in fleet_entries:
+        spec = fleet.spec
+        print(
+            f"{fleet.fingerprint}  fleet apps={','.join(spec.apps)} "
+            f"platform={spec.platform} devices={spec.devices} "
+            f"rounds={spec.rounds} episodes={spec.episodes}"
+            f"x{spec.episode_duration_s:g}s seed={spec.fleet_seed}"
         )
     return 0
 
@@ -218,7 +283,7 @@ def _run(argv: Optional[List[str]]) -> int:
         for name in sorted(NAMED_MATRICES):
             matrix = named_matrix(name)
             training = ""
-            if any(variant.pretrained for variant in matrix.training):
+            if any(variant.trains for variant in matrix.training):
                 training = f" x {len(matrix.training)} training"
             print(
                 f"{name}: {len(matrix.governors)} governors x "
@@ -299,11 +364,30 @@ def _run(argv: Optional[List[str]]) -> int:
         f"{len(sweep.completed)}/{len(sweep)} cells ok, "
         f"{sweep.cached_count} from cache, {len(sweep.failures)} failed"
     )
-    if any(cell.pretrained for cell in matrix.cells()):
+    cells = matrix.cells()
+    if any(cell.pretrained for cell in cells):
         print(
             f"artifacts: {runner.artifacts.trained_count} trained, "
             f"{runner.artifacts.reused_count} reused"
         )
+    if any(cell.federated for cell in cells):
+        print(
+            f"fleets: {runner.fleets.trained_count} trained, "
+            f"{runner.fleets.reused_count} reused, "
+            f"{runner.fleets.resumed_count} resumed"
+        )
+        reported = set()
+        for cell in cells:
+            fleet = cell.fleet_spec()
+            if fleet is None or fleet.fingerprint() in reported:
+                continue
+            reported.add(fleet.fingerprint())
+            artifact = runner.fleets.load(fleet)
+            if artifact is not None:
+                # Every fully cached cell can leave the fleet untrained and
+                # unstored; report convergence only for fleets we can see.
+                print()
+                print(fleet_convergence_table(artifact))
     for failure in sweep.failures:
         print(f"\nFAILED {failure.cell.label()}:\n{failure.error}")
     return 1 if sweep.failures else 0

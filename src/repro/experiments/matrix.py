@@ -34,29 +34,32 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.artifact import TrainingSpec
+from repro.core.federated import FleetSpec
+from repro.core.seeding import derive_seed
 from repro.sim.config import SimulationConfig
 from repro.sim.experiment import GOVERNOR_FACTORIES, TRAINABLE_GOVERNORS
 from repro.soc.platform import PLATFORM_LIBRARY
 from repro.workloads.apps import APP_LIBRARY
 from repro.workloads.session import NAMED_SESSIONS, Session, session_matrix
 
+__all__ = [
+    "COLD_TRAINING",
+    "NAMED_MATRICES",
+    "SCHEMA_VERSION",
+    "ScenarioCell",
+    "ScenarioMatrix",
+    "TrainingVariant",
+    "WorkloadSpec",
+    "derive_seed",  # canonical home: repro.core.seeding; re-exported for compat
+    "named_matrix",
+]
+
 #: Bumped whenever cell execution semantics change, so stale cache entries
 #: from older schemes can never be mistaken for current results.  Version 2
-#: added the training axis to every cell spec.
+#: added the training axis to every cell spec.  (The federated training mode
+#: did not bump it: cold and pretrained cells execute exactly as before, so
+#: their cached results remain valid.)
 SCHEMA_VERSION = 2
-
-_SEED_MODULUS = 2**31
-
-
-def derive_seed(*parts: Any) -> int:
-    """Derive a stable 31-bit seed from arbitrary coordinate parts.
-
-    Uses SHA-256 over the stringified parts so the value is identical across
-    processes, interpreter runs and machines (unlike built-in ``hash``).
-    """
-    text = "\x1f".join(str(part) for part in parts)
-    digest = hashlib.sha256(text.encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big") % _SEED_MODULUS
 
 
 @dataclass(frozen=True)
@@ -119,25 +122,33 @@ class TrainingVariant:
     the learning governor untrained with exploration on.  ``pretrained``
     trains it first -- via the artifact pipeline, once per distinct
     :class:`~repro.core.artifact.TrainingSpec` -- and evaluates the frozen
-    greedy policy, the paper's "fully trained" protocol.  Non-trainable
-    governors (schedutil & co.) are unaffected by the axis: their cells are
-    emitted once, under the design's cold variant.
+    greedy policy, the paper's "fully trained" protocol.  ``federated``
+    trains a whole device fleet -- ``devices`` virtual devices over
+    ``rounds`` federated rounds, merged per round through
+    :class:`~repro.core.federated.FederatedAggregator` -- and evaluates the
+    merged fleet agent greedily (Section IV-C's cloud-assisted variant).
+    Non-trainable governors (schedutil & co.) are unaffected by the axis:
+    their cells are emitted once, under the design's cold variant.
 
     Attributes
     ----------
     key:
         Axis value name (used in cell labels, tables and aggregation).
     mode:
-        ``"cold"`` or ``"pretrained"``.
+        ``"cold"``, ``"pretrained"`` or ``"federated"``.
     apps:
         Applications to train on; empty means "the apps of the cell's own
         workload, in order of first appearance".  Pinning an explicit list
         lets many workloads share one artifact.
     episodes / episode_duration_s / seed:
         Training budget and base seed of the artifact's
-        :class:`~repro.core.artifact.TrainingSpec`.  The seed is deliberately
+        :class:`~repro.core.artifact.TrainingSpec` (for ``federated``: the
+        per-device, per-round budget and the fleet seed of its
+        :class:`~repro.core.federated.FleetSpec`).  The seed is deliberately
         independent of the cell's replication seed so that replications
         evaluate the *same* trained policy rather than retraining per seed.
+    devices / rounds:
+        Fleet size and federated round count (``federated`` mode only).
     """
 
     key: str = "cold"
@@ -146,18 +157,25 @@ class TrainingVariant:
     episodes: int = 6
     episode_duration_s: float = 60.0
     seed: int = 0
+    devices: int = 4
+    rounds: int = 2
 
     def __post_init__(self) -> None:
         if not self.key:
             raise ValueError("a training variant needs a non-empty key")
-        if self.mode not in ("cold", "pretrained"):
+        if self.mode not in ("cold", "pretrained", "federated"):
             raise ValueError(
-                f"unknown training mode {self.mode!r}; available: cold, pretrained"
+                f"unknown training mode {self.mode!r}; available: cold, "
+                "pretrained, federated"
             )
         if self.episodes < 1:
             raise ValueError("episodes must be at least 1")
         if self.episode_duration_s <= 0:
             raise ValueError("episode_duration_s must be positive")
+        if self.devices < 1:
+            raise ValueError("devices must be at least 1")
+        if self.rounds < 1:
+            raise ValueError("rounds must be at least 1")
         for app_name in self.apps:
             if app_name not in APP_LIBRARY:
                 raise ValueError(
@@ -166,8 +184,18 @@ class TrainingVariant:
 
     @property
     def pretrained(self) -> bool:
-        """Whether this variant evaluates a pre-trained (frozen) agent."""
+        """Whether this variant evaluates a single pre-trained (frozen) agent."""
         return self.mode == "pretrained"
+
+    @property
+    def federated(self) -> bool:
+        """Whether this variant evaluates a federated fleet's merged agent."""
+        return self.mode == "federated"
+
+    @property
+    def trains(self) -> bool:
+        """Whether this variant performs any training before evaluation."""
+        return self.mode != "cold"
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable form."""
@@ -178,6 +206,8 @@ class TrainingVariant:
             "episodes": self.episodes,
             "episode_duration_s": self.episode_duration_s,
             "seed": self.seed,
+            "devices": self.devices,
+            "rounds": self.rounds,
         }
 
     @classmethod
@@ -187,7 +217,10 @@ class TrainingVariant:
         Unknown keys are rejected so a typo'd training spec cannot silently
         pre-register a different experiment.
         """
-        known_keys = {"key", "mode", "apps", "episodes", "episode_duration_s", "seed"}
+        known_keys = {
+            "key", "mode", "apps", "episodes", "episode_duration_s", "seed",
+            "devices", "rounds",
+        }
         unknown = sorted(set(data) - known_keys)
         if unknown:
             raise ValueError(
@@ -201,6 +234,8 @@ class TrainingVariant:
             episodes=int(data.get("episodes", 6)),
             episode_duration_s=float(data.get("episode_duration_s", 60.0)),
             seed=int(data.get("seed", 0)),
+            devices=int(data.get("devices", 4)),
+            rounds=int(data.get("rounds", 2)),
         )
 
 
@@ -312,6 +347,37 @@ class ScenarioCell:
         """Whether this cell evaluates a pre-trained agent."""
         return self.training.pretrained and self.governor in TRAINABLE_GOVERNORS
 
+    @property
+    def federated(self) -> bool:
+        """Whether this cell evaluates a federated fleet's merged agent."""
+        return self.training.federated and self.governor in TRAINABLE_GOVERNORS
+
+    def _resolved_training_apps(self) -> Tuple[str, ...]:
+        """The variant's pinned app list, or the workload's own apps."""
+        return self.training.apps or tuple(
+            dict.fromkeys(app_name for app_name, _ in self.workload.segments)
+        )
+
+    def fleet_spec(self) -> Optional[FleetSpec]:
+        """The cell's :class:`FleetSpec`, or ``None`` when not federated.
+
+        Mirrors :meth:`training_spec`: apps default to the cell workload's
+        own applications, and the matrix-wide config overrides thread into
+        every device's training environment.
+        """
+        if not self.federated:
+            return None
+        return FleetSpec(
+            apps=self._resolved_training_apps(),
+            devices=self.training.devices,
+            rounds=self.training.rounds,
+            platform=self.platform,
+            episodes=self.training.episodes,
+            episode_duration_s=self.training.episode_duration_s,
+            fleet_seed=self.training.seed,
+            config_overrides=self.config_overrides,
+        )
+
     def training_spec(self) -> Optional[TrainingSpec]:
         """The artifact :class:`TrainingSpec` of this cell, or ``None`` when cold.
 
@@ -323,11 +389,8 @@ class ScenarioCell:
         """
         if not self.pretrained:
             return None
-        apps = self.training.apps or tuple(
-            dict.fromkeys(app_name for app_name, _ in self.workload.segments)
-        )
         return TrainingSpec(
-            apps=apps,
+            apps=self._resolved_training_apps(),
             platform=self.platform,
             episodes=self.training.episodes,
             episode_duration_s=self.training.episode_duration_s,
@@ -345,18 +408,21 @@ class ScenarioCell:
         cache, and the training variant is normalised to what actually
         reaches execution: cold cells reduce to ``{"mode": "cold"}`` (the
         variant's display key and unused training budget cannot change the
-        run), pretrained cells to their resolved :class:`TrainingSpec` (so
-        an explicit app list equal to the workload's own apps, or a renamed
-        variant, still shares cached results).
+        run), pretrained cells to their resolved :class:`TrainingSpec` and
+        federated cells to their resolved :class:`FleetSpec` (so an explicit
+        app list equal to the workload's own apps, or a renamed variant,
+        still shares cached results).
         """
         payload = self.spec()
         payload.pop("matrix_name")
+        fleet = self.fleet_spec()
         spec = self.training_spec()
-        payload["training"] = (
-            {"mode": "cold"}
-            if spec is None
-            else {"mode": "pretrained", "spec": spec.to_dict()}
-        )
+        if fleet is not None:
+            payload["training"] = {"mode": "federated", "spec": fleet.to_dict()}
+        elif spec is not None:
+            payload["training"] = {"mode": "pretrained", "spec": spec.to_dict()}
+        else:
+            payload["training"] = {"mode": "cold"}
         return payload
 
     def fingerprint(self) -> str:
@@ -466,21 +532,23 @@ class ScenarioMatrix:
         keys = [variant.key for variant in self.training]
         if len(set(keys)) != len(keys):
             raise ValueError("training variant keys must be unique")
-        if any(variant.pretrained for variant in self.training):
+        if any(variant.trains for variant in self.training):
             if not any(g in TRAINABLE_GOVERNORS for g in self.governors):
                 raise ValueError(
-                    "a pretrained training variant needs a trainable governor "
-                    f"on the governors axis (trainable: {sorted(TRAINABLE_GOVERNORS)})"
+                    "a pretrained or federated training variant needs a trainable "
+                    "governor on the governors axis "
+                    f"(trainable: {sorted(TRAINABLE_GOVERNORS)})"
                 )
             for governor, params in self.governor_params:
                 if governor in TRAINABLE_GOVERNORS and params:
                     raise ValueError(
                         f"governor_params for trainable governor {governor!r} cannot "
-                        "be combined with a pretrained training variant; the "
-                        "artifact's agent carries its own configuration and seed"
+                        "be combined with a pretrained or federated training "
+                        "variant; the artifact's agent carries its own "
+                        "configuration and seed"
                     )
         for variant in self.training:
-            if not (variant.pretrained and variant.apps):
+            if not (variant.trains and variant.apps):
                 continue
             # A pinned training-app list that misses a workload app would
             # evaluate an untrained (cold, greedy-on-initial-Q) policy for
@@ -508,7 +576,7 @@ class ScenarioMatrix:
         if governor in TRAINABLE_GOVERNORS:
             return self.training
         for variant in self.training:
-            if not variant.pretrained:
+            if not variant.trains:
                 return (variant,)
         return (COLD_TRAINING,)
 
@@ -757,6 +825,50 @@ def _trained_next_matrix() -> ScenarioMatrix:
     )
 
 
+def _federated_matrix() -> ScenarioMatrix:
+    """Device-fleet training vs per-device training vs schedutil (Section IV-C).
+
+    The training axis carries three values for ``next`` -- cold, pretrained
+    (one device's training budget) and federated (a fleet of devices pooling
+    experience through per-round Q-table aggregation) -- so one sweep
+    answers the paper's cloud-assisted question: what does fleet-pooled
+    experience buy over what a single device learns on its own?  Both
+    trained variants pin the same app list, so each trains exactly one
+    artifact (one agent, one fleet) shared across every workload and seed.
+    The ``repro-sweep`` CLI's ``--devices``/``--rounds``/``--fleet-seed``
+    flags override the federated variant's fleet shape.
+    """
+    apps = ("facebook", "spotify")
+    return ScenarioMatrix.build(
+        name="federated",
+        governors=("schedutil", "next"),
+        apps=apps,
+        seeds=(0,),
+        duration_s=30.0,
+        training=(
+            {"key": "cold", "mode": "cold"},
+            {
+                "key": "pretrained",
+                "mode": "pretrained",
+                "apps": list(apps),
+                "episodes": 2,
+                "episode_duration_s": 20.0,
+                "seed": 0,
+            },
+            {
+                "key": "federated",
+                "mode": "federated",
+                "apps": list(apps),
+                "episodes": 2,
+                "episode_duration_s": 20.0,
+                "seed": 0,
+                "devices": 2,
+                "rounds": 2,
+            },
+        ),
+    )
+
+
 #: Registry of predefined matrices, keyed by the name accepted by the
 #: ``repro-sweep`` CLI.
 NAMED_MATRICES = {
@@ -764,6 +876,7 @@ NAMED_MATRICES = {
     "baselines": _baselines_matrix,
     "platforms": _platforms_matrix,
     "trained-next": _trained_next_matrix,
+    "federated": _federated_matrix,
 }
 
 

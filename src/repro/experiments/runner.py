@@ -25,10 +25,17 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
-from repro.core.artifact import AgentArtifact, TrainingSpec
+from repro.core.artifact import AgentArtifact, TrainingSpec, atomic_write_json
+from repro.core.federated import FleetArtifact, FleetSpec
 from repro.experiments.artifacts import ArtifactStore, train_artifact
+from repro.experiments.federated import (
+    FleetBuild,
+    FleetStore,
+    train_device_round,
+    train_fleet_artifact,
+)
 from repro.experiments.matrix import ScenarioCell, ScenarioMatrix
 from repro.sim.config import SimulationConfig
 from repro.sim.experiment import (
@@ -43,6 +50,11 @@ from repro.workloads.session import SessionSegment
 
 #: Progress callback signature: (completed_count, total_count, latest_result).
 ProgressCallback = Callable[[int, int, "CellResult"], None]
+
+#: What a cell may evaluate instead of a cold governor: a trained single
+#: agent or a trained federated fleet (both expose ``build_governor`` and a
+#: content ``fingerprint``).
+CellArtifact = Union[AgentArtifact, FleetArtifact]
 
 
 @dataclass
@@ -112,7 +124,7 @@ def summary_to_dict(result: SessionResult) -> Dict[str, Any]:
 
 
 def run_cell_session(
-    cell: ScenarioCell, artifact: Optional[AgentArtifact] = None
+    cell: ScenarioCell, artifact: Optional[CellArtifact] = None
 ) -> SessionResult:
     """Execute one cell in-process and return the full session result.
 
@@ -122,11 +134,13 @@ def run_cell_session(
     single-cell primitive.
 
     A pretrained cell evaluates the frozen greedy policy of its trained
-    artifact (``training=False``), never a cold exploring agent.  The sweep
-    runner resolves artifacts up front through its :class:`ArtifactStore`
-    and passes them in; standalone callers may omit ``artifact``, in which
-    case the cell's :class:`TrainingSpec` is trained inline -- identical
-    result, just without the train-once sharing.
+    artifact, a federated cell the merged greedy agent of its trained fleet
+    (``training=False`` either way), never a cold exploring agent.  The
+    sweep runner resolves artifacts up front through its
+    :class:`ArtifactStore` / :class:`FleetStore` and passes them in;
+    standalone callers may omit ``artifact``, in which case the cell's
+    :class:`TrainingSpec` or :class:`FleetSpec` is trained inline --
+    identical result, just without the train-once sharing.
     """
     platform = make_platform(cell.platform)
     segments = [
@@ -135,7 +149,17 @@ def run_cell_session(
     ]
     trace = record_session_trace(segments, platform=platform, seed=cell.trace_seed)
     spec = cell.training_spec()
-    if spec is not None:
+    fleet = cell.fleet_spec()
+    if fleet is not None:
+        if artifact is None:
+            artifact = train_fleet_artifact(fleet)
+        elif artifact.fingerprint != fleet.fingerprint():
+            raise ValueError(
+                f"fleet artifact {artifact.fingerprint!r} does not match cell "
+                f"{cell.label()} fleet spec {fleet.fingerprint()!r}"
+            )
+        governor = artifact.build_governor()
+    elif spec is not None:
         if artifact is None:
             artifact = train_artifact(spec)
         elif artifact.fingerprint != spec.fingerprint():
@@ -159,7 +183,7 @@ def run_cell_session(
 
 
 def execute_cell(
-    cell: ScenarioCell, artifact: Optional[AgentArtifact] = None
+    cell: ScenarioCell, artifact: Optional[CellArtifact] = None
 ) -> CellResult:
     """Run one cell with failure isolation (the process-pool work unit)."""
     started = time.perf_counter()
@@ -185,6 +209,11 @@ def _training_error(fingerprint: str, spec: TrainingSpec, details: str) -> str:
     return (
         f"training failed for artifact {fingerprint} ({spec.label()}):\n{details}"
     )
+
+
+def _fleet_error(fingerprint: str, spec: FleetSpec, details: str) -> str:
+    """One message format for "this cell's fleet failed to train"."""
+    return f"training failed for fleet {fingerprint} ({spec.label()}):\n{details}"
 
 
 def default_artifact_dir(cache_dir: Optional[str]) -> Optional[str]:
@@ -238,10 +267,7 @@ class ResultCache:
         path = self._path(result.cell)
         if path is None or not result.ok:
             return
-        tmp_path = f"{path}.tmp.{os.getpid()}"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(result.to_dict(), handle)
-        os.replace(tmp_path, path)
+        atomic_write_json(path, result.to_dict())
 
 
 @dataclass
@@ -288,8 +314,13 @@ class SweepRunner:
     :class:`TrainingSpec` among the pending cells is resolved through the
     runner's :class:`ArtifactStore` -- loaded when stored, trained exactly
     once otherwise (across the same process pool the cells use) -- and each
-    cell then evaluates its frozen artifact.  ``artifact_dir`` defaults to
-    ``<cache_dir>/artifacts`` so cached sweeps also reuse their agents.
+    cell then evaluates its frozen artifact.  Federated cells resolve the
+    same way through the :class:`FleetStore`: every distinct
+    :class:`FleetSpec` trains once (its per-device jobs fanned out over the
+    pool, its round-0 device training cached in the artifact store) or is
+    served -- complete or as a same-lineage resume point -- from disk.
+    ``artifact_dir`` defaults to ``<cache_dir>/artifacts`` so cached sweeps
+    also reuse their agents and fleets.
     """
 
     def __init__(
@@ -305,6 +336,7 @@ class SweepRunner:
         if artifact_dir is None:
             artifact_dir = default_artifact_dir(cache_dir)
         self.artifacts = ArtifactStore(artifact_dir)
+        self.fleets = FleetStore(artifact_dir)
 
     def run(
         self,
@@ -326,6 +358,7 @@ class SweepRunner:
 
         pending: List[Tuple[int, ScenarioCell]] = []
         specs: Dict[str, TrainingSpec] = {}
+        fleet_specs: Dict[str, FleetSpec] = {}
         for index, cell in enumerate(cells):
             cached = self.cache.load(cell)
             if cached is not None:
@@ -335,17 +368,25 @@ class SweepRunner:
                 spec = cell.training_spec()
                 if spec is not None:
                     specs.setdefault(spec.fingerprint(), spec)
+                fleet = cell.fleet_spec()
+                if fleet is not None:
+                    fleet_specs.setdefault(fleet.fingerprint(), fleet)
 
         workers = self.max_workers if self.max_workers is not None else os.cpu_count() or 1
         if workers <= 1 or len(pending) <= 1:
             artifacts, errors = self.artifacts.ensure(specs.values())
+            fleets, fleet_errors = self.fleets.ensure(
+                fleet_specs.values(), artifacts=self.artifacts
+            )
             for index, cell in pending:
-                result = self._execute_pending(cell, artifacts, errors)
+                result = self._execute_pending(
+                    cell, artifacts, errors, fleets, fleet_errors
+                )
                 self.cache.store(result)
                 deliver(index, result)
         else:
             with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-                self._run_pool(pool, pending, specs, deliver)
+                self._run_pool(pool, pending, specs, fleet_specs, deliver)
 
         return SweepResult(matrix=matrix, results=[slot for slot in slots if slot is not None])
 
@@ -354,6 +395,7 @@ class SweepRunner:
         pool: ProcessPoolExecutor,
         pending: List[Tuple[int, ScenarioCell]],
         specs: Dict[str, TrainingSpec],
+        fleet_specs: Dict[str, FleetSpec],
         deliver: Callable[[int, CellResult], None],
     ) -> None:
         """Pool scheduling: training jobs gate only their own dependent cells.
@@ -363,47 +405,162 @@ class SweepRunner:
         training phase, already-stored artifacts dispatch their cells
         immediately, and each freshly trained artifact releases its cells the
         moment it lands -- no cell ever waits on an unrelated spec.
+
+        Federated fleets resolve through the same event loop: stored fleets
+        load up front (a same-lineage shallower fleet resumes), a missing
+        fleet's round-0 device specs join the training queue (deduplicated
+        against the cells' own specs and the artifact store), each
+        continuation round fans one job per device across the pool as soon
+        as the previous round's aggregation lands, and a fleet's cells
+        dispatch the moment its artifact is captured.  Unrelated cells keep
+        flowing while fleets train, and a fleet failure fails exactly its
+        own cells.
         """
+        pending_futures: set = set()
+        cell_futures: Dict[Any, Tuple[int, ScenarioCell]] = {}
+        waiting: Dict[str, List[Tuple[int, ScenarioCell]]] = {}
+
+        # -- fleet state -------------------------------------------------------
+        fleets: Dict[str, FleetArtifact] = {}
+        builds: Dict[str, FleetBuild] = {}
+        failed_fleets: Dict[str, str] = {}
+        fleet_waiting: Dict[str, List[Tuple[int, ScenarioCell]]] = {}
+        device_artifacts: Dict[str, AgentArtifact] = {}
+        device_needs: Dict[str, List[str]] = {}  # device spec fp -> fleet fps
+        missing_devices: Dict[str, set] = {}  # fleet fp -> unresolved device fps
+        round_futures: Dict[Any, Tuple[str, int, int]] = {}
+        round_buffers: Dict[str, List[Optional[Dict[str, Any]]]] = {}
+
+        for fleet_fingerprint, fleet_spec in fleet_specs.items():
+            stored = self.fleets.load(fleet_spec)
+            if stored is not None:
+                self.fleets.reused_count += 1
+                fleets[fleet_fingerprint] = stored
+            else:
+                builds[fleet_fingerprint] = FleetBuild(
+                    fleet_spec, start=self.fleets.resume_candidate(fleet_spec)
+                )
+
+        # -- artifact resolution: cell specs + fleet round-0 device specs ------
         artifacts: Dict[str, AgentArtifact] = {}
         missing: Dict[str, TrainingSpec] = {}
+        for fleet_fingerprint, build in builds.items():
+            if not build.needs_round0:
+                continue
+            unresolved = set()
+            for device_spec in build.device_specs():
+                fingerprint = device_spec.fingerprint()
+                if fingerprint in device_artifacts:
+                    continue
+                if fingerprint not in missing:
+                    artifact = self.artifacts.resolve(device_spec)
+                    if artifact is not None:
+                        device_artifacts[fingerprint] = artifact
+                        continue
+                    missing[fingerprint] = device_spec
+                unresolved.add(fingerprint)
+                device_needs.setdefault(fingerprint, []).append(fleet_fingerprint)
+            if unresolved:
+                missing_devices[fleet_fingerprint] = unresolved
         for fingerprint, spec in specs.items():
+            if fingerprint in missing:
+                continue  # already queued as a fleet device spec
+            if fingerprint in device_artifacts:
+                artifacts[fingerprint] = device_artifacts[fingerprint]
+                continue
             artifact = self.artifacts.resolve(spec)
             if artifact is not None:
                 artifacts[fingerprint] = artifact
             else:
                 missing[fingerprint] = spec
 
-        training_futures = {
-            pool.submit(train_artifact, spec): fingerprint
-            for fingerprint, spec in missing.items()
-        }
-        cell_futures: Dict[Any, Tuple[int, ScenarioCell]] = {}
-        waiting: Dict[str, List[Tuple[int, ScenarioCell]]] = {}
+        training_futures: Dict[Any, str] = {}
+        for fingerprint, spec in missing.items():
+            future = pool.submit(train_artifact, spec)
+            training_futures[future] = fingerprint
+            pending_futures.add(future)
+
+        def submit_cell(
+            index: int, cell: ScenarioCell, artifact: Optional[CellArtifact] = None
+        ) -> None:
+            if isinstance(artifact, FleetArtifact):
+                # Don't serialise N device states per cell; evaluation only
+                # reads the merged agent.
+                artifact = artifact.evaluation_only()
+            future = pool.submit(execute_cell, cell, artifact)
+            cell_futures[future] = (index, cell)
+            pending_futures.add(future)
+
+        def fail_fleet(fleet_fingerprint: str, details: str) -> None:
+            failed_fleets[fleet_fingerprint] = details
+            round_buffers.pop(fleet_fingerprint, None)
+            error = _fleet_error(
+                fleet_fingerprint, fleet_specs[fleet_fingerprint], details
+            )
+            for index, cell in fleet_waiting.pop(fleet_fingerprint, ()):
+                deliver(index, CellResult(cell=cell, status="error", error=error))
+
+        def advance_fleet(fleet_fingerprint: str) -> None:
+            """Submit the build's next round, or capture and release it."""
+            build = builds[fleet_fingerprint]
+            if build.finished:
+                artifact = build.artifact()
+                self.fleets.accept(artifact, resumed=build.resumed)
+                fleets[fleet_fingerprint] = artifact
+                for index, cell in fleet_waiting.pop(fleet_fingerprint, ()):
+                    submit_cell(index, cell, artifact)
+                return
+            round_index, jobs = build.round_jobs()
+            round_buffers[fleet_fingerprint] = [None] * len(jobs)
+            for device, job in enumerate(jobs):
+                future = pool.submit(train_device_round, *job)
+                round_futures[future] = (fleet_fingerprint, round_index, device)
+                pending_futures.add(future)
+
+        # Kick off fleets that need no round-0 training: resumed lineages,
+        # and fleets whose device artifacts were all served from the store.
+        for fleet_fingerprint, build in builds.items():
+            if not build.needs_round0:
+                advance_fleet(fleet_fingerprint)
+            elif fleet_fingerprint not in missing_devices:
+                build.provide_round0(device_artifacts)
+                advance_fleet(fleet_fingerprint)
+
         for index, cell in pending:
+            fleet = cell.fleet_spec()
+            if fleet is not None:
+                fleet_fingerprint = fleet.fingerprint()
+                if fleet_fingerprint in fleets:
+                    submit_cell(index, cell, fleets[fleet_fingerprint])
+                else:
+                    # No fleet can have failed yet (nothing has completed),
+                    # so every unresolved fleet's cells simply queue.
+                    fleet_waiting.setdefault(fleet_fingerprint, []).append(
+                        (index, cell)
+                    )
+                continue
             spec = cell.training_spec()
             if spec is None:
-                cell_futures[pool.submit(execute_cell, cell)] = (index, cell)
+                submit_cell(index, cell)
                 continue
             fingerprint = spec.fingerprint()
             if fingerprint in artifacts:
-                cell_futures[pool.submit(execute_cell, cell, artifacts[fingerprint])] = (
-                    index,
-                    cell,
-                )
+                submit_cell(index, cell, artifacts[fingerprint])
             else:
                 waiting.setdefault(fingerprint, []).append((index, cell))
 
-        remaining = set(training_futures) | set(cell_futures)
-        while remaining:
-            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+        while pending_futures:
+            finished, _ = wait(pending_futures, return_when=FIRST_COMPLETED)
             for future in finished:
+                pending_futures.discard(future)
                 if future in training_futures:
                     fingerprint = training_futures[future]
                     spec = missing[fingerprint]
                     try:
                         artifact = future.result()
                     except Exception:
-                        # The artifact failed to train: fail its cells without
+                        # The artifact failed to train: fail its cells, and
+                        # any fleet whose round 0 needed it, without
                         # occupying workers (errors are never cached).
                         error = _training_error(
                             fingerprint, spec, traceback.format_exc()
@@ -413,12 +570,38 @@ class SweepRunner:
                                 index,
                                 CellResult(cell=cell, status="error", error=error),
                             )
+                        for fleet_fingerprint in device_needs.pop(fingerprint, ()):
+                            if fleet_fingerprint not in failed_fleets:
+                                fail_fleet(fleet_fingerprint, error)
                         continue
                     self.artifacts.accept(artifact)
+                    device_artifacts[fingerprint] = artifact
                     for index, cell in waiting.pop(fingerprint, ()):
-                        released = pool.submit(execute_cell, cell, artifact)
-                        cell_futures[released] = (index, cell)
-                        remaining.add(released)
+                        submit_cell(index, cell, artifact)
+                    for fleet_fingerprint in device_needs.pop(fingerprint, ()):
+                        if fleet_fingerprint in failed_fleets:
+                            continue
+                        unresolved = missing_devices[fleet_fingerprint]
+                        unresolved.discard(fingerprint)
+                        if not unresolved:
+                            del missing_devices[fleet_fingerprint]
+                            builds[fleet_fingerprint].provide_round0(device_artifacts)
+                            advance_fleet(fleet_fingerprint)
+                elif future in round_futures:
+                    fleet_fingerprint, round_index, device = round_futures.pop(future)
+                    if fleet_fingerprint in failed_fleets:
+                        continue  # a sibling device job already doomed it
+                    try:
+                        state = future.result()
+                    except Exception:
+                        fail_fleet(fleet_fingerprint, traceback.format_exc())
+                        continue
+                    buffer = round_buffers[fleet_fingerprint]
+                    buffer[device] = state
+                    if all(entry is not None for entry in buffer):
+                        del round_buffers[fleet_fingerprint]
+                        builds[fleet_fingerprint].finish_round(round_index, buffer)
+                        advance_fleet(fleet_fingerprint)
                 else:
                     index, cell = cell_futures[future]
                     try:
@@ -439,8 +622,16 @@ class SweepRunner:
         cell: ScenarioCell,
         artifacts: Dict[str, "AgentArtifact"],
         errors: Dict[str, str],
-    ) -> Tuple[Optional["AgentArtifact"], Optional[str]]:
-        """The cell's trained artifact, or the training error that doomed it."""
+        fleets: Dict[str, "FleetArtifact"],
+        fleet_errors: Dict[str, str],
+    ) -> Tuple[Optional[CellArtifact], Optional[str]]:
+        """The cell's trained artifact/fleet, or the training error that doomed it."""
+        fleet = cell.fleet_spec()
+        if fleet is not None:
+            fingerprint = fleet.fingerprint()
+            if fingerprint in fleet_errors:
+                return None, _fleet_error(fingerprint, fleet, fleet_errors[fingerprint])
+            return fleets.get(fingerprint), None
         spec = cell.training_spec()
         if spec is None:
             return None, None
@@ -454,8 +645,12 @@ class SweepRunner:
         cell: ScenarioCell,
         artifacts: Dict[str, "AgentArtifact"],
         errors: Dict[str, str],
+        fleets: Dict[str, "FleetArtifact"],
+        fleet_errors: Dict[str, str],
     ) -> CellResult:
-        artifact, error = self._resolve_artifact(cell, artifacts, errors)
+        artifact, error = self._resolve_artifact(
+            cell, artifacts, errors, fleets, fleet_errors
+        )
         if error is not None:
             return CellResult(cell=cell, status="error", error=error)
         return execute_cell(cell, artifact=artifact)

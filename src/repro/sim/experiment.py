@@ -310,9 +310,11 @@ def train_next_on_apps(
     ``seed + index * APP_SEED_STRIDE``; afterwards exploration is switched
     off so the governor evaluates the greedy (fully trained) policy.  This
     is the single train-then-freeze path shared by
-    :func:`pretrained_next_governor`, :func:`select_best_next_governor` and
-    the sweep harness's artifact trainer, so their trained policies cannot
-    drift apart.
+    :func:`pretrained_next_governor`, :func:`select_best_next_governor`,
+    the sweep harness's artifact trainer and the federated pipeline's
+    per-device continuation rounds
+    (:func:`repro.experiments.federated.train_device_round`), so their
+    trained policies cannot drift apart.
     """
     platform = platform or exynos9810()
     results = [

@@ -296,3 +296,117 @@ class TestArtifactStore:
         store.ensure([tiny_spec])
         listed = ArtifactStore(str(tmp_path)).entries()
         assert [entry.fingerprint for entry in listed] == [tiny_spec.fingerprint()]
+
+
+class TestArtifactStoreSharedDirectory:
+    """Two sweep runners sharing one ``--artifact-dir`` must stay consistent.
+
+    The store's crash-safety contract is write-then-rename: a reader either
+    sees a complete artifact or none, a torn/truncated file is treated as a
+    miss and retrained, and a second runner reuses (never corrupts, never
+    double-trains within reach of) what the first one persisted.
+    """
+
+    def test_second_runner_reuses_instead_of_retraining(self, tiny_spec, tmp_path):
+        # Two independent store instances over one directory model two
+        # runner processes sharing --artifact-dir sequentially.
+        calls = []
+        real = artifacts_module.train_artifact
+
+        def counting(spec, agent_config=None):
+            calls.append(spec.fingerprint(agent_config))
+            return real(spec, agent_config)
+
+        first = ArtifactStore(str(tmp_path))
+        second = ArtifactStore(str(tmp_path))
+        try:
+            artifacts_module.train_artifact = counting
+            a, errors_a = first.ensure([tiny_spec])
+            b, errors_b = second.ensure([tiny_spec])
+        finally:
+            artifacts_module.train_artifact = real
+        assert errors_a == errors_b == {}
+        assert calls == [tiny_spec.fingerprint()]  # trained exactly once
+        fingerprint = tiny_spec.fingerprint()
+        assert a[fingerprint].to_dict() == b[fingerprint].to_dict()
+
+    def test_truncated_artifact_json_is_detected_and_retrained(
+        self, tiny_spec, tmp_path
+    ):
+        # A valid JSON *prefix* (torn non-atomic write) must be a miss, not
+        # a crash -- and the sweep retrains and heals the file.
+        store = ArtifactStore(str(tmp_path))
+        store.ensure([tiny_spec])
+        path = tmp_path / f"{tiny_spec.fingerprint()}.agent.json"
+        path.write_text(path.read_text()[:200])
+        fresh = ArtifactStore(str(tmp_path))
+        artifacts, errors = fresh.ensure([tiny_spec])
+        assert errors == {}
+        assert fresh.trained_count == 1
+        assert AgentArtifact.load(str(path)).fingerprint == tiny_spec.fingerprint()
+        assert tiny_spec.fingerprint() in artifacts
+
+    def test_interrupted_write_leaves_previous_artifact_intact(
+        self, tiny_spec, tmp_path, monkeypatch
+    ):
+        # Crash mid-save: the staging file dies, the published artifact
+        # survives byte-for-byte (the write-then-rename guarantee).
+        store = ArtifactStore(str(tmp_path))
+        store.ensure([tiny_spec])
+        path = tmp_path / f"{tiny_spec.fingerprint()}.agent.json"
+        published = path.read_text()
+
+        import repro.core.artifact as artifact_module
+
+        def crash_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(artifact_module.os, "replace", crash_replace)
+        artifact = store.load(tiny_spec)
+        with pytest.raises(OSError):
+            artifact.save(str(path))
+        monkeypatch.undo()
+        assert path.read_text() == published
+        reader = ArtifactStore(str(tmp_path))
+        assert reader.load(tiny_spec).to_dict() == artifact.to_dict()
+
+    def test_leftover_staging_files_are_ignored(self, tiny_spec, tmp_path):
+        # A crashed writer's .tmp.<pid> debris must confuse neither load()
+        # nor entries().
+        store = ArtifactStore(str(tmp_path))
+        store.ensure([tiny_spec])
+        debris = tmp_path / f"{tiny_spec.fingerprint()}.agent.json.tmp.12345"
+        debris.write_text("{torn")
+        listed = ArtifactStore(str(tmp_path)).entries()
+        assert [entry.fingerprint for entry in listed] == [tiny_spec.fingerprint()]
+        assert ArtifactStore(str(tmp_path)).load(tiny_spec) is not None
+
+    def test_concurrent_writers_cannot_clobber_each_other(
+        self, tiny_spec, tmp_path, monkeypatch
+    ):
+        # Two processes saving the same fingerprint stage under different
+        # PID-suffixed names; whichever rename lands last, the published
+        # file is one writer's complete document.
+        store = ArtifactStore(str(tmp_path))
+        store.ensure([tiny_spec])
+        artifact = store.load(tiny_spec)
+        path = tmp_path / f"{tiny_spec.fingerprint()}.agent.json"
+
+        import repro.core.artifact as artifact_module
+
+        real_replace = artifact_module.os.replace
+
+        def racing_replace(src, dst):
+            # The "other runner" publishes between our write and rename.
+            # Restore the real rename so its publish completes, and give it
+            # its own PID so its staging file cannot collide with ours.
+            monkeypatch.setattr(artifact_module.os, "replace", real_replace)
+            monkeypatch.setattr(artifact_module.os, "getpid", lambda: 99999)
+            other = ArtifactStore(str(tmp_path))
+            other.store(artifact)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(artifact_module.os, "replace", racing_replace)
+        artifact.save(str(path))
+        assert AgentArtifact.load(str(path)).to_dict() == artifact.to_dict()
+        assert not list(tmp_path.glob("*.tmp.*"))  # no staging debris left

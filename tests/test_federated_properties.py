@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for federated Q-table aggregation.
+
+:class:`~repro.core.federated.FederatedAggregator` implements the fleet's
+server-side merge -- a visit-weighted mean over per-device tables.  These
+properties pin the algebra that makes the merge trustworthy at any fleet
+size:
+
+* aggregating a single table (or identical copies) is the identity on
+  values,
+* the merge is permutation-invariant (device order is an artefact of the
+  transport, not of the experiment), and
+* the merged table carries the *pooled* visit mass, so a second round of
+  visit-weighted aggregation weights fleet experience correctly.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.federated import FederatedAggregator
+from repro.core.qtable import QTable
+
+ACTION_COUNT = 3
+
+#: Close-enough for float accumulations in a different order.
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+
+q_values = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+state_keys = st.tuples(
+    st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=4)
+)
+
+
+@st.composite
+def qtables(draw):
+    """A small random Q-table: unique states, per-state values and visits."""
+    table = QTable(action_count=ACTION_COUNT, initial_q=draw(q_values))
+    states = draw(st.lists(state_keys, unique=True, min_size=1, max_size=6))
+    for state in states:
+        values = draw(
+            st.lists(q_values, min_size=ACTION_COUNT, max_size=ACTION_COUNT)
+        )
+        visits = draw(st.integers(min_value=0, max_value=50))
+        table.set_row(state, values, visits)
+    return table
+
+
+def assert_tables_close(left: QTable, right: QTable) -> None:
+    assert set(left.states()) == set(right.states())
+    for state in left.states():
+        for a, b in zip(left.values(state), right.values(state)):
+            assert math.isclose(a, b, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+
+
+@given(qtables())
+def test_aggregate_of_one_table_is_identity(table):
+    merged = FederatedAggregator(ACTION_COUNT).aggregate([table])
+    assert_tables_close(merged, table)
+    for state in table.states():
+        assert merged.visits(state) == table.visits(state)
+
+
+@given(qtables(), st.integers(min_value=2, max_value=5))
+def test_aggregate_of_identical_tables_is_identity_on_values(table, copies):
+    clones = [QTable.from_dict(table.to_dict()) for _ in range(copies)]
+    merged = FederatedAggregator(ACTION_COUNT).aggregate(clones)
+    assert_tables_close(merged, table)
+    # ... while the visit mass pools across the fleet.
+    for state in table.states():
+        assert merged.visits(state) == copies * table.visits(state)
+
+
+@settings(max_examples=50)
+@given(st.lists(qtables(), min_size=2, max_size=4), st.randoms(use_true_random=False))
+def test_aggregation_is_permutation_invariant(tables, rng):
+    aggregator = FederatedAggregator(ACTION_COUNT)
+    merged = aggregator.aggregate(tables)
+    shuffled = list(tables)
+    rng.shuffle(shuffled)
+    assert_tables_close(aggregator.aggregate(shuffled), merged)
+
+
+@given(st.lists(qtables(), min_size=1, max_size=4))
+def test_merged_visits_sum_and_states_union(tables):
+    merged = FederatedAggregator(ACTION_COUNT).aggregate(tables)
+    expected_states = set()
+    for table in tables:
+        expected_states.update(table.states())
+    assert set(merged.states()) == expected_states
+    for state in expected_states:
+        assert merged.visits(state) == sum(table.visits(state) for table in tables)
+
+
+@given(qtables(), st.integers(min_value=1, max_value=5))
+def test_distribute_splits_the_visit_mass_conservatively(table, devices):
+    replicas = FederatedAggregator(ACTION_COUNT).distribute(table, devices)
+    assert len(replicas) == devices
+    for state in table.states():
+        # Values replicate exactly; the pooled visit mass splits (off by at
+        # most one between devices) and sums back to the original.
+        shares = [replica.visits(state) for replica in replicas]
+        assert sum(shares) == table.visits(state)
+        assert max(shares) - min(shares) <= 1
+        for replica in replicas:
+            assert replica.values(state) == table.values(state)
+
+
+@given(qtables(), st.integers(min_value=1, max_value=5))
+def test_distribute_then_aggregate_round_trips(table, devices):
+    # The multi-round invariant: a server -> devices -> server cycle with no
+    # local training in between must return the merged table unchanged --
+    # same values, same pooled visit mass (no per-device double counting).
+    aggregator = FederatedAggregator(ACTION_COUNT)
+    merged = aggregator.aggregate([table])
+    re_merged = aggregator.aggregate(aggregator.distribute(merged, devices))
+    assert_tables_close(re_merged, merged)
+    for state in merged.states():
+        assert re_merged.visits(state) == merged.visits(state)
+
+
+@given(st.lists(qtables(), min_size=1, max_size=4))
+def test_merged_values_stay_within_the_fleet_envelope(tables):
+    # A weighted mean can never leave the min/max envelope of its inputs.
+    merged = FederatedAggregator(ACTION_COUNT).aggregate(tables)
+    for state in merged.states():
+        contributors = [table.values(state) for table in tables if state in table]
+        for action in range(ACTION_COUNT):
+            values = [row[action] for row in contributors]
+            assert min(values) - ABS_TOL <= merged.get(state, action)
+            assert merged.get(state, action) <= max(values) + ABS_TOL
