@@ -1,0 +1,225 @@
+"""Hot-loop throughput benchmark: the numbers behind ``BENCH_hotloop.json``.
+
+Measures the three quantities the compiled simulation kernel (PR 4) set out
+to improve, on the workloads every experiment in this reproduction funnels
+through:
+
+* ``fig1_ticks_per_sec`` -- simulation ticks per wall-clock second replaying
+  the paper's Fig. 1 mixed session (home -> facebook -> spotify) under the
+  stock ``schedutil`` governor,
+* ``cold_train_episode_s`` -- wall time of one cold ``Next`` training episode
+  (training throughput bounds every RL experiment and federated round), and
+* ``sweep_cell_wall_s`` -- wall time of one scenario-matrix cell end to end
+  (trace recording + simulation + summary), the unit of ``repro-sweep`` cost.
+
+Run standalone::
+
+    python benchmarks/run_benchmarks.py            # full profile
+    python benchmarks/bench_hot_loop.py --fast     # CI smoke (<= 20 sim-s)
+    python benchmarks/bench_hot_loop.py --check-against BENCH_hotloop.json
+
+``--check-against`` is the CI regression gate: it fails (exit code 1) only if
+the measured Fig. 1 throughput regressed more than ``--max-regression`` (2x
+by default) versus the committed baseline -- deliberately generous so shared
+CI runners do not flake the build.
+
+The ``before`` numbers embedded below were measured on the pre-kernel seed
+implementation (PR 3 tree) on the same machine that produced the committed
+``BENCH_hotloop.json``, with the same methodology (best of ``--repeat``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # standalone execution without `pip install -e .`
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+
+from repro.core.governor import NextGovernor
+from repro.experiments.matrix import ScenarioMatrix
+from repro.experiments.runner import execute_cell
+from repro.sim.experiment import (
+    make_governor,
+    record_session_trace,
+    run_trace,
+    train_next_governor,
+)
+from repro.soc.platform import exynos9810
+from repro.workloads.session import FIGURE1_SESSION, SessionSegment
+
+#: Pre-kernel (seed implementation) reference numbers, full profile.
+SEED_BASELINE = {
+    "fig1_ticks_per_sec": 12708.7,
+    "cold_train_episode_s": 0.1936,
+    "sweep_cell_wall_s": 0.02164,
+}
+
+#: Simulated seconds of the Fig. 1 session replayed per profile.  The full
+#: session is 210 s; the fast profile keeps the whole benchmark under 20
+#: simulated seconds for the CI smoke job.
+FIG1_DURATION_S = {"full": None, "fast": 12.0}
+TRAIN_EPISODE_S = {"full": 30.0, "fast": 5.0}
+SWEEP_CELL_S = {"full": 4.0, "fast": 3.0}
+
+
+def _best_of(repeat, fn):
+    best = None
+    result = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def measure(profile: str = "full", repeat: int = 3) -> dict:
+    """Run all three measurements and return the results dict."""
+    platform = exynos9810()
+
+    # -- Fig. 1 schedutil trace throughput -----------------------------------
+    segments = FIGURE1_SESSION.segments
+    limit = FIG1_DURATION_S[profile]
+    if limit is not None:
+        scale = limit / FIGURE1_SESSION.total_duration_s
+        segments = tuple(
+            SessionSegment(seg.app_name, max(1.0, seg.duration_s * scale))
+            for seg in segments
+        )
+    trace = record_session_trace(segments, platform=platform, seed=2020)
+    fig1_wall, _ = _best_of(
+        repeat, lambda: run_trace(trace, make_governor("schedutil"), platform=platform)
+    )
+    fig1_ticks_per_sec = len(trace) / fig1_wall
+
+    # -- cold-train episode throughput ---------------------------------------
+    episode_s = TRAIN_EPISODE_S[profile]
+
+    def train_once():
+        return train_next_governor(
+            NextGovernor(seed=7),
+            "facebook",
+            platform=platform,
+            episodes=1,
+            episode_duration_s=episode_s,
+            seed=7,
+            td_error_threshold=0.0,
+        )
+
+    train_wall, _ = _best_of(repeat, train_once)
+
+    # -- one sweep cell end to end -------------------------------------------
+    cell = ScenarioMatrix.build(
+        name="bench",
+        governors=("schedutil",),
+        apps=("facebook",),
+        seeds=(0,),
+        duration_s=SWEEP_CELL_S[profile],
+    ).cells()[0]
+    cell_wall, cell_result = _best_of(repeat, lambda: execute_cell(cell))
+    if not cell_result.ok:
+        raise RuntimeError(f"benchmark sweep cell failed: {cell_result.error}")
+
+    return {
+        "fig1_ticks_per_sec": round(fig1_ticks_per_sec, 1),
+        "fig1_ticks": len(trace),
+        "fig1_wall_s": round(fig1_wall, 4),
+        "cold_train_episode_s": round(train_wall, 4),
+        "cold_train_sim_s_per_wall_s": round(episode_s / train_wall, 1),
+        "sweep_cell_wall_s": round(cell_wall, 5),
+    }
+
+
+def build_report(profile: str, repeat: int) -> dict:
+    """Measure and assemble the full BENCH_hotloop payload."""
+    results = measure(profile=profile, repeat=repeat)
+    report = {
+        "benchmark": "hotloop",
+        "schema": 1,
+        "profile": profile,
+        "repeat": repeat,
+        "before": dict(SEED_BASELINE),
+        "after": results,
+    }
+    if profile == "full":
+        report["speedup"] = {
+            "fig1_ticks_per_sec": round(
+                results["fig1_ticks_per_sec"] / SEED_BASELINE["fig1_ticks_per_sec"], 2
+            ),
+            "cold_train_episode_s": round(
+                SEED_BASELINE["cold_train_episode_s"] / results["cold_train_episode_s"], 2
+            ),
+            "sweep_cell_wall_s": round(
+                SEED_BASELINE["sweep_cell_wall_s"] / results["sweep_cell_wall_s"], 2
+            ),
+        }
+    return report
+
+
+def check_regression(report: dict, baseline: dict, max_regression: float) -> int:
+    """Gate the measured throughput against a committed baseline report."""
+    reference = baseline["after"]["fig1_ticks_per_sec"]
+    measured = report["after"]["fig1_ticks_per_sec"]
+    floor = reference / max_regression
+    print(
+        f"regression gate: measured {measured:.0f} ticks/s vs committed "
+        f"{reference:.0f} ticks/s (floor {floor:.0f}, max regression {max_regression}x)"
+    )
+    if measured < floor:
+        print("FAIL: hot loop regressed beyond the allowed factor")
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fast", action="store_true", help="CI smoke profile (<= 20 simulated seconds)"
+    )
+    parser.add_argument("--repeat", type=int, default=3, help="best-of repetitions")
+    parser.add_argument(
+        "--output", default="BENCH_hotloop.json", help="where to write the report JSON"
+    )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        help="committed baseline JSON to gate against (CI regression check)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail only if ticks/sec dropped by more than this factor",
+    )
+    args = parser.parse_args(argv)
+
+    # Load the baseline BEFORE writing anything: with the default --output the
+    # gate may point at the very file we are about to overwrite, and gating a
+    # measurement against itself would always pass.
+    baseline = None
+    if args.check_against:
+        with open(args.check_against, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+
+    profile = "fast" if args.fast else "full"
+    report = build_report(profile=profile, repeat=args.repeat)
+    print(json.dumps(report, indent=2))
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    if baseline is not None:
+        return check_regression(report, baseline, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""Perf-trajectory runner: executes the ``BENCH_*`` benchmarks and writes JSON.
+
+The paper-figure benchmarks under ``benchmarks/bench_fig*.py`` regenerate the
+paper's *results*; the benchmarks registered here track the *performance* of
+the reproduction itself over time.  Each entry writes one ``BENCH_<name>.json``
+report (committed at the repo root) containing before/after numbers, so the
+perf trajectory of the codebase is versioned alongside the code.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py                 # full profile, all benchmarks
+    python benchmarks/run_benchmarks.py --fast          # CI smoke profile
+    python benchmarks/run_benchmarks.py --only hotloop  # one benchmark
+    python benchmarks/run_benchmarks.py --output-dir .  # where reports land
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+if __package__ in (None, ""):  # standalone execution without `pip install -e .`
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_hot_loop
+
+#: name -> build_report(profile, repeat) callable producing the JSON payload.
+BENCHMARKS = {
+    "hotloop": bench_hot_loop.build_report,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true", help="CI smoke profile")
+    parser.add_argument("--repeat", type=int, default=3, help="best-of repetitions")
+    parser.add_argument(
+        "--only",
+        choices=sorted(BENCHMARKS),
+        default=None,
+        help="run a single benchmark instead of all",
+    )
+    parser.add_argument(
+        "--output-dir", default=".", help="directory for the BENCH_*.json reports"
+    )
+    args = parser.parse_args(argv)
+
+    profile = "fast" if args.fast else "full"
+    names = [args.only] if args.only else sorted(BENCHMARKS)
+    for name in names:
+        print(f"== {name} ({profile}) ==")
+        report = BENCHMARKS[name](profile=profile, repeat=args.repeat)
+        path = os.path.join(args.output_dir, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(json.dumps(report, indent=2))
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

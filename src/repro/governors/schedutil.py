@@ -22,11 +22,12 @@ Two classes live here:
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.governors.base import Governor, GovernorObservation
-from repro.soc.cluster import Cluster
+from repro.soc.cluster import Cluster, ClusterKind
 
 
 @dataclass
@@ -98,6 +99,10 @@ class SchedutilScaler:
         self._last_up_time_s: Dict[str, float] = {}
         self._last_down_time_s: Dict[str, float] = {}
         self._last_activity_time_s: Dict[str, float] = {}
+        # The boost floor index only depends on the cluster's OPP table and
+        # the (static) config, so it is computed once per cluster, not every
+        # tick (hot-loop: the scaler runs for every cluster on every tick).
+        self._boost_index_cache: Dict[str, int] = {}
 
     def reset(self) -> None:
         """Forget rate-limit and boost history."""
@@ -105,13 +110,22 @@ class SchedutilScaler:
         self._last_down_time_s.clear()
         self._last_activity_time_s.clear()
 
+    def _cached_boost_index(self, cluster: Cluster) -> int:
+        """OPP index of the boost frequency floor for ``cluster`` (memoised)."""
+        name = cluster.name
+        index = self._boost_index_cache.get(name)
+        if index is None:
+            table = cluster.opp_table
+            boost_freq = self.config.touch_boost_fraction * table.max_frequency_mhz
+            index = table.ceil_index(boost_freq)
+            self._boost_index_cache[name] = index
+        return index
+
     def _boost_floor_index(self, cluster: Cluster, utilisation: float, now_s: float) -> int:
         """OPP index of the input-boost frequency floor (0 when not boosting)."""
         cfg = self.config
         if cfg.touch_boost_fraction <= 0:
             return 0
-        from repro.soc.cluster import ClusterKind
-
         if cluster.kind is ClusterKind.GPU and not cfg.boost_gpu:
             return 0
         name = cluster.name
@@ -120,9 +134,7 @@ class SchedutilScaler:
         last_activity = self._last_activity_time_s.get(name)
         if last_activity is None or now_s - last_activity > cfg.touch_boost_hold_s:
             return 0
-        table = cluster.opp_table
-        boost_freq = cfg.touch_boost_fraction * table.max_frequency_mhz
-        return table.ceil_index(boost_freq)
+        return self._cached_boost_index(cluster)
 
     def select(
         self,
@@ -176,6 +188,99 @@ class SchedutilScaler:
             name: self.select(cluster, utilisations.get(name, 0.0), now_s)
             for name, cluster in clusters.items()
         }
+
+    # -- compiled hot path -------------------------------------------------------
+
+    def compile_clusters(
+        self, clusters: Mapping[str, Cluster]
+    ) -> List[Tuple[str, Cluster, Tuple[float, ...], int, bool, int]]:
+        """Precompute per-cluster records for :meth:`select_tick`.
+
+        Each record is ``(name, cluster, frequencies, top_index, boostable,
+        boost_index)``: everything :meth:`select` re-derives per call that is
+        in fact constant for a given cluster and scaler config.
+        """
+        cfg = self.config
+        compiled = []
+        for name, cluster in clusters.items():
+            boostable = cfg.touch_boost_fraction > 0 and (
+                cluster.kind is not ClusterKind.GPU or cfg.boost_gpu
+            )
+            compiled.append(
+                (
+                    name,
+                    cluster,
+                    cluster._freqs,
+                    len(cluster._freqs) - 1,
+                    boostable,
+                    self._cached_boost_index(cluster),
+                )
+            )
+        return compiled
+
+    def select_tick(
+        self,
+        compiled: List[Tuple[str, Cluster, Tuple[float, ...], int, bool, int]],
+        utilisations: Mapping[str, float],
+        now_s: float,
+    ) -> None:
+        """One fused frequency-selection pass over pre-compiled clusters.
+
+        Behaviourally identical to calling :meth:`select` per cluster (same
+        decisions, same rate-limit/boost state updates, same float sequence);
+        the per-call layers -- ``ceil_index``/``clamp_index`` wrappers, the
+        boost-floor recomputation, the per-cluster method dispatch -- are
+        flattened out because this runs for every cluster on every tick.
+        """
+        cfg = self.config
+        headroom = cfg.headroom
+        io_boost = cfg.io_boost
+        up_rate_limit = cfg.up_rate_limit_s
+        down_rate_limit = cfg.down_rate_limit_s
+        boost_threshold = cfg.touch_boost_util_threshold
+        boost_hold = cfg.touch_boost_hold_s
+        last_up = self._last_up_time_s
+        last_down = self._last_down_time_s
+        last_activity = self._last_activity_time_s
+        get_utilisation = utilisations.get
+        for name, cluster, freqs, top_index, boostable, boost_index in compiled:
+            utilisation = get_utilisation(name, 0.0)
+            if utilisation < 0.0:
+                utilisation = 0.0
+            elif utilisation > 1.0:
+                utilisation = 1.0
+            if utilisation > 0 and utilisation < io_boost:
+                utilisation = io_boost
+            target_freq = headroom * freqs[cluster._current_index] * utilisation
+            if target_freq > 0:
+                target_index = bisect_left(freqs, target_freq)
+                if target_index > top_index:
+                    target_index = top_index
+            else:
+                target_index = 0
+            if boostable:
+                if utilisation >= boost_threshold:
+                    last_activity[name] = now_s
+                    if boost_index > target_index:
+                        target_index = boost_index
+                else:
+                    activity = last_activity.get(name)
+                    if activity is not None and now_s - activity <= boost_hold:
+                        if boost_index > target_index:
+                            target_index = boost_index
+            current = cluster._current_index
+            if target_index > current:
+                up_time = last_up.get(name)
+                if up_time is not None and now_s - up_time < up_rate_limit:
+                    continue
+                if cluster.set_frequency_index(target_index) != current:
+                    last_up[name] = now_s
+            elif target_index < current:
+                down_time = last_down.get(name)
+                if down_time is not None and now_s - down_time < down_rate_limit:
+                    continue
+                if cluster.set_frequency_index(target_index) != current:
+                    last_down[name] = now_s
 
 
 class SchedutilGovernor(Governor):

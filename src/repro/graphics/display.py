@@ -93,6 +93,30 @@ class Display:
         """FPS over the trailing window ending at ``now_s``."""
         return min(self.refresh_hz, self._counter.fps(now_s))
 
+    def record_tick_fps(
+        self, time_s: float, frames_displayed: int, frames_dropped: int
+    ) -> float:
+        """Fused :meth:`record_tick` + :meth:`current_fps` (hot loop).
+
+        One call per simulation tick with the sliding-window bookkeeping
+        inlined; returns the same FPS the two-call sequence would.
+        """
+        if frames_displayed < 0:
+            raise ValueError("frames_displayed must be non-negative")
+        self._total_frames += frames_displayed
+        self._total_drops += frames_dropped
+        counter = self._counter
+        events = counter._events
+        events.append((time_s, frames_displayed))
+        total = counter._total_in_window + frames_displayed
+        cutoff = time_s - counter.window_s
+        while events and events[0][0] <= cutoff:
+            total -= events.popleft()[1]
+        counter._total_in_window = total
+        fps = total / counter.window_s
+        refresh = self.refresh_hz
+        return fps if fps < refresh else refresh
+
     def reset(self) -> None:
         """Clear all accounting."""
         self._counter.reset()

@@ -84,7 +84,7 @@ class PipelineConfig:
             raise ValueError("max_pending_frames must be at least 1")
 
 
-@dataclass(frozen=True)
+@dataclass
 class TickResult:
     """Outcome of advancing the pipeline by one simulation tick.
 
@@ -123,6 +123,10 @@ class TickResult:
         return self.frames_dropped
 
 
+#: Shared empty mapping for ticks without background work (read-only use).
+_NO_BACKGROUND: Mapping[str, float] = {}
+
+
 class FramePipeline:
     """CPU-stage / GPU-stage frame renderer with triple buffering."""
 
@@ -141,6 +145,15 @@ class FramePipeline:
         self._gpu_stage_remaining: Optional[float] = None
         self._completed_waiting_buffer = 0
         self._time_s = 0.0
+        # Compiled rate helpers: the cluster mapping handed to tick() is the
+        # same object every tick, so the big/little/gpu lookups and core-share
+        # clamps are resolved once and reused (hot loop).
+        self._compiled_for: Optional[Mapping[str, Cluster]] = None
+        self._rate_big: Optional[Tuple[Cluster, float, float]] = None
+        self._rate_little: Optional[Tuple[Cluster, float, float]] = None
+        self._rate_gpu: Optional[Tuple[Cluster, float, float]] = None
+        self._cluster_items: List[Tuple[str, Cluster]] = []
+        self._util_items: List[Tuple[str, Cluster, Tuple[float, ...], float, int]] = []
 
     # -- configuration helpers ----------------------------------------------------
 
@@ -180,31 +193,55 @@ class FramePipeline:
 
     # -- rates ----------------------------------------------------------------------
 
-    def _cpu_rate_mwu_per_s(self, clusters: Mapping[str, Cluster]) -> Tuple[float, float, float]:
-        """CPU-stage processing rate and the big/little split of that rate."""
+    def _compile_rates(self, clusters: Mapping[str, Cluster]) -> None:
+        """Resolve cluster references and core shares for this cluster mapping."""
         cfg = self.config
-        big_rate = 0.0
-        little_rate = 0.0
+        self._rate_big = None
+        self._rate_little = None
+        self._rate_gpu = None
         if cfg.big_cluster in clusters:
             big = clusters[cfg.big_cluster]
             cores = min(cfg.ui_big_cores, big.spec.core_count)
-            big_rate = big.current_frequency_mhz * big.spec.perf_per_mhz * cores
+            self._rate_big = (big, big.spec.perf_per_mhz, cores)
         if cfg.little_cluster in clusters:
             little = clusters[cfg.little_cluster]
             cores = min(cfg.ui_little_cores, little.spec.core_count)
-            little_rate = (
-                little.current_frequency_mhz * little.spec.perf_per_mhz * cores
-            )
+            self._rate_little = (little, little.spec.perf_per_mhz, cores)
+        if cfg.gpu_cluster in clusters:
+            gpu = clusters[cfg.gpu_cluster]
+            cores = gpu.spec.core_count * cfg.gpu_core_fraction
+            self._rate_gpu = (gpu, gpu.spec.perf_per_mhz, cores)
+        self._cluster_items = list(clusters.items())
+        #: Per-cluster records for the utilisation loop:
+        #: ``(name, cluster, frequencies, perf_per_mhz, core_count)``.
+        self._util_items = [
+            (name, c, c._freqs, c.spec.perf_per_mhz, c.spec.core_count)
+            for name, c in clusters.items()
+        ]
+        self._compiled_for = clusters
+
+    def _cpu_rate_mwu_per_s(self, clusters: Mapping[str, Cluster]) -> Tuple[float, float, float]:
+        """CPU-stage processing rate and the big/little split of that rate."""
+        if clusters is not self._compiled_for:
+            self._compile_rates(clusters)
+        big_rate = 0.0
+        little_rate = 0.0
+        if self._rate_big is not None:
+            big, perf, cores = self._rate_big
+            big_rate = big._freqs[big._current_index] * perf * cores
+        if self._rate_little is not None:
+            little, perf, cores = self._rate_little
+            little_rate = little._freqs[little._current_index] * perf * cores
         return big_rate + little_rate, big_rate, little_rate
 
     def _gpu_rate_mwu_per_s(self, clusters: Mapping[str, Cluster]) -> float:
         """GPU-stage processing rate."""
-        cfg = self.config
-        if cfg.gpu_cluster not in clusters:
+        if clusters is not self._compiled_for:
+            self._compile_rates(clusters)
+        if self._rate_gpu is None:
             return 0.0
-        gpu = clusters[cfg.gpu_cluster]
-        cores = gpu.spec.core_count * cfg.gpu_core_fraction
-        return gpu.current_frequency_mhz * gpu.spec.perf_per_mhz * cores
+        gpu, perf, cores = self._rate_gpu
+        return gpu._freqs[gpu._current_index] * perf * cores
 
     # -- main step --------------------------------------------------------------------
 
@@ -237,18 +274,40 @@ class FramePipeline:
         """
         if dt_s <= 0:
             raise ValueError("dt_s must be positive")
-        background_work_mwu = dict(background_work_mwu or {})
+        if background_work_mwu is None:
+            background_work_mwu = _NO_BACKGROUND
         cfg = self.config
+        pending = self._pending
 
         rejected = 0
-        for frame in frame_demands:
-            if len(self._pending) >= cfg.max_pending_frames:
-                rejected += 1
-                continue
-            self._pending.append(frame)
+        if frame_demands:
+            max_pending = cfg.max_pending_frames
+            for frame in frame_demands:
+                if len(pending) >= max_pending:
+                    rejected += 1
+                    continue
+                pending.append(frame)
 
-        cpu_rate, big_rate, little_rate = self._cpu_rate_mwu_per_s(clusters)
-        gpu_rate = self._gpu_rate_mwu_per_s(clusters)
+        # Inlined _cpu_rate_mwu_per_s / _gpu_rate_mwu_per_s (hot loop).
+        if clusters is not self._compiled_for:
+            self._compile_rates(clusters)
+        big_rate = 0.0
+        little_rate = 0.0
+        rate = self._rate_big
+        if rate is not None:
+            cluster, perf, cores = rate
+            big_rate = cluster._freqs[cluster._current_index] * perf * cores
+        rate = self._rate_little
+        if rate is not None:
+            cluster, perf, cores = rate
+            little_rate = cluster._freqs[cluster._current_index] * perf * cores
+        cpu_rate = big_rate + little_rate
+        rate = self._rate_gpu
+        if rate is not None:
+            cluster, perf, cores = rate
+            gpu_rate = cluster._freqs[cluster._current_index] * perf * cores
+        else:
+            gpu_rate = 0.0
 
         cpu_budget = cpu_rate * dt_s
         gpu_budget = gpu_rate * dt_s
@@ -312,7 +371,7 @@ class FramePipeline:
 
         # Attribute frame CPU work to the two CPU clusters in proportion to the
         # rate they contributed, then add background work up to spare capacity.
-        work_done: Dict[str, float] = {name: 0.0 for name in clusters}
+        work_done: Dict[str, float] = {name: 0.0 for name, _ in self._cluster_items}
         if cpu_rate > 0:
             if cfg.big_cluster in work_done:
                 work_done[cfg.big_cluster] += cpu_frame_work_done * (big_rate / cpu_rate)
@@ -324,26 +383,51 @@ class FramePipeline:
             work_done[cfg.gpu_cluster] += gpu_frame_work_done
 
         utilisations: Dict[str, float] = {}
-        for name, cluster in clusters.items():
-            capacity = cluster.current_capacity * dt_s
-            background = background_work_mwu.get(name, 0.0)
+        background_get = background_work_mwu.get
+        for name, cluster, freqs, perf, cores in self._util_items:
+            capacity = (freqs[cluster._current_index] * perf * cores) * dt_s
+            background = background_get(name, 0.0)
+            done = work_done[name]
             if capacity <= 0:
-                utilisations[name] = 1.0 if (background > 0 or work_done[name] > 0) else 0.0
+                utilisations[name] = 1.0 if (background > 0 or done > 0) else 0.0
                 continue
-            spare = max(0.0, capacity - work_done[name])
-            background_done = min(background, spare)
-            work_done[name] += background_done
-            utilisations[name] = min(1.0, work_done[name] / capacity)
+            spare = capacity - done
+            if spare < 0.0:
+                spare = 0.0
+            background_done = background if background < spare else spare
+            done += background_done
+            work_done[name] = done
+            ratio = done / capacity
+            utilisations[name] = ratio if ratio < 1.0 else 1.0
 
         # VSync edges that fall inside this tick latch frames to the panel.
+        # (Inlined VsyncClock.edges_until / BufferQueue.latch: one VSync edge
+        # per tick at the standard dt, every tick of the simulation.)
         displayed = 0
         misses = 0
         end_time = self._time_s + dt_s
-        for _edge in self.vsync.edges_until(end_time):
-            if self.buffers.latch():
+        vsync = self.vsync
+        buffers = self.buffers
+        next_edge = vsync._next_edge_s
+        period = vsync.period_s
+        deadline = end_time + 1e-12
+        while next_edge <= deadline:
+            if buffers._ready_frames > 0:
+                buffers._ready_frames -= 1
+                buffers._front_valid = True
                 displayed += 1
-            elif self.frames_in_flight > 0 or frame_demands:
-                misses += 1
+            else:
+                # Inlined frames_in_flight (ready_frames is 0 in this branch).
+                in_flight = (
+                    len(pending)
+                    + (self._cpu_stage_frame is not None)
+                    + (self._gpu_stage_remaining is not None)
+                    + self._completed_waiting_buffer
+                )
+                if in_flight > 0 or frame_demands:
+                    misses += 1
+            next_edge += period
+        vsync._next_edge_s = next_edge
         self._time_s = end_time
 
         return TickResult(

@@ -15,12 +15,23 @@ Per tick the engine performs, in order:
    (noisy) values and let the governor adjust limits/frequencies.
 
 The engine records ground truth into a :class:`~repro.sim.recorder.Recorder`.
+
+Hot-loop kernel
+---------------
+The per-tick path runs against the compiled SoC kernel
+(:meth:`~repro.soc.soc.SocSimulator.step_tick`) and the struct-of-arrays
+recorder fast path (:meth:`~repro.sim.recorder.Recorder.append_tick`), so a
+tick allocates no telemetry snapshot and no per-sample dict copies.  Full
+``SocTelemetry``/``GovernorObservation`` snapshots are materialised only at
+recorder ticks and governor-invocation boundaries.  Outputs are bit-identical
+to the original allocating path (pinned by the golden-trace suite).
 """
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.governors.base import Governor, GovernorObservation
 from repro.governors.schedutil import SchedutilScaler
@@ -28,7 +39,7 @@ from repro.graphics.display import Display
 from repro.graphics.pipeline import FramePipeline, PipelineConfig
 from repro.sim.clock import SimulationClock
 from repro.sim.config import SimulationConfig
-from repro.sim.recorder import Recorder, SimulationSample
+from repro.sim.recorder import Recorder
 from repro.soc.cluster import ClusterKind
 from repro.soc.platform import PlatformSpec
 from repro.soc.soc import SocSimulator
@@ -42,6 +53,13 @@ class SessionWorkload:
     Applications are instantiated lazily when their segment starts, each with
     its own derived seed, and the emitted :class:`TickWorkload` times are
     offset so they are monotonically increasing across the whole session.
+
+    Segment boundaries are *integer tick counts* derived once per segment
+    (``ceil(duration_s / dt_s)``, fractional ticks round up to whole VSync
+    periods).  The previous implementation accumulated ``dt_s`` in floats and
+    compared against ``duration_s - 1e-9``, which could gain or lose a tick
+    per segment on long sessions; counting ticks makes boundaries exact for
+    sessions of any length.
     """
 
     def __init__(self, segments: Sequence, seed: Optional[int] = None) -> None:
@@ -50,7 +68,8 @@ class SessionWorkload:
         self._segments = list(segments)
         self._seed = seed
         self._segment_index = 0
-        self._segment_elapsed_s = 0.0
+        self._segment_tick = 0
+        self._segment_total_ticks: Optional[int] = None
         self._time_offset_s = 0.0
         self._current_app = None
 
@@ -78,20 +97,29 @@ class SessionWorkload:
                 interaction_activity=0.0,
             )
         segment = self._segments[self._segment_index]
+        if self._segment_total_ticks is None:
+            # Derive the boundary once per segment as a whole number of ticks:
+            # exact multiples of dt_s stay exact, fractional durations round
+            # up (a 2.5-tick segment plays 3 whole VSync periods).
+            self._segment_total_ticks = max(
+                1, math.ceil(segment.duration_s / dt_s - 1e-9)
+            )
+            self._segment_tick = 0
         app = self._ensure_app()
         tick = app.tick(dt_s)
         result = TickWorkload(
-            time_s=self._time_offset_s + self._segment_elapsed_s,
+            time_s=self._time_offset_s + self._segment_tick * dt_s,
             app_name=tick.app_name,
             phase_name=tick.phase_name,
             frames=tick.frames,
             background_work_mwu=tick.background_work_mwu,
             interaction_activity=tick.interaction_activity,
         )
-        self._segment_elapsed_s += dt_s
-        if self._segment_elapsed_s >= segment.duration_s - 1e-9:
-            self._time_offset_s += self._segment_elapsed_s
-            self._segment_elapsed_s = 0.0
+        self._segment_tick += 1
+        if self._segment_tick >= self._segment_total_ticks:
+            self._time_offset_s += self._segment_total_ticks * dt_s
+            self._segment_tick = 0
+            self._segment_total_ticks = None
             self._segment_index += 1
             self._current_app = None
         return result
@@ -127,11 +155,22 @@ class Simulation:
             ambient_c=platform.ambient_c,
             hot_node=self._big_cluster_name() or platform.cluster_names[0],
         )
+        # Register the fixed column layout so per-tick recording stores flat
+        # value tuples against shared key tuples (struct-of-arrays).
+        self.recorder.register_layout(
+            cluster_keys=self.soc.cluster_name_keys(),
+            node_keys=self.soc.node_name_keys(),
+        )
 
         self._current_app: Optional[str] = None
         self._last_invocation_s: Optional[float] = None
         self._dropped_since_invocation = 0
         self._demanded_since_invocation = 0
+        #: (name, cluster) pairs in platform order -- the hot loop iterates
+        #: this list instead of rebuilding dict views every tick.
+        self._cluster_items = list(self.soc.clusters.items())
+        #: Pre-compiled per-cluster records for the fused scaler pass.
+        self._scaler_compiled = self.scaler.compile_clusters(self.soc.clusters)
 
     # -- helpers --------------------------------------------------------------------
 
@@ -167,98 +206,170 @@ class Simulation:
         :class:`SessionWorkload`.
         """
         duration = duration_s if duration_s is not None else self.config.duration_s
-        ticks = self.clock.ticks_for(duration)
-        for _ in range(ticks):
-            self._step_once(workload)
+        self._run_ticks(workload, self.clock.ticks_for(duration))
         return self.recorder
 
     def _step_once(self, workload) -> None:
-        dt = self.config.dt_s
-        demand = workload.tick(dt)
+        """Advance the simulation by exactly one tick."""
+        self._run_ticks(workload, 1)
 
-        if demand.app_name != self._current_app:
-            if self._current_app is not None:
-                self.governor.on_session_end(self._current_app)
-            self._current_app = demand.app_name
-            self.governor.on_session_start(self._current_app)
+    def _run_ticks(self, workload, ticks: int) -> None:
+        """The compiled tick loop: everything hot is bound to locals once.
 
-        result = self.pipeline.tick(
-            dt_s=dt,
-            clusters=self.soc.clusters,
-            frame_demands=demand.frames,
-            background_work_mwu=demand.background_work_mwu,
+        One implementation serves both :meth:`run` and :meth:`_step_once`, so
+        the fast path cannot drift from single-stepped behaviour.
+        """
+        config = self.config
+        dt = config.dt_s
+        record_every = config.record_every_n_ticks
+        governor = self.governor
+        invocation_period = governor.invocation_period_s
+        # Baseline governors inherit the no-op observe_tick; skip the 60 Hz
+        # call for them entirely (the Next agent's frame window still gets
+        # every tick).
+        governor_observe = (
+            governor.observe_tick
+            if type(governor).observe_tick is not Governor.observe_tick
+            else None
         )
-        self.soc.set_utilisations(result.utilisations)
-        telemetry = self.soc.step(dt)
-        now = self.clock.advance()
+        pipeline_tick = self.pipeline.tick
+        soc = self.soc
+        soc_clusters = soc.clusters
+        soc_step = soc.step_tick
+        soc_record_values = soc.record_values
+        soc_dvfs_values = soc.dvfs_values
+        clock = self.clock
+        display = self.display
+        display_record_fps = display.record_tick_fps
+        scaler = self.scaler
+        scaler_compiled = self._scaler_compiled
+        scaler_select_tick = scaler.select_tick
+        cluster_items = self._cluster_items
+        recorder_append = self.recorder.append_tick
+        workload_tick = workload.tick
+        governor_agent = getattr(governor, "agent", None)
+        current_app = self._current_app
+        last_invocation = self._last_invocation_s
+        dropped_since = self._dropped_since_invocation
+        demanded_since = self._demanded_since_invocation
+        try:
+            for _ in range(ticks):
+                demand = workload_tick(dt)
 
-        self.display.record_tick(now, result.frames_displayed, result.frames_dropped)
-        fps = self.display.current_fps(now)
-        self.governor.observe_tick(now, fps)
+                app_name = demand.app_name
+                if app_name != current_app:
+                    if current_app is not None:
+                        governor.on_session_end(current_app)
+                    current_app = app_name
+                    governor.on_session_start(app_name)
+                    invocation_period = governor.invocation_period_s
 
-        # Inner utilisation-driven frequency selection inside the limits.
-        self.scaler.select_all(self.soc.clusters, result.utilisations, now)
-
-        self._dropped_since_invocation += result.frames_dropped
-        self._demanded_since_invocation += len(demand.frames)
-
-        due = (
-            self._last_invocation_s is None
-            or now - self._last_invocation_s >= self.governor.invocation_period_s - 1e-9
-        )
-        if due:
-            readings = self.soc.sample_sensors()
-            big_name = self._big_cluster_name()
-            if big_name is not None and big_name in readings.temperatures_c:
-                temperature_big = readings.temperatures_c[big_name]
-            else:
-                temperature_big = max(readings.temperatures_c.values())
-            observation = GovernorObservation(
-                time_s=now,
-                dt_s=(
-                    now - self._last_invocation_s
-                    if self._last_invocation_s is not None
-                    else self.governor.invocation_period_s
-                ),
-                fps=fps,
-                utilisations=dict(result.utilisations),
-                frequencies_mhz={
-                    name: c.current_frequency_mhz for name, c in self.soc.clusters.items()
-                },
-                max_limits_mhz={
-                    name: c.max_limit_frequency_mhz for name, c in self.soc.clusters.items()
-                },
-                power_w=readings.power_w,
-                temperature_big_c=temperature_big,
-                temperature_device_c=readings.device_temperature_c,
-                frames_dropped=self._dropped_since_invocation,
-                frames_demanded=self._demanded_since_invocation,
-            )
-            self.governor.update(observation, self.soc.clusters)
-            self._last_invocation_s = now
-            self._dropped_since_invocation = 0
-            self._demanded_since_invocation = 0
-
-        if self.clock.ticks % self.config.record_every_n_ticks == 0:
-            self.recorder.record(
-                SimulationSample(
-                    time_s=now,
-                    app_name=demand.app_name,
-                    phase_name=demand.phase_name,
-                    fps=fps,
-                    target_fps=self._target_fps(),
-                    frames_demanded=len(demand.frames),
-                    frames_displayed=result.frames_displayed,
-                    frames_dropped=result.frames_dropped,
-                    power_total_w=telemetry.total_power_w,
-                    power_per_cluster_w={
-                        name: telemetry.power.cluster_total_w(name)
-                        for name in self.soc.clusters
-                    },
-                    temperatures_c=dict(telemetry.temperatures_c),
-                    frequencies_mhz=dict(telemetry.frequencies_mhz),
-                    max_limits_mhz=dict(telemetry.max_limits_mhz),
-                    utilisations=dict(telemetry.utilisations),
-                    interaction_activity=demand.interaction_activity,
+                frames = demand.frames
+                result = pipeline_tick(
+                    dt,
+                    soc_clusters,
+                    frames,
+                    demand.background_work_mwu,
                 )
-            )
+                utilisations = result.utilisations
+                for name, cluster in cluster_items:
+                    # Inlined Cluster.utilisation setter (same clamp).
+                    value = utilisations[name]
+                    if value < 0.0:
+                        value = 0.0
+                    elif value > 1.0:
+                        value = 1.0
+                    cluster._utilisation = value
+                soc_step(dt)
+                tick_count = clock._ticks + 1
+                clock._ticks = tick_count
+                now = tick_count * dt
+
+                will_record = tick_count % record_every == 0
+                if will_record:
+                    # Snapshot DVFS state *now*: the recorded sample reflects
+                    # the frequencies/limits the tick was simulated at, before
+                    # the inner scaler and the policy governor adjust them for
+                    # the next tick.
+                    frequency_values, max_limit_values = soc_dvfs_values()
+
+                frames_displayed = result.frames_displayed
+                frames_dropped = result.frames_dropped
+                fps = display_record_fps(now, frames_displayed, frames_dropped)
+                if governor_observe is not None:
+                    governor_observe(now, fps)
+
+                # Inner utilisation-driven frequency selection inside the limits.
+                scaler_select_tick(scaler_compiled, utilisations, now)
+
+                dropped_since += frames_dropped
+                demanded_since += len(frames)
+
+                due = (
+                    last_invocation is None
+                    or now - last_invocation >= invocation_period - 1e-9
+                )
+                if due:
+                    # Everything snapshot-shaped (sensor sampling, the
+                    # observation's dict copies) lives inside this branch so a
+                    # governor with a long invocation period costs nothing on
+                    # the ticks in between.
+                    readings = soc.sample_sensors()
+                    big_name = self._big_cluster_name()
+                    if big_name is not None and big_name in readings.temperatures_c:
+                        temperature_big = readings.temperatures_c[big_name]
+                    else:
+                        temperature_big = max(readings.temperatures_c.values())
+                    observation = GovernorObservation(
+                        time_s=now,
+                        dt_s=(
+                            now - last_invocation
+                            if last_invocation is not None
+                            else invocation_period
+                        ),
+                        fps=fps,
+                        utilisations=dict(utilisations),
+                        frequencies_mhz={
+                            name: c.current_frequency_mhz for name, c in cluster_items
+                        },
+                        max_limits_mhz={
+                            name: c.max_limit_frequency_mhz for name, c in cluster_items
+                        },
+                        power_w=readings.power_w,
+                        temperature_big_c=temperature_big,
+                        temperature_device_c=readings.device_temperature_c,
+                        frames_dropped=dropped_since,
+                        frames_demanded=demanded_since,
+                    )
+                    governor.update(observation, soc_clusters)
+                    last_invocation = now
+                    dropped_since = 0
+                    demanded_since = 0
+                    invocation_period = governor.invocation_period_s
+
+                if will_record:
+                    power_total, power_values, temperature_values, utilisation_values = (
+                        soc_record_values()
+                    )
+                    recorder_append(
+                        now,
+                        app_name,
+                        demand.phase_name,
+                        fps,
+                        0.0 if governor_agent is None else governor_agent.target_fps,
+                        len(frames),
+                        frames_displayed,
+                        frames_dropped,
+                        power_total,
+                        power_values,
+                        temperature_values,
+                        frequency_values,
+                        max_limit_values,
+                        utilisation_values,
+                        demand.interaction_activity,
+                    )
+        finally:
+            self._current_app = current_app
+            self._last_invocation_s = last_invocation
+            self._dropped_since_invocation = dropped_since
+            self._demanded_since_invocation = demanded_since

@@ -5,13 +5,22 @@ the experimenter's ground-truth view, equivalent to the logging harness the
 paper ran alongside its on-device experiments -- and derives the aggregate
 numbers the paper reports: average power, peak temperature, average FPS,
 dropped frames and average PPDW.
+
+Storage is *struct-of-arrays*: each scalar field lives in its own flat
+column and each mapping field in a values column plus a (shared, interned)
+key tuple per row, so the simulation hot loop appends plain floats and small
+tuples instead of building five dict copies and a dataclass per tick
+(:meth:`Recorder.append_tick`).  The :class:`SimulationSample` view is
+reconstructed lazily on access -- ``recorder.samples``, :meth:`resample` and
+the analysis APIs are unchanged and the reconstructed samples compare equal
+(bit-identically) to what the previous object-per-tick recorder stored.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.ppdw import compute_ppdw
 
@@ -63,73 +72,300 @@ class SummaryStatistics:
         return min(1.0, self.total_frames_displayed / self.total_frames_demanded)
 
 
+def sample_stream_hash(samples: Iterable[SimulationSample]) -> str:
+    """Canonical SHA-256 over every field of every sample.
+
+    Mapping fields are serialised with sorted keys and floats through
+    ``repr`` (shortest round-trip), so the hash is exact: two sample streams
+    hash equal iff they are bit-identical, independent of dict key order.
+    The golden-trace regression suite pins recorded streams with this.
+    """
+    h = hashlib.sha256()
+    for s in samples:
+        h.update(
+            repr(
+                (
+                    s.time_s,
+                    s.app_name,
+                    s.phase_name,
+                    s.fps,
+                    s.target_fps,
+                    s.frames_demanded,
+                    s.frames_displayed,
+                    s.frames_dropped,
+                    s.power_total_w,
+                    tuple(sorted((k, v) for k, v in s.power_per_cluster_w.items())),
+                    tuple(sorted((k, v) for k, v in s.temperatures_c.items())),
+                    tuple(sorted((k, v) for k, v in s.frequencies_mhz.items())),
+                    tuple(sorted((k, v) for k, v in s.max_limits_mhz.items())),
+                    tuple(sorted((k, v) for k, v in s.utilisations.items())),
+                    s.interaction_activity,
+                )
+            ).encode("utf-8")
+        )
+    return h.hexdigest()
+
+
+#: Mapping-valued sample fields (each stored as a keys column + values column).
+_MAPPING_FIELDS = (
+    "power_per_cluster_w",
+    "temperatures_c",
+    "frequencies_mhz",
+    "max_limits_mhz",
+    "utilisations",
+)
+
+
 class Recorder:
-    """Accumulates samples and computes :class:`SummaryStatistics`."""
+    """Accumulates samples (struct-of-arrays) and computes :class:`SummaryStatistics`."""
 
     def __init__(self, ambient_c: float = 21.0, hot_node: str = "big") -> None:
         self.ambient_c = ambient_c
         self.hot_node = hot_node
-        self.samples: List[SimulationSample] = []
+        # Scalar columns.
+        self._time: List[float] = []
+        self._app: List[str] = []
+        self._phase: List[str] = []
+        self._fps: List[float] = []
+        self._target_fps: List[float] = []
+        self._demanded: List[int] = []
+        self._displayed: List[int] = []
+        self._dropped: List[int] = []
+        self._power_total: List[float] = []
+        self._interaction: List[float] = []
+        # Mapping columns: one (keys, values) tuple pair per row per field.
+        self._map_keys: Dict[str, List[Tuple[str, ...]]] = {
+            name: [] for name in _MAPPING_FIELDS
+        }
+        self._map_vals: Dict[str, List[tuple]] = {name: [] for name in _MAPPING_FIELDS}
+        # Interned key tuples (rows overwhelmingly share one layout per run).
+        self._key_intern: Dict[Tuple[str, ...], Tuple[str, ...]] = {}
+        # Registered fixed layout for the engine fast path.
+        self._cluster_keys: Optional[Tuple[str, ...]] = None
+        self._node_keys: Optional[Tuple[str, ...]] = None
+        # Lazily materialised SimulationSample views.
+        self._materialised: List[SimulationSample] = []
+
+    # -- appending ------------------------------------------------------------------
+
+    def register_layout(
+        self, cluster_keys: Sequence[str], node_keys: Sequence[str]
+    ) -> None:
+        """Fix the key layout for :meth:`append_tick` (cluster / node order)."""
+        self._cluster_keys = self._intern(tuple(cluster_keys))
+        self._node_keys = self._intern(tuple(node_keys))
+
+    def _intern(self, keys: Tuple[str, ...]) -> Tuple[str, ...]:
+        return self._key_intern.setdefault(keys, keys)
+
+    def append_tick(
+        self,
+        time_s: float,
+        app_name: str,
+        phase_name: str,
+        fps: float,
+        target_fps: float,
+        frames_demanded: int,
+        frames_displayed: int,
+        frames_dropped: int,
+        power_total_w: float,
+        power_per_cluster_values: tuple,
+        temperature_values: tuple,
+        frequency_values: tuple,
+        max_limit_values: tuple,
+        utilisation_values: tuple,
+        interaction_activity: float,
+    ) -> None:
+        """Hot-loop append: flat values against the registered key layout.
+
+        Requires :meth:`register_layout`; the value tuples must be aligned
+        with the registered cluster/node key order.
+        """
+        cluster_keys = self._cluster_keys
+        node_keys = self._node_keys
+        if cluster_keys is None or node_keys is None:
+            raise ValueError("append_tick requires register_layout() first")
+        self._time.append(time_s)
+        self._app.append(app_name)
+        self._phase.append(phase_name)
+        self._fps.append(fps)
+        self._target_fps.append(target_fps)
+        self._demanded.append(frames_demanded)
+        self._displayed.append(frames_displayed)
+        self._dropped.append(frames_dropped)
+        self._power_total.append(power_total_w)
+        self._interaction.append(interaction_activity)
+        map_keys = self._map_keys
+        map_vals = self._map_vals
+        map_keys["power_per_cluster_w"].append(cluster_keys)
+        map_vals["power_per_cluster_w"].append(power_per_cluster_values)
+        map_keys["temperatures_c"].append(node_keys)
+        map_vals["temperatures_c"].append(temperature_values)
+        map_keys["frequencies_mhz"].append(cluster_keys)
+        map_vals["frequencies_mhz"].append(frequency_values)
+        map_keys["max_limits_mhz"].append(cluster_keys)
+        map_vals["max_limits_mhz"].append(max_limit_values)
+        map_keys["utilisations"].append(cluster_keys)
+        map_vals["utilisations"].append(utilisation_values)
 
     def record(self, sample: SimulationSample) -> None:
-        """Append one sample."""
-        self.samples.append(sample)
+        """Append one sample (object-based compatibility path)."""
+        self._time.append(sample.time_s)
+        self._app.append(sample.app_name)
+        self._phase.append(sample.phase_name)
+        self._fps.append(sample.fps)
+        self._target_fps.append(sample.target_fps)
+        self._demanded.append(sample.frames_demanded)
+        self._displayed.append(sample.frames_displayed)
+        self._dropped.append(sample.frames_dropped)
+        self._power_total.append(sample.power_total_w)
+        self._interaction.append(sample.interaction_activity)
+        for name in _MAPPING_FIELDS:
+            mapping = getattr(sample, name)
+            keys = self._intern(tuple(mapping))
+            self._map_keys[name].append(keys)
+            self._map_vals[name].append(tuple(mapping[k] for k in keys))
 
     def __len__(self) -> int:
-        return len(self.samples)
+        return len(self._time)
+
+    # -- sample views ----------------------------------------------------------------
+
+    @property
+    def samples(self) -> List[SimulationSample]:
+        """All samples as :class:`SimulationSample` views (materialised lazily)."""
+        materialised = self._materialised
+        start = len(materialised)
+        count = len(self._time)
+        if start < count:
+            build = self._build_sample
+            for i in range(start, count):
+                materialised.append(build(i))
+        return materialised
+
+    def _build_sample(self, i: int) -> SimulationSample:
+        map_keys = self._map_keys
+        map_vals = self._map_vals
+        return SimulationSample(
+            time_s=self._time[i],
+            app_name=self._app[i],
+            phase_name=self._phase[i],
+            fps=self._fps[i],
+            target_fps=self._target_fps[i],
+            frames_demanded=self._demanded[i],
+            frames_displayed=self._displayed[i],
+            frames_dropped=self._dropped[i],
+            power_total_w=self._power_total[i],
+            power_per_cluster_w=dict(
+                zip(map_keys["power_per_cluster_w"][i], map_vals["power_per_cluster_w"][i])
+            ),
+            temperatures_c=dict(
+                zip(map_keys["temperatures_c"][i], map_vals["temperatures_c"][i])
+            ),
+            frequencies_mhz=dict(
+                zip(map_keys["frequencies_mhz"][i], map_vals["frequencies_mhz"][i])
+            ),
+            max_limits_mhz=dict(
+                zip(map_keys["max_limits_mhz"][i], map_vals["max_limits_mhz"][i])
+            ),
+            utilisations=dict(zip(map_keys["utilisations"][i], map_vals["utilisations"][i])),
+            interaction_activity=self._interaction[i],
+        )
+
+    def content_hash(self) -> str:
+        """Canonical hash of the recorded stream (see :func:`sample_stream_hash`)."""
+        return sample_stream_hash(self.samples)
 
     # -- column access ------------------------------------------------------------
 
+    #: Scalar sample fields served straight from their columns.
+    _SCALAR_COLUMNS = {
+        "time_s": "_time",
+        "app_name": "_app",
+        "phase_name": "_phase",
+        "fps": "_fps",
+        "target_fps": "_target_fps",
+        "frames_demanded": "_demanded",
+        "frames_displayed": "_displayed",
+        "frames_dropped": "_dropped",
+        "power_total_w": "_power_total",
+        "interaction_activity": "_interaction",
+    }
+
     def column(self, name: str) -> List:
         """Extract one attribute across all samples."""
+        attr = self._SCALAR_COLUMNS.get(name)
+        if attr is not None:
+            return list(getattr(self, attr))
+        if name in _MAPPING_FIELDS:
+            keys = self._map_keys[name]
+            vals = self._map_vals[name]
+            return [dict(zip(keys[i], vals[i])) for i in range(len(self._time))]
         return [getattr(sample, name) for sample in self.samples]
+
+    def _mapping_series(self, field_name: str, key: str, default: float) -> List[float]:
+        """One key of a mapping field across all rows (``default`` when absent)."""
+        keys = self._map_keys[field_name]
+        vals = self._map_vals[field_name]
+        index_cache: Dict[Tuple[str, ...], Optional[int]] = {}
+        series: List[float] = []
+        for i in range(len(self._time)):
+            row_keys = keys[i]
+            idx = index_cache.get(row_keys, -2)
+            if idx == -2:
+                idx = row_keys.index(key) if key in row_keys else None
+                index_cache[row_keys] = idx
+            series.append(default if idx is None else vals[i][idx])
+        return series
 
     def temperature_series(self, node: str) -> List[float]:
         """Temperature of ``node`` across all samples."""
-        return [sample.temperatures_c.get(node, self.ambient_c) for sample in self.samples]
+        return self._mapping_series("temperatures_c", node, self.ambient_c)
 
     def frequency_series(self, cluster: str) -> List[float]:
         """Operating frequency of ``cluster`` across all samples."""
-        return [sample.frequencies_mhz.get(cluster, 0.0) for sample in self.samples]
+        return self._mapping_series("frequencies_mhz", cluster, 0.0)
 
     # -- summaries -----------------------------------------------------------------
 
     def summary(self) -> SummaryStatistics:
         """Aggregate the recorded run."""
-        if not self.samples:
+        count = len(self._time)
+        if count == 0:
             raise ValueError("cannot summarise an empty recording")
-        count = len(self.samples)
-        duration = self.samples[-1].time_s - self.samples[0].time_s
+        duration = self._time[-1] - self._time[0]
         if count > 1 and duration > 0:
             dt = duration / (count - 1)
         else:
             dt = 0.0
 
-        powers = [s.power_total_w for s in self.samples]
-        fps_values = [s.fps for s in self.samples]
+        powers = self._power_total
+        fps_values = self._fps
         sorted_fps = sorted(fps_values)
         p10_index = max(0, int(0.1 * (count - 1)))
 
+        ambient = self.ambient_c
         node_names: List[str] = sorted(
-            {node for sample in self.samples for node in sample.temperatures_c}
+            {node for keys in set(self._map_keys["temperatures_c"]) for node in keys}
         )
         peak_temps = {
-            node: max(s.temperatures_c.get(node, self.ambient_c) for s in self.samples)
+            node: max(self._mapping_series("temperatures_c", node, ambient))
             for node in node_names
         }
         avg_temps = {
-            node: sum(s.temperatures_c.get(node, self.ambient_c) for s in self.samples) / count
+            node: sum(self._mapping_series("temperatures_c", node, ambient)) / count
             for node in node_names
         }
 
+        hot_temps = self._mapping_series("temperatures_c", self.hot_node, ambient)
         ppdw_values = [
             compute_ppdw(
-                fps=s.fps,
-                power_w=s.power_total_w,
-                temperature_c=s.temperatures_c.get(self.hot_node, self.ambient_c),
-                ambient_c=self.ambient_c,
+                fps=fps_values[i],
+                power_w=powers[i],
+                temperature_c=hot_temps[i],
+                ambient_c=ambient,
             )
-            for s in self.samples
+            for i in range(count)
         ]
 
         return SummaryStatistics(
@@ -140,11 +376,11 @@ class Recorder:
             fps_p10=sorted_fps[p10_index],
             peak_temperature_c=peak_temps,
             average_temperature_c=avg_temps,
-            total_frames_displayed=sum(s.frames_displayed for s in self.samples),
-            total_frames_demanded=sum(s.frames_demanded for s in self.samples),
-            total_frames_dropped=sum(s.frames_dropped for s in self.samples),
+            total_frames_displayed=sum(self._displayed),
+            total_frames_demanded=sum(self._demanded),
+            total_frames_dropped=sum(self._dropped),
             average_ppdw=sum(ppdw_values) / count,
-            average_target_fps=sum(s.target_fps for s in self.samples) / count,
+            average_target_fps=sum(self._target_fps) / count,
             energy_j=sum(powers) * dt if dt > 0 else 0.0,
         )
 
@@ -154,12 +390,14 @@ class Recorder:
         """Return roughly one sample per ``period_s`` (for plotting / traces)."""
         if period_s <= 0:
             raise ValueError("period_s must be positive")
-        if not self.samples:
+        times = self._time
+        if not times:
             return []
+        build = self._build_sample
         result: List[SimulationSample] = []
-        next_time = self.samples[0].time_s
-        for sample in self.samples:
-            if sample.time_s + 1e-9 >= next_time:
-                result.append(sample)
+        next_time = times[0]
+        for i in range(len(times)):
+            if times[i] + 1e-9 >= next_time:
+                result.append(build(i))
                 next_time += period_s
         return result

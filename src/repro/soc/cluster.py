@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.soc.frequency import OppTable
 
@@ -102,6 +102,11 @@ class Cluster:
     def __init__(self, spec: ClusterSpec, initial_index: Optional[int] = None) -> None:
         self.spec = spec
         self._table = spec.opp_table
+        # Flat OPP columns: the simulation hot loop reads frequency/voltage by
+        # index every tick, so the dataclass indirection of FrequencyPoint is
+        # hoisted out once here (same values, cheap tuple indexing).
+        self._freqs: Tuple[float, ...] = tuple(p.frequency_mhz for p in self._table.points)
+        self._volts: Tuple[float, ...] = tuple(p.voltage_v for p in self._table.points)
         self._min_limit_index = 0
         self._max_limit_index = len(self._table) - 1
         if initial_index is None:
@@ -136,12 +141,12 @@ class Cluster:
     @property
     def current_frequency_mhz(self) -> float:
         """Current operating frequency in MHz."""
-        return self._table.frequency_at(self._current_index)
+        return self._freqs[self._current_index]
 
     @property
     def current_voltage_v(self) -> float:
         """Current supply voltage in volts."""
-        return self._table.voltage_at(self._current_index)
+        return self._volts[self._current_index]
 
     @property
     def utilisation(self) -> float:
@@ -185,12 +190,12 @@ class Cluster:
     @property
     def max_limit_frequency_mhz(self) -> float:
         """Frequency in MHz of the current ``maxfreq`` limit."""
-        return self._table.frequency_at(self._max_limit_index)
+        return self._freqs[self._max_limit_index]
 
     @property
     def min_limit_frequency_mhz(self) -> float:
         """Frequency in MHz of the current ``minfreq`` limit."""
-        return self._table.frequency_at(self._min_limit_index)
+        return self._freqs[self._min_limit_index]
 
     def set_max_limit_index(self, index: int) -> int:
         """Set ``maxfreq`` by OPP index (clamped; keeps limits consistent)."""
@@ -228,7 +233,7 @@ class Cluster:
     @property
     def current_capacity(self) -> float:
         """Compute capacity at the current OPP."""
-        return self.capacity_at_index(self._current_index)
+        return self._freqs[self._current_index] * self.spec.perf_per_mhz * self.spec.core_count
 
     @property
     def max_capacity(self) -> float:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.soc.cluster import Cluster, ClusterSpec
 
@@ -120,6 +120,61 @@ class SocPowerModel:
     def cluster_model(self, name: str) -> ClusterPowerModel:
         """Return the per-cluster power model for ``name``."""
         return self._models[name]
+
+    def compile_coefficients(
+        self, cluster_names: Sequence[str]
+    ) -> Tuple[Tuple[float, int, float, float], ...]:
+        """Per-cluster power coefficient tuples in ``cluster_names`` order.
+
+        Each entry is ``(capacitance_nf, core_count, leakage_w_per_v,
+        leakage_temp_coeff)`` -- everything :meth:`evaluate_flat` needs, so
+        the hot loop never touches the spec objects.
+        """
+        coeffs = []
+        for name in cluster_names:
+            spec = self._models[name].spec
+            coeffs.append(
+                (
+                    spec.capacitance_nf,
+                    spec.core_count,
+                    spec.leakage_w_per_v,
+                    spec.leakage_temp_coeff,
+                )
+            )
+        return tuple(coeffs)
+
+    def evaluate_flat(
+        self,
+        clusters: Sequence[Cluster],
+        coefficients: Sequence[Tuple[float, int, float, float]],
+        temperatures_c: Sequence[float],
+        dynamic_out: List[float],
+        leakage_out: List[float],
+    ) -> None:
+        """Compiled-kernel power evaluation over index-aligned flat sequences.
+
+        ``clusters``, ``coefficients`` and ``temperatures_c`` are parallel
+        (one entry per cluster, in compile order); results are written into
+        the preallocated ``dynamic_out``/``leakage_out`` buffers so the per-
+        tick path allocates nothing.  The float operation sequence replicates
+        :meth:`ClusterPowerModel.dynamic_power_w` and
+        :meth:`ClusterPowerModel.leakage_power_w` exactly, so the outputs are
+        bit-identical to :meth:`evaluate` for the same inputs.
+        """
+        exp = math.exp
+        ref_t = LEAKAGE_REFERENCE_TEMPERATURE_C
+        for k in range(len(clusters)):
+            cluster = clusters[k]
+            cap_nf, cores, leak_w_per_v, leak_coeff = coefficients[k]
+            index = cluster._current_index
+            frequency = cluster._freqs[index]
+            voltage = cluster._volts[index]
+            utilisation = min(1.0, max(0.0, cluster._utilisation))
+            per_core_full = cap_nf * frequency * voltage ** 2 * 1e-3
+            dynamic_out[k] = per_core_full * cores * utilisation
+            delta_t = temperatures_c[k] - ref_t
+            scale = exp(leak_coeff * delta_t)
+            leakage_out[k] = leak_w_per_v * voltage * cores * scale
 
     def evaluate(
         self,

@@ -13,12 +13,25 @@ The network is integrated with forward Euler.  Mobile thermal time constants
 are seconds to minutes, so the default sub-step of 10 ms is far below the
 stability limit for any sane parameterisation; the integrator additionally
 splits long steps to stay stable.
+
+Hot-loop kernel
+---------------
+The network is *compiled* at construction into an index-based representation:
+node order is frozen into flat parallel lists (temperatures, capacitances,
+ambient conductances) and the coupling graph into per-node ``(index, g)``
+neighbour tuples.  :meth:`ThermalNetwork.step_flat` advances that
+representation with zero per-substep allocation, which is what the simulation
+engine drives 60 times per simulated second.  The kernel iterates nodes and
+neighbours in exactly the order the original dict-based stepper did and keeps
+every float operation (including the division by the capacitance) in the same
+sequence, so integration results are bit-identical to the reference stepper
+-- a guarantee the golden-trace and hypothesis suites pin down.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -48,7 +61,7 @@ class ThermalNodeSpec:
 
 @dataclass
 class ThermalState:
-    """Mutable snapshot of node temperatures in Celsius."""
+    """Snapshot of node temperatures in Celsius."""
 
     temperatures_c: Dict[str, float] = field(default_factory=dict)
 
@@ -68,7 +81,11 @@ class ThermalState:
 
 
 class ThermalNetwork:
-    """Lumped-RC thermal network with forward-Euler integration."""
+    """Lumped-RC thermal network with forward-Euler integration.
+
+    Internally the live state is a flat list of temperatures indexed by node
+    (see module docstring); the mapping-based API converts at the boundary.
+    """
 
     #: Maximum integration sub-step in seconds; longer steps are subdivided.
     MAX_SUBSTEP_S = 0.05
@@ -95,46 +112,73 @@ class ThermalNetwork:
             self._couplings[key] = self._couplings.get(key, 0.0) + g
         self.ambient_c = float(ambient_c)
         start = self.ambient_c if initial_temperature_c is None else float(initial_temperature_c)
-        self._state = ThermalState({name: start for name in self._nodes})
-        # Pre-compute adjacency for the integration loop.
+        # Adjacency in registration order (kept for inspection and because the
+        # kernel must iterate neighbours in exactly this order).
         self._neighbours: Dict[str, List[Tuple[str, float]]] = {n: [] for n in self._nodes}
         for (a, b), g in self._couplings.items():
             self._neighbours[a].append((b, g))
             self._neighbours[b].append((a, g))
+        # -- compiled index-based representation --------------------------------
+        self._names: List[str] = list(self._nodes)
+        self._name_index: Dict[str, int] = {n: i for i, n in enumerate(self._names)}
+        index = self._name_index
+        self._cap: List[float] = [self._nodes[n].capacitance_j_per_k for n in self._names]
+        self._g_amb: List[float] = [
+            self._nodes[n].conductance_to_ambient_w_per_k for n in self._names
+        ]
+        #: Per-node neighbour edges as ``(other_index, conductance)`` tuples,
+        #: in the same order as ``self._neighbours[name]``.
+        self._nbrs: List[Tuple[Tuple[int, float], ...]] = [
+            tuple((index[other], g) for other, g in self._neighbours[n])
+            for n in self._names
+        ]
+        #: Flattened edge list ``(i, j, g)`` (each undirected coupling once).
+        self.edges: Tuple[Tuple[int, int, float], ...] = tuple(
+            (index[a], index[b], g) for (a, b), g in self._couplings.items()
+        )
+        self._temps: List[float] = [start] * len(self._names)
+        # Preallocated scratch buffers for the zero-allocation kernel.
+        self._derivs: List[float] = [0.0] * len(self._names)
+        self._heat: List[float] = [0.0] * len(self._names)
 
     # -- inspection -------------------------------------------------------------
 
     @property
     def node_names(self) -> List[str]:
         """All node names."""
-        return list(self._nodes)
+        return list(self._names)
+
+    def node_index(self, name: str) -> int:
+        """Index of ``name`` in the compiled flat representation."""
+        return self._name_index[name]
 
     @property
     def state(self) -> ThermalState:
-        """Current temperatures (live object; copy before mutating)."""
-        return self._state
+        """Current temperatures as a :class:`ThermalState` snapshot."""
+        return ThermalState(dict(zip(self._names, self._temps)))
 
     def temperature_c(self, name: str) -> float:
         """Current temperature of ``name`` in Celsius."""
-        return self._state.temperatures_c[name]
+        return self._temps[self._name_index[name]]
 
     def temperatures_c(self) -> Dict[str, float]:
         """Current temperatures of every node."""
-        return dict(self._state.temperatures_c)
+        return dict(zip(self._names, self._temps))
 
     # -- manipulation -----------------------------------------------------------
 
     def reset(self, temperature_c: Optional[float] = None) -> None:
         """Reset all node temperatures (to ambient by default)."""
         value = self.ambient_c if temperature_c is None else float(temperature_c)
-        for name in self._nodes:
-            self._state.temperatures_c[name] = value
+        temps = self._temps
+        for i in range(len(temps)):
+            temps[i] = value
 
     def set_temperature(self, name: str, temperature_c: float) -> None:
         """Force one node to a temperature (used by tests and scenarios)."""
-        if name not in self._nodes:
+        if name not in self._name_index:
             raise KeyError(name)
-        self._state.temperatures_c[name] = float(temperature_c)
+        self._temps[self._name_index[name]] = float(temperature_c)
 
     def step(self, power_in_w: Mapping[str, float], dt_s: float) -> ThermalState:
         """Advance the network by ``dt_s`` seconds.
@@ -152,36 +196,58 @@ class ThermalNetwork:
         Returns
         -------
         ThermalState
-            The (live) state after the step.
+            A snapshot of the state after the step.
         """
         if dt_s < 0:
             raise ValueError("dt_s must be non-negative")
         if dt_s == 0:
-            return self._state
-        remaining = dt_s
-        while remaining > 1e-12:
-            sub = min(self.MAX_SUBSTEP_S, remaining)
-            self._euler_substep(power_in_w, sub)
-            remaining -= sub
-        return self._state
+            return self.state
+        heat = self._heat
+        for i, name in enumerate(self._names):
+            heat[i] = float(power_in_w.get(name, 0.0))
+        self.step_flat(heat, dt_s)
+        return self.state
 
-    def _euler_substep(self, power_in_w: Mapping[str, float], dt_s: float) -> None:
-        temps = self._state.temperatures_c
-        derivatives: Dict[str, float] = {}
-        for name, spec in self._nodes.items():
-            t = temps[name]
-            heat_w = float(power_in_w.get(name, 0.0))
+    def step_flat(self, heat_in_w: List[float], dt_s: float) -> None:
+        """Advance the network by ``dt_s`` with heat given in node-index order.
+
+        This is the zero-allocation hot-loop entry point: ``heat_in_w`` is a
+        flat sequence aligned with the compiled node order (callers typically
+        reuse one preallocated buffer).  Long steps are subdivided exactly as
+        :meth:`step` does.
+        """
+        remaining = dt_s
+        max_sub = self.MAX_SUBSTEP_S
+        while remaining > 1e-12:
+            sub = min(max_sub, remaining)
+            self._euler_substep(heat_in_w, sub)
+            remaining -= sub
+
+    def _euler_substep(self, heat_in_w: List[float], dt_s: float) -> None:
+        # The compiled kernel: identical float-operation sequence to the
+        # reference dict stepper (ambient loss, then neighbours in coupling
+        # registration order, then the division by the capacitance).
+        temps = self._temps
+        derivs = self._derivs
+        ambient = self.ambient_c
+        g_amb = self._g_amb
+        cap = self._cap
+        nbrs = self._nbrs
+        for i in range(len(temps)):
+            t = temps[i]
+            heat_w = heat_in_w[i]
             # Heat loss to ambient.
-            heat_w -= spec.conductance_to_ambient_w_per_k * (t - self.ambient_c)
+            heat_w -= g_amb[i] * (t - ambient)
             # Conduction to neighbouring nodes.
-            for other, g in self._neighbours[name]:
-                heat_w -= g * (t - temps[other])
-            derivatives[name] = heat_w / spec.capacitance_j_per_k
-        for name, dtemp in derivatives.items():
-            temps[name] += dtemp * dt_s
+            for j, g in nbrs[i]:
+                heat_w -= g * (t - temps[j])
+            derivs[i] = heat_w / cap[i]
+        for i in range(len(temps)):
+            value = temps[i] + derivs[i] * dt_s
             # Physical floor: without an active cooler nothing drops below ambient.
-            if temps[name] < self.ambient_c:
-                temps[name] = self.ambient_c
+            if value < ambient:
+                value = ambient
+            temps[i] = value
 
     # -- analysis helpers --------------------------------------------------------
 
@@ -193,20 +259,20 @@ class ThermalNetwork:
         Returns a copy of the settled state and restores the original state,
         so the call has no side effect on the live simulation.
         """
-        saved = self._state.copy()
+        saved = list(self._temps)
         try:
             elapsed = 0.0
             step = 1.0
+            temps = self._temps
             while elapsed < max_time_s:
-                before = dict(self._state.temperatures_c)
+                before = list(temps)
                 self.step(power_in_w, step)
                 elapsed += step
                 delta = max(
-                    abs(self._state.temperatures_c[n] - before[n]) for n in self._nodes
+                    abs(temps[i] - before[i]) for i in range(len(temps))
                 )
                 if delta < tolerance_c:
                     break
-            return self._state.copy()
+            return self.state
         finally:
-            self._state = saved
-            # Rebuild neighbour temps reference (state dict replaced).
+            self._temps[:] = saved

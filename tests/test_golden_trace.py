@@ -1,0 +1,83 @@
+"""Golden-trace bit-identity regression tests for the compiled hot loop.
+
+The compiled simulation kernel (PR 4) must not change a single recorded bit:
+every float operation of the thermal/power/engine hot path runs in the same
+sequence as the original dict-based implementation.  These tests pin the
+recorder sample stream of the Fig. 1 session and of one sweep cell per
+governor against SHA-256 hashes captured from the pre-refactor seed
+implementation (``tests/data/golden_hashes.json``).  If any of these hashes
+moves, cached sweep results, artifact fingerprints and the PR-1/2/3
+determinism suites are no longer comparable across versions -- that is a
+breaking change and must be called out, not silently re-pinned.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.matrix import ScenarioMatrix
+from repro.experiments.runner import run_cell_session
+from repro.sim.experiment import make_governor, record_session_trace, run_trace
+from repro.sim.recorder import sample_stream_hash
+from repro.soc.platform import exynos9810
+from repro.workloads.session import FIGURE1_SESSION
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_hashes.json")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestFig1GoldenTrace:
+    def test_fig1_schedutil_stream_is_bit_identical_to_seed(self, golden):
+        expected = golden["fig1_schedutil"]
+        platform = exynos9810()
+        trace = record_session_trace(
+            FIGURE1_SESSION.segments, platform=platform, seed=expected["seed"]
+        )
+        result = run_trace(trace, make_governor("schedutil"), platform=platform)
+        assert len(result.recorder) == expected["samples"]
+        assert sample_stream_hash(result.recorder.samples) == expected["hash"]
+
+    def test_recorder_content_hash_matches_helper(self, golden):
+        # content_hash() is the public spelling of the pinned stream hash.
+        platform = exynos9810()
+        trace = record_session_trace(
+            FIGURE1_SESSION.segments, platform=platform, seed=golden["fig1_schedutil"]["seed"]
+        )
+        recorder = run_trace(trace, make_governor("schedutil"), platform=platform).recorder
+        assert recorder.content_hash() == golden["fig1_schedutil"]["hash"]
+
+
+class TestSweepCellGoldenTraces:
+    """One cell per governor: the hot loop is identical under every policy."""
+
+    @pytest.fixture(scope="class")
+    def matrix(self, golden):
+        return ScenarioMatrix.build(
+            name="golden",
+            governors=tuple(golden["sweep_cells"]),
+            apps=("facebook",),
+            seeds=(0,),
+            duration_s=4.0,
+        )
+
+    def test_cell_fingerprints_unchanged(self, golden, matrix):
+        for cell in matrix.cells():
+            assert (
+                cell.fingerprint()
+                == golden["sweep_cells"][cell.governor]["fingerprint"]
+            ), f"fingerprint moved for governor {cell.governor}"
+
+    def test_cell_sample_streams_bit_identical_to_seed(self, golden, matrix):
+        for cell in matrix.cells():
+            expected = golden["sweep_cells"][cell.governor]
+            session = run_cell_session(cell)
+            assert len(session.recorder) == expected["samples"]
+            assert (
+                sample_stream_hash(session.recorder.samples) == expected["hash"]
+            ), f"recorded stream moved for governor {cell.governor}"

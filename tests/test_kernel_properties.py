@@ -1,0 +1,239 @@
+"""Hypothesis property tests: compiled kernels == naive dict-based reference.
+
+The compiled hot-loop kernels (index-based thermal stepping, flat power
+evaluation, the fused ``SocSimulator.step_tick``) promise *exact* float
+equality with the straightforward dict-of-str-keyed implementations they
+replaced.  These properties generate random networks, coefficients and
+operating points and require bit-identical results -- not approximate
+equality -- because the golden-trace guarantee (cached sweeps stay valid
+across the refactor) rests on it.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.cluster import Cluster, ClusterKind, ClusterSpec
+from repro.soc.frequency import OppTable
+from repro.soc.power import LEAKAGE_REFERENCE_TEMPERATURE_C, SocPowerModel
+from repro.soc.thermal import ThermalNetwork, ThermalNodeSpec
+
+# ---------------------------------------------------------------------------
+# Naive reference implementations (verbatim pre-refactor algorithms)
+# ---------------------------------------------------------------------------
+
+
+class NaiveThermalReference:
+    """The original dict-based forward-Euler stepper, kept as the oracle."""
+
+    MAX_SUBSTEP_S = ThermalNetwork.MAX_SUBSTEP_S
+
+    def __init__(self, nodes, couplings, ambient_c, initial_temperature_c=None):
+        self.nodes = dict(nodes)
+        self.ambient_c = float(ambient_c)
+        start = self.ambient_c if initial_temperature_c is None else float(initial_temperature_c)
+        self.temps = {name: start for name in self.nodes}
+        merged = {}
+        for (a, b), g in couplings.items():
+            key = (a, b) if a < b else (b, a)
+            merged[key] = merged.get(key, 0.0) + g
+        self.neighbours = {n: [] for n in self.nodes}
+        for (a, b), g in merged.items():
+            self.neighbours[a].append((b, g))
+            self.neighbours[b].append((a, g))
+
+    def step(self, power_in_w, dt_s):
+        remaining = dt_s
+        while remaining > 1e-12:
+            sub = min(self.MAX_SUBSTEP_S, remaining)
+            self._euler_substep(power_in_w, sub)
+            remaining -= sub
+
+    def _euler_substep(self, power_in_w, dt_s):
+        temps = self.temps
+        derivatives = {}
+        for name, spec in self.nodes.items():
+            t = temps[name]
+            heat_w = float(power_in_w.get(name, 0.0))
+            heat_w -= spec.conductance_to_ambient_w_per_k * (t - self.ambient_c)
+            for other, g in self.neighbours[name]:
+                heat_w -= g * (t - temps[other])
+            derivatives[name] = heat_w / spec.capacitance_j_per_k
+        for name, dtemp in derivatives.items():
+            temps[name] += dtemp * dt_s
+            if temps[name] < self.ambient_c:
+                temps[name] = self.ambient_c
+
+
+def naive_cluster_power(spec, frequency_mhz, voltage_v, utilisation, temperature_c):
+    """Verbatim ClusterPowerModel math (dynamic, leakage)."""
+    utilisation = min(1.0, max(0.0, utilisation))
+    per_core_full = spec.capacitance_nf * frequency_mhz * voltage_v ** 2 * 1e-3
+    dynamic = per_core_full * spec.core_count * utilisation
+    delta_t = temperature_c - LEAKAGE_REFERENCE_TEMPERATURE_C
+    scale = math.exp(spec.leakage_temp_coeff * delta_t)
+    leakage = spec.leakage_w_per_v * voltage_v * spec.core_count * scale
+    return dynamic, leakage
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+finite_power = st.floats(
+    min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def thermal_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    names = [f"n{i}" for i in range(n)]
+    nodes = {}
+    for name in names:
+        cap = draw(st.floats(min_value=0.5, max_value=100.0, allow_nan=False))
+        g_amb = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        nodes[name] = ThermalNodeSpec(name, cap, g_amb)
+    couplings = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                g = draw(st.floats(min_value=0.0, max_value=0.5, allow_nan=False))
+                couplings[(names[i], names[j])] = g
+    ambient = draw(st.floats(min_value=-10.0, max_value=40.0, allow_nan=False))
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.dictionaries(st.sampled_from(names), finite_power, max_size=n),
+                st.floats(min_value=1e-6, max_value=0.3, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    return nodes, couplings, ambient, steps
+
+
+@st.composite
+def power_cases(draw):
+    n_opps = draw(st.integers(min_value=1, max_value=6))
+    base = draw(st.floats(min_value=100.0, max_value=1000.0, allow_nan=False))
+    freqs = tuple(base + 137.0 * i for i in range(n_opps))
+    table = OppTable.from_frequencies(freqs, v_min=0.6, v_max=1.2, curvature=1.3)
+    spec = ClusterSpec(
+        name="c",
+        kind=draw(st.sampled_from(list(ClusterKind))),
+        opp_table=table,
+        core_count=draw(st.integers(min_value=1, max_value=16)),
+        capacitance_nf=draw(st.floats(min_value=0.01, max_value=2.0, allow_nan=False)),
+        leakage_w_per_v=draw(st.floats(min_value=0.0, max_value=0.5, allow_nan=False)),
+        leakage_temp_coeff=draw(st.floats(min_value=0.0, max_value=0.05, allow_nan=False)),
+        perf_per_mhz=draw(st.floats(min_value=0.1, max_value=2.0, allow_nan=False)),
+    )
+    index = draw(st.integers(min_value=0, max_value=n_opps - 1))
+    utilisation = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    temperature = draw(st.floats(min_value=-20.0, max_value=110.0, allow_nan=False))
+    return spec, index, utilisation, temperature
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=thermal_cases())
+def test_compiled_thermal_kernel_matches_naive_reference_exactly(case):
+    nodes, couplings, ambient, steps = case
+    compiled = ThermalNetwork(nodes, couplings, ambient_c=ambient)
+    naive = NaiveThermalReference(nodes, couplings, ambient_c=ambient)
+    for power_in, dt in steps:
+        compiled.step(power_in, dt)
+        naive.step(power_in, dt)
+        got = compiled.temperatures_c()
+        assert set(got) == set(naive.temps)
+        for name in naive.temps:
+            # Exact equality: same float operation sequence, bit for bit.
+            assert got[name] == naive.temps[name]
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=thermal_cases())
+def test_step_flat_matches_mapping_step_exactly(case):
+    nodes, couplings, ambient, steps = case
+    via_mapping = ThermalNetwork(nodes, couplings, ambient_c=ambient)
+    via_flat = ThermalNetwork(nodes, couplings, ambient_c=ambient)
+    order = via_flat.node_names
+    buffer = [0.0] * len(order)
+    for power_in, dt in steps:
+        via_mapping.step(power_in, dt)
+        for i, name in enumerate(order):
+            buffer[i] = float(power_in.get(name, 0.0))
+        via_flat.step_flat(buffer, dt)
+        assert via_flat.temperatures_c() == via_mapping.temperatures_c()
+
+
+@settings(max_examples=80, deadline=None)
+@given(case=power_cases())
+def test_evaluate_flat_matches_naive_power_math_exactly(case):
+    spec, index, utilisation, temperature = case
+    model = SocPowerModel({"c": spec}, rest_of_platform_power_w=0.25)
+    cluster = Cluster(spec, initial_index=index)
+    cluster.utilisation = utilisation
+    dynamic_out = [0.0]
+    leakage_out = [0.0]
+    model.evaluate_flat(
+        [cluster], model.compile_coefficients(["c"]), [temperature], dynamic_out, leakage_out
+    )
+    expected_dynamic, expected_leakage = naive_cluster_power(
+        spec,
+        cluster.current_frequency_mhz,
+        cluster.current_voltage_v,
+        utilisation,
+        temperature,
+    )
+    assert dynamic_out[0] == expected_dynamic
+    assert leakage_out[0] == expected_leakage
+    # ...and the mapping-based evaluate agrees too (three implementations, one
+    # float sequence).
+    breakdown = model.evaluate({"c": cluster}, {"c": temperature})
+    assert breakdown.dynamic_w["c"] == expected_dynamic
+    assert breakdown.leakage_w["c"] == expected_leakage
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    case=power_cases(),
+    dt=st.floats(min_value=1e-4, max_value=0.05, allow_nan=False),
+)
+def test_soc_step_tick_power_buffers_match_evaluate(case, dt):
+    """The fused step_tick loop computes the same power evaluate() would."""
+    from repro.soc.platform import PlatformSpec
+
+    spec, index, utilisation, temperature = case
+    platform = PlatformSpec(
+        name="prop",
+        cluster_specs={"c": spec},
+        thermal_nodes={
+            "c": ThermalNodeSpec("c", 3.0, 0.01),
+            "device": ThermalNodeSpec("device", 40.0, 0.2),
+        },
+        thermal_couplings={("c", "device"): 0.05},
+        ambient_c=21.0,
+    )
+    from repro.soc.soc import SocSimulator
+
+    soc = SocSimulator(platform)
+    soc.thermal.set_temperature("c", temperature)
+    soc.cluster("c").set_frequency_index(index)
+    soc.cluster("c").utilisation = utilisation
+    # What evaluate() would say for the pre-step temperatures:
+    expected = soc.power_model.evaluate(
+        soc.clusters, {"c": soc.thermal.temperature_c("c")}
+    )
+    soc.step_tick(dt)
+    telemetry = soc.telemetry()
+    assert telemetry.power.dynamic_w == dict(expected.dynamic_w)
+    assert telemetry.power.leakage_w == dict(expected.leakage_w)
+    assert telemetry.total_power_w == expected.total_w

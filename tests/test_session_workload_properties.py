@@ -99,3 +99,60 @@ def test_fractional_segment_duration_rounds_up_to_whole_ticks():
 def test_empty_segments_rejected():
     with pytest.raises(ValueError):
         SessionWorkload([])
+
+
+# ---------------------------------------------------------------------------
+# Long sessions: boundaries must be exact past the 10-minute mark.
+#
+# The pre-kernel implementation accumulated ``dt_s`` in floats and compared
+# against ``duration_s - 1e-9``; over tens of thousands of ticks the rounding
+# error can cross that epsilon and a segment gains or loses a tick.  Segment
+# boundaries are now integer tick counts derived once per segment, so the
+# budget is exact at any session length.
+# ---------------------------------------------------------------------------
+
+
+def test_long_session_boundaries_are_exact_past_ten_minutes():
+    # 610 s (past the paper's 10-minute "long session" class) + 75.3 s.
+    plan = [("home", 36_600), ("spotify", 4_519)]
+    segments = [SessionSegment(app, ticks * DT_S) for app, ticks in plan]
+    workload = SessionWorkload(segments, seed=3)
+    emitted = {"home": 0, "spotify": 0}
+    while not workload.exhausted:
+        emitted[workload.tick(DT_S).app_name] += 1
+    assert emitted == {app: ticks for app, ticks in plan}
+
+
+def test_very_long_single_segment_has_exact_tick_budget():
+    ticks = 72_001  # 20 minutes and one tick
+    workload = SessionWorkload([SessionSegment("home", ticks * DT_S)], seed=5)
+    count = 0
+    while not workload.exhausted:
+        workload.tick(DT_S)
+        count += 1
+    assert count == ticks
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    plan=st.lists(
+        st.sampled_from(APP_CHOICES), min_size=1, max_size=3, unique=True
+    ).flatmap(
+        lambda apps: st.tuples(
+            st.just(apps),
+            st.lists(
+                st.integers(min_value=1, max_value=2_000),
+                min_size=len(apps),
+                max_size=len(apps),
+            ),
+        )
+    )
+)
+def test_no_tick_lost_or_duplicated_on_larger_segments(plan):
+    apps, tick_counts = plan
+    workload = _build(apps, tick_counts)
+    emitted = []
+    while not workload.exhausted:
+        emitted.append(workload.tick(DT_S).app_name)
+    expected = [app for app, ticks in zip(apps, tick_counts) for _ in range(ticks)]
+    assert emitted == expected
