@@ -1,0 +1,188 @@
+"""Shard plan/merge overhead benchmark: the numbers behind ``BENCH_shard_merge.json``.
+
+Distributed sharding only pays off if its bookkeeping is negligible next to
+the cells it distributes, so this benchmark prices the three machinery costs
+of :mod:`repro.experiments.distributed`:
+
+* ``plan_cells_per_s`` -- shard-planner throughput (cell expansion,
+  fingerprinting, cost amortisation and balanced assignment) over the
+  ``baselines`` matrix replicated to several hundred cells,
+* ``merge_entries_per_s`` -- merge-engine throughput unioning synthetic
+  shard caches (the dominant merge cost: per-entry read + conflict check +
+  atomic copy), including a fully overlapping shard so the duplicate
+  verification path is priced too, and
+* ``smoke_roundtrip_overhead_s`` -- end-to-end wall overhead of
+  plan -> run 3 shards -> merge over the plain unsharded run of the same
+  smoke matrix (full profile only; this includes real cell execution twice).
+
+Run standalone::
+
+    python benchmarks/run_benchmarks.py --only shard_merge
+    python benchmarks/bench_shard_merge.py --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+if __package__ in (None, ""):  # standalone execution without `pip install -e .`
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+
+from repro.experiments.distributed import (
+    merge_shard_stores,
+    merge_shards,
+    plan_shards,
+    run_shard,
+    shard_directory,
+)
+from repro.experiments.matrix import ScenarioMatrix, named_matrix
+from repro.experiments.runner import SweepRunner, execute_cell
+
+#: Planner input size per profile (seeds replicate the baselines matrix).
+PLAN_SEEDS = {"full": 10, "fast": 2}
+#: Synthetic cache entries per shard for the merge measurement.
+MERGE_ENTRIES = {"full": 200, "fast": 40}
+MERGE_SHARDS = 3
+
+
+def _best_of(repeat, fn):
+    best = None
+    result = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _plan_matrix(profile: str) -> ScenarioMatrix:
+    base = named_matrix("baselines")
+    from dataclasses import replace
+
+    return replace(base, seeds=tuple(range(PLAN_SEEDS[profile])))
+
+
+def _synthetic_shard_caches(root: str, profile: str) -> list:
+    """Shard cache dirs filled with realistic entries under fake fingerprints.
+
+    One real smoke cell is executed once and its JSON document replicated
+    under distinct fingerprint-shaped names, so the merge engine reads,
+    checks and copies the same byte volume a real merge would.  The last
+    shard duplicates the first one entirely, exercising the
+    content-identity verification path.
+    """
+    cell = named_matrix("smoke").cells()[0]
+    payload = json.dumps(execute_cell(cell).to_dict())
+    entries = MERGE_ENTRIES[profile]
+    cache_dirs = []
+    for shard in range(MERGE_SHARDS):
+        cache_dir = os.path.join(root, f"shard-{shard:03d}", "cache")
+        os.makedirs(cache_dir, exist_ok=True)
+        cache_dirs.append(cache_dir)
+        source = shard - 1 if shard == MERGE_SHARDS - 1 else shard
+        for index in range(entries):
+            name = f"{source:04x}{index:08x}{'0' * 12}.json"
+            with open(os.path.join(cache_dir, name), "w", encoding="utf-8") as f:
+                f.write(payload)
+    return cache_dirs
+
+
+def measure(profile: str = "full", repeat: int = 3) -> dict:
+    """Run all measurements and return the results dict."""
+    results = {}
+
+    # -- planner throughput --------------------------------------------------
+    matrix = _plan_matrix(profile)
+    cells = len(matrix)
+    plan_wall, manifest = _best_of(repeat, lambda: plan_shards(matrix, 8))
+    results["plan_cells"] = cells
+    results["plan_wall_s"] = round(plan_wall, 5)
+    results["plan_cells_per_s"] = round(cells / plan_wall, 1)
+
+    # -- merge throughput ----------------------------------------------------
+    def merge_once():
+        with tempfile.TemporaryDirectory() as root:
+            cache_dirs = _synthetic_shard_caches(root, profile)
+            started = time.perf_counter()
+            counters = merge_shard_stores(cache_dirs, os.path.join(root, "merged"))
+            return time.perf_counter() - started, counters
+
+    best = None
+    counters = None
+    for _ in range(repeat):
+        elapsed, counters = merge_once()
+        if best is None or elapsed < best:
+            best = elapsed
+    total_entries = counters["results"] + counters["duplicates"]
+    results["merge_entries"] = total_entries
+    results["merge_duplicates"] = counters["duplicates"]
+    results["merge_wall_s"] = round(best, 5)
+    results["merge_entries_per_s"] = round(total_entries / best, 1)
+
+    # -- end-to-end smoke round trip (full profile only) ---------------------
+    if profile == "full":
+        smoke = named_matrix("smoke")
+
+        def unsharded():
+            return SweepRunner(max_workers=1).run(smoke)
+
+        plain_wall, _ = _best_of(repeat, unsharded)
+
+        def roundtrip():
+            with tempfile.TemporaryDirectory() as root:
+                manifest = plan_shards(smoke, 3)
+                for index in range(3):
+                    run_shard(manifest, index, shard_directory(root, index))
+                merge_shards(
+                    manifest,
+                    [shard_directory(root, index) for index in range(3)],
+                    os.path.join(root, "merged"),
+                )
+
+        sharded_wall, _ = _best_of(repeat, roundtrip)
+        results["smoke_unsharded_s"] = round(plain_wall, 4)
+        results["smoke_roundtrip_s"] = round(sharded_wall, 4)
+        results["smoke_roundtrip_overhead_s"] = round(sharded_wall - plain_wall, 4)
+
+    return results
+
+
+def build_report(profile: str, repeat: int) -> dict:
+    """Measure and assemble the full BENCH_shard_merge payload."""
+    return {
+        "benchmark": "shard_merge",
+        "schema": 1,
+        "profile": profile,
+        "repeat": repeat,
+        "after": measure(profile=profile, repeat=repeat),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true", help="CI smoke profile")
+    parser.add_argument("--repeat", type=int, default=3, help="best-of repetitions")
+    parser.add_argument(
+        "--output", default="BENCH_shard_merge.json", help="report JSON path"
+    )
+    args = parser.parse_args(argv)
+    report = build_report("fast" if args.fast else "full", args.repeat)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

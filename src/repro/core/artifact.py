@@ -19,7 +19,6 @@ is a self-contained JSON document, never a live Python object.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from dataclasses import dataclass, field
@@ -27,10 +26,29 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.agent import AgentConfig, NextAgent
 from repro.core.governor import NextGovernor
+from repro.core.seeding import canonical_fingerprint
 
 #: Bumped whenever the artifact layout or training semantics change, so a
 #: stale on-disk artifact can never be mistaken for a current one.
 ARTIFACT_SCHEMA_VERSION = 1
+
+
+def list_entry_paths(directory: Optional[str], suffix: str) -> List[str]:
+    """Paths of every store entry file under ``directory``, sorted by name.
+
+    The shared directory-scan of every fingerprint-keyed store (result
+    cache, agent artifacts, fleets): entries are regular files with the
+    store's suffix; quarantined (``.bad``), staging (``.tmp.<pid>``) and
+    subdirectory names fall through the filter.
+    """
+    if directory is None or not os.path.isdir(directory):
+        return []
+    return [
+        os.path.join(directory, filename)
+        for filename in sorted(os.listdir(directory))
+        if filename.endswith(suffix)
+        and os.path.isfile(os.path.join(directory, filename))
+    ]
 
 
 def atomic_write_json(path: str, payload: Mapping[str, Any]) -> str:
@@ -131,8 +149,7 @@ class TrainingSpec:
             "spec": self.to_dict(),
             "agent_config": (agent_config or AgentConfig()).to_dict(),
         }
-        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+        return canonical_fingerprint(payload)
 
     def label(self) -> str:
         """Short human-readable identifier for progress lines."""

@@ -31,7 +31,6 @@ used by the federated sweep pipeline in :mod:`repro.experiments.federated`:
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -40,7 +39,7 @@ from repro.core.agent import AgentConfig, NextAgent
 from repro.core.artifact import TrainingSpec, atomic_write_json
 from repro.core.governor import NextGovernor
 from repro.core.qtable import QTable
-from repro.core.seeding import derive_seed
+from repro.core.seeding import canonical_fingerprint, derive_seed
 
 
 @dataclass(frozen=True)
@@ -314,8 +313,7 @@ class FleetSpec:
         }
         if not with_rounds:
             payload["spec"].pop("rounds")
-        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+        return canonical_fingerprint(payload)
 
     def fingerprint(self, agent_config: Optional[AgentConfig] = None) -> str:
         """Content hash of (spec, agent config): the fleet-store key."""

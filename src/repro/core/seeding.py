@@ -7,17 +7,40 @@ global randomness.  That is what makes results reproducible across
 processes, interpreter runs and machines, and what makes fingerprint-keyed
 caches trustworthy: the same coordinates always denote the same run.
 
-The helper lives in :mod:`repro.core` so both the core federated-fleet data
-model and the :mod:`repro.experiments` harness can use one derivation scheme
-(:mod:`repro.experiments.matrix` re-exports it for backwards compatibility).
+The helpers live in :mod:`repro.core` so both the core data model (training
+specs, fleet specs) and the :mod:`repro.experiments` harness can use one
+derivation scheme (:mod:`repro.experiments.matrix` re-exports ``derive_seed``
+for backwards compatibility).  :func:`canonical_fingerprint` is the single
+content-hashing primitive behind every fingerprint in the codebase -- cell,
+training-spec, fleet and shard-manifest fingerprints all hash the same
+canonical-JSON form, so identity is comparable across machines.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 from typing import Any
 
 _SEED_MODULUS = 2**31
+
+#: Truncation length of every content fingerprint.  24 hex characters (96
+#: bits) keep collision probability negligible at any realistic store size
+#: while staying filename- and log-friendly.
+FINGERPRINT_LENGTH = 24
+
+
+def canonical_fingerprint(payload: Any) -> str:
+    """Stable content hash of a JSON-serialisable payload.
+
+    The payload is serialised canonically (sorted keys, no whitespace) and
+    hashed with SHA-256, so two payloads share a fingerprint iff they are
+    semantically equal JSON documents -- independent of dict insertion order,
+    process or machine.  All fingerprint schemes in the codebase (scenario
+    cells, training specs, fleets, shard manifests) funnel through here.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:FINGERPRINT_LENGTH]
 
 
 def derive_seed(*parts: Any) -> int:

@@ -19,10 +19,15 @@ as the machine allows:
   merges their Q-tables visit-weighted each round, and federated ``next``
   cells evaluate the merged fleet agent greedily; fleets persist as
   resumable :class:`~repro.core.federated.FleetArtifact` documents,
+* :mod:`repro.experiments.distributed` -- distributed sweep sharding: a
+  deterministic cost-balanced shard planner (``shard-manifest.json``), a
+  resumable per-shard worker and a conflict-checked merge engine that
+  reconstructs the aggregate sweep bit-identically from shard caches,
 * :mod:`repro.experiments.aggregate` -- replication-aware statistics,
   comparison tables and per-axis marginal effects on top of
   :mod:`repro.analysis`,
-* :mod:`repro.experiments.cli` -- the ``repro-sweep`` console script.
+* :mod:`repro.experiments.cli` -- the ``repro-sweep`` console script
+  (including ``repro-sweep shard plan|run|merge|status``).
 """
 
 from repro.experiments.aggregate import (
@@ -37,6 +42,16 @@ from repro.experiments.aggregate import (
     replicate_statistics,
 )
 from repro.experiments.artifacts import ArtifactStore, train_artifact
+from repro.experiments.distributed import (
+    CostModel,
+    ShardManifest,
+    ShardMergeError,
+    ShardStatus,
+    merge_shards,
+    plan_shards,
+    run_shard,
+    shard_status,
+)
 from repro.experiments.federated import (
     FleetStore,
     fleet_convergence_table,
@@ -76,6 +91,15 @@ __all__ = [
     # artifacts
     "ArtifactStore",
     "train_artifact",
+    # distributed sharding
+    "CostModel",
+    "ShardManifest",
+    "ShardMergeError",
+    "ShardStatus",
+    "plan_shards",
+    "run_shard",
+    "merge_shards",
+    "shard_status",
     # federated fleets
     "FleetStore",
     "train_fleet_artifact",

@@ -22,10 +22,10 @@ from __future__ import annotations
 import os
 import traceback
 from dataclasses import asdict
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.agent import AgentConfig
-from repro.core.artifact import AgentArtifact, TrainingSpec
+from repro.core.artifact import AgentArtifact, TrainingSpec, list_entry_paths
 from repro.core.governor import NextGovernor
 from repro.sim.config import SimulationConfig
 from repro.sim.experiment import train_next_on_apps
@@ -137,6 +137,28 @@ class ArtifactStore:
         """Store a freshly trained artifact and count the training."""
         self.store(artifact)
         self.trained_count += 1
+
+    # -- merge support (used by repro.experiments.distributed) -------------------------
+
+    #: Filename suffix of agent-artifact entries in the shared directory.
+    ENTRY_SUFFIX = ".agent.json"
+
+    def entry_paths(self) -> List[str]:
+        """Paths of every artifact entry in the store directory, sorted by name."""
+        return list_entry_paths(self.directory, self.ENTRY_SUFFIX)
+
+    @staticmethod
+    def canonical_entry(data: Dict[str, Any]) -> Dict[str, Any]:
+        """The content identity of one artifact entry: the parsed document.
+
+        Training is a pure function of the spec end to end -- even the
+        ``training_time_s`` diagnostics accumulate *simulated* seconds, not
+        wall clock -- so two shards that trained the same fingerprint must
+        agree on every field of the parsed document.  The shard merge engine
+        compares artifacts through this hook: honest duplicates merge
+        cleanly, any divergence fails loudly.
+        """
+        return data
 
     def entries(self) -> List[AgentArtifact]:
         """Every stored artifact (memory plus directory), sorted by fingerprint."""

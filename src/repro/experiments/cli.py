@@ -11,7 +11,17 @@ Examples::
     repro-sweep --list                      # show predefined matrices
     repro-sweep --list-artifacts --cache-dir .sweep-cache
 
-The command prints per-cell progress, the workload x governor mean-metric
+Distributed sweeps split one matrix across machines (see
+:mod:`repro.experiments.distributed`)::
+
+    repro-sweep shard plan baselines --shards 4 --plan-dir sweep/
+    repro-sweep shard run --manifest sweep/shard-manifest.json --shard-index 0
+    repro-sweep shard status --manifest sweep/shard-manifest.json
+    repro-sweep shard merge --manifest sweep/shard-manifest.json \
+        --cache-dir merged-cache
+
+The command prints per-cell progress (with an estimated-remaining-time
+readout from the shard cost model), the workload x governor mean-metric
 table, per-axis marginal savings and any failures, and exits non-zero if any
 cell failed.  Sweeps with pretrained cells additionally report how many
 agents were trained versus served from the artifact store.
@@ -23,10 +33,22 @@ import argparse
 import os
 import sys
 from dataclasses import replace
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.experiments.aggregate import condition_table, marginal_table
 from repro.experiments.artifacts import ArtifactStore
+from repro.experiments.distributed import (
+    MANIFEST_FILENAME,
+    CostModel,
+    RemainingCost,
+    ShardManifest,
+    amortised_cell_costs,
+    merge_shards,
+    plan_shards,
+    run_shard,
+    shard_directory,
+    shard_status,
+)
 from repro.experiments.federated import FleetStore, fleet_convergence_table
 from repro.experiments.matrix import (
     NAMED_MATRICES,
@@ -34,7 +56,12 @@ from repro.experiments.matrix import (
     TrainingVariant,
     named_matrix,
 )
-from repro.experiments.runner import CellResult, SweepRunner, default_artifact_dir
+from repro.experiments.runner import (
+    CellResult,
+    SweepResult,
+    SweepRunner,
+    default_artifact_dir,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sweep",
         description="Run a factorial governor/workload/platform/seed sweep.",
+        epilog=(
+            "Distributed sweeps: 'repro-sweep shard plan|run|merge|status' "
+            "splits one matrix across machines (see 'repro-sweep shard --help')."
+        ),
     )
     parser.add_argument(
         "matrix",
@@ -160,18 +191,22 @@ def _validate_metric(metric: str) -> None:
         raise ValueError(f"unknown metric {metric!r}; available: {scalar_metrics}")
 
 
-def _resolve_matrix(args: argparse.Namespace) -> ScenarioMatrix:
+def _matrix_from_args(args: argparse.Namespace) -> ScenarioMatrix:
+    """The name-or-``--spec`` resolution shared by plain runs and shard plan."""
     if args.spec and args.matrix:
         raise ValueError(
             f"got both matrix name {args.matrix!r} and --spec {args.spec!r}; "
             "give exactly one"
         )
     if args.spec:
-        matrix = ScenarioMatrix.from_file(args.spec)
-    elif args.matrix:
-        matrix = named_matrix(args.matrix)
-    else:
-        raise ValueError("give a matrix name or --spec FILE (see --list)")
+        return ScenarioMatrix.from_file(args.spec)
+    if args.matrix:
+        return named_matrix(args.matrix)
+    raise ValueError("give a matrix name or --spec FILE (see --list)")
+
+
+def _resolve_matrix(args: argparse.Namespace) -> ScenarioMatrix:
+    matrix = _matrix_from_args(args)
     train_flags = {
         "--train-episodes": args.train_episodes,
         "--train-duration": args.train_duration,
@@ -276,7 +311,101 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
 
+def _progress_printer(
+    quiet: bool, costs: Dict[str, float], prefix: str = "", workers: int = 1
+):
+    """Per-cell progress lines with an estimated-remaining-time readout.
+
+    ``costs`` holds the amortised cost estimate per cell fingerprint (the
+    shard cost model); the printer subtracts each delivered cell once, so
+    the ETA reflects the work that is actually left rather than a naive
+    done/total extrapolation that training-heavy cells would skew.  The
+    displayed estimate divides by the worker count, since the pool drains
+    the remaining cost roughly ``workers`` ways in parallel.
+    """
+    tracker = RemainingCost(costs)  # one accounting rule, shared with shards
+    workers = max(1, workers or 1)
+
+    def progress(done: int, total: int, result: CellResult) -> None:
+        tracker.deliver(result)
+        if quiet:
+            return
+        origin = "cached" if result.from_cache else f"{result.elapsed_s:.1f}s"
+        eta = tracker.remaining_s / workers
+        print(
+            f"  {prefix}[{done}/{total}] {result.status:5s} "
+            f"{result.cell.label()} ({origin}, ~{eta:.1f}s left)"
+        )
+
+    return progress
+
+
+def _resolve_baseline(matrix: ScenarioMatrix, requested: Optional[str]) -> str:
+    """Validate and resolve the savings baseline, shared by run and merge.
+
+    An explicitly requested baseline must exist on the governors axis; the
+    implicit schedutil default merely suppresses marginal tables on matrices
+    that lack it.  Either way a baseline spanning several training variants
+    is rejected up front -- paired savings against it would be ambiguous,
+    and discovering that only at reporting time wastes the whole sweep (or
+    merge).
+    """
+    if requested is not None and requested not in matrix.governors:
+        raise ValueError(
+            f"baseline governor {requested!r} is not on the governors axis; "
+            f"available: {list(matrix.governors)}"
+        )
+    baseline = requested or "schedutil"
+    if baseline in matrix.governors and len(matrix.variants_for(baseline)) > 1:
+        raise ValueError(
+            f"baseline governor {baseline!r} expands across "
+            f"{len(matrix.variants_for(baseline))} training variants, so paired "
+            "savings would be ambiguous; pick a single-variant baseline or "
+            "restrict the training axis"
+        )
+    return baseline
+
+
+def _print_sweep_report(
+    matrix: ScenarioMatrix, sweep: SweepResult, metric: str, baseline: str
+) -> None:
+    """The aggregate report block shared by plain runs and shard merges."""
+    print()
+    print(condition_table(sweep, metric=metric))
+    if baseline in matrix.governors and len(matrix.governors) > 1:
+        # Marginalising over a single-value axis is a no-op table; only show
+        # the axes the design actually varies.
+        axis_sizes = {
+            "governor": len(matrix.governors),
+            "workload": len(matrix.workloads),
+            "platform": len(matrix.platforms),
+            "training": len(matrix.training),
+        }
+        for axis, size in axis_sizes.items():
+            if size > 1:
+                print()
+                print(
+                    marginal_table(sweep, axis=axis, metric=metric, baseline=baseline)
+                )
+    print()
+    print(
+        f"{len(sweep.completed)}/{len(sweep)} cells ok, "
+        f"{sweep.cached_count} from cache, {len(sweep.failures)} failed"
+    )
+
+
+def _print_failures(sweep: SweepResult) -> None:
+    for failure in sweep.failures:
+        print(f"\nFAILED {failure.cell.label()}:\n{failure.error}")
+
+
 def _run(argv: Optional[List[str]]) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "shard":
+        # Distributed sharding has its own verb-based surface; everything
+        # else keeps the original single-command grammar.
+        return _run_shard_command(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.list:
@@ -298,72 +427,30 @@ def _run(argv: Optional[List[str]]) -> int:
 
     matrix = _resolve_matrix(args)
     _validate_metric(args.metric)
-    # An explicitly requested baseline must exist; the implicit schedutil
-    # default merely suppresses marginal tables on matrices that lack it.
-    if args.baseline is not None and args.baseline not in matrix.governors:
-        raise ValueError(
-            f"baseline governor {args.baseline!r} is not on the governors axis; "
-            f"available: {list(matrix.governors)}"
-        )
-    baseline = args.baseline or "schedutil"
-    if baseline in matrix.governors and len(matrix.variants_for(baseline)) > 1:
-        # Fail before the sweep runs: paired savings against a baseline that
-        # expands across several training variants would be ambiguous, and
-        # discovering that only at reporting time wastes the whole sweep.
-        raise ValueError(
-            f"baseline governor {baseline!r} expands across "
-            f"{len(matrix.variants_for(baseline))} training variants, so paired "
-            "savings would be ambiguous; pick a single-variant baseline or "
-            "restrict the training axis"
-        )
+    baseline = _resolve_baseline(matrix, args.baseline)
     training = (
         f" x {len(matrix.training)} training" if len(matrix.training) > 1 else ""
     )
+    costs = amortised_cell_costs(matrix.cells())
     print(
         f"Sweep '{matrix.name}': {len(matrix)} cells "
         f"({len(matrix.governors)} governors x {len(matrix.workloads)} workloads "
         f"x {len(matrix.platforms)} platforms x {len(matrix.seeds)} seeds"
-        f"{training}), max_workers={args.max_workers}"
+        f"{training}), max_workers={args.max_workers}, "
+        f"estimated ~{sum(costs.values()):.1f}s"
     )
-
-    def progress(done: int, total: int, result: CellResult) -> None:
-        if args.quiet:
-            return
-        origin = "cached" if result.from_cache else f"{result.elapsed_s:.1f}s"
-        print(f"  [{done}/{total}] {result.status:5s} {result.cell.label()} ({origin})")
 
     runner = SweepRunner(
         max_workers=args.max_workers,
         cache_dir=args.cache_dir,
         artifact_dir=args.artifact_dir,
     )
-    sweep = runner.run(matrix, progress=progress)
-
-    print()
-    print(condition_table(sweep, metric=args.metric))
-    if baseline in matrix.governors and len(matrix.governors) > 1:
-        # Marginalising over a single-value axis is a no-op table; only show
-        # the axes the design actually varies.
-        axis_sizes = {
-            "governor": len(matrix.governors),
-            "workload": len(matrix.workloads),
-            "platform": len(matrix.platforms),
-            "training": len(matrix.training),
-        }
-        for axis, size in axis_sizes.items():
-            if size > 1:
-                print()
-                print(
-                    marginal_table(
-                        sweep, axis=axis, metric=args.metric, baseline=baseline
-                    )
-                )
-
-    print()
-    print(
-        f"{len(sweep.completed)}/{len(sweep)} cells ok, "
-        f"{sweep.cached_count} from cache, {len(sweep.failures)} failed"
+    sweep = runner.run(
+        matrix,
+        progress=_progress_printer(args.quiet, costs, workers=args.max_workers),
     )
+
+    _print_sweep_report(matrix, sweep, args.metric, baseline)
     cells = matrix.cells()
     if any(cell.pretrained for cell in cells):
         print(
@@ -388,9 +475,266 @@ def _run(argv: Optional[List[str]]) -> int:
                 # unstored; report convergence only for fleets we can see.
                 print()
                 print(fleet_convergence_table(artifact))
-    for failure in sweep.failures:
-        print(f"\nFAILED {failure.cell.label()}:\n{failure.error}")
+    _print_failures(sweep)
     return 1 if sweep.failures else 0
+
+
+# ----------------------------------------------------------------------------------
+# Distributed sharding: repro-sweep shard plan|run|merge|status
+# ----------------------------------------------------------------------------------
+
+
+def build_shard_parser() -> argparse.ArgumentParser:
+    """The ``repro-sweep shard`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep shard",
+        description=(
+            "Plan a matrix into shards, run shards (possibly on other "
+            "machines), inspect their progress and merge the results back."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    plan = commands.add_parser(
+        "plan", help="partition a matrix into N shards and write the manifest"
+    )
+    plan.add_argument(
+        "matrix",
+        nargs="?",
+        help=f"predefined matrix name ({', '.join(sorted(NAMED_MATRICES))})",
+    )
+    plan.add_argument(
+        "--spec", help="path to a YAML/JSON matrix description instead"
+    )
+    plan.add_argument(
+        "--shards", type=int, required=True, help="how many shards to plan"
+    )
+    plan.add_argument(
+        "--plan-dir",
+        default=".",
+        help=f"directory for {MANIFEST_FILENAME} and the shard dirs (default: .)",
+    )
+    plan.add_argument(
+        "--bench-report",
+        default=None,
+        help=(
+            "BENCH_hotloop.json-shaped report to derive the cost model from "
+            "(default: the committed benchmark numbers)"
+        ),
+    )
+
+    run = commands.add_parser(
+        "run", help="execute one shard of a planned sweep into its own directory"
+    )
+    run.add_argument("--manifest", required=True, help=f"path to {MANIFEST_FILENAME}")
+    run.add_argument(
+        "--shard-index", type=int, required=True, help="which shard to execute"
+    )
+    run.add_argument(
+        "--shard-dir",
+        default=None,
+        help="shard output directory (default: shard-NNN next to the manifest)",
+    )
+    run.add_argument(
+        "--max-workers",
+        type=int,
+        default=1,
+        help="process-pool size for this shard (default: 1)",
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+
+    merge = commands.add_parser(
+        "merge",
+        help="union the shard outputs and print the aggregate sweep report",
+    )
+    merge.add_argument("--manifest", required=True, help=f"path to {MANIFEST_FILENAME}")
+    merge.add_argument(
+        "--shard-dir",
+        action="append",
+        default=None,
+        help=(
+            "shard directory to merge (repeatable; default: every shard-NNN "
+            "next to the manifest)"
+        ),
+    )
+    merge.add_argument(
+        "--cache-dir", required=True, help="destination directory for the merged cache"
+    )
+    merge.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="report a partial merge instead of failing on missing cells",
+    )
+    merge.add_argument(
+        "--metric",
+        default="average_power_w",
+        help="summary metric for the comparison table (default: average_power_w)",
+    )
+    merge.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline governor for marginal savings (default: schedutil)",
+    )
+
+    status = commands.add_parser(
+        "status", help="show per-shard progress and estimated remaining time"
+    )
+    status.add_argument(
+        "--manifest", required=True, help=f"path to {MANIFEST_FILENAME}"
+    )
+    status.add_argument(
+        "--shard-dir",
+        action="append",
+        default=None,
+        help=(
+            "shard directory to inspect (repeatable, in shard order; "
+            "default: every shard-NNN next to the manifest)"
+        ),
+    )
+    return parser
+
+
+def _shard_dirs_for(
+    args: argparse.Namespace, manifest: ShardManifest, aligned: bool = True
+) -> List[str]:
+    """Resolve the per-shard directories: explicit flags or manifest siblings.
+
+    ``aligned`` demands exactly one directory per shard, in shard order --
+    required by ``status``, which pairs directories with shard indices.
+    ``merge`` passes ``aligned=False``: it unions whatever directories it is
+    given (any subset, any order), so a partial merge of the shards that
+    have landed works with custom paths too.
+    """
+    if args.shard_dir:
+        if aligned and len(args.shard_dir) != manifest.shard_count:
+            raise ValueError(
+                f"got {len(args.shard_dir)} --shard-dir flags for "
+                f"{manifest.shard_count} shards; give one per shard, in order"
+            )
+        return list(args.shard_dir)
+    base_dir = os.path.dirname(os.path.abspath(args.manifest))
+    return [shard_directory(base_dir, index) for index in range(manifest.shard_count)]
+
+
+def _run_shard_command(argv: List[str]) -> int:
+    args = build_shard_parser().parse_args(argv)
+
+    if args.command == "plan":
+        matrix = _matrix_from_args(args)
+        cost_model = (
+            CostModel.from_bench_file(args.bench_report)
+            if args.bench_report
+            else None
+        )
+        manifest = plan_shards(matrix, args.shards, cost_model=cost_model)
+        path = os.path.join(args.plan_dir, MANIFEST_FILENAME)
+        manifest.save(path)
+        print(
+            f"Planned {manifest.shard_count} shard(s) for '{matrix.name}' "
+            f"({len(matrix)} cells, matrix {manifest.matrix_fingerprint}, "
+            f"estimated ~{manifest.total_cost_s():.1f}s of work):"
+        )
+        for index, shard in enumerate(manifest.assignments):
+            print(
+                f"  shard {index}: {len(shard)} cells, "
+                f"~{manifest.shard_cost_s(index):.1f}s"
+            )
+        print(f"wrote {path}")
+        return 0
+
+    manifest = ShardManifest.load(args.manifest)
+
+    if args.command == "run":
+        shard_dir = args.shard_dir
+        if shard_dir is None:
+            base_dir = os.path.dirname(os.path.abspath(args.manifest))
+            shard_dir = shard_directory(base_dir, args.shard_index)
+        cells = manifest.shard_cells(args.shard_index)
+        print(
+            f"Shard {args.shard_index}/{manifest.shard_count} of "
+            f"'{manifest.matrix.name}': {len(cells)} cells into {shard_dir}, "
+            f"estimated ~{manifest.shard_cost_s(args.shard_index):.1f}s"
+        )
+        costs = {
+            fingerprint: manifest.cell_costs[fingerprint]
+            for fingerprint in manifest.assignments[args.shard_index]
+        }
+        sweep = run_shard(
+            manifest,
+            args.shard_index,
+            shard_dir,
+            max_workers=args.max_workers,
+            progress=_progress_printer(
+                args.quiet,
+                costs,
+                prefix=f"s{args.shard_index} ",
+                workers=args.max_workers,
+            ),
+        )
+        print(
+            f"shard {args.shard_index}: {len(sweep.completed)}/{len(sweep)} cells "
+            f"ok, {sweep.cached_count} from cache, {len(sweep.failures)} failed"
+        )
+        _print_failures(sweep)
+        return 1 if sweep.failures else 0
+
+    if args.command == "status":
+        cells_by_fingerprint = manifest.cells_by_fingerprint()
+        statuses = [
+            shard_status(
+                manifest, index, shard_dir, cells_by_fingerprint=cells_by_fingerprint
+            )
+            for index, shard_dir in enumerate(_shard_dirs_for(args, manifest))
+        ]
+        print(
+            f"Shard plan for '{manifest.matrix.name}' "
+            f"(matrix {manifest.matrix_fingerprint}, "
+            f"{sum(s.total for s in statuses)} cells, "
+            f"{manifest.shard_count} shards):"
+        )
+        for status in statuses:
+            print(
+                f"  shard {status.shard}: {status.state:8s} "
+                f"{status.completed}/{status.total} cells, "
+                f"{status.failed} failed, ~{status.remaining_s:.1f}s left "
+                f"({status.directory})"
+            )
+        done = sum(s.completed for s in statuses)
+        total = sum(s.total for s in statuses)
+        print(
+            f"total: {done}/{total} cells done, "
+            f"~{sum(s.remaining_s for s in statuses):.1f}s left"
+        )
+        return 0
+
+    # merge
+    _validate_metric(args.metric)
+    matrix = manifest.matrix
+    # Same preflight as the plain run path: fail with the curated message
+    # before touching any shard, not mid-report.
+    baseline = _resolve_baseline(matrix, args.baseline)
+    sweep, counters = merge_shards(
+        manifest,
+        _shard_dirs_for(args, manifest, aligned=False),
+        args.cache_dir,
+        require_complete=not args.allow_missing,
+    )
+    print(
+        f"merged {counters['results']} results, {counters['artifacts']} "
+        f"artifacts, {counters['fleets']} fleets into {args.cache_dir} "
+        f"({counters['duplicates']} identical duplicates skipped)"
+    )
+    _print_sweep_report(matrix, sweep, args.metric, baseline)
+    if len(sweep) < len(matrix.cells()):
+        print(f"partial merge: {len(matrix.cells()) - len(sweep)} cells missing")
+    _print_failures(sweep)
+    if sweep.failures:
+        return 1
+    # Missing cells only surface here under --allow-missing, whose purpose
+    # is exactly this preview -- a requested partial report is a success.
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

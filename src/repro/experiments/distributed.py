@@ -1,0 +1,865 @@
+"""Distributed sweep sharding: plan, run and merge a matrix across machines.
+
+A single machine saturates around ~10k smoke-shape cells (ROADMAP sizing:
+~2 ms of wall time per simulated second per core), or much earlier when the
+training axes dominate -- a federated fleet cell can cost hundreds of
+simulated seconds of training before its evaluation even starts.  This
+module turns one :class:`~repro.experiments.matrix.ScenarioMatrix` into N
+independently runnable *shards* and merges their outputs back into a single
+:class:`~repro.experiments.runner.SweepResult` that is bit-identical to an
+unsharded run:
+
+* :func:`plan_shards` partitions the cell list deterministically.  Cells are
+  first grouped so every cell sharing a
+  :class:`~repro.core.artifact.TrainingSpec` or
+  :class:`~repro.core.federated.FleetSpec` lands on one shard (the spec then
+  trains exactly once across the whole distributed sweep), then the groups
+  are balanced across shards greedily by estimated cost.  The
+  :class:`CostModel` prices cells and training from the committed
+  ``BENCH_hotloop.json`` per-simulated-second throughput numbers, so
+  training-heavy cells weigh as much as they cost.  The plan freezes into a
+  schema-versioned ``shard-manifest.json`` (matrix fingerprint, per-shard
+  assignments, per-cell cost estimates).
+* :func:`run_shard` executes one shard against its own cache/artifact/fleet
+  directories through the ordinary :class:`~repro.experiments.runner
+  .SweepRunner`, emitting a resumable ``shard-status.json``.  An interrupted
+  shard simply re-runs: completed cells come back from its
+  :class:`~repro.experiments.runner.ResultCache`.
+* :func:`merge_shards` unions the shard caches and artifact/fleet stores
+  into one directory and reconstructs the aggregate sweep result.
+  Fingerprint-keyed entries make the union conflict-free *by construction*;
+  the merge still verifies that same-fingerprint entries are
+  content-identical (byte-identical up to wall-clock timing fields, which
+  cannot affect results) and raises :class:`ShardMergeError` otherwise, so
+  a corrupted or tampered shard can never silently poison the merged sweep.
+
+Because every cell, artifact and fleet is a pure function of its
+fingerprinted spec, running 1 shard or N shards on 1 machine or N machines
+produces the same bytes -- the distributed parity suite pins per-cell
+``sample_stream_hash`` equality between sharded and unsharded runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.artifact import atomic_write_json
+from repro.core.seeding import canonical_fingerprint
+from repro.experiments.artifacts import ArtifactStore
+from repro.experiments.federated import FleetStore
+from repro.experiments.matrix import ScenarioCell, ScenarioMatrix
+from repro.experiments.runner import (
+    CellResult,
+    ProgressCallback,
+    ResultCache,
+    SweepResult,
+    SweepRunner,
+    default_artifact_dir,
+)
+
+__all__ = [
+    "MANIFEST_FILENAME",
+    "MANIFEST_SCHEMA_VERSION",
+    "STATUS_FILENAME",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "RemainingCost",
+    "ShardManifest",
+    "ShardMergeError",
+    "ShardStatus",
+    "amortised_cell_costs",
+    "cell_group_key",
+    "merge_shard_stores",
+    "merge_shards",
+    "load_merged_result",
+    "plan_shards",
+    "run_shard",
+    "shard_directory",
+    "shard_status",
+]
+
+#: Bumped whenever the manifest layout or the shard execution contract
+#: changes, so a stale manifest can never drive a current worker.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Canonical file names inside a plan directory / shard directory.
+MANIFEST_FILENAME = "shard-manifest.json"
+STATUS_FILENAME = "shard-status.json"
+
+#: Simulated seconds behind ``BENCH_hotloop.json``'s ``sweep_cell_wall_s``
+#: measurement (the bench runs one 4 sim-s cell end to end).
+_BENCH_SWEEP_CELL_SIM_S = 4.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Wall-clock price of one simulated second, for planning and ETAs.
+
+    The defaults come from the committed ``BENCH_hotloop.json`` perf
+    trajectory (compiled-kernel numbers): a sweep cell costs
+    ``sweep_cell_wall_s / 4 sim-s`` and training throughput is
+    ``1 / cold_train_sim_s_per_wall_s``.  Absolute values only matter for
+    ETA display; shard *balance* only needs the ratio between evaluation and
+    training work, which is stable across machines of the same class.
+    """
+
+    #: ``after.sweep_cell_wall_s`` (0.00762 s) over the bench's 4 sim-s cell.
+    cell_s_per_sim_s: float = 0.00762 / _BENCH_SWEEP_CELL_SIM_S
+    #: Reciprocal of ``after.cold_train_sim_s_per_wall_s`` (328.7 sim-s/s).
+    train_s_per_sim_s: float = 1.0 / 328.7
+
+    def __post_init__(self) -> None:
+        if self.cell_s_per_sim_s <= 0 or self.train_s_per_sim_s <= 0:
+            raise ValueError("cost-model rates must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (recorded in the manifest)."""
+        return {
+            "cell_s_per_sim_s": self.cell_s_per_sim_s,
+            "train_s_per_sim_s": self.train_s_per_sim_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CostModel":
+        """Rebuild a model from :meth:`to_dict` output."""
+        return cls(
+            cell_s_per_sim_s=float(data["cell_s_per_sim_s"]),
+            train_s_per_sim_s=float(data["train_s_per_sim_s"]),
+        )
+
+    @classmethod
+    def from_bench_report(cls, data: Mapping[str, Any]) -> "CostModel":
+        """Derive a model from a ``BENCH_hotloop.json``-shaped report.
+
+        Strict about the expected keys: silently falling back to the
+        committed defaults would record another machine's numbers in the
+        manifest as if they were the operator's calibration.
+        """
+        after = data.get("after") if isinstance(data, Mapping) else None
+        if not isinstance(after, Mapping):
+            after = {}
+        missing = sorted(
+            key
+            for key in ("sweep_cell_wall_s", "cold_train_sim_s_per_wall_s")
+            if not after.get(key)
+        )
+        if missing:
+            raise ValueError(
+                f"bench report is missing 'after' key(s) {missing}; expected a "
+                "BENCH_hotloop.json-shaped report (benchmarks/bench_hot_loop.py)"
+            )
+        return cls(
+            cell_s_per_sim_s=(
+                float(after["sweep_cell_wall_s"]) / _BENCH_SWEEP_CELL_SIM_S
+            ),
+            train_s_per_sim_s=1.0 / float(after["cold_train_sim_s_per_wall_s"]),
+        )
+
+    @classmethod
+    def from_bench_file(cls, path: str) -> "CostModel":
+        """Load a model from a committed benchmark report on disk."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_bench_report(json.load(handle))
+
+    # -- pricing ------------------------------------------------------------------------
+
+    def cell_cost_s(self, cell: ScenarioCell) -> float:
+        """Estimated wall time of one cell's evaluation (without training)."""
+        return cell.workload.duration_s * self.cell_s_per_sim_s
+
+    def training_cost_s(self, cell: ScenarioCell) -> float:
+        """Estimated wall time of the cell's training spec or fleet, if any.
+
+        A pretrained spec trains ``apps x episodes x episode_duration_s``
+        simulated seconds; a federated fleet multiplies that by ``devices``
+        and ``rounds`` (round 0 plus every continuation round runs one full
+        local-training phase per device).
+        """
+        fleet = cell.fleet_spec()
+        if fleet is not None:
+            sim_s = (
+                fleet.devices
+                * fleet.rounds
+                * len(fleet.apps)
+                * fleet.episodes
+                * fleet.episode_duration_s
+            )
+            return sim_s * self.train_s_per_sim_s
+        spec = cell.training_spec()
+        if spec is not None:
+            sim_s = len(spec.apps) * spec.episodes * spec.episode_duration_s
+            return sim_s * self.train_s_per_sim_s
+        return 0.0
+
+
+#: Shared default instance (the committed BENCH_hotloop.json numbers).
+DEFAULT_COST_MODEL = CostModel()
+
+
+class RemainingCost:
+    """Shared "work still owed" accounting for ETAs and shard status files.
+
+    One rule, used by every readout so they cannot disagree: each distinct
+    cell fingerprint is priced once, its cost is released when its *first*
+    delivery succeeds, and a failed delivery keeps the cost owed (error
+    results are never cached, so a re-run retries the cell).  Running-total
+    arithmetic keeps the per-delivery cost O(1) -- re-summing on every
+    delivery would make sweep bookkeeping quadratic in cell count.
+    """
+
+    def __init__(self, costs: Mapping[str, float]) -> None:
+        self._pending = dict(costs)
+        self.remaining_s = sum(self._pending.values())
+
+    def deliver(self, result: CellResult) -> bool:
+        """Account one delivered result; ``True`` on the cell's first delivery."""
+        cost = self._pending.pop(result.cell.fingerprint(), None)
+        if cost is None:
+            return False  # duplicate-fingerprint expansion: already priced
+        if result.ok:
+            self.remaining_s = max(0.0, self.remaining_s - cost)
+        return True
+
+
+def cell_group_key(cell: ScenarioCell) -> str:
+    """The co-location key of one cell.
+
+    Every cell sharing a training spec or fleet spec must land on one shard,
+    so the spec trains exactly once across the whole distributed sweep
+    (duplicate training would waste the dominant cost and, worse, produce
+    same-fingerprint artifacts on several shards that the merge would then
+    have to reconcile).  Untrained cells are their own singleton groups, so
+    the balancer can place them freely.
+    """
+    fleet = cell.fleet_spec()
+    if fleet is not None:
+        return f"fleet:{fleet.fingerprint()}"
+    spec = cell.training_spec()
+    if spec is not None:
+        return f"train:{spec.fingerprint()}"
+    return f"cell:{cell.fingerprint()}"
+
+
+def amortised_cell_costs(
+    cells: Sequence[ScenarioCell], cost_model: Optional[CostModel] = None
+) -> Dict[str, float]:
+    """Estimated wall cost per cell fingerprint, training amortised over its group.
+
+    Each distinct training spec / fleet is priced once and split equally
+    across the cells that share it, so summing the returned costs over any
+    set of cells prices that set's total work correctly -- which is exactly
+    what both the shard balancer (summing over a group) and the progress ETA
+    (summing over the not-yet-completed cells) need.
+    """
+    model = cost_model or DEFAULT_COST_MODEL
+    costs: Dict[str, float] = {}
+    group_members: Dict[str, List[str]] = {}
+    group_training: Dict[str, float] = {}
+    for cell in cells:
+        fingerprint = cell.fingerprint()
+        if fingerprint in costs:
+            continue  # duplicate expansion shares one cache entry: price once
+        costs[fingerprint] = model.cell_cost_s(cell)
+        key = cell_group_key(cell)
+        group_members.setdefault(key, []).append(fingerprint)
+        group_training.setdefault(key, model.training_cost_s(cell))
+    for key, members in group_members.items():
+        share = group_training[key] / len(members)
+        if share:
+            for fingerprint in members:
+                costs[fingerprint] += share
+    return costs
+
+
+# ----------------------------------------------------------------------------------
+# Shard manifest
+# ----------------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """The frozen plan of one distributed sweep.
+
+    Ships as ``shard-manifest.json`` next to the shard directories; every
+    worker and the merge engine validate the embedded matrix fingerprint, so
+    shards planned against different designs (or schema versions) can never
+    be mixed.
+    """
+
+    matrix: ScenarioMatrix
+    assignments: Tuple[Tuple[str, ...], ...]
+    cell_costs: Mapping[str, float]
+    cell_labels: Mapping[str, str]
+    cost_model: CostModel
+
+    @property
+    def shard_count(self) -> int:
+        """How many shards the plan partitions the matrix into."""
+        return len(self.assignments)
+
+    @property
+    def matrix_fingerprint(self) -> str:
+        """Content hash of the pre-registered design this plan partitions."""
+        return self.matrix.fingerprint()
+
+    def fingerprint(self) -> str:
+        """Content hash of the whole plan (manifest identity)."""
+        return canonical_fingerprint(self.to_dict())
+
+    def shard_cells(self, shard_index: int) -> List[ScenarioCell]:
+        """The shard's cells, in the matrix's pre-registered order."""
+        if not 0 <= shard_index < self.shard_count:
+            raise ValueError(
+                f"shard index {shard_index} out of range [0, {self.shard_count})"
+            )
+        wanted = set(self.assignments[shard_index])
+        return [
+            cell for cell in self.matrix.cells() if cell.fingerprint() in wanted
+        ]
+
+    def cells_by_fingerprint(self) -> Dict[str, ScenarioCell]:
+        """One representative cell per distinct fingerprint, expanded once.
+
+        Callers that inspect many shards (``repro-sweep shard status``)
+        compute this once and reuse it, instead of re-expanding the matrix
+        and re-hashing every cell per shard.
+        """
+        cells: Dict[str, ScenarioCell] = {}
+        for cell in self.matrix.cells():
+            cells.setdefault(cell.fingerprint(), cell)
+        return cells
+
+    def shard_cost_s(self, shard_index: int) -> float:
+        """Estimated wall cost of one shard."""
+        return sum(
+            self.cell_costs[fingerprint]
+            for fingerprint in self.assignments[shard_index]
+        )
+
+    def total_cost_s(self) -> float:
+        """Estimated wall cost of the whole sweep (one worker per shard)."""
+        return sum(self.cell_costs[f] for shard in self.assignments for f in shard)
+
+    def validate(self) -> None:
+        """Check the plan still covers its matrix exactly.
+
+        Re-expands the matrix and verifies that the assignments partition the
+        expansion's distinct cell fingerprints -- each assigned exactly once,
+        none missing, none foreign.  Raises ``ValueError`` otherwise (e.g. a
+        hand-edited manifest, or one produced by a different code version
+        that slipped past the schema check).
+        """
+        expanded = {cell.fingerprint() for cell in self.matrix.cells()}
+        assigned: List[str] = [f for shard in self.assignments for f in shard]
+        if len(assigned) != len(set(assigned)):
+            raise ValueError("manifest assigns at least one cell to several shards")
+        missing = sorted(expanded - set(assigned))
+        foreign = sorted(set(assigned) - expanded)
+        if missing or foreign:
+            raise ValueError(
+                f"manifest does not partition its matrix: {len(missing)} cell(s) "
+                f"unassigned, {len(foreign)} foreign fingerprint(s)"
+            )
+        known = set(self.cell_costs)
+        if not set(assigned) <= known or not set(assigned) <= set(self.cell_labels):
+            raise ValueError("manifest is missing cost or label entries for cells")
+
+    # -- serialisation ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (the ``shard-manifest.json`` document)."""
+        return {
+            "manifest_schema_version": MANIFEST_SCHEMA_VERSION,
+            "matrix_fingerprint": self.matrix_fingerprint,
+            "matrix": self.matrix.to_dict(),
+            "shards": self.shard_count,
+            "cost_model": self.cost_model.to_dict(),
+            "assignments": [
+                {
+                    "shard": index,
+                    "estimated_cost_s": self.shard_cost_s(index),
+                    "cells": [
+                        {
+                            "fingerprint": fingerprint,
+                            "label": self.cell_labels[fingerprint],
+                            "cost_s": self.cell_costs[fingerprint],
+                        }
+                        for fingerprint in shard
+                    ],
+                }
+                for index, shard in enumerate(self.assignments)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardManifest":
+        """Rebuild and validate a manifest from :meth:`to_dict` output."""
+        version = int(data.get("manifest_schema_version", -1))
+        if version != MANIFEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"manifest schema version {version} does not match the current "
+                f"version {MANIFEST_SCHEMA_VERSION}"
+            )
+        matrix = ScenarioMatrix.from_dict(data["matrix"])
+        stored = data.get("matrix_fingerprint")
+        if matrix.fingerprint() != stored:
+            raise ValueError(
+                f"manifest matrix fingerprint {stored!r} does not match its "
+                f"embedded matrix ({matrix.fingerprint()!r}); the manifest was "
+                "edited or produced by an incompatible version"
+            )
+        assignments: List[Tuple[str, ...]] = []
+        cell_costs: Dict[str, float] = {}
+        cell_labels: Dict[str, str] = {}
+        for entry in data["assignments"]:
+            shard = []
+            for cell in entry["cells"]:
+                fingerprint = cell["fingerprint"]
+                shard.append(fingerprint)
+                cell_costs[fingerprint] = float(cell["cost_s"])
+                cell_labels[fingerprint] = cell["label"]
+            assignments.append(tuple(shard))
+        if len(assignments) != int(data.get("shards", len(assignments))):
+            raise ValueError("manifest shard count does not match its assignments")
+        manifest = cls(
+            matrix=matrix,
+            assignments=tuple(assignments),
+            cell_costs=cell_costs,
+            cell_labels=cell_labels,
+            cost_model=CostModel.from_dict(data["cost_model"]),
+        )
+        manifest.validate()
+        return manifest
+
+    def save(self, path: str) -> str:
+        """Atomically write the manifest as JSON; returns ``path``."""
+        return atomic_write_json(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path: str) -> "ShardManifest":
+        """Load and validate a manifest written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict):
+            raise ValueError(f"manifest file {path!r} does not contain an object")
+        return cls.from_dict(data)
+
+
+def plan_shards(
+    matrix: ScenarioMatrix,
+    shards: int,
+    cost_model: Optional[CostModel] = None,
+) -> ShardManifest:
+    """Partition a matrix into ``shards`` balanced, independently runnable shards.
+
+    Deterministic: cells group by :func:`cell_group_key` (training co-location),
+    groups sort by descending estimated cost with the group key as the tie
+    breaker, and each group goes to the currently least-loaded shard (lowest
+    index on ties) -- the classic longest-processing-time heuristic, which
+    keeps the makespan within 4/3 of optimal while never splitting a
+    training spec across machines.  Planning the same matrix twice, anywhere,
+    yields byte-identical manifests.
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    cells = matrix.cells()
+    model = cost_model or DEFAULT_COST_MODEL
+    costs = amortised_cell_costs(cells, model)
+    labels: Dict[str, str] = {}
+    order: Dict[str, int] = {}
+    groups: Dict[str, List[str]] = {}
+    for position, cell in enumerate(cells):
+        fingerprint = cell.fingerprint()
+        if fingerprint in labels:
+            continue
+        labels[fingerprint] = cell.label()
+        order[fingerprint] = position
+        groups.setdefault(cell_group_key(cell), []).append(fingerprint)
+
+    group_costs = {
+        key: sum(costs[fingerprint] for fingerprint in members)
+        for key, members in groups.items()
+    }
+    loads = [0.0] * shards
+    members_per_shard: List[List[str]] = [[] for _ in range(shards)]
+    for key in sorted(groups, key=lambda k: (-group_costs[k], k)):
+        target = min(range(shards), key=lambda index: (loads[index], index))
+        members_per_shard[target].extend(groups[key])
+        loads[target] += group_costs[key]
+    assignments = tuple(
+        tuple(sorted(members, key=order.__getitem__))
+        for members in members_per_shard
+    )
+    manifest = ShardManifest(
+        matrix=matrix,
+        assignments=assignments,
+        cell_costs=costs,
+        cell_labels=labels,
+        cost_model=model,
+    )
+    manifest.validate()
+    return manifest
+
+
+# ----------------------------------------------------------------------------------
+# Shard worker
+# ----------------------------------------------------------------------------------
+
+
+def shard_directory(base_dir: str, shard_index: int) -> str:
+    """Canonical directory of one shard next to its manifest."""
+    return os.path.join(base_dir, f"shard-{shard_index:03d}")
+
+
+def shard_cache_dir(shard_dir: str) -> str:
+    """The result-cache directory inside one shard directory."""
+    return os.path.join(shard_dir, "cache")
+
+
+def _write_status(
+    shard_dir: str,
+    manifest: ShardManifest,
+    shard_index: int,
+    state: str,
+    completed: int,
+    cached: int,
+    failed: int,
+    remaining_s: float,
+) -> None:
+    atomic_write_json(
+        os.path.join(shard_dir, STATUS_FILENAME),
+        {
+            "status_schema_version": MANIFEST_SCHEMA_VERSION,
+            "matrix_fingerprint": manifest.matrix_fingerprint,
+            "shard": shard_index,
+            "state": state,
+            "total": len(manifest.assignments[shard_index]),
+            "completed": completed,
+            "cached": cached,
+            "failed": failed,
+            "estimated_remaining_s": remaining_s,
+            "estimated_total_s": manifest.shard_cost_s(shard_index),
+        },
+    )
+
+
+def run_shard(
+    manifest: ShardManifest,
+    shard_index: int,
+    shard_dir: str,
+    max_workers: Optional[int] = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepResult:
+    """Execute one shard into its own directory; resumable and restartable.
+
+    The shard keeps everything it produces under ``shard_dir`` -- result
+    cache at ``cache/``, trained artifacts and fleets at ``cache/artifacts``
+    -- so shipping the directory back to the planning machine ships the
+    complete shard output.  ``shard-status.json`` is rewritten atomically
+    after every cell; an interrupted worker restarts from its cache and only
+    recomputes what is missing.
+    """
+    cells = manifest.shard_cells(shard_index)
+    runner = SweepRunner(
+        max_workers=max_workers, cache_dir=shard_cache_dir(shard_dir)
+    )
+    tracker = RemainingCost(
+        {f: manifest.cell_costs[f] for f in manifest.assignments[shard_index]}
+    )
+    counters = {"completed": 0, "cached": 0, "failed": 0}
+
+    def track(done: int, total: int, result: CellResult) -> None:
+        if tracker.deliver(result):
+            # Count each *distinct* cell once: a duplicate-fingerprint
+            # expansion delivers the same cell twice, but "total" in the
+            # status file counts distinct fingerprints.
+            if result.from_cache:
+                counters["cached"] += 1
+            if result.ok:
+                # "completed" counts finished work only; error results are
+                # never cached, so a failed cell's work is still outstanding
+                # and a later re-run of the shard retries it.
+                counters["completed"] += 1
+            else:
+                counters["failed"] += 1
+        _write_status(
+            shard_dir,
+            manifest,
+            shard_index,
+            "running",
+            counters["completed"],
+            counters["cached"],
+            counters["failed"],
+            tracker.remaining_s,
+        )
+        if progress is not None:
+            progress(done, total, result)
+
+    _write_status(
+        shard_dir, manifest, shard_index, "running", 0, 0, 0, tracker.remaining_s
+    )
+    result = runner.run(manifest.matrix, progress=track, cells=cells)
+    _write_status(
+        shard_dir,
+        manifest,
+        shard_index,
+        "complete" if counters["failed"] == 0 else "failed",
+        counters["completed"],
+        counters["cached"],
+        counters["failed"],
+        tracker.remaining_s,
+    )
+    return result
+
+
+@dataclass(frozen=True)
+class ShardStatus:
+    """Live progress of one shard, derived from its cache and status file."""
+
+    shard: int
+    state: str
+    total: int
+    completed: int
+    failed: int
+    remaining_s: float
+    directory: str
+
+
+def shard_status(
+    manifest: ShardManifest,
+    shard_index: int,
+    shard_dir: str,
+    cells_by_fingerprint: Optional[Mapping[str, ScenarioCell]] = None,
+) -> ShardStatus:
+    """Inspect one shard's progress from its cache and status file.
+
+    Completion is judged by :meth:`ResultCache.peek` -- the exact acceptance
+    rules the worker's resume and the merge reconstruction apply (parseable,
+    semantically this cell, current summary format), so status can never
+    call an entry done that a merge would reject.  That ground truth holds
+    even after a hard kill or a torn copy, and the inspection is strictly
+    read-only (a torn file might still be mid-``scp``; quarantining it here
+    would hide the completed copy).  The status file only contributes the
+    worker's last self-reported state and failure count, and estimated
+    remaining time comes from the manifest's cost model.
+
+    ``cells_by_fingerprint`` lets a caller inspecting many shards share one
+    :meth:`ShardManifest.cells_by_fingerprint` expansion instead of paying a
+    full matrix expansion per shard.
+    """
+    if cells_by_fingerprint is None:
+        cells_by_fingerprint = manifest.cells_by_fingerprint()
+    fingerprints = manifest.assignments[shard_index]
+    cache = ResultCache(shard_cache_dir(shard_dir)) if os.path.isdir(
+        shard_cache_dir(shard_dir)
+    ) else ResultCache(None)
+    done = {
+        fingerprint
+        for fingerprint in fingerprints
+        if cache.peek(cells_by_fingerprint[fingerprint]) is not None
+    }
+    remaining_s = sum(
+        manifest.cell_costs[f] for f in fingerprints if f not in done
+    )
+    failed = 0
+    reported_state = None
+    status_path = os.path.join(shard_dir, STATUS_FILENAME)
+    try:
+        with open(status_path, "r", encoding="utf-8") as handle:
+            status = json.load(handle)
+        if (
+            status.get("matrix_fingerprint") == manifest.matrix_fingerprint
+            and int(status.get("shard", -1)) == shard_index
+        ):
+            # Both checks matter: a foreign matrix's file is meaningless,
+            # and a mis-ordered --shard-dir list must not attribute another
+            # shard's failure count and state to this row.
+            failed = int(status.get("failed", 0))
+            reported_state = status.get("state")
+    except (OSError, ValueError, TypeError):
+        pass  # no (readable) status file: judge from the cache alone
+    # The cache outranks the worker's self-report: every entry present and
+    # parseable means complete whatever an older status file says (an empty
+    # shard is trivially complete), and a "complete" claim over an
+    # incomplete cache (a torn copy) degrades to partial so status never
+    # disagrees with what a merge would find.
+    if len(done) == len(fingerprints):
+        state = "complete"
+    elif reported_state == "failed":
+        state = "failed"
+    elif done:
+        state = "partial"
+    else:
+        state = "pending"
+    return ShardStatus(
+        shard=shard_index,
+        state=state,
+        total=len(fingerprints),
+        completed=len(done),
+        failed=failed,
+        remaining_s=remaining_s,
+        directory=shard_dir,
+    )
+
+
+# ----------------------------------------------------------------------------------
+# Merge engine
+# ----------------------------------------------------------------------------------
+
+
+class ShardMergeError(RuntimeError):
+    """A distributed merge found conflicting or incomplete shard content."""
+
+
+def _merge_entry(
+    source_path: str,
+    dest_path: str,
+    canonical_entry,
+    kind: str,
+) -> bool:
+    """Copy one fingerprint-keyed entry into the merged store.
+
+    Returns ``True`` when the entry was copied, ``False`` when the
+    destination already held a content-identical entry (a clean overlap).
+    Raises :class:`ShardMergeError` when the same fingerprint maps to
+    diverging content -- which can only mean corruption, tampering or a
+    non-deterministic bug, all of which must stop the merge.
+    """
+    with open(source_path, "rb") as handle:
+        source_bytes = handle.read()
+    if not os.path.exists(dest_path):
+        tmp_path = f"{dest_path}.tmp.{os.getpid()}"
+        with open(tmp_path, "wb") as handle:
+            handle.write(source_bytes)
+        os.replace(tmp_path, dest_path)
+        return True
+    with open(dest_path, "rb") as handle:
+        dest_bytes = handle.read()
+    if source_bytes == dest_bytes:
+        return False
+    try:
+        source_data = canonical_entry(json.loads(source_bytes.decode("utf-8")))
+        dest_data = canonical_entry(json.loads(dest_bytes.decode("utf-8")))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ShardMergeError(
+            f"{kind} entry {os.path.basename(source_path)!r} is not valid JSON "
+            f"in one of the shards: {exc}"
+        ) from None
+    if source_data != dest_data:
+        raise ShardMergeError(
+            f"{kind} entry {os.path.basename(source_path)!r} diverges between "
+            f"shards: {source_path} and the already-merged copy at {dest_path} "
+            "disagree beyond wall-clock timing fields.  Same-fingerprint "
+            "entries must be content-identical; one shard is corrupt, "
+            "tampered with, or ran incompatible code."
+        )
+    return False
+
+
+def merge_shard_stores(
+    shard_cache_dirs: Sequence[str], dest_cache_dir: str
+) -> Dict[str, int]:
+    """Union shard result caches and artifact/fleet stores into one directory.
+
+    Returns per-kind counters (``results``/``artifacts``/``fleets`` copied,
+    ``duplicates`` skipped as content-identical overlaps).  Quarantined
+    (``.bad``) and staging (``.tmp.<pid>``) files are ignored; a genuine
+    content conflict raises :class:`ShardMergeError` and leaves the partial
+    merge on disk for inspection (re-running the merge is idempotent).
+    """
+    counters = {"results": 0, "artifacts": 0, "fleets": 0, "duplicates": 0}
+    os.makedirs(dest_cache_dir, exist_ok=True)
+    dest_artifact_dir = default_artifact_dir(dest_cache_dir)
+    os.makedirs(dest_artifact_dir, exist_ok=True)
+    for cache_dir in shard_cache_dirs:
+        for source_path in ResultCache(cache_dir).entry_paths():
+            copied = _merge_entry(
+                source_path,
+                os.path.join(dest_cache_dir, os.path.basename(source_path)),
+                ResultCache.canonical_entry,
+                "result-cache",
+            )
+            counters["results" if copied else "duplicates"] += 1
+        artifact_dir = default_artifact_dir(cache_dir)
+        for source_path in ArtifactStore(artifact_dir).entry_paths():
+            copied = _merge_entry(
+                source_path,
+                os.path.join(dest_artifact_dir, os.path.basename(source_path)),
+                ArtifactStore.canonical_entry,
+                "artifact",
+            )
+            counters["artifacts" if copied else "duplicates"] += 1
+        for source_path in FleetStore(artifact_dir).entry_paths():
+            copied = _merge_entry(
+                source_path,
+                os.path.join(dest_artifact_dir, os.path.basename(source_path)),
+                FleetStore.canonical_entry,
+                "fleet",
+            )
+            counters["fleets" if copied else "duplicates"] += 1
+    return counters
+
+
+def load_merged_result(
+    manifest: ShardManifest,
+    cache_dir: str,
+    require_complete: bool = True,
+) -> SweepResult:
+    """Reconstruct the aggregate sweep result from a merged cache directory.
+
+    Every cell of the manifest's matrix is served from the merged
+    :class:`ResultCache`, in pre-registered order, exactly as a fully cached
+    single-machine re-run would serve it -- so the reconstruction feeds the
+    existing :mod:`repro.experiments.aggregate` reporting unchanged.  Cells
+    missing from the merge (shard not run, cell failed on its shard, or a
+    corrupt entry that the load quarantined) raise :class:`ShardMergeError`
+    unless ``require_complete`` is off, in which case the partial result is
+    returned.
+    """
+    cache = ResultCache(cache_dir)
+    results: List[CellResult] = []
+    missing: List[ScenarioCell] = []
+    for cell in manifest.matrix.cells():
+        result = cache.load(cell)
+        if result is None:
+            missing.append(cell)
+        else:
+            results.append(result)
+    if missing and require_complete:
+        labels = ", ".join(cell.label() for cell in missing[:5])
+        suffix = "" if len(missing) <= 5 else f" (+{len(missing) - 5} more)"
+        raise ShardMergeError(
+            f"merged cache is missing {len(missing)} of "
+            f"{len(manifest.matrix.cells())} cells: {labels}{suffix}.  Run the "
+            "missing shards (or re-run interrupted ones; they resume from "
+            "their caches) and merge again."
+        )
+    return SweepResult(matrix=manifest.matrix, results=results)
+
+
+def merge_shards(
+    manifest: ShardManifest,
+    shard_dirs: Sequence[str],
+    dest_cache_dir: str,
+    require_complete: bool = True,
+) -> Tuple[SweepResult, Dict[str, int]]:
+    """One-call merge: union the shard stores, then reconstruct the sweep.
+
+    ``shard_dirs`` are shard directories as produced by :func:`run_shard`
+    (each holding a ``cache/`` subdirectory); directories that do not exist
+    yet are skipped so a partial merge with ``require_complete=False`` can
+    preview progress.  Returns ``(sweep_result, merge_counters)``.
+    """
+    cache_dirs = [
+        shard_cache_dir(shard_dir)
+        for shard_dir in shard_dirs
+        if os.path.isdir(shard_cache_dir(shard_dir))
+    ]
+    counters = merge_shard_stores(cache_dirs, dest_cache_dir)
+    result = load_merged_result(
+        manifest, dest_cache_dir, require_complete=require_complete
+    )
+    return result, counters

@@ -37,7 +37,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.actions import ActionSpace
 from repro.core.agent import AgentConfig, NextAgent
-from repro.core.artifact import TrainingSpec
+from repro.core.artifact import TrainingSpec, list_entry_paths
 from repro.core.federated import (
     FederatedAggregator,
     FleetArtifact,
@@ -521,6 +521,26 @@ class FleetStore:
             except (OSError, ValueError, KeyError, TypeError):
                 continue  # corrupt candidate: fall back to the next deepest
         return best
+
+    # -- merge support (used by repro.experiments.distributed) -------------------------
+
+    #: Filename suffix of fleet entries in the shared artifact directory.
+    ENTRY_SUFFIX = ".fleet.json"
+
+    def entry_paths(self) -> List[str]:
+        """Paths of every fleet entry in the store directory, sorted by name."""
+        return list_entry_paths(self.directory, self.ENTRY_SUFFIX)
+
+    @staticmethod
+    def canonical_entry(data: Dict[str, Any]) -> Dict[str, Any]:
+        """The content identity of one fleet entry: the parsed document.
+
+        Fleet training is pure data manipulation end to end -- device states,
+        merged agent and round reports carry no wall-clock measurements -- so
+        two shards that trained the same fleet fingerprint must agree on
+        every byte of the parsed document.
+        """
+        return data
 
     def entries(self) -> List[FleetArtifact]:
         """Every stored fleet (memory plus directory), sorted by fingerprint."""

@@ -28,14 +28,13 @@ on-disk result cache and cross-process replication trustworthy.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.artifact import TrainingSpec
 from repro.core.federated import FleetSpec
-from repro.core.seeding import derive_seed
+from repro.core.seeding import canonical_fingerprint, derive_seed
 from repro.sim.config import SimulationConfig
 from repro.sim.experiment import GOVERNOR_FACTORIES, TRAINABLE_GOVERNORS
 from repro.soc.platform import PLATFORM_LIBRARY
@@ -431,10 +430,7 @@ class ScenarioCell:
         Everything that affects the simulation outcome -- and nothing else;
         see :meth:`canonical_payload` -- is included.
         """
-        canonical = json.dumps(
-            self.canonical_payload(), sort_keys=True, separators=(",", ":")
-        )
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+        return canonical_fingerprint(self.canonical_payload())
 
     def label(self) -> str:
         """Short human-readable identifier for progress lines."""
@@ -667,6 +663,18 @@ class ScenarioMatrix:
             ),
             training=_coerce_training(training),
         )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the whole pre-registered design.
+
+        Hashes the :meth:`to_dict` description (including the matrix name and
+        :data:`SCHEMA_VERSION`), so a shard manifest can verify that every
+        shard of a distributed sweep was planned, run and merged against one
+        identical design -- renaming a matrix or touching any axis changes
+        the fingerprint, and a schema bump invalidates old manifests the same
+        way it invalidates old cache entries.
+        """
+        return canonical_fingerprint(self.to_dict())
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON/YAML-serialisable description of the matrix."""

@@ -27,7 +27,12 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
-from repro.core.artifact import AgentArtifact, TrainingSpec, atomic_write_json
+from repro.core.artifact import (
+    AgentArtifact,
+    TrainingSpec,
+    atomic_write_json,
+    list_entry_paths,
+)
 from repro.core.federated import FleetArtifact, FleetSpec
 from repro.experiments.artifacts import ArtifactStore, train_artifact
 from repro.experiments.federated import (
@@ -115,11 +120,18 @@ def summary_to_dict(result: SessionResult) -> Dict[str, Any]:
     JSON float serialisation round-trips exactly (shortest-repr), so a cached
     summary compares equal to a freshly computed one -- the property the
     determinism tests pin down.
+
+    ``sample_stream_hash`` is the canonical SHA-256 of the full recorded
+    sample stream (:meth:`repro.sim.recorder.Recorder.content_hash`): two
+    cells agree on it iff their recorded traces are bit-identical.  It is
+    what lets a merged distributed sweep prove per-cell equality with a
+    single-machine run without shipping the raw samples around.
     """
     summary = asdict(result.summary)
     summary["frame_delivery_ratio"] = result.summary.frame_delivery_ratio
     summary["app_names"] = list(result.app_names)
     summary["governor_name"] = result.governor_name
+    summary["sample_stream_hash"] = result.recorder.content_hash()
     return summary
 
 
@@ -236,17 +248,37 @@ class ResultCache:
             return None
         return os.path.join(self.directory, f"{cell.fingerprint()}.json")
 
-    def load(self, cell: ScenarioCell) -> Optional[CellResult]:
-        """Return the cached result for ``cell``, or ``None`` on a miss."""
+    @staticmethod
+    def _quarantine(path: str) -> None:
+        """Move a corrupt entry aside as ``<path>.bad`` (best effort).
+
+        Renaming instead of deleting keeps the evidence for post-mortems,
+        frees the canonical path so the re-run can store a fresh result, and
+        -- because merge/iteration only considers ``*.json`` names -- keeps
+        the quarantined file out of every later cache operation.
+        """
+        try:
+            os.replace(path, f"{path}.bad")
+        except OSError:
+            pass  # e.g. a racing runner already quarantined or replaced it
+
+    def _read(self, cell: ScenarioCell) -> Tuple[Optional[CellResult], Optional[str]]:
+        """Acceptance check without side effects: ``(result, corrupt_path)``.
+
+        ``result`` is the accepted entry or ``None``; ``corrupt_path`` names
+        the file when the miss was caused by unparseable content (so
+        :meth:`load` can quarantine it) rather than by absence, semantic
+        mismatch or a stale format.
+        """
         path = self._path(cell)
         if path is None or not os.path.exists(path):
-            return None
+            return None, None
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
             result = CellResult.from_dict(data)
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
-            return None  # corrupt entry: treat as a miss and recompute
+            return None, path  # corrupt entry
         # Fingerprints are truncated hashes; verify the stored cell really is
         # semantically this cell before trusting the hit.  Comparing the
         # canonical payloads (the fingerprint hash inputs) applies the same
@@ -257,6 +289,40 @@ class ResultCache:
         cached_payload = json.loads(json.dumps(result.cell.canonical_payload()))
         live_payload = json.loads(json.dumps(cell.canonical_payload()))
         if cached_payload != live_payload or not result.ok:
+            return None, None
+        if result.summary is None or "sample_stream_hash" not in result.summary:
+            # Entry from before summaries carried the recorded-stream hash
+            # (the distributed-merge parity currency).  The execution
+            # semantics -- and therefore the fingerprint -- are unchanged,
+            # so treat it as a stale-format miss: the cell recomputes once
+            # and the rewritten entry carries the hash.
+            return None, None
+        return result, None
+
+    def peek(self, cell: ScenarioCell) -> Optional[CellResult]:
+        """Read-only form of :meth:`load`: same acceptance, no side effects.
+
+        Used by inspection paths (``repro-sweep shard status``) that must
+        agree with :meth:`load` about what counts as a completed cell but
+        must not touch the directory -- not even to quarantine a torn file
+        that might still be mid-copy.
+        """
+        result, _ = self._read(cell)
+        return result
+
+    def load(self, cell: ScenarioCell) -> Optional[CellResult]:
+        """Return the cached result for ``cell``, or ``None`` on a miss.
+
+        A truncated or otherwise corrupt entry (a torn copy, a filled disk
+        mid-write on a non-atomic filesystem) is quarantined with a ``.bad``
+        suffix and treated as a miss, so one bad file re-runs one cell
+        instead of raising mid-sweep -- the same hardening the artifact
+        store applies to its entries.
+        """
+        result, corrupt_path = self._read(cell)
+        if corrupt_path is not None:
+            self._quarantine(corrupt_path)
+        if result is None:
             return None
         result.cell = cell
         result.from_cache = True
@@ -268,6 +334,32 @@ class ResultCache:
         if path is None or not result.ok:
             return
         atomic_write_json(path, result.to_dict())
+
+    # -- merge support (used by repro.experiments.distributed) -------------------------
+
+    #: Filename suffix of cache entries; everything else in the directory
+    #: (``.bad`` quarantines, ``.tmp.<pid>`` staging files, the ``artifacts``
+    #: subdirectory) is not a result entry.
+    ENTRY_SUFFIX = ".json"
+
+    def entry_paths(self) -> List[str]:
+        """Paths of every result entry in the cache directory, sorted by name."""
+        return list_entry_paths(self.directory, self.ENTRY_SUFFIX)
+
+    @staticmethod
+    def canonical_entry(data: Dict[str, Any]) -> Dict[str, Any]:
+        """The content identity of one cache entry: everything but wall time.
+
+        Two shards that executed the same cell produce entries identical in
+        every field except ``elapsed_s`` (machine-dependent wall clock, which
+        cannot affect the result).  The shard merge engine compares entries
+        through this normalisation, so honest duplicates merge cleanly while
+        any divergence in actual content -- summary values, status, the cell
+        spec itself -- still fails the merge loudly.
+        """
+        normalised = dict(data)
+        normalised.pop("elapsed_s", None)
+        return normalised
 
 
 @dataclass
@@ -342,9 +434,17 @@ class SweepRunner:
         self,
         matrix: ScenarioMatrix,
         progress: Optional[ProgressCallback] = None,
+        cells: Optional[List[ScenarioCell]] = None,
     ) -> SweepResult:
-        """Execute the full matrix and return results in cell order."""
-        cells = matrix.cells()
+        """Execute the matrix and return results in cell order.
+
+        ``cells`` restricts execution to a subset of the matrix (in the given
+        order) -- the distributed shard worker passes its shard's cells here
+        so one shard runs through exactly the same scheduling, caching and
+        artifact-resolution paths as a whole-matrix sweep.
+        """
+        if cells is None:
+            cells = matrix.cells()
         total = len(cells)
         slots: List[Optional[CellResult]] = [None] * total
         done = 0

@@ -144,7 +144,15 @@ class TestCrossProcessDeterminism:
             governor_params=(("layers", (32, 16)),),
         )
         cache = ResultCache(str(tmp_path))
-        cache.store(CellResult(cell=cell, status="ok", summary={"average_power_w": 1.0}))
+        cache.store(
+            CellResult(
+                cell=cell,
+                status="ok",
+                # Every current summary carries the recorded-stream hash;
+                # entries without it are treated as stale-format misses.
+                summary={"average_power_w": 1.0, "sample_stream_hash": "0" * 64},
+            )
+        )
         hit = cache.load(cell)
         assert hit is not None and hit.from_cache
 

@@ -465,6 +465,69 @@ class TestRunner:
         assert rebuilt.summary == result.summary
 
 
+class TestResultCacheQuarantine:
+    """Corrupt cache entries are quarantined as misses, never raised mid-sweep."""
+
+    @staticmethod
+    def _single_cell_matrix():
+        return ScenarioMatrix.build(
+            name="quarantine", governors=("powersave",), apps=("facebook",),
+            duration_s=3.0,
+        )
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            '{"cell": {"governor": "powersa',  # truncated mid-write
+            "not json at all",
+            '{"status": "ok"}',  # valid JSON, wrong shape
+        ],
+    )
+    def test_corrupt_entry_quarantined_and_recomputed(self, tmp_path, payload):
+        from repro.experiments.runner import ResultCache
+
+        matrix = self._single_cell_matrix()
+        cell = matrix.cells()[0]
+        path = tmp_path / f"{cell.fingerprint()}.json"
+        path.write_text(payload)
+
+        cache = ResultCache(str(tmp_path))
+        assert cache.load(cell) is None
+        bad = tmp_path / f"{cell.fingerprint()}.json.bad"
+        assert bad.exists() and bad.read_text() == payload  # evidence kept
+        assert not path.exists()
+
+        # A sweep over the poisoned cache re-runs the cell and re-caches it.
+        sweep = SweepRunner(max_workers=1, cache_dir=str(tmp_path)).run(matrix)
+        assert sweep.failures == [] and sweep.cached_count == 0
+        rerun = SweepRunner(max_workers=1, cache_dir=str(tmp_path)).run(matrix)
+        assert rerun.cached_count == 1  # fresh entry landed at the original path
+
+    def test_semantic_mismatch_is_a_miss_but_not_quarantined(self, tmp_path):
+        # A different cell stored under this fingerprint name is not file
+        # corruption: the entry stays on disk (same behaviour as before).
+        from repro.experiments.runner import ResultCache, execute_cell
+
+        cache = ResultCache(str(tmp_path))
+        matrix = self._single_cell_matrix()
+        cell = matrix.cells()[0]
+        other = ScenarioMatrix.build(
+            name="other", governors=("schedutil",), apps=("spotify",), duration_s=3.0
+        ).cells()[0]
+        result = execute_cell(other)
+        result.cell = cell  # store the wrong content under this cell's name
+        cache.store(result)
+        cache_path = tmp_path / f"{cell.fingerprint()}.json"
+        assert cache_path.exists()
+        # Rewrite with the *other* cell's spec so payload comparison fails.
+        data = json.loads(cache_path.read_text())
+        data["cell"] = other.spec()
+        cache_path.write_text(json.dumps(data))
+        assert cache.load(cell) is None
+        assert cache_path.exists()
+        assert not (tmp_path / f"{cell.fingerprint()}.json.bad").exists()
+
+
 class TestPretrainedCells:
     @staticmethod
     def _matrix():
