@@ -306,6 +306,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         # at devnull so the interpreter's exit-time flush cannot raise again.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except KeyboardInterrupt:
+        # Completed cells were cached as they finished (and an interrupted
+        # shard flushed its status file), so nothing is lost: the same
+        # invocation picks up where this one stopped.
+        print(
+            "repro-sweep: interrupted -- resume by re-running the same "
+            "command (completed cells are cached)",
+            file=sys.stderr,
+        )
+        return 130
     except (ValueError, TypeError, KeyError, OSError, RuntimeError) as exc:
         print(f"repro-sweep: error: {exc}", file=sys.stderr)
         return 2
@@ -320,8 +330,11 @@ def _progress_printer(
     shard cost model); the printer subtracts each delivered cell once, so
     the ETA reflects the work that is actually left rather than a naive
     done/total extrapolation that training-heavy cells would skew.  The
-    displayed estimate divides by the worker count, since the pool drains
-    the remaining cost roughly ``workers`` ways in parallel.
+    displayed estimate divides by the *effective* parallelism: the worker
+    count clamped to the cells still outstanding, since once the pool drains
+    below ``workers`` pending cells the tail runs at that lower width (a
+    plain ``remaining / workers`` would claim a 4-worker pool finishes one
+    long training cell 4x faster than it can).
     """
     tracker = RemainingCost(costs)  # one accounting rule, shared with shards
     workers = max(1, workers or 1)
@@ -331,7 +344,7 @@ def _progress_printer(
         if quiet:
             return
         origin = "cached" if result.from_cache else f"{result.elapsed_s:.1f}s"
-        eta = tracker.remaining_s / workers
+        eta = tracker.remaining_s / max(1, min(workers, tracker.outstanding))
         print(
             f"  {prefix}[{done}/{total}] {result.status:5s} "
             f"{result.cell.label()} ({origin}, ~{eta:.1f}s left)"

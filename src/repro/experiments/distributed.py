@@ -214,6 +214,17 @@ class RemainingCost:
         self._pending = dict(costs)
         self.remaining_s = sum(self._pending.values())
 
+    @property
+    def outstanding(self) -> int:
+        """Cells not yet delivered at all (cached hits count as delivered).
+
+        This is the number of cells that can still run concurrently, which is
+        what an ETA should divide by: dividing the remaining cost by the full
+        worker count overstates parallelism once fewer cells than workers are
+        left (the classic long-tail underestimate).
+        """
+        return len(self._pending)
+
     def deliver(self, result: CellResult) -> bool:
         """Account one delivered result; ``True`` on the cell's first delivery."""
         cost = self._pending.pop(result.cell.fingerprint(), None)
@@ -601,7 +612,26 @@ def run_shard(
     _write_status(
         shard_dir, manifest, shard_index, "running", 0, 0, 0, tracker.remaining_s
     )
-    result = runner.run(manifest.matrix, progress=track, cells=cells)
+    try:
+        result = runner.run(manifest.matrix, progress=track, cells=cells)
+    except KeyboardInterrupt:
+        # Leave an honest status file behind before the process dies: the
+        # counters and remaining-cost tracker already reflect every cell that
+        # was delivered (and cached) before the interrupt, so a monitoring
+        # `status` call sees "interrupted" with accurate progress instead of
+        # a stale "running".  The write is atomic (tmp + rename) like every
+        # other status write, so a concurrent reader never sees a torn file.
+        _write_status(
+            shard_dir,
+            manifest,
+            shard_index,
+            "interrupted",
+            counters["completed"],
+            counters["cached"],
+            counters["failed"],
+            tracker.remaining_s,
+        )
+        raise
     _write_status(
         shard_dir,
         manifest,

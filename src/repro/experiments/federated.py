@@ -97,6 +97,109 @@ def train_device_round(
     return json.loads(json.dumps(agent.to_dict()))
 
 
+def batch_kernel_available() -> bool:
+    """Whether the NumPy-backed batch kernel can run in this interpreter.
+
+    The batch kernel is a pure throughput optimisation (bit-identical
+    results, pinned by the batch parity suite), so callers fall back to the
+    scalar per-device path when NumPy is absent rather than failing.
+    """
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def train_device_rounds_batched(
+    jobs: Sequence[Tuple[Any, ...]],
+) -> List[Dict[str, Any]]:
+    """One federated round's device jobs as a single batched step loop.
+
+    Drop-in replacement for ``[train_device_round(*job) for job in jobs]``:
+    instead of N independent simulations (one pool task per device), the
+    whole fleet steps in lockstep through one
+    :class:`~repro.sim.batch.BatchSimulation` per training episode, which
+    amortises the per-tick Python frontend across the device axis.
+
+    Bit-identity with the scalar path is structural: each device's episode
+    seeds are derived with the same strides
+    (:data:`~repro.sim.experiment.APP_SEED_STRIDE` per app,
+    :data:`~repro.sim.experiment.EPISODE_SEED_STRIDE` per episode), each
+    episode constructs the same fresh app model and
+    :class:`~repro.sim.config.SimulationConfig`, per-device convergence
+    drops a lane from later episodes exactly where the scalar loop breaks,
+    and the batch kernel itself is bit-identical per lane (the batch parity
+    suite pins the sample streams, the federated parity tests the merged
+    agents).  All jobs of one round share platform, episode budget, duration
+    and overrides by construction (:meth:`FleetBuild.round_jobs`).
+    """
+    from repro.sim.batch import BatchSimulation
+    from repro.sim.experiment import APP_SEED_STRIDE, EPISODE_SEED_STRIDE
+    from repro.workloads.apps import make_app
+
+    if not jobs:
+        return []
+    _, _, platform_name, episodes, episode_duration_s, _, config_overrides = jobs[0]
+    for job in jobs[1:]:
+        if job[2:5] != (platform_name, episodes, episode_duration_s) or (
+            job[6] != config_overrides
+        ):
+            raise ValueError(
+                "batched round jobs must share platform, episode budget, "
+                "duration and overrides"
+            )
+    agents = [NextAgent.from_dict(job[0]) for job in jobs]
+    governors = [NextGovernor(agent=agent) for agent in agents]
+    platform_spec = make_platform(platform_name)
+    overrides = dict(config_overrides)
+    app_lists = [tuple(job[1]) for job in jobs]
+    base_seeds = [job[5] for job in jobs]
+
+    # Same convergence bar as train_next_on_apps' default, which is what
+    # train_device_round (no explicit threshold) trains against.
+    td_error_threshold = 0.02
+    for app_index in range(max(len(apps) for apps in app_lists)):
+        lanes = [d for d in range(len(jobs)) if app_index < len(app_lists[d])]
+        for device in lanes:
+            governors[device].set_training(True)
+        active = lanes
+        for episode in range(episodes):
+            if not active:
+                break
+            episode_seeds = [
+                base_seeds[d] + app_index * APP_SEED_STRIDE + episode * EPISODE_SEED_STRIDE
+                for d in active
+            ]
+            configs = [
+                SimulationConfig(
+                    refresh_hz=platform_spec.display_refresh_hz,
+                    duration_s=episode_duration_s,
+                    seed=episode_seed,
+                    **overrides,
+                )
+                for episode_seed in episode_seeds
+            ]
+            batch = BatchSimulation(
+                platform_spec, [governors[d] for d in active], configs
+            )
+            batch.run(
+                [
+                    make_app(app_lists[d][app_index], seed=episode_seed)
+                    for d, episode_seed in zip(active, episode_seeds)
+                ],
+                duration_s=episode_duration_s,
+            )
+            active = [
+                d
+                for d in active
+                if not governors[d].agent.has_converged(td_error_threshold)
+            ]
+    for governor in governors:
+        governor.set_training(False)
+    return [json.loads(json.dumps(agent.to_dict())) for agent in agents]
+
+
 def _action_count(agent_config: AgentConfig) -> int:
     return len(ActionSpace(agent_config.cluster_order))
 
@@ -391,9 +494,12 @@ def train_fleet_artifact(
 
     ``pool`` (any executor with ``submit``) parallelises the per-device
     training of every round; the result is bit-identical with and without
-    one.  ``start`` resumes a same-lineage artifact with fewer rounds: only
-    the missing rounds run, and the outcome equals a from-scratch run of the
-    full depth.
+    one.  Without a pool, multi-device rounds run through the batched
+    device-population kernel when NumPy is available (one lockstep step loop
+    for the whole fleet instead of N sequential simulations) -- also
+    bit-identical, so the three paths cannot diverge.  ``start`` resumes a
+    same-lineage artifact with fewer rounds: only the missing rounds run,
+    and the outcome equals a from-scratch run of the full depth.
     """
     build = FleetBuild(spec, agent_config=agent_config, start=start)
     store = artifacts if artifacts is not None else ArtifactStore(None)
@@ -404,6 +510,8 @@ def train_fleet_artifact(
         if pool is not None:
             futures = [pool.submit(train_device_round, *job) for job in jobs]
             results = [future.result() for future in futures]
+        elif len(jobs) > 1 and batch_kernel_available():
+            results = train_device_rounds_batched(jobs)
         else:
             results = [train_device_round(*job) for job in jobs]
         build.finish_round(round_index, results)

@@ -38,7 +38,9 @@ from repro.experiments.artifacts import ArtifactStore, train_artifact
 from repro.experiments.federated import (
     FleetBuild,
     FleetStore,
+    batch_kernel_available,
     train_device_round,
+    train_device_rounds_batched,
     train_fleet_artifact,
 )
 from repro.experiments.matrix import ScenarioCell, ScenarioMatrix
@@ -214,6 +216,120 @@ def execute_cell(
             error=traceback.format_exc(),
             elapsed_s=time.perf_counter() - started,
         )
+
+
+def execute_cells_batched(cells: List[ScenarioCell]) -> List[CellResult]:
+    """Run a homogeneous group of artifact-free cells through the batch kernel.
+
+    All cells must share platform, config overrides and session duration
+    (the grouping in :func:`batchable_cell_groups` guarantees it); each
+    cell keeps its own trace, governor and simulation seeds.  The batched
+    device-population kernel is bit-identical per lane to the scalar
+    :func:`execute_cell` path (pinned by the batch parity suite), so cached
+    results from either route are interchangeable.
+
+    Failure isolation matches the scalar path's granularity: any batch-level
+    failure (including one diverging cell) falls back to running every cell
+    of the group through :func:`execute_cell` individually, so a single bad
+    configuration degrades throughput, never correctness.
+    """
+    started = time.perf_counter()
+    try:
+        from repro.sim.batch import BatchSimulation
+        from repro.workloads.trace import TracePlayer
+
+        platform = make_platform(cells[0].platform)
+        traces = []
+        governors = []
+        configs = []
+        for cell in cells:
+            segments = [
+                SessionSegment(app_name, duration_s)
+                for app_name, duration_s in cell.workload.segments
+            ]
+            traces.append(
+                record_session_trace(segments, platform=platform, seed=cell.trace_seed)
+            )
+            params = dict(cell.governor_params)
+            if cell.governor in STOCHASTIC_GOVERNORS:
+                params.setdefault("seed", cell.governor_seed)
+            governors.append(make_governor(cell.governor, **params))
+            configs.append(
+                SimulationConfig(
+                    refresh_hz=platform.display_refresh_hz,
+                    duration_s=traces[-1].duration_s,
+                    seed=cell.sim_seed,
+                    **dict(cell.config_overrides),
+                )
+            )
+        batch = BatchSimulation(platform, governors, configs)
+        batch.run(
+            [TracePlayer(trace) for trace in traces],
+            duration_s=traces[0].duration_s,
+        )
+        elapsed_s = (time.perf_counter() - started) / len(cells)
+        results = []
+        for index, cell in enumerate(cells):
+            recorder = batch.device_recorder(index)
+            session = SessionResult(
+                governor_name=governors[index].name,
+                app_names=list(traces[index].app_names()),
+                recorder=recorder,
+                summary=recorder.summary(),
+            )
+            results.append(
+                CellResult(
+                    cell=cell,
+                    status="ok",
+                    summary=summary_to_dict(session),
+                    elapsed_s=elapsed_s,
+                )
+            )
+        return results
+    except Exception:
+        return [execute_cell(cell) for cell in cells]
+
+
+def batchable_cell_groups(
+    pending: List[Tuple[int, ScenarioCell]], workers: int = 1
+) -> Tuple[List[List[Tuple[int, ScenarioCell]]], List[Tuple[int, ScenarioCell]]]:
+    """Partition pending cells into batch-kernel groups and scalar leftovers.
+
+    Only artifact-free cells batch (trained and federated cells evaluate a
+    frozen artifact resolved elsewhere), and only cells agreeing on
+    platform, config overrides and session duration can share one
+    :class:`~repro.sim.batch.BatchSimulation` (it steps every lane on one
+    clock).  Each group is split into up to ``workers`` chunks of at least
+    two cells so a process pool still spreads a large homogeneous sweep
+    across its workers; singleton leftovers run scalar.
+
+    Returns ``(groups, rest)`` preserving the original ``(index, cell)``
+    pairs; ``rest`` keeps its input order.
+    """
+    buckets: Dict[Any, List[Tuple[int, ScenarioCell]]] = {}
+    rest: List[Tuple[int, ScenarioCell]] = []
+    for index, cell in pending:
+        if cell.training_spec() is not None or cell.fleet_spec() is not None:
+            rest.append((index, cell))
+            continue
+        duration_s = sum(duration for _, duration in cell.workload.segments)
+        key = (cell.platform, cell.config_overrides, duration_s)
+        buckets.setdefault(key, []).append((index, cell))
+    groups: List[List[Tuple[int, ScenarioCell]]] = []
+    for bucket in buckets.values():
+        if len(bucket) < 2:
+            rest.extend(bucket)
+            continue
+        chunk_count = max(1, min(workers, len(bucket) // 2))
+        size = -(-len(bucket) // chunk_count)  # ceil division
+        for start in range(0, len(bucket), size):
+            chunk = bucket[start : start + size]
+            if len(chunk) >= 2:
+                groups.append(chunk)
+            else:
+                rest.extend(chunk)
+    rest.sort(key=lambda pair: pair[0])
+    return groups, rest
 
 
 def _training_error(fingerprint: str, spec: TrainingSpec, details: str) -> str:
@@ -478,7 +594,16 @@ class SweepRunner:
             fleets, fleet_errors = self.fleets.ensure(
                 fleet_specs.values(), artifacts=self.artifacts
             )
-            for index, cell in pending:
+            if batch_kernel_available():
+                groups, rest = batchable_cell_groups(pending)
+            else:
+                groups, rest = [], pending
+            for group in groups:
+                batch_results = execute_cells_batched([cell for _, cell in group])
+                for (index, cell), result in zip(group, batch_results):
+                    self.cache.store(result)
+                    deliver(index, result)
+            for index, cell in rest:
                 result = self._execute_pending(
                     cell, artifacts, errors, fleets, fleet_errors
                 )
@@ -486,7 +611,16 @@ class SweepRunner:
                 deliver(index, result)
         else:
             with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-                self._run_pool(pool, pending, specs, fleet_specs, deliver)
+                try:
+                    self._run_pool(pool, pending, specs, fleet_specs, deliver)
+                except KeyboardInterrupt:
+                    # Cancel everything still queued so the executor's
+                    # __exit__ only waits for the jobs already running, not
+                    # the whole backlog.  Every result delivered before the
+                    # interrupt is already in the cache, so a re-run resumes
+                    # from exactly what completed.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
 
         return SweepResult(matrix=matrix, results=[slot for slot in slots if slot is not None])
 
@@ -530,6 +664,9 @@ class SweepRunner:
         missing_devices: Dict[str, set] = {}  # fleet fp -> unresolved device fps
         round_futures: Dict[Any, Tuple[str, int, int]] = {}
         round_buffers: Dict[str, List[Optional[Dict[str, Any]]]] = {}
+        batched_round_futures: Dict[Any, Tuple[str, int]] = {}
+        batched_cell_futures: Dict[Any, List[Tuple[int, ScenarioCell]]] = {}
+        use_batch_kernel = batch_kernel_available()
 
         for fleet_fingerprint, fleet_spec in fleet_specs.items():
             stored = self.fleets.load(fleet_spec)
@@ -611,6 +748,15 @@ class SweepRunner:
                     submit_cell(index, cell, artifact)
                 return
             round_index, jobs = build.round_jobs()
+            if use_batch_kernel and len(jobs) > 1:
+                # One pool task steps the whole fleet through the batched
+                # device-population kernel -- bit-identical to the
+                # one-task-per-device fan-out (the federated parity tests
+                # pin it), but the round costs one worker instead of N.
+                future = pool.submit(train_device_rounds_batched, jobs)
+                batched_round_futures[future] = (fleet_fingerprint, round_index)
+                pending_futures.add(future)
+                return
             round_buffers[fleet_fingerprint] = [None] * len(jobs)
             for device, job in enumerate(jobs):
                 future = pool.submit(train_device_round, *job)
@@ -626,7 +772,24 @@ class SweepRunner:
                 build.provide_round0(device_artifacts)
                 advance_fleet(fleet_fingerprint)
 
-        for index, cell in pending:
+        if use_batch_kernel:
+            # Homogeneous artifact-free cells run through the batched
+            # device-population kernel, chunked so the pool still spreads a
+            # large sweep across its workers; everything else (trained,
+            # federated, singleton cells) dispatches per cell below.
+            cell_groups, dispatch = batchable_cell_groups(
+                pending, workers=getattr(pool, "_max_workers", 1)
+            )
+            for group in cell_groups:
+                future = pool.submit(
+                    execute_cells_batched, [cell for _, cell in group]
+                )
+                batched_cell_futures[future] = group
+                pending_futures.add(future)
+        else:
+            dispatch = pending
+
+        for index, cell in dispatch:
             fleet = cell.fleet_spec()
             if fleet is not None:
                 fleet_fingerprint = fleet.fingerprint()
@@ -687,6 +850,33 @@ class SweepRunner:
                             del missing_devices[fleet_fingerprint]
                             builds[fleet_fingerprint].provide_round0(device_artifacts)
                             advance_fleet(fleet_fingerprint)
+                elif future in batched_cell_futures:
+                    group = batched_cell_futures.pop(future)
+                    try:
+                        results = future.result()
+                    except Exception:
+                        # Pool infrastructure failed (e.g. worker killed):
+                        # retry the group's cells individually, restoring
+                        # the scalar path's per-cell failure isolation.
+                        results = None
+                    if results is None or len(results) != len(group):
+                        for index, cell in group:
+                            submit_cell(index, cell)
+                        continue
+                    for (index, cell), result in zip(group, results):
+                        self.cache.store(result)
+                        deliver(index, result)
+                elif future in batched_round_futures:
+                    fleet_fingerprint, round_index = batched_round_futures.pop(future)
+                    if fleet_fingerprint in failed_fleets:
+                        continue
+                    try:
+                        states = future.result()
+                    except Exception:
+                        fail_fleet(fleet_fingerprint, traceback.format_exc())
+                        continue
+                    builds[fleet_fingerprint].finish_round(round_index, states)
+                    advance_fleet(fleet_fingerprint)
                 elif future in round_futures:
                     fleet_fingerprint, round_index, device = round_futures.pop(future)
                     if fleet_fingerprint in failed_fleets:

@@ -67,6 +67,24 @@ class Governor(abc.ABC):
     #: Default invocation period; concrete governors may override it.
     invocation_period_s: float = 0.1
 
+    #: Governors whose :meth:`update` neither reads its observation nor keeps
+    #: per-invocation state may set this True *and* implement
+    #: :meth:`update_batch`.  The batched device-population kernel then skips
+    #: sensor sampling and observation construction for such devices and
+    #: applies the policy vectorised across the fleet; the end state per
+    #: device must be exactly what :meth:`update` would have produced.
+    observation_free: bool = False
+
+    def update_batch(self, devices, current_rows, min_limit_rows, max_limit_rows, top_indices) -> None:
+        """Vectorised :meth:`update` over the ``devices`` lanes of a batch.
+
+        Only called when :attr:`observation_free` is True.  ``current_rows``,
+        ``min_limit_rows`` and ``max_limit_rows`` are ``(clusters, devices)``
+        OPP-index arrays; ``top_indices`` holds each cluster's highest OPP
+        index.  Implementations mutate the rows in place.
+        """
+        raise NotImplementedError
+
     def __init__(self, name: Optional[str] = None) -> None:
         self.name = name or type(self).__name__
 

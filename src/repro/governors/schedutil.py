@@ -282,11 +282,123 @@ class SchedutilScaler:
                 if cluster.set_frequency_index(target_index) != current:
                     last_down[name] = now_s
 
+    # -- batched hot path (device-population kernel) -----------------------------
+
+    def compile_batch(
+        self, clusters: Mapping[str, Cluster], n_devices: int
+    ) -> "BatchScalerState":
+        """Precompute the per-cluster records and state arrays for a batch."""
+        return BatchScalerState(self.compile_clusters(clusters), n_devices)
+
+    def select_tick_batch(
+        self,
+        state: "BatchScalerState",
+        utilisation_rows,
+        current_rows,
+        min_limit_rows,
+        max_limit_rows,
+        now_s: float,
+    ) -> None:
+        """Batched :meth:`select_tick` over a device axis.
+
+        ``utilisation_rows`` / ``current_rows`` / limit rows are
+        ``(clusters, devices)`` arrays; ``current_rows`` is updated in place.
+        Per lane the decision sequence is exactly :meth:`select_tick`'s: the
+        utilisation clamp and io-boost floor, ``headroom * f_curr * util``,
+        a left-``searchsorted`` (identical to ``bisect_left`` -- float
+        comparisons are exact), the touch-boost floor with hold window, the
+        up/down rate limits, and the limit-window clamp of
+        ``Cluster.set_frequency_index``.
+        """
+        import numpy as np
+
+        cfg = self.config
+        headroom = cfg.headroom
+        io_boost = cfg.io_boost
+        up_rate_limit = cfg.up_rate_limit_s
+        down_rate_limit = cfg.down_rate_limit_s
+        boost_threshold = cfg.touch_boost_util_threshold
+        boost_hold = cfg.touch_boost_hold_s
+        for k in range(len(state.frequencies)):
+            frequencies = state.frequencies[k]
+            top_index = state.top_index[k]
+            current = current_rows[k]
+            utilisation = np.minimum(1.0, np.maximum(0.0, utilisation_rows[k]))
+            if io_boost > 0.0:
+                utilisation = np.where(
+                    (utilisation > 0) & (utilisation < io_boost),
+                    io_boost,
+                    utilisation,
+                )
+            target_freq = headroom * frequencies[current] * utilisation
+            target_index = np.searchsorted(frequencies, target_freq, side="left")
+            target_index = np.where(
+                target_freq > 0, np.minimum(target_index, top_index), 0
+            )
+            if state.boostable[k]:
+                boost_index = state.boost_index[k]
+                last_activity = state.last_activity[k]
+                active = utilisation >= boost_threshold
+                np.copyto(last_activity, now_s, where=active)
+                in_hold = (now_s - last_activity) <= boost_hold
+                target_index = np.where(
+                    in_hold & (boost_index > target_index), boost_index, target_index
+                )
+            applied = np.maximum(
+                min_limit_rows[k], np.minimum(max_limit_rows[k], target_index)
+            )
+            last_up = state.last_up[k]
+            last_down = state.last_down[k]
+            do_up = (target_index > current) & ~((now_s - last_up) < up_rate_limit)
+            do_down = (target_index < current) & ~(
+                (now_s - last_down) < down_rate_limit
+            )
+            changed = applied != current
+            np.copyto(last_up, now_s, where=do_up & changed)
+            np.copyto(last_down, now_s, where=do_down & changed)
+            np.copyto(current, applied, where=do_up | do_down)
+
+
+class BatchScalerState:
+    """Per-batch state of :meth:`SchedutilScaler.select_tick_batch`.
+
+    Holds the compiled per-cluster constants plus the rate-limit / boost
+    timestamps as ``(clusters, devices)`` float arrays.  A timestamp of
+    ``-inf`` encodes the scalar scaler's "no entry in the dict" state: every
+    ``now - timestamp`` comparison then behaves exactly like the scalar
+    ``None`` checks (``inf < limit`` is false, ``inf <= hold`` is false).
+    """
+
+    __slots__ = (
+        "frequencies",
+        "top_index",
+        "boostable",
+        "boost_index",
+        "last_up",
+        "last_down",
+        "last_activity",
+    )
+
+    def __init__(self, compiled, n_devices: int) -> None:
+        import numpy as np
+
+        self.frequencies = [
+            np.array(record[2], dtype=np.float64) for record in compiled
+        ]
+        self.top_index = [record[3] for record in compiled]
+        self.boostable = [record[4] for record in compiled]
+        self.boost_index = [record[5] for record in compiled]
+        n_clusters = len(compiled)
+        self.last_up = np.full((n_clusters, n_devices), -np.inf)
+        self.last_down = np.full((n_clusters, n_devices), -np.inf)
+        self.last_activity = np.full((n_clusters, n_devices), -np.inf)
+
 
 class SchedutilGovernor(Governor):
     """Stock Android policy: no frequency limits, scaler follows utilisation."""
 
     invocation_period_s = 0.1
+    observation_free = True
 
     def __init__(self) -> None:
         super().__init__(name="schedutil")
@@ -296,3 +408,9 @@ class SchedutilGovernor(Governor):
         for cluster in clusters.values():
             if cluster.max_limit_index != len(cluster.opp_table) - 1 or cluster.min_limit_index != 0:
                 cluster.reset_limits()
+
+    def update_batch(self, devices, current_rows, min_limit_rows, max_limit_rows, top_indices) -> None:
+        """Vectorised :meth:`update`: limits wide open on every due lane."""
+        for k in range(len(top_indices)):
+            min_limit_rows[k][devices] = 0
+            max_limit_rows[k][devices] = top_indices[k]

@@ -19,6 +19,7 @@ class PerformanceGovernor(Governor):
     """Pin every cluster at its highest operating point."""
 
     invocation_period_s = 1.0
+    observation_free = True
 
     def __init__(self) -> None:
         super().__init__(name="performance")
@@ -31,11 +32,20 @@ class PerformanceGovernor(Governor):
             cluster.set_min_limit_index(top)
             cluster.set_frequency_index(top)
 
+    def update_batch(self, devices, current_rows, min_limit_rows, max_limit_rows, top_indices) -> None:
+        """Vectorised :meth:`update`: pin every due lane at the top OPP."""
+        for k in range(len(top_indices)):
+            top = top_indices[k]
+            min_limit_rows[k][devices] = top
+            max_limit_rows[k][devices] = top
+            current_rows[k][devices] = top
+
 
 class PowersaveGovernor(Governor):
     """Pin every cluster at its lowest operating point."""
 
     invocation_period_s = 1.0
+    observation_free = True
 
     def __init__(self) -> None:
         super().__init__(name="powersave")
@@ -46,6 +56,13 @@ class PowersaveGovernor(Governor):
             cluster.set_min_limit_index(0)
             cluster.set_max_limit_index(0)
             cluster.set_frequency_index(0)
+
+    def update_batch(self, devices, current_rows, min_limit_rows, max_limit_rows, top_indices) -> None:
+        """Vectorised :meth:`update`: pin every due lane at the bottom OPP."""
+        for k in range(len(top_indices)):
+            min_limit_rows[k][devices] = 0
+            max_limit_rows[k][devices] = 0
+            current_rows[k][devices] = 0
 
 
 class ConservativeGovernor(Governor):

@@ -438,3 +438,310 @@ class FramePipeline:
             utilisations=utilisations,
             work_done_mwu=work_done,
         )
+
+
+class BatchFramePipeline:
+    """:class:`FramePipeline` widened by a device axis.
+
+    One instance steps the render pipelines of N independent devices that
+    share a platform (same cluster layout, refresh rate and tick length).
+    Frame queues and stage state are inherently ragged per device, so they
+    stay per-device Python objects; the VSync clock is purely time-driven and
+    therefore shared -- every device sees the same edge times, so the edge
+    count per tick is computed once (:meth:`advance_time`).
+
+    :meth:`tick_device_work` replicates :meth:`FramePipeline.tick` operation
+    for operation (intake, stage drain, work attribution, utilisation, VSync
+    latch) so each lane's utilisations and frame counts are bit-identical to
+    a scalar pipeline run; it skips only outputs the simulation engine never
+    records (``vsync_misses``, ``work_done_mwu``, ``frames_completed``).
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        refresh_hz: float,
+        clusters: Mapping[str, Cluster],
+        n_devices: int,
+        back_buffer_count: int = 2,
+    ) -> None:
+        self.config = config
+        cfg = config
+        names = list(clusters)
+        index = {name: k for k, name in enumerate(names)}
+        self._n_clusters = len(names)
+        #: ``(cluster_index, frequencies, perf_per_mhz, core_share)`` for the
+        #: big / little / gpu stage rates (same clamping as _compile_rates).
+        self._rate_big = None
+        self._rate_little = None
+        self._rate_gpu = None
+        if cfg.big_cluster in clusters:
+            big = clusters[cfg.big_cluster]
+            cores = min(cfg.ui_big_cores, big.spec.core_count)
+            self._rate_big = (index[cfg.big_cluster], big._freqs, big.spec.perf_per_mhz, cores)
+        if cfg.little_cluster in clusters:
+            little = clusters[cfg.little_cluster]
+            cores = min(cfg.ui_little_cores, little.spec.core_count)
+            self._rate_little = (
+                index[cfg.little_cluster], little._freqs, little.spec.perf_per_mhz, cores
+            )
+        if cfg.gpu_cluster in clusters:
+            gpu = clusters[cfg.gpu_cluster]
+            cores = gpu.spec.core_count * cfg.gpu_core_fraction
+            self._rate_gpu = (index[cfg.gpu_cluster], gpu._freqs, gpu.spec.perf_per_mhz, cores)
+        #: Per-cluster ``(name, frequencies, perf_per_mhz, core_count)`` for
+        #: the utilisation loop, in compiled cluster order.
+        self._util_records = [
+            (name, c._freqs, c.spec.perf_per_mhz, c.spec.core_count)
+            for name, c in clusters.items()
+        ]
+        self._max_pending = cfg.max_pending_frames
+        self._back_buffer_count = back_buffer_count
+        # Shared VSync clock (first edge one period in, as VsyncClock does).
+        self._period_s = 1.0 / refresh_hz
+        self._next_edge_s = self._period_s
+        self._time_s = 0.0
+        # Per-device ragged state, parallel lists indexed by device.
+        self._pending: List[Deque[FrameSpec]] = [deque() for _ in range(n_devices)]
+        self._cpu_frame: List[Optional[FrameSpec]] = [None] * n_devices
+        self._cpu_rem: List[float] = [0.0] * n_devices
+        self._gpu_rem: List[Optional[float]] = [None] * n_devices
+        self._waiting: List[int] = [0] * n_devices
+        self._ready: List[int] = [0] * n_devices
+        self._work_scratch: List[float] = [0.0] * self._n_clusters
+
+    def advance_time(self, dt_s: float) -> int:
+        """Advance the shared VSync clock by ``dt_s``; return the edge count.
+
+        Call once per tick after every :meth:`tick_device_work` call; the
+        loop is the same edge accumulation :meth:`FramePipeline.tick` runs
+        inline.
+        """
+        end_time = self._time_s + dt_s
+        deadline = end_time + 1e-12
+        next_edge = self._next_edge_s
+        period = self._period_s
+        count = 0
+        while next_edge <= deadline:
+            count += 1
+            next_edge += period
+        self._next_edge_s = next_edge
+        self._time_s = end_time
+        return count
+
+    def _batch_tables(self):
+        """Lazily compiled NumPy frequency tables for the batched methods."""
+        import numpy as np
+
+        tables = getattr(self, "_np_tables", None)
+        if tables is None:
+            def freq_array(record):
+                if record is None:
+                    return None
+                return np.array(record[1], dtype=np.float64)
+
+            tables = {
+                "big": freq_array(self._rate_big),
+                "little": freq_array(self._rate_little),
+                "gpu": freq_array(self._rate_gpu),
+                "util": [
+                    np.array(freqs, dtype=np.float64)
+                    for _name, freqs, _perf, _cores in self._util_records
+                ],
+            }
+            self._np_tables = tables
+        return tables
+
+    def batch_rates(self, current_rows):
+        """Per-device stage rates for the current OPP indices.
+
+        ``current_rows`` is the ``(clusters, devices)`` index array; returns
+        ``(big_rate, little_rate, cpu_rate, gpu_rate)`` as ``(devices,)``
+        arrays.  Each lane multiplies in the same order as the scalar
+        pipeline (``freqs[index] * perf_per_mhz * cores``), so the rates --
+        and the budgets derived from them -- are bit-identical per device.
+        """
+        import numpy as np
+
+        tables = self._batch_tables()
+        n = current_rows.shape[1]
+        zero = np.zeros(n, dtype=np.float64)
+        big_rate = zero
+        little_rate = zero
+        gpu_rate = zero
+        rate = self._rate_big
+        if rate is not None:
+            k, _freqs, perf, cores = rate
+            big_rate = tables["big"][current_rows[k]] * perf * cores
+        rate = self._rate_little
+        if rate is not None:
+            k, _freqs, perf, cores = rate
+            little_rate = tables["little"][current_rows[k]] * perf * cores
+        rate = self._rate_gpu
+        if rate is not None:
+            k, _freqs, perf, cores = rate
+            gpu_rate = tables["gpu"][current_rows[k]] * perf * cores
+        cpu_rate = big_rate + little_rate
+        return big_rate, little_rate, cpu_rate, gpu_rate
+
+    def tick_device_work(
+        self,
+        device: int,
+        frame_demands: List[FrameSpec],
+        cpu_budget: float,
+        gpu_budget: float,
+        edge_count: int,
+    ) -> Tuple[int, int, float, float]:
+        """Advance one device's frame queues by one tick.
+
+        ``cpu_budget``/``gpu_budget`` are this device's per-tick work budgets
+        (``rate * dt_s``, from :meth:`batch_rates`); ``edge_count`` is the
+        shared VSync edge count from :meth:`advance_time`.  Runs the scalar
+        pipeline's intake, stage-drain and latch logic operation for
+        operation and returns ``(frames_displayed, frames_rejected,
+        cpu_work_done, gpu_work_done)``; work attribution and utilisation are
+        computed across all devices afterwards by :meth:`batch_finish`.
+        """
+        pending = self._pending[device]
+        cpu_frame = self._cpu_frame[device]
+        gpu_rem = self._gpu_rem[device]
+        waiting = self._waiting[device]
+        ready = self._ready[device]
+        if (
+            not frame_demands
+            and cpu_frame is None
+            and gpu_rem is None
+            and not pending
+            and not waiting
+            and not ready
+        ):
+            # Idle lane: no queued, in-flight or demanded work anywhere.
+            return 0, 0, 0.0, 0.0
+
+        rejected = 0
+        if frame_demands:
+            max_pending = self._max_pending
+            for frame in frame_demands:
+                if len(pending) >= max_pending:
+                    rejected += 1
+                    continue
+                pending.append(frame)
+
+        back_buffers = self._back_buffer_count
+        while waiting > 0 and ready < back_buffers:
+            ready += 1
+            waiting -= 1
+
+        cpu_rem = self._cpu_rem[device]
+        cpu_frame_work_done = 0.0
+        gpu_frame_work_done = 0.0
+
+        progress = True
+        while progress:
+            progress = False
+
+            # GPU stage.
+            if gpu_rem is not None and gpu_budget > 1e-12:
+                done = gpu_rem if gpu_rem < gpu_budget else gpu_budget
+                gpu_rem -= done
+                gpu_budget -= done
+                gpu_frame_work_done += done
+                if gpu_rem <= 1e-9:
+                    gpu_rem = None
+                    if ready < back_buffers:
+                        ready += 1
+                    else:
+                        waiting += 1
+                    progress = True
+
+            # CPU stage.
+            if cpu_frame is None and pending:
+                cpu_frame = pending.popleft()
+                cpu_rem = cpu_frame.cpu_work_mwu
+                progress = True
+            if cpu_frame is not None and cpu_budget > 1e-12:
+                done = cpu_rem if cpu_rem < cpu_budget else cpu_budget
+                cpu_rem -= done
+                cpu_budget -= done
+                cpu_frame_work_done += done
+                if cpu_rem <= 1e-9 and gpu_rem is None:
+                    gpu_rem = cpu_frame.gpu_work_mwu
+                    if gpu_rem <= 1e-9:
+                        gpu_rem = None
+                        if ready < back_buffers:
+                            ready += 1
+                        else:
+                            waiting += 1
+                    cpu_frame = None
+                    progress = True
+
+        displayed = ready if ready < edge_count else edge_count
+        ready -= displayed
+
+        self._ready[device] = ready
+        self._waiting[device] = waiting
+        self._cpu_frame[device] = cpu_frame
+        self._cpu_rem[device] = cpu_rem
+        self._gpu_rem[device] = gpu_rem
+        return displayed, rejected, cpu_frame_work_done, gpu_frame_work_done
+
+    def batch_finish(
+        self,
+        current_rows,
+        cpu_done,
+        gpu_done,
+        big_rate,
+        little_rate,
+        cpu_rate,
+        gpu_rate,
+        background_rows,
+        dt_s: float,
+        util_out,
+    ) -> None:
+        """Work attribution and utilisation, vectorised over devices.
+
+        ``cpu_done``/``gpu_done`` are ``(devices,)`` arrays of per-stage work
+        completed this tick; ``background_rows`` is the ``(clusters,
+        devices)`` background demand.  Writes utilisations into ``util_out``
+        (``(clusters, devices)``).  Per lane the float sequence is exactly
+        the scalar pipeline's: attribution splits CPU work by
+        ``rate / cpu_rate``, then utilisation is
+        ``(done + min(background, spare)) / capacity`` clamped to ``[0, 1]``
+        with the capacity-zero special case.
+        """
+        import numpy as np
+
+        tables = self._batch_tables()
+        n_clusters = self._n_clusters
+        work = np.zeros((n_clusters, current_rows.shape[1]), dtype=np.float64)
+        cpu_positive = cpu_rate > 0
+        if self._rate_big is not None:
+            share = np.divide(
+                big_rate, cpu_rate, out=np.zeros_like(cpu_rate), where=cpu_positive
+            )
+            work[self._rate_big[0]] += cpu_done * share
+        if self._rate_little is not None:
+            share = np.divide(
+                little_rate, cpu_rate, out=np.zeros_like(cpu_rate), where=cpu_positive
+            )
+            work[self._rate_little[0]] += cpu_done * share
+        if self._rate_gpu is not None:
+            work[self._rate_gpu[0]] += gpu_done
+
+        util_tables = tables["util"]
+        for k in range(n_clusters):
+            _name, _freqs, perf, cores = self._util_records[k]
+            capacity = (util_tables[k][current_rows[k]] * perf * cores) * dt_s
+            background = background_rows[k]
+            done = work[k]
+            positive = capacity > 0
+            spare = capacity - done
+            spare = np.where(spare < 0.0, 0.0, spare)
+            background_done = np.where(background < spare, background, spare)
+            total = done + background_done
+            ratio = np.divide(
+                total, capacity, out=np.zeros_like(capacity), where=positive
+            )
+            clamped = np.where(ratio < 1.0, ratio, 1.0)
+            saturated = np.where((background > 0) | (done > 0), 1.0, 0.0)
+            util_out[k] = np.where(positive, clamped, saturated)

@@ -42,7 +42,18 @@ class SimulationClock:
         self._ticks = 0
 
     def ticks_for(self, duration_s: float) -> int:
-        """Number of whole ticks needed to cover ``duration_s``."""
+        """Number of whole ticks needed to cover ``duration_s``.
+
+        Exact multiples of the tick length are guaranteed to map back
+        exactly: ``ticks_for(k * dt_s) == k`` for any non-negative integer
+        ``k``.  The quotient ``(k * dt_s) / dt_s`` lands a few ulp away from
+        ``k`` for many ``k`` (truncating it would drop a whole tick, e.g.
+        ``k = 31`` at 60 Hz), so the quotient is snapped to the nearest whole
+        tick; the property test in ``tests/test_clock.py`` pins this
+        contract across large ``k``.
+        """
         if duration_s < 0:
             raise ValueError("duration_s must be non-negative")
+        # int() also normalises NumPy float scalars, whose round() stays a
+        # NumPy scalar rather than a Python int.
         return int(round(duration_s / self.dt_s))

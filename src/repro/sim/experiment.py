@@ -238,6 +238,13 @@ def compare_governors_on_trace(
 # Next training
 # ----------------------------------------------------------------------------------
 
+#: Stride between the seeds of consecutive training episodes on one app.
+#: Shared with the batched federated round path
+#: (:func:`repro.experiments.federated.train_device_rounds_batched`), which
+#: must derive bit-identical per-episode seeds.
+EPISODE_SEED_STRIDE = 101
+
+
 def train_next_governor(
     governor: NextGovernor,
     app_name: str,
@@ -260,7 +267,7 @@ def train_next_governor(
     episodes_run = 0
     for episode in range(episodes):
         episodes_run += 1
-        episode_seed = seed + episode * 101
+        episode_seed = seed + episode * EPISODE_SEED_STRIDE
         if config is not None:
             # Keep the caller's knobs but still vary the sensor-noise seed per
             # episode; reusing one seed would de-randomise "freshly seeded"

@@ -401,3 +401,130 @@ class Recorder:
                 result.append(build(i))
                 next_time += period_s
         return result
+
+
+class BatchRecorder:
+    """Column-striped recording over a device axis.
+
+    The scalar :class:`Recorder` already stores struct-of-arrays per tick;
+    here the device axis is one more stride.  Float fields are appended as
+    ``(devices,)`` / ``(clusters, devices)`` / ``(nodes, devices)`` NumPy
+    rows per recorded tick, string and integer fields as per-tick Python
+    lists.  :meth:`device_recorder` slices one device column out into a real
+    :class:`Recorder`; float64 extraction via ``tolist()`` is exact, so the
+    materialised per-device sample stream is bit-identical to the one a
+    scalar simulation of that device records.
+    """
+
+    def __init__(
+        self,
+        n_devices: int,
+        ambient_c: float,
+        hot_node: str,
+        cluster_keys: Sequence[str],
+        node_keys: Sequence[str],
+    ) -> None:
+        self.n_devices = n_devices
+        self.ambient_c = ambient_c
+        self.hot_node = hot_node
+        self._cluster_keys = tuple(cluster_keys)
+        self._node_keys = tuple(node_keys)
+        self._time: List[float] = []
+        # Per-tick Python rows (ragged / non-float fields), one entry per device.
+        self._app: List[List[str]] = []
+        self._phase: List[List[str]] = []
+        self._target_fps: List[List[float]] = []
+        self._demanded: List[List[int]] = []
+        self._displayed: List[List[int]] = []
+        self._dropped: List[List[int]] = []
+        self._interaction: List[List[float]] = []
+        # Per-tick NumPy rows.
+        self._fps: List = []  # (devices,)
+        self._power_total: List = []  # (devices,)
+        self._power_rows: List = []  # (clusters, devices)
+        self._temp_rows: List = []  # (nodes, devices)
+        self._freq_rows: List = []  # (clusters, devices)
+        self._max_limit_rows: List = []  # (clusters, devices)
+        self._util_rows: List = []  # (clusters, devices)
+
+    def __len__(self) -> int:
+        return len(self._time)
+
+    def append_tick(
+        self,
+        time_s: float,
+        app_names: List[str],
+        phase_names: List[str],
+        fps,
+        target_fps: List[float],
+        frames_demanded: List[int],
+        frames_displayed: List[int],
+        frames_dropped: List[int],
+        power_total,
+        power_rows,
+        temperature_rows,
+        frequency_rows,
+        max_limit_rows,
+        utilisation_rows,
+        interaction: List[float],
+    ) -> None:
+        """Append one recorded tick for every device.
+
+        Array arguments must be owned by the recorder (pass copies of any
+        live simulation buffer).
+        """
+        self._time.append(time_s)
+        self._app.append(app_names)
+        self._phase.append(phase_names)
+        self._fps.append(fps)
+        self._target_fps.append(target_fps)
+        self._demanded.append(frames_demanded)
+        self._displayed.append(frames_displayed)
+        self._dropped.append(frames_dropped)
+        self._power_total.append(power_total)
+        self._power_rows.append(power_rows)
+        self._temp_rows.append(temperature_rows)
+        self._freq_rows.append(frequency_rows)
+        self._max_limit_rows.append(max_limit_rows)
+        self._util_rows.append(utilisation_rows)
+        self._interaction.append(interaction)
+
+    def device_recorder(self, device: int) -> Recorder:
+        """Materialise one device's column as a scalar :class:`Recorder`."""
+        import numpy as np
+
+        recorder = Recorder(ambient_c=self.ambient_c, hot_node=self.hot_node)
+        recorder.register_layout(self._cluster_keys, self._node_keys)
+        count = len(self._time)
+        recorder._time = list(self._time)
+        recorder._app = [row[device] for row in self._app]
+        recorder._phase = [row[device] for row in self._phase]
+        recorder._target_fps = [row[device] for row in self._target_fps]
+        recorder._demanded = [row[device] for row in self._demanded]
+        recorder._displayed = [row[device] for row in self._displayed]
+        recorder._dropped = [row[device] for row in self._dropped]
+        recorder._interaction = [row[device] for row in self._interaction]
+        if count:
+            recorder._fps = np.stack(self._fps)[:, device].tolist()
+            recorder._power_total = np.stack(self._power_total)[:, device].tolist()
+        cluster_keys = recorder._cluster_keys
+        node_keys = recorder._node_keys
+        map_keys = recorder._map_keys
+        map_vals = recorder._map_vals
+
+        def column(rows, keys, field):
+            map_keys[field] = [keys] * count
+            if count:
+                sliced = np.stack(rows)[:, :, device].tolist()
+                map_vals[field] = [tuple(row) for row in sliced]
+
+        column(self._power_rows, cluster_keys, "power_per_cluster_w")
+        column(self._temp_rows, node_keys, "temperatures_c")
+        column(self._freq_rows, cluster_keys, "frequencies_mhz")
+        column(self._max_limit_rows, cluster_keys, "max_limits_mhz")
+        column(self._util_rows, cluster_keys, "utilisations")
+        return recorder
+
+    def device_recorders(self) -> List[Recorder]:
+        """Materialise every device column (device order)."""
+        return [self.device_recorder(d) for d in range(self.n_devices)]

@@ -176,6 +176,80 @@ class SocPowerModel:
             scale = exp(leak_coeff * delta_t)
             leakage_out[k] = leak_w_per_v * voltage * cores * scale
 
+    def compile_batch_tables(
+        self, clusters: Sequence[Cluster]
+    ) -> Tuple[Tuple[tuple, tuple, float], ...]:
+        """Per-cluster OPP-indexed power tables for :meth:`evaluate_flat_batch`.
+
+        Each entry is ``(dynamic_coeff_per_opp, leakage_base_per_opp,
+        leakage_temp_coeff)``.  The per-OPP coefficients are precomputed with
+        plain Python floats through exactly the scalar kernel's expressions
+        (``(cap_nf * f * v ** 2 * 1e-3) * cores`` and
+        ``(leak_w_per_v * v) * cores``), so indexing a table reproduces the
+        scalar partial products bit for bit.
+        """
+        import numpy as np
+
+        tables = []
+        for cluster in clusters:
+            spec = self._models[cluster.name].spec
+            cap_nf = spec.capacitance_nf
+            cores = spec.core_count
+            leak_w_per_v = spec.leakage_w_per_v
+            dynamic_coeff = np.array(
+                [
+                    cap_nf * frequency * voltage ** 2 * 1e-3 * cores
+                    for frequency, voltage in zip(cluster._freqs, cluster._volts)
+                ],
+                dtype=np.float64,
+            )
+            leakage_base = np.array(
+                [leak_w_per_v * voltage * cores for voltage in cluster._volts],
+                dtype=np.float64,
+            )
+            tables.append((dynamic_coeff, leakage_base, spec.leakage_temp_coeff))
+        return tuple(tables)
+
+    def evaluate_flat_batch(
+        self,
+        tables: Sequence[Tuple[tuple, tuple, float]],
+        current_index_rows,
+        utilisation_rows,
+        node_temperature_rows,
+        cluster_node_index: Sequence[int],
+        dynamic_out,
+        leakage_out,
+    ) -> None:
+        """Batched :meth:`evaluate_flat` over a device axis.
+
+        All row arguments are ``(clusters, devices)``-shaped (temperatures are
+        ``(nodes, devices)``); lane ``d`` is one device.  Per lane the float
+        sequence matches :meth:`evaluate_flat` exactly: the dynamic partial
+        product and the leakage base come from the precomputed per-OPP tables
+        (same Python-float products, see :meth:`compile_batch_tables`) and the
+        leakage exponential is evaluated with :func:`math.exp` per lane --
+        ``numpy.exp`` is *not* guaranteed to round identically to libm, so it
+        must not be used here.
+        """
+        import numpy as np
+
+        exp = math.exp
+        ref_t = LEAKAGE_REFERENCE_TEMPERATURE_C
+        for k in range(len(tables)):
+            dynamic_coeff, leakage_base, leak_coeff = tables[k]
+            index = current_index_rows[k]
+            utilisation = utilisation_rows[k]
+            utilisation = np.minimum(1.0, np.maximum(0.0, utilisation))
+            dynamic_out[k] = dynamic_coeff[index] * utilisation
+            delta_t = node_temperature_rows[cluster_node_index[k]] - ref_t
+            argument = leak_coeff * delta_t
+            scale = np.fromiter(
+                map(exp, argument.tolist()),
+                dtype=np.float64,
+                count=argument.shape[0],
+            )
+            leakage_out[k] = leakage_base[index] * scale
+
     def evaluate(
         self,
         clusters: Mapping[str, Cluster],

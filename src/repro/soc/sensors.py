@@ -135,6 +135,25 @@ class SensorReadings:
         return self.temperatures_c[node]
 
 
+@dataclass(frozen=True)
+class _FlatSensorOrder:
+    """Compiled sensor layout for :meth:`SensorHub.read_flat`.
+
+    ``temps`` holds ``(position, sensor, is_device_node, noise_std,
+    quantisation, sample_period_s, gauss)`` per thermal sensor in hub
+    iteration order (the trailing fields are cached from the sensor's static
+    config and RNG); ``power`` is the same record for the power sensor;
+    ``device_position`` is the device node's slot in the true-temperature
+    list (or ``None``); ``big_slot`` indexes ``temps`` for the big-cluster
+    sensor (or ``None`` for the hottest-node fallback).
+    """
+
+    temps: tuple
+    power: tuple
+    device_position: Optional[int]
+    big_slot: Optional[int]
+
+
 class SensorHub:
     """Bundles the power sensor and all thermal sensors of a platform.
 
@@ -186,6 +205,106 @@ class SensorHub:
             temperatures_c=temps,
             device_temperature_c=device_temp,
         )
+
+    def compile_flat(self, node_names, big_node: Optional[str] = None):
+        """Compile a flat read order over ``node_names`` for :meth:`read_flat`.
+
+        ``node_names`` fixes the positional layout of the true-temperature
+        list passed to :meth:`read_flat`; ``big_node`` (optional) selects the
+        sensor whose reading :meth:`read_flat` returns as the big-cluster
+        temperature (falling back to the hottest sampled node, as
+        the scalar engine does when the big node has no sensor).
+        """
+        position = {name: index for index, name in enumerate(node_names)}
+
+        def entry(pos, sensor, is_device):
+            config = sensor.config
+            return (
+                pos,
+                sensor,
+                is_device,
+                config.noise_std,
+                config.quantisation,
+                config.sample_period_s,
+                sensor._rng.gauss,
+            )
+
+        temps = []
+        for name, sensor in self.temperature_sensors.items():
+            if name in position:
+                temps.append(entry(position[name], sensor, name == self.device_node))
+        big_slot = None
+        if big_node is not None:
+            for slot, record in enumerate(temps):
+                if node_names[record[0]] == big_node:
+                    big_slot = slot
+                    break
+        power = self.power_sensor
+        return _FlatSensorOrder(
+            temps=tuple(temps),
+            power=entry(-1, power, False),
+            device_position=position.get(self.device_node),
+            big_slot=big_slot,
+        )
+
+    def read_flat(self, order, true_power_w, true_temps, now_s):
+        """Positional fast path of :meth:`read` for compiled hot loops.
+
+        ``true_temps`` is a list laid out per ``order`` (see
+        :meth:`compile_flat`).  Samples exactly the sensors :meth:`read`
+        samples, in the same sequence (power first, then thermal sensors in
+        hub order) against the same per-sensor RNGs, so sample-and-hold
+        state and noise draws stay bit-identical to the mapping-based path.
+        Returns ``(power_w, big_temperature_c, device_temperature_c)``.
+        """
+        _pos, sensor, _is_device, noise_std, quantisation, period, gauss = order.power
+        last_time = sensor._last_sample_time_s
+        if last_time is None or now_s - last_time >= period:
+            value = true_power_w
+            if noise_std > 0:
+                value += gauss(0.0, noise_std)
+            if quantisation > 0:
+                value = round(value / quantisation) * quantisation
+            sensor._last_value = value
+            sensor._last_sample_time_s = now_s
+            power = value
+        else:
+            power = sensor._last_value
+        power = max(0.0, power)
+        sampled = []
+        hottest = None
+        body = None
+        for pos, sensor, is_device, noise_std, quantisation, period, gauss in order.temps:
+            last_time = sensor._last_sample_time_s
+            if last_time is None or now_s - last_time >= period:
+                value = true_temps[pos]
+                if noise_std > 0:
+                    value += gauss(0.0, noise_std)
+                if quantisation > 0:
+                    value = round(value / quantisation) * quantisation
+                sensor._last_value = value
+                sensor._last_sample_time_s = now_s
+            else:
+                value = sensor._last_value
+            sampled.append(value)
+            if is_device:
+                body = value
+            elif hottest is None or value > hottest:
+                hottest = value
+        if hottest is None:
+            hottest = max(true_temps)
+        if body is None:
+            if order.device_position is not None:
+                body = true_temps[order.device_position]
+            else:
+                body = hottest
+        w = self.device_blend_weight
+        device_temp = w * body + (1.0 - w) * hottest
+        if order.big_slot is not None:
+            big_temp = sampled[order.big_slot]
+        else:
+            big_temp = max(sampled)
+        return power, big_temp, device_temp
 
     def _virtual_device_temperature(
         self,

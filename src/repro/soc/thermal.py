@@ -223,6 +223,50 @@ class ThermalNetwork:
             self._euler_substep(heat_in_w, sub)
             remaining -= sub
 
+    def step_flat_batch(self, temps_2d, heat_in_2d, dt_s: float) -> None:
+        """Batched :meth:`step_flat` over a device axis.
+
+        ``temps_2d`` and ``heat_in_2d`` are ``(nodes, devices)`` float64
+        arrays; lane ``d`` of every row is one independent device.  The
+        sub-step subdivision is identical to :meth:`step_flat` and every lane
+        sees exactly the scalar kernel's float-operation sequence, so each
+        device's temperatures stay bit-identical to a scalar run.
+        """
+        remaining = dt_s
+        max_sub = self.MAX_SUBSTEP_S
+        while remaining > 1e-12:
+            sub = min(max_sub, remaining)
+            self.euler_substep_batch(temps_2d, heat_in_2d, sub)
+            remaining -= sub
+
+    def euler_substep_batch(self, temps_2d, heat_in_2d, dt_s: float) -> None:
+        """Batched :meth:`_euler_substep`: one Euler sub-step for every lane.
+
+        Elementwise IEEE-754 arithmetic over the device axis keeps each lane's
+        operation sequence identical to the scalar kernel (ambient loss, then
+        neighbours in coupling registration order, then the division by the
+        capacitance), so results are bit-identical per device.
+        """
+        import numpy as np
+
+        ambient = self.ambient_c
+        g_amb = self._g_amb
+        cap = self._cap
+        nbrs = self._nbrs
+        n = len(self._names)
+        derivs = [None] * n
+        for i in range(n):
+            t = temps_2d[i]
+            heat_w = heat_in_2d[i] - g_amb[i] * (t - ambient)
+            for j, g in nbrs[i]:
+                heat_w = heat_w - g * (t - temps_2d[j])
+            derivs[i] = heat_w / cap[i]
+        for i in range(n):
+            value = temps_2d[i] + derivs[i] * dt_s
+            # Same physical floor as the scalar kernel (lanes at exactly the
+            # ambient value are untouched either way).
+            temps_2d[i] = np.where(value < ambient, ambient, value)
+
     def _euler_substep(self, heat_in_w: List[float], dt_s: float) -> None:
         # The compiled kernel: identical float-operation sequence to the
         # reference dict stepper (ambient loss, then neighbours in coupling

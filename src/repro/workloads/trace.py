@@ -175,6 +175,9 @@ class TracePlayer:
         self.trace = trace
         self.loop = loop
         self._index = 0
+        # Hot-path caches: the trace is immutable during playback.
+        self._ticks = trace.ticks
+        self._dt_s = trace.dt_s
 
     @property
     def name(self) -> str:
@@ -196,23 +199,25 @@ class TracePlayer:
         ``dt_s`` must match the trace's tick length; passing anything else is
         an error because the demand was discretised at recording time.
         """
-        if abs(dt_s - self.trace.dt_s) > 1e-9:
+        if abs(dt_s - self._dt_s) > 1e-9:
             raise ValueError(
-                f"trace was recorded at dt={self.trace.dt_s}s, cannot replay at dt={dt_s}s"
+                f"trace was recorded at dt={self._dt_s}s, cannot replay at dt={dt_s}s"
             )
-        if self._index >= len(self.trace):
+        ticks = self._ticks
+        index = self._index
+        if index >= len(ticks):
             if not self.loop:
                 # Replay the final tick's shape with no demand once exhausted.
-                last = self.trace.ticks[-1]
+                last = ticks[-1]
                 return TickWorkload(
-                    time_s=last.time_s + self.trace.dt_s,
+                    time_s=last.time_s + self._dt_s,
                     app_name=last.app_name,
                     phase_name="exhausted",
                     frames=[],
                     background_work_mwu={},
                     interaction_activity=0.0,
                 )
-            self._index = 0
-        tick = self.trace.ticks[self._index]
-        self._index += 1
+            index = 0
+        tick = ticks[index]
+        self._index = index + 1
         return tick

@@ -1,0 +1,252 @@
+"""Batched device-population kernel: bit-identity with the scalar engine.
+
+The struct-of-arrays :class:`~repro.sim.batch.BatchSimulation` steps N
+independent devices per tick in one process.  Its load-bearing contract is
+the same one the compiled hot loop (PR 4) carries: *bit-identity*.  Every
+device lane of a batched run must produce exactly the sample stream the
+scalar :class:`~repro.sim.engine.Simulation` produces for that device --
+pinned through ``sample_stream_hash``, the canonical SHA-256 of the full
+recorded stream -- across platforms, governors (including the
+observation-free fast path and the stateful slow path), device counts
+(including the degenerate N=1), interrupted/resumed stepping and the
+federated round scheduling built on top.  Golden hashes for one batched
+fleet cell live in ``tests/data/golden_hashes.json`` next to the scalar
+pins, so a drift in either kernel (or only one of them) fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+pytest.importorskip("numpy")  # the batch kernel is NumPy-backed
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.batch import BatchSimulation
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SessionWorkload, Simulation
+from repro.sim.experiment import GOVERNOR_FACTORIES, make_governor
+from repro.sim.recorder import sample_stream_hash
+from repro.soc.platform import make_platform
+from repro.workloads.session import FIGURE1_SESSION
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_hashes.json")
+
+PLATFORMS = ("exynos9810", "generic-two-cluster")
+
+
+def batch_device_hashes(platform_name, governor_name, n_devices, seed, duration_s):
+    """Per-device stream hashes of one batched run."""
+    platform = make_platform(platform_name)
+    configs = [
+        SimulationConfig(
+            refresh_hz=platform.display_refresh_hz,
+            duration_s=duration_s,
+            seed=seed + device,
+        )
+        for device in range(n_devices)
+    ]
+    governors = [make_governor(governor_name) for _ in range(n_devices)]
+    batch = BatchSimulation(platform, governors, configs)
+    batch.run(
+        [
+            SessionWorkload(FIGURE1_SESSION.segments, seed=seed + device)
+            for device in range(n_devices)
+        ],
+        duration_s=duration_s,
+    )
+    return [
+        sample_stream_hash(batch.device_recorder(device).samples)
+        for device in range(n_devices)
+    ]
+
+
+def scalar_device_hash(platform_name, governor_name, device, seed, duration_s):
+    """The scalar reference stream hash of one device of that fleet."""
+    platform = make_platform(platform_name)
+    config = SimulationConfig(
+        refresh_hz=platform.display_refresh_hz,
+        duration_s=duration_s,
+        seed=seed + device,
+    )
+    simulation = Simulation(platform, make_governor(governor_name), config)
+    simulation.run(SessionWorkload(FIGURE1_SESSION.segments, seed=seed + device))
+    return sample_stream_hash(simulation.recorder.samples)
+
+
+class TestBatchScalarParity:
+    """batched == sequential, per device, bit for bit."""
+
+    @given(
+        platform_name=st.sampled_from(PLATFORMS),
+        governor_name=st.sampled_from(sorted(GOVERNOR_FACTORIES)),
+        n_devices=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_every_device_lane_matches_its_scalar_run(
+        self, platform_name, governor_name, n_devices, seed
+    ):
+        duration_s = 2.0
+        batched = batch_device_hashes(
+            platform_name, governor_name, n_devices, seed, duration_s
+        )
+        for device in range(n_devices):
+            assert batched[device] == scalar_device_hash(
+                platform_name, governor_name, device, seed, duration_s
+            ), f"lane {device} diverged ({platform_name}/{governor_name}/seed {seed})"
+
+    def test_single_device_fleet_equals_scalar(self):
+        """N=1 is the degenerate fleet: no vector shortcut may change it."""
+        batched = batch_device_hashes("exynos9810", "schedutil", 1, 7, 3.0)
+        assert batched[0] == scalar_device_hash("exynos9810", "schedutil", 0, 7, 3.0)
+
+    def test_observation_free_and_slow_paths_agree_with_scalar(self):
+        """The governor fast path (schedutil et al. skip sensor sampling
+        entirely) and the stateful slow path (conservative reads its
+        observation) both reduce to the scalar streams."""
+        for governor_name in ("schedutil", "conservative"):
+            batched = batch_device_hashes("exynos9810", governor_name, 2, 3, 2.0)
+            for device in range(2):
+                assert batched[device] == scalar_device_hash(
+                    "exynos9810", governor_name, device, 3, 2.0
+                )
+
+
+class TestMidRunAggregation:
+    """Fleet schedulers pause a batch mid-run (to aggregate) and resume it."""
+
+    def test_split_run_equals_scalar_split_run(self):
+        platform = make_platform("exynos9810")
+        n_devices = 3
+        configs = [
+            SimulationConfig(
+                refresh_hz=platform.display_refresh_hz, duration_s=4.0, seed=device
+            )
+            for device in range(n_devices)
+        ]
+        batch = BatchSimulation(
+            platform,
+            [make_governor("schedutil") for _ in range(n_devices)],
+            configs,
+        )
+        workloads = [
+            SessionWorkload(FIGURE1_SESSION.segments, seed=device)
+            for device in range(n_devices)
+        ]
+        # Two half-duration run() calls: state (thermal, governor, pipeline,
+        # recorder) persists across the boundary, as a federated scheduler
+        # needs when it aggregates between episodes.
+        batch.run(workloads, duration_s=2.0)
+        assert batch.tick_count == 120
+        batch.run(workloads, duration_s=2.0)
+        for device in range(n_devices):
+            simulation = Simulation(
+                platform, make_governor("schedutil"), configs[device]
+            )
+            workload = SessionWorkload(FIGURE1_SESSION.segments, seed=device)
+            simulation.run(workload, duration_s=2.0)
+            simulation.run(workload, duration_s=2.0)
+            assert sample_stream_hash(
+                batch.device_recorder(device).samples
+            ) == sample_stream_hash(simulation.recorder.samples)
+
+
+class TestBatchedFederatedRound:
+    """The batched round scheduler returns exactly the scalar states."""
+
+    def test_batched_device_round_states_match_scalar(self):
+        from repro.core.agent import AgentConfig, NextAgent
+        from repro.experiments.federated import (
+            train_device_round,
+            train_device_rounds_batched,
+        )
+
+        jobs = []
+        for device in range(3):
+            agent = NextAgent(config=AgentConfig(), seed=100 + device)
+            jobs.append(
+                (
+                    json.loads(json.dumps(agent.to_dict())),
+                    ("facebook",),
+                    "exynos9810",
+                    2,
+                    2.0,
+                    17 + device * 31,
+                    (),
+                )
+            )
+        batched = train_device_rounds_batched(jobs)
+        scalar = [train_device_round(*job) for job in jobs]
+        assert batched == scalar
+
+    def test_heterogeneous_jobs_rejected(self):
+        from repro.core.agent import AgentConfig, NextAgent
+        from repro.experiments.federated import train_device_rounds_batched
+
+        state = json.loads(
+            json.dumps(NextAgent(config=AgentConfig(), seed=0).to_dict())
+        )
+        jobs = [
+            (state, ("facebook",), "exynos9810", 2, 2.0, 0, ()),
+            (state, ("facebook",), "generic-two-cluster", 2, 2.0, 1, ()),
+        ]
+        with pytest.raises(ValueError, match="share platform"):
+            train_device_rounds_batched(jobs)
+
+
+class TestBatchedFleetGolden:
+    """One batched fleet cell pinned against committed golden hashes.
+
+    The hashes were captured from the *scalar* kernel, so this test fails if
+    either kernel drifts -- including a batch-only change that silently
+    breaks parity on exactly this configuration.
+    """
+
+    def test_batched_fleet_cell_streams_are_bit_identical_to_seed(self):
+        with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+            expected = json.load(handle)["batched_fleet"]
+        hashes = batch_device_hashes(
+            expected["platform"],
+            expected["governor"],
+            expected["devices"],
+            expected["seed"],
+            expected["duration_s"],
+        )
+        assert hashes == expected["hashes"]
+
+
+class TestBatchConstruction:
+    def test_mismatched_config_axes_rejected(self):
+        platform = make_platform("exynos9810")
+        configs = [
+            SimulationConfig(
+                refresh_hz=platform.display_refresh_hz, duration_s=2.0, seed=0
+            ),
+            SimulationConfig(
+                refresh_hz=platform.display_refresh_hz,
+                duration_s=2.0,
+                seed=1,
+                record_every_n_ticks=2,
+            ),
+        ]
+        with pytest.raises(ValueError):
+            BatchSimulation(
+                platform, [make_governor("schedutil") for _ in range(2)], configs
+            )
+
+    def test_governor_count_must_match_config_count(self):
+        platform = make_platform("exynos9810")
+        configs = [
+            SimulationConfig(
+                refresh_hz=platform.display_refresh_hz, duration_s=2.0, seed=0
+            )
+        ]
+        with pytest.raises(ValueError):
+            BatchSimulation(
+                platform, [make_governor("schedutil") for _ in range(2)], configs
+            )

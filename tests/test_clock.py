@@ -1,0 +1,96 @@
+"""SimulationClock: tick accounting and the exact-multiple duration contract.
+
+``ticks_for`` converts a duration to a whole number of ticks.  The sharp
+edge is an exact multiple of the tick length: at 60 Hz the product
+``k * (1 / 60)`` lands a few ulp below or above ``k / 60`` for many ``k``,
+so the naive ``int(duration / dt)`` truncation silently drops a whole tick
+(``k = 7`` is the smallest 60 Hz failure).  Dropping a tick shifts every
+recorded stream by one sample and breaks golden-hash parity between a
+duration-driven run and a tick-driven one, so the rounding contract is
+pinned here as a property across large ``k``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.clock import SimulationClock
+
+
+REFRESH_RATES_HZ = (60.0, 90.0, 120.0, 144.0)
+
+
+class TestTicksFor:
+    @given(
+        k=st.integers(min_value=0, max_value=10**9),
+        refresh_hz=st.sampled_from(REFRESH_RATES_HZ),
+    )
+    @settings(max_examples=400)
+    def test_exact_multiples_round_trip(self, k: int, refresh_hz: float) -> None:
+        """``ticks_for(k * dt_s) == k`` for any whole number of ticks ``k``.
+
+        This is the contract every duration-driven entry point leans on:
+        ``run(duration_s=trace.duration_s)`` must execute exactly
+        ``trace.ticks`` ticks, or replaying a recorded trace diverges from
+        the session that produced it.
+        """
+        clock = SimulationClock(dt_s=1.0 / refresh_hz)
+        assert clock.ticks_for(k * clock.dt_s) == k
+
+    @given(k=st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=200)
+    def test_truncation_would_fail_where_rounding_holds(self, k: int) -> None:
+        """Document *why* rounding: truncating drops ticks rounding keeps.
+
+        Not every ``k`` misbehaves, so the property asserts the implication:
+        whenever the float quotient lands below ``k`` (where ``int()`` would
+        lose a tick), ``ticks_for`` still lands exactly on ``k``.
+        """
+        dt_s = 1.0 / 60.0
+        clock = SimulationClock(dt_s=dt_s)
+        quotient = (k * dt_s) / dt_s
+        if int(quotient) != k:  # the truncation bug's trigger condition
+            assert clock.ticks_for(k * dt_s) == k
+
+    def test_known_60hz_truncation_trigger(self) -> None:
+        """k = 31 at 60 Hz: the smallest case where int() truncation fails."""
+        clock = SimulationClock(dt_s=1.0 / 60.0)
+        duration = 31 * clock.dt_s
+        assert int(duration / clock.dt_s) == 30  # the bug this API avoids
+        assert clock.ticks_for(duration) == 31
+
+    def test_fractional_durations_round_to_nearest_tick(self) -> None:
+        clock = SimulationClock(dt_s=0.1)
+        assert clock.ticks_for(0.0) == 0
+        assert clock.ticks_for(0.24) == 2
+        assert clock.ticks_for(0.26) == 3
+
+    def test_negative_duration_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            SimulationClock(dt_s=0.1).ticks_for(-1.0)
+
+    def test_numpy_scalar_durations_return_python_int(self) -> None:
+        """NumPy float64 durations (batch paths) still yield a plain int."""
+        np = pytest.importorskip("numpy")
+        clock = SimulationClock(dt_s=1.0 / 60.0)
+        ticks = clock.ticks_for(np.float64(7 * clock.dt_s))
+        assert ticks == 7
+        assert type(ticks) is int
+
+
+class TestClockBasics:
+    def test_advance_and_reset(self) -> None:
+        clock = SimulationClock(dt_s=0.5)
+        assert clock.now_s == 0.0
+        assert clock.advance() == 0.5
+        assert clock.advance() == 1.0
+        assert clock.ticks == 2
+        clock.reset()
+        assert clock.ticks == 0
+        assert clock.now_s == 0.0
+
+    def test_nonpositive_dt_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            SimulationClock(dt_s=0.0)

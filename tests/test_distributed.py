@@ -35,8 +35,9 @@ from repro.experiments.distributed import (
     shard_directory,
     shard_status,
 )
+from repro.experiments.distributed import RemainingCost
 from repro.experiments.matrix import ScenarioMatrix, named_matrix
-from repro.experiments.runner import SweepRunner
+from repro.experiments.runner import CellResult, SweepRunner
 
 
 def small_matrix() -> ScenarioMatrix:
@@ -330,6 +331,112 @@ class TestMergeParity:
         )
         assert cell_hashes(merged) == cell_hashes(SweepRunner().run(matrix))
 
+    def test_remaining_cost_tracks_outstanding_and_cached_hits(self):
+        """ETA accounting: outstanding cells and cached-hit deduction.
+
+        The CLI's ETA divides ``remaining_s`` by the *effective* parallelism
+        ``min(workers, outstanding)``: once fewer cells than workers remain,
+        the tail runs at the lower width, and a plain ``remaining / workers``
+        would claim a 4-worker pool finishes one long training cell 4x
+        faster than physically possible.  Cached hits arrive with
+        ``ok=True`` and must deduct like any completed cell.
+        """
+        cells = small_matrix().cells()
+        costs = {cell.fingerprint(): 10.0 for cell in cells[:3]}
+        costs[cells[3].fingerprint()] = 70.0
+        tracker = RemainingCost(costs)
+        assert tracker.outstanding == 4
+        assert tracker.remaining_s == 100.0
+
+        # A cached hit is a first delivery with ok=True: deducts and counts.
+        assert tracker.deliver(
+            CellResult(cell=cells[0], status="ok", summary={}, from_cache=True)
+        )
+        assert tracker.outstanding == 3
+        assert tracker.remaining_s == 90.0
+
+        # A failed cell is no longer runnable now, but its work is still
+        # owed (errors are never cached, so a re-run retries it).
+        assert tracker.deliver(CellResult(cell=cells[1], status="error"))
+        assert tracker.outstanding == 2
+        assert tracker.remaining_s == 90.0
+
+        # Duplicate-fingerprint expansions deliver twice; priced once.
+        assert not tracker.deliver(
+            CellResult(cell=cells[0], status="ok", summary={})
+        )
+        assert tracker.outstanding == 2
+        assert tracker.remaining_s == 90.0
+
+        tracker.deliver(CellResult(cell=cells[2], status="ok", summary={}))
+        # Only the 70 s cell is left: with 4 workers the effective
+        # parallelism is 1, so the ETA is the full 70 s -- not 70 / 4.
+        assert tracker.outstanding == 1
+        workers = 4
+        eta = tracker.remaining_s / max(1, min(workers, tracker.outstanding))
+        assert eta == 80.0  # 70 s outstanding + 10 s owed by the failure
+
+    def test_progress_printer_eta_clamps_to_outstanding(self, capsys):
+        """The printed ETA uses effective parallelism, not the worker count."""
+        cells = small_matrix().cells()
+        costs = {cell.fingerprint(): 10.0 for cell in cells[:3]}
+        costs[cells[3].fingerprint()] = 70.0
+        progress = cli._progress_printer(False, costs, workers=4)
+        for done, cell in enumerate(cells[:2], start=1):
+            progress(done, 4, CellResult(cell=cell, status="ok", summary={}))
+        out = capsys.readouterr().out
+        # 2 delivered: 80 s over 2 outstanding cells -> ~40 s, never ~20 s
+        # (remaining / workers) and not yet the single-cell tail.
+        assert "~40.0s left" in out.strip().splitlines()[-1]
+        progress(3, 4, CellResult(cell=cells[2], status="ok", summary={}))
+        # Only the 70 s cell is outstanding now: the ETA must be the full
+        # 70 s, not 70 / 4.
+        assert "~70.0s left" in capsys.readouterr().out.strip().splitlines()[-1]
+
+    def test_keyboard_interrupt_flushes_status_and_resumes(self, tmp_path):
+        """Ctrl-C mid-shard leaves an honest status file and a resumable cache.
+
+        A ``KeyboardInterrupt`` raised after the first cell delivers must (a)
+        propagate -- the worker exits nonzero rather than swallowing the
+        signal -- (b) flush ``shard-status.json`` atomically with
+        ``state == "interrupted"`` and the true progress counters, and (c)
+        cost nothing on resume: re-running the same shard serves the
+        completed cells from its cache.
+        """
+        matrix = small_matrix()
+        manifest = plan_shards(matrix, 2)
+        shard_dir = shard_directory(str(tmp_path), 0)
+
+        def bomb(done, total, result):
+            raise KeyboardInterrupt  # Ctrl-C lands after the first cell
+
+        with pytest.raises(KeyboardInterrupt):
+            run_shard(manifest, 0, shard_dir, progress=bomb)
+        with open(
+            os.path.join(shard_dir, "shard-status.json"), encoding="utf-8"
+        ) as handle:
+            status = json.load(handle)
+        assert status["state"] == "interrupted"
+        assert status["completed"] == 1
+        assert status["failed"] == 0
+        assert 0 < status["estimated_remaining_s"] < manifest.shard_cost_s(0)
+
+        resumed = run_shard(manifest, 0, shard_dir)
+        assert not resumed.failures
+        assert resumed.cached_count == status["completed"]
+
+    def test_cli_maps_keyboard_interrupt_to_exit_130(self, monkeypatch, capsys):
+        """``main`` turns Ctrl-C into exit 130 plus a how-to-resume hint."""
+
+        def interrupted(argv):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_run", interrupted)
+        assert cli.main(["run", "--matrix", "smoke"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "re-running the same command" in err
+
     def test_missing_shard_fails_unless_allowed(self, tmp_path):
         matrix = small_matrix()
         manifest = plan_shards(matrix, 2)
@@ -480,14 +587,16 @@ class TestShardStatus:
 
         matrix = small_matrix()
         manifest = plan_shards(matrix, 1)
-        real = runner_module.run_cell_session
+        real = runner_module.make_governor
 
-        def crash_on_powersave(cell, artifact=None):
-            if cell.governor == "powersave":
+        # Injected where scalar and batch-kernel cell paths meet, so the
+        # crash fires whichever route executes the cells.
+        def crash_on_powersave(name, **kwargs):
+            if name == "powersave":
                 raise RuntimeError("boom")
-            return real(cell, artifact=artifact)
+            return real(name, **kwargs)
 
-        monkeypatch.setattr(runner_module, "run_cell_session", crash_on_powersave)
+        monkeypatch.setattr(runner_module, "make_governor", crash_on_powersave)
         shard_dir = shard_directory(str(tmp_path), 0)
         sweep = run_shard(manifest, 0, shard_dir)
         assert len(sweep.failures) == 2

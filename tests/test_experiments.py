@@ -387,14 +387,19 @@ class TestRunner:
         )
         import repro.experiments.runner as runner_module
 
-        real = runner_module.run_cell_session
+        real = runner_module.make_governor
 
-        def crash_on_powersave(cell, artifact=None):
-            if cell.governor == "powersave":
+        # Inject the fault where the scalar and batch-kernel cell paths
+        # meet: both instantiate the governor through the runner module's
+        # make_governor, so a diverging configuration crashes either route
+        # (a batch that hits it falls back to per-cell execution, which then
+        # isolates the crash to its own cell).
+        def crash_on_powersave(name, **kwargs):
+            if name == "powersave":
                 raise RuntimeError("boom")
-            return real(cell, artifact=artifact)
+            return real(name, **kwargs)
 
-        monkeypatch.setattr(runner_module, "run_cell_session", crash_on_powersave)
+        monkeypatch.setattr(runner_module, "make_governor", crash_on_powersave)
         sweep = runner_module.run_matrix(matrix, max_workers=1)
         assert len(sweep.completed) == 1
         assert len(sweep.failures) == 1
