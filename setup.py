@@ -23,6 +23,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-sweep = repro.experiments.cli:main",
+            "repro-lint = repro.lint.cli:console_main",
         ],
     },
 )

@@ -36,8 +36,8 @@ from repro.core.artifact import (
     ARTIFACT_SCHEMA_VERSION,
     AgentArtifact,
     TrainingSpec,
-    atomic_write_json,
 )
+from repro.core.persistence import atomic_write_json, list_entry_paths
 from repro.core.federated import (
     FLEET_SCHEMA_VERSION,
     CloudTrainer,
@@ -76,6 +76,7 @@ __all__ = [
     "AgentArtifact",
     "TrainingSpec",
     "atomic_write_json",
+    "list_entry_paths",
     "derive_seed",
     "CloudTrainer",
     "CloudTrainingConfig",

@@ -20,54 +20,27 @@ is a self-contained JSON document, never a live Python object.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.agent import AgentConfig, NextAgent
 from repro.core.governor import NextGovernor
+from repro.core.persistence import atomic_write_json, list_entry_paths
 from repro.core.seeding import canonical_fingerprint
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "AgentArtifact",
+    "TrainingSpec",
+    # Re-exported from repro.core.persistence for backward compatibility;
+    # new code should import the seam from there.
+    "atomic_write_json",
+    "list_entry_paths",
+]
 
 #: Bumped whenever the artifact layout or training semantics change, so a
 #: stale on-disk artifact can never be mistaken for a current one.
 ARTIFACT_SCHEMA_VERSION = 1
-
-
-def list_entry_paths(directory: Optional[str], suffix: str) -> List[str]:
-    """Paths of every store entry file under ``directory``, sorted by name.
-
-    The shared directory-scan of every fingerprint-keyed store (result
-    cache, agent artifacts, fleets): entries are regular files with the
-    store's suffix; quarantined (``.bad``), staging (``.tmp.<pid>``) and
-    subdirectory names fall through the filter.
-    """
-    if directory is None or not os.path.isdir(directory):
-        return []
-    return [
-        os.path.join(directory, filename)
-        for filename in sorted(os.listdir(directory))
-        if filename.endswith(suffix)
-        and os.path.isfile(os.path.join(directory, filename))
-    ]
-
-
-def atomic_write_json(path: str, payload: Mapping[str, Any]) -> str:
-    """Write ``payload`` as JSON via a same-directory rename; returns ``path``.
-
-    Readers either see the complete previous file or the complete new one,
-    never a truncated intermediate -- the property that lets several sweep
-    runners share one artifact directory.  The temporary name carries the
-    writer's PID so concurrent writers cannot clobber each other's staging
-    file.
-    """
-    directory = os.path.dirname(path)
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    tmp_path = f"{path}.tmp.{os.getpid()}"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
-    os.replace(tmp_path, path)
-    return path
 
 
 @dataclass(frozen=True)

@@ -36,7 +36,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.agent import AgentConfig, NextAgent
-from repro.core.artifact import TrainingSpec, atomic_write_json
+from repro.core.artifact import TrainingSpec
+from repro.core.persistence import atomic_write_json
 from repro.core.governor import NextGovernor
 from repro.core.qtable import QTable
 from repro.core.seeding import canonical_fingerprint, derive_seed

@@ -1,0 +1,71 @@
+"""Crash-safe JSON persistence primitives shared by every on-disk store.
+
+Every artifact store in the project (sweep result cache, agent artifacts,
+fleet artifacts, shard manifests, per-app Q-table files) persists JSON
+documents into directories that may be shared by several runner processes
+and scanned by later sessions.  Two invariants make that safe and
+deterministic, and both live here so the static-analysis pass
+(:mod:`repro.lint`) can enforce that nothing bypasses them:
+
+* **Atomic publication** (:func:`atomic_write_json`): a write is staged in
+  the target directory under a PID-suffixed temporary name and published
+  with ``os.replace``, so readers observe either the complete previous
+  document or the complete new one -- never a truncated intermediate
+  (lint rule REP004).
+* **Deterministic enumeration** (:func:`list_entry_paths`): directory
+  scans are sorted by filename, so load order -- and therefore any
+  insertion-order-dependent downstream serialisation -- never depends on
+  filesystem enumeration order (lint rule REP003).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, List, Mapping, Optional
+
+
+def list_entry_paths(directory: Optional[str], suffix: str) -> List[str]:
+    """Paths of every store entry file under ``directory``, sorted by name.
+
+    The shared directory-scan of every fingerprint-keyed store (result
+    cache, agent artifacts, fleets): entries are regular files with the
+    store's suffix; quarantined (``.bad``), staging (``.tmp.<pid>``) and
+    subdirectory names fall through the filter.
+    """
+    if directory is None or not os.path.isdir(directory):
+        return []
+    return [
+        os.path.join(directory, filename)
+        for filename in sorted(os.listdir(directory))
+        if filename.endswith(suffix)
+        and os.path.isfile(os.path.join(directory, filename))
+    ]
+
+
+def atomic_write_json(
+    path: str,
+    payload: Mapping[str, Any],
+    indent: Optional[int] = None,
+    sort_keys: bool = False,
+) -> str:
+    """Write ``payload`` as JSON via a same-directory rename; returns ``path``.
+
+    Readers either see the complete previous file or the complete new one,
+    never a truncated intermediate -- the property that lets several sweep
+    runners share one artifact directory.  The temporary name carries the
+    writer's PID so concurrent writers cannot clobber each other's staging
+    file.
+
+    ``indent`` / ``sort_keys`` pass through to :func:`json.dump` for
+    human-reviewed documents (e.g. the lint baseline) that must serialise
+    deterministically and diff cleanly.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=indent, sort_keys=sort_keys)
+    os.replace(tmp_path, path)
+    return path

@@ -19,6 +19,8 @@ import os
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 from urllib.parse import quote, unquote
 
+from repro.core.persistence import atomic_write_json
+
 
 def escape_app_name(app_name: str) -> str:
     """Map an application name to a path-safe filename component.
@@ -239,8 +241,7 @@ class QTableStore:
         paths = []
         for app_name, table in self._tables.items():
             path = os.path.join(directory, f"{escape_app_name(app_name)}.qtable.json")
-            with open(path, "w", encoding="utf-8") as handle:
-                json.dump(table.to_dict(), handle)
+            atomic_write_json(path, table.to_dict())
             paths.append(path)
         return paths
 
@@ -250,7 +251,10 @@ class QTableStore:
         store = cls(action_count=action_count, initial_q=initial_q)
         if not os.path.isdir(directory):
             return store
-        for filename in os.listdir(directory):
+        # Sorted so store insertion order -- and any downstream
+        # dict-iteration-order-dependent serialisation or merge -- never
+        # depends on filesystem enumeration order.
+        for filename in sorted(os.listdir(directory)):
             if not filename.endswith(".qtable.json"):
                 continue
             app_name = unescape_app_name(filename[: -len(".qtable.json")])

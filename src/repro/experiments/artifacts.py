@@ -25,7 +25,8 @@ from dataclasses import asdict
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.agent import AgentConfig
-from repro.core.artifact import AgentArtifact, TrainingSpec, list_entry_paths
+from repro.core.artifact import AgentArtifact, TrainingSpec
+from repro.core.persistence import list_entry_paths
 from repro.core.governor import NextGovernor
 from repro.sim.config import SimulationConfig
 from repro.sim.experiment import train_next_on_apps

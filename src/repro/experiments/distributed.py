@@ -46,7 +46,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.artifact import atomic_write_json
+from repro.core.persistence import atomic_write_json
 from repro.core.seeding import canonical_fingerprint
 from repro.experiments.artifacts import ArtifactStore
 from repro.experiments.federated import FleetStore

@@ -37,7 +37,8 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.actions import ActionSpace
 from repro.core.agent import AgentConfig, NextAgent
-from repro.core.artifact import TrainingSpec, list_entry_paths
+from repro.core.artifact import TrainingSpec
+from repro.core.persistence import list_entry_paths
 from repro.core.federated import (
     FederatedAggregator,
     FleetArtifact,

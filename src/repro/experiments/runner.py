@@ -27,13 +27,9 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
-from repro.core.artifact import (
-    AgentArtifact,
-    TrainingSpec,
-    atomic_write_json,
-    list_entry_paths,
-)
+from repro.core.artifact import AgentArtifact, TrainingSpec
 from repro.core.federated import FleetArtifact, FleetSpec
+from repro.core.persistence import atomic_write_json, list_entry_paths
 from repro.experiments.artifacts import ArtifactStore, train_artifact
 from repro.experiments.federated import (
     FleetBuild,

@@ -1,0 +1,33 @@
+"""``repro-lint``: AST-based determinism & invariant linter.
+
+Every subsystem in this repository (compiled scalar kernel, batched
+device-population kernel, sweep shards, federated fleets) stakes its
+correctness on one contract: recorded output is **bit-identical** across
+scalar/batched, sequential/pool and sharded/unsharded execution paths.
+The golden-hash and parity suites enforce that contract *after the fact*;
+this package enforces it *at the line that would break it*, by statically
+rejecting the hazard patterns that historically flip hashes:
+
+========  ==============================================================
+REP001    unseeded randomness (``random`` / ``numpy.random`` global state)
+REP002    wall-clock reads in deterministic code
+REP003    unsorted filesystem enumeration
+REP004    non-atomic JSON persistence (bypassing ``atomic_write_json``)
+REP005    lane-crossing NumPy reductions in the batch kernel
+REP006    unpicklable callables handed to executor pools
+REP007    PYTHONHASHSEED-salted builtin ``hash()`` in deterministic code
+========  ==============================================================
+
+Entry points: the ``repro-lint`` console script (:mod:`repro.lint.cli`,
+subcommands ``check`` / ``baseline`` / ``explain``), or the library API
+(:func:`repro.lint.engine.lint_paths`).  Per-rule file-scope policy lives
+in ``[tool.repro-lint]`` of the repository's ``pyproject.toml``; deliberate
+exceptions are either suppressed inline with a justified
+``# repro-lint: disable=REPnnn -- <why>`` comment or ratcheted in the
+committed baseline file (:mod:`repro.lint.baseline`).
+"""
+
+from repro.lint.engine import Finding, lint_paths, lint_source
+from repro.lint.rules import ALL_RULES, RULES_BY_ID
+
+__all__ = ["Finding", "lint_paths", "lint_source", "ALL_RULES", "RULES_BY_ID"]

@@ -1,0 +1,5 @@
+"""``python -m repro.lint`` == the ``repro-lint`` console script."""
+
+from repro.lint.cli import console_main
+
+console_main()

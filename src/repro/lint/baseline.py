@@ -1,0 +1,96 @@
+"""Baseline ratchet: grandfathered findings, committed and reviewable.
+
+The baseline lets the linter land with zero tolerance for *new* hazards
+while deliberately accepted legacy findings are recorded in a committed
+file.  ``repro-lint check`` subtracts baselined findings; ``repro-lint
+baseline`` rewrites the file from the current tree.  The ratchet only
+tightens: entries that no longer match any finding are reported as stale
+so the file shrinks as hazards are fixed, and the writer is deterministic
+(schema-versioned, sorted, stable JSON via the project's atomic-write
+seam) so every diff is reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.persistence import atomic_write_json
+from repro.lint.engine import Finding
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: A finding's ratchet identity.  Messages are excluded on purpose: tuning
+#: a rule's wording must not silently invalidate the committed baseline.
+BaselineKey = Tuple[str, str, int]
+
+
+def baseline_key(finding: Finding) -> BaselineKey:
+    return (finding.rule_id, finding.path, finding.line)
+
+
+def load_baseline(path: str) -> List[Dict]:
+    """Entries of a baseline file; a missing file is an empty baseline."""
+    if not os.path.isfile(path):
+        return []
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    version = data.get("schema_version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline {path!r} has schema version {version!r}; this "
+            f"repro-lint expects {BASELINE_SCHEMA_VERSION} -- regenerate it "
+            "with 'repro-lint baseline'"
+        )
+    return list(data.get("entries", []))
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> str:
+    """Write a deterministic baseline for ``findings``; returns ``path``.
+
+    Entries are sorted by (path, line, rule) and keys are sorted, so two
+    writers over the same tree produce byte-identical files and every
+    baseline change reads as a clean diff.
+    """
+    entries = [
+        {
+            "rule": finding.rule_id,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+        }
+        for finding in sorted(set(findings), key=Finding.sort_key)
+    ]
+    payload = {"schema_version": BASELINE_SCHEMA_VERSION, "entries": entries}
+    return atomic_write_json(path, payload, indent=2, sort_keys=True)
+
+
+def partition_findings(
+    findings: Sequence[Finding], entries: Sequence[Dict]
+) -> Tuple[List[Finding], List[Finding], List[Dict]]:
+    """Split findings against the baseline.
+
+    Returns ``(new, baselined, stale_entries)``: findings not covered by
+    the baseline, findings the baseline absorbs, and baseline entries that
+    matched nothing (the ratchet's downward pressure -- prune them).
+    """
+    keys: Set[BaselineKey] = set()
+    for entry in entries:
+        keys.add((str(entry["rule"]), str(entry["path"]), int(entry["line"])))
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    used: Set[BaselineKey] = set()
+    for finding in findings:
+        key = baseline_key(finding)
+        if key in keys:
+            baselined.append(finding)
+            used.add(key)
+        else:
+            new.append(finding)
+    stale = [
+        entry
+        for entry in entries
+        if (str(entry["rule"]), str(entry["path"]), int(entry["line"])) not in used
+    ]
+    return new, baselined, stale

@@ -1,0 +1,228 @@
+"""``repro-lint`` command-line interface.
+
+Subcommands:
+
+``check [paths...]``
+    Lint the tree; exit 1 on any non-baselined finding.  ``--format`` picks
+    ``text`` (default), ``json`` (stable machine-readable report) or
+    ``github`` (workflow annotations that attach to the offending line).
+``baseline [paths...]``
+    Rewrite the committed baseline file from the current findings.
+``explain REPnnn [...]``
+    Print a rule's rationale (or ``all`` for the whole pack).
+
+Paths default to the committed ``[tool.repro-lint] paths``; the repo root
+(where ``pyproject.toml`` and the baseline live) defaults to the current
+directory and is overridable with ``--root``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint import baseline as baseline_module
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import Finding, lint_paths, resolve_rules
+from repro.lint.rules import ALL_RULES, RULES_BY_ID
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism & invariant linter enforcing the "
+            "bit-identity contract (see 'repro-lint explain all')."
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root: config and baseline paths resolve against it",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        help="pyproject.toml carrying [tool.repro-lint] (default: <root>/pyproject.toml)",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    check = subparsers.add_parser("check", help="lint the tree")
+    check.add_argument("paths", nargs="*", help="files/directories to lint")
+    check.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format",
+    )
+    check.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: the committed [tool.repro-lint] baseline)",
+    )
+    check.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding",
+    )
+
+    baseline = subparsers.add_parser(
+        "baseline", help="rewrite the baseline from current findings"
+    )
+    baseline.add_argument("paths", nargs="*", help="files/directories to lint")
+    baseline.add_argument(
+        "--output", default=None, help="baseline file to write (default: committed path)"
+    )
+
+    explain = subparsers.add_parser("explain", help="print rule rationale")
+    explain.add_argument("rules", nargs="+", help="rule IDs (REPnnn) or 'all'")
+    return parser
+
+
+def _run(args: argparse.Namespace) -> List[Finding]:
+    config: LintConfig = args._config
+    paths = list(args.paths) or list(config.paths)
+    resolved = resolve_rules(ALL_RULES, config.rule_overrides)
+    return lint_paths(paths, args.root, resolved)
+
+
+def _baseline_path(args: argparse.Namespace, override: Optional[str]) -> str:
+    config: LintConfig = args._config
+    path = override if override is not None else config.baseline
+    return path if os.path.isabs(path) else os.path.join(args.root, path)
+
+
+def _print_text(
+    findings: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Sequence[dict],
+) -> None:
+    for finding in findings:
+        print(f"{finding.location()}: {finding.rule_id} {finding.message}")
+    if findings:
+        print()
+    counts = {}
+    for finding in findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    summary = ", ".join(f"{rule} x{count}" for rule, count in sorted(counts.items()))
+    print(
+        f"repro-lint: {len(findings)} finding(s)"
+        + (f" ({summary})" if summary else "")
+        + (f", {len(baselined)} baselined" if baselined else "")
+    )
+    if stale:
+        print(
+            f"repro-lint: {len(stale)} stale baseline entr"
+            + ("y" if len(stale) == 1 else "ies")
+            + " no longer match -- tighten the ratchet with 'repro-lint baseline':"
+        )
+        for entry in stale:
+            print(f"  {entry['path']}:{entry['line']}: {entry['rule']}")
+
+
+def _print_github(findings: Sequence[Finding]) -> None:
+    for finding in findings:
+        # One annotation per finding, attached to the offending line.
+        message = finding.message.replace("\n", " ")
+        print(
+            f"::error file={finding.path},line={finding.line},"
+            f"col={finding.col},title=repro-lint {finding.rule_id}::{message}"
+        )
+    print(f"repro-lint: {len(findings)} finding(s)")
+
+
+def _print_json(
+    findings: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Sequence[dict],
+) -> None:
+    report = {
+        "schema_version": 1,
+        "findings": [finding.to_dict() for finding in findings],
+        "baselined": [finding.to_dict() for finding in baselined],
+        "stale_baseline": list(stale),
+    }
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    findings = _run(args)
+    baselined: List[Finding] = []
+    stale: List[dict] = []
+    if not args.no_baseline:
+        entries = baseline_module.load_baseline(_baseline_path(args, args.baseline))
+        findings, baselined, stale = baseline_module.partition_findings(
+            findings, entries
+        )
+    if args.format == "github":
+        _print_github(findings)
+    elif args.format == "json":
+        _print_json(findings, baselined, stale)
+    else:
+        _print_text(findings, baselined, stale)
+    return 1 if findings else 0
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    findings = _run(args)
+    path = _baseline_path(args, args.output)
+    baseline_module.write_baseline(path, findings)
+    print(f"repro-lint: wrote {len(findings)} entr"
+          + ("y" if len(findings) == 1 else "ies")
+          + f" to {path}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    requested = list(args.rules)
+    if any(rule.lower() == "all" for rule in requested):
+        requested = sorted(RULES_BY_ID)
+    status = 0
+    for index, rule_id in enumerate(requested):
+        rule = RULES_BY_ID.get(rule_id.upper())
+        if rule is None:
+            print(f"repro-lint: unknown rule {rule_id!r}", file=sys.stderr)
+            status = 2
+            continue
+        if index:
+            print()
+        print(f"{rule.rule_id}: {rule.title}")
+        print("-" * (len(rule.rule_id) + len(rule.title) + 2))
+        print(rule.rationale)
+        print(f"default scope: include={list(rule.default_include)}"
+              + (f" exclude={list(rule.default_exclude)}" if rule.default_exclude else ""))
+    return status
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command != "explain":
+        config_path = args.config
+        if config_path is None:
+            config_path = os.path.join(args.root, "pyproject.toml")
+        args._config = load_config(config_path)
+    try:
+        if args.command == "check":
+            return _cmd_check(args)
+        if args.command == "baseline":
+            return _cmd_baseline(args)
+        return _cmd_explain(args)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def console_main() -> None:
+    """Entry point for the ``repro-lint`` console script."""
+    sys.exit(main())
+
+
+if __name__ == "__main__":
+    console_main()

@@ -1,0 +1,160 @@
+"""Lint configuration: the committed ``[tool.repro-lint]`` policy.
+
+The scope policy that makes the rule pack project-specific -- which rules
+watch which directories, which diagnostic sites are allowlisted -- is
+committed in ``pyproject.toml`` so it is reviewed like code::
+
+    [tool.repro-lint]
+    paths = ["src", "tests", "benchmarks"]
+
+    [tool.repro-lint.REP002]
+    include = ["src/"]
+    allow_sites = ["src/repro/experiments/runner.py::execute_cell"]
+
+Python 3.11+ parses the file with :mod:`tomllib`.  On 3.9/3.10 (no
+``tomllib``, and the container policy forbids new dependencies) a minimal
+fallback parser handles the JSON-compatible TOML subset this project's
+config actually uses: ``[section]`` headers, ``key = "string" | number |
+true/false | [array]`` with arrays allowed to span lines.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - exercised on 3.9/3.10 CI only
+    tomllib = None
+
+_SECTION_RE = re.compile(r"^\[([^\]]+)\]\s*(?:#.*)?$")
+_KEY_RE = re.compile(r"^([A-Za-z0-9_.\-]+)\s*=\s*(.*)$")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved ``[tool.repro-lint]`` table."""
+
+    #: Default paths ``check``/``baseline`` scan when none are given.
+    paths: Tuple[str, ...] = ("src", "tests", "benchmarks")
+    #: Baseline file, relative to the repo root.
+    baseline: str = ".repro-lint-baseline.json"
+    #: Per-rule override tables (``REPnnn`` -> {include/exclude/options...}).
+    rule_overrides: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+
+
+def load_config(pyproject_path: Optional[str]) -> LintConfig:
+    """Load ``[tool.repro-lint]`` from ``pyproject_path`` (missing file = defaults)."""
+    if pyproject_path is None:
+        return LintConfig()
+    try:
+        with open(pyproject_path, "rb") as handle:
+            raw = handle.read()
+    except FileNotFoundError:
+        return LintConfig()
+    data = _parse_toml(raw.decode("utf-8"))
+    table = data.get("tool", {}).get("repro-lint", {})
+    if not isinstance(table, dict):
+        return LintConfig()
+    rule_overrides = {
+        key: dict(value)
+        for key, value in table.items()
+        if isinstance(value, dict)
+    }
+    return LintConfig(
+        paths=tuple(table.get("paths", LintConfig.paths)),
+        baseline=str(table.get("baseline", LintConfig.baseline)),
+        rule_overrides=rule_overrides,
+    )
+
+
+def _parse_toml(text: str) -> Dict[str, Any]:
+    if tomllib is not None:
+        return tomllib.loads(text)
+    return _parse_toml_minimal(text)
+
+
+def _parse_toml_minimal(text: str) -> Dict[str, Any]:
+    """Fallback parser for the JSON-compatible TOML subset this repo uses.
+
+    Supports ``[dotted.section]`` headers and ``key = value`` pairs whose
+    values are double-quoted strings, numbers, booleans, or (possibly
+    multi-line) arrays of those.  Comments and unsupported constructs are
+    skipped rather than rejected -- the committed config stays within the
+    subset, and ``tomllib`` is authoritative wherever it exists.
+    """
+    root: Dict[str, Any] = {}
+    current = root
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line = lines[index].strip()
+        index += 1
+        if not line or line.startswith("#"):
+            continue
+        section = _SECTION_RE.match(line)
+        if section:
+            current = root
+            for part in _split_section_name(section.group(1)):
+                current = current.setdefault(part, {})
+            continue
+        pair = _KEY_RE.match(line)
+        if not pair:
+            continue
+        key, value_text = pair.group(1).strip().strip('"'), pair.group(2)
+        # Accumulate multi-line arrays until brackets balance outside strings.
+        while _open_brackets(value_text) > 0 and index < len(lines):
+            value_text += "\n" + lines[index]
+            index += 1
+        value = _parse_value(value_text)
+        if value is not _UNPARSED:
+            current[key] = value
+    return root
+
+
+def _split_section_name(name: str) -> List[str]:
+    # Handles both [tool.repro-lint] and quoted parts like [tool."repro-lint"].
+    return [part.strip().strip('"').strip("'") for part in name.split(".")]
+
+
+_UNPARSED = object()
+
+
+def _strip_trailing_comment(text: str) -> str:
+    out = []
+    in_string = False
+    for char in text:
+        if char == '"':
+            in_string = not in_string
+        if char == "#" and not in_string:
+            break
+        out.append(char)
+    return "".join(out).strip()
+
+
+def _open_brackets(text: str) -> int:
+    depth = 0
+    in_string = False
+    for char in text:
+        if char == '"':
+            in_string = not in_string
+        elif not in_string:
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+    return depth
+
+
+def _parse_value(text: str) -> Any:
+    cleaned = _strip_trailing_comment(text)
+    if cleaned.startswith("["):
+        # TOML arrays in the JSON-compatible subset tolerate trailing commas.
+        cleaned = re.sub(r",\s*\]", "]", cleaned)
+    try:
+        return json.loads(cleaned)
+    except ValueError:
+        return _UNPARSED

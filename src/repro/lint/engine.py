@@ -1,0 +1,356 @@
+"""Visitor framework and per-file driver for the ``repro-lint`` rule pack.
+
+The engine's job is deliberately small and deterministic:
+
+* resolve which rules are *active* for a file (per-rule include/exclude
+  scope policy from the committed lint config),
+* parse the file once into an :class:`ModuleSource` -- an AST plus the
+  derived indexes every rule needs (parent links, import-alias table,
+  enclosing-function lookup),
+* run each active rule's :meth:`Rule.check` over it,
+* apply inline suppressions (``# repro-lint: disable=REPnnn -- <why>``),
+  where a suppression **without** a trailing justification is itself
+  ignored (the finding survives, annotated), and
+* return findings in a stable sort order so output, baselines and CI
+  annotations diff cleanly.
+
+File discovery is sorted (rule REP003 applies to the linter too): results
+never depend on filesystem enumeration order.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import os
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+#: Reserved pseudo-rule for files the engine cannot parse.
+PARSE_ERROR_RULE_ID = "REP000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)(.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location (repo-relative path)."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro-lint: disable=...`` comment on one line."""
+
+    rule_ids: Tuple[str, ...]
+    justified: bool
+
+
+class ModuleSource:
+    """One parsed module plus the derived indexes shared by every rule."""
+
+    def __init__(self, rel_path: str, text: str) -> None:
+        self.rel_path = rel_path
+        self.text = text
+        self.tree = ast.parse(text)
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        #: ``import numpy as np`` -> {"np": "numpy"}; ``import time`` -> {"time": "time"}
+        self.import_aliases: Dict[str, str] = {}
+        #: ``from time import perf_counter as pc`` -> {"pc": "time.perf_counter"}
+        self.from_imports: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.import_aliases[alias.asname] = alias.name
+                    else:
+                        # ``import os.path`` binds the root name ``os``.
+                        root_name = alias.name.split(".")[0]
+                        self.import_aliases[root_name] = root_name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        self.suppressions = parse_suppressions(text)
+
+    # -- tree navigation ---------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(self, node: ast.AST) -> str:
+        """Dotted name chain of the functions enclosing ``node`` ('' at module level)."""
+        names = [
+            ancestor.name
+            for ancestor in self.ancestors(node)
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        return ".".join(reversed(names))
+
+    # -- call resolution ---------------------------------------------------------
+
+    def resolve_call(self, call: ast.Call) -> Optional[str]:
+        """Canonical dotted name of a call's target, if import-resolvable.
+
+        ``np.random.randint(...)`` resolves to ``numpy.random.randint``,
+        ``perf_counter()`` (after ``from time import perf_counter``) to
+        ``time.perf_counter``, ``datetime.now()`` (after ``from datetime
+        import datetime``) to ``datetime.datetime.now``.  Calls on local
+        objects (``self._rng.random()``) resolve to ``None`` -- they carry
+        their own state and are exactly what the rules steer code toward.
+        """
+        parts: List[str] = []
+        node: ast.AST = call.func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = node.id
+        parts.reverse()
+        if base in self.import_aliases:
+            return ".".join([self.import_aliases[base]] + parts)
+        if base in self.from_imports:
+            return ".".join([self.from_imports[base]] + parts)
+        if not parts:
+            # Bare name that is not an import: only meaningful for builtins,
+            # which the caller checks by name.
+            return None
+        return None
+
+
+def parse_suppressions(text: str) -> Dict[int, Suppression]:
+    """Per-line inline suppressions (1-indexed line -> :class:`Suppression`).
+
+    A suppression is *justified* -- and therefore effective -- only when
+    the comment carries trailing free text after the rule list, e.g.::
+
+        foo()  # repro-lint: disable=REP002 -- diagnostic only, not recorded
+
+    A bare ``disable=`` with no justification is deliberately ignored so
+    hazards cannot be waved through silently.
+    """
+    suppressions: Dict[int, Suppression] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        rule_ids = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        justification = match.group(2).strip().lstrip("-—:").strip()
+        suppressions[lineno] = Suppression(
+            rule_ids=rule_ids, justified=bool(justification)
+        )
+    return suppressions
+
+
+class Rule:
+    """Base class: one determinism invariant, with scope policy defaults."""
+
+    rule_id: str = ""
+    title: str = ""
+    #: Multi-paragraph explanation surfaced by ``repro-lint explain``.
+    rationale: str = ""
+    default_include: Tuple[str, ...] = ("src/",)
+    default_exclude: Tuple[str, ...] = ()
+    default_options: Mapping[str, Any] = {}
+
+    def check(
+        self, module: ModuleSource, options: Mapping[str, Any]
+    ) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleSource, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class ResolvedRule:
+    """A rule plus its effective (config-merged) scope and options."""
+
+    rule: Rule
+    include: Tuple[str, ...]
+    exclude: Tuple[str, ...]
+    options: Mapping[str, Any] = field(default_factory=dict)
+    enabled: bool = True
+
+    def applies_to(self, rel_path: str) -> bool:
+        if not self.enabled:
+            return False
+        if any(path_matches(rel_path, pattern) for pattern in self.exclude):
+            return False
+        return any(path_matches(rel_path, pattern) for pattern in self.include)
+
+
+def resolve_rules(
+    rules: Sequence[Rule], overrides: Mapping[str, Mapping[str, Any]] = {}
+) -> List[ResolvedRule]:
+    """Merge each rule's defaults with the ``[tool.repro-lint.REPnnn]`` tables."""
+    resolved = []
+    for rule in rules:
+        table = dict(overrides.get(rule.rule_id, {}))
+        include = tuple(table.pop("include", rule.default_include))
+        exclude = tuple(table.pop("exclude", rule.default_exclude))
+        enabled = bool(table.pop("enabled", True))
+        options = dict(rule.default_options)
+        options.update(table)
+        resolved.append(
+            ResolvedRule(
+                rule=rule,
+                include=include,
+                exclude=exclude,
+                options=options,
+                enabled=enabled,
+            )
+        )
+    return resolved
+
+
+def path_matches(rel_path: str, pattern: str) -> bool:
+    """Scope-policy path matching over repo-relative POSIX paths.
+
+    ``"src/"`` (trailing slash) and ``"src"`` both match everything under
+    the directory; a pattern containing a wildcard is an ``fnmatch`` glob;
+    anything else is an exact file match.
+    """
+    rel_path = rel_path.replace(os.sep, "/")
+    pattern = pattern.replace(os.sep, "/")
+    if "*" in pattern or "?" in pattern or "[" in pattern:
+        return fnmatch.fnmatch(rel_path, pattern)
+    if pattern.endswith("/"):
+        return rel_path.startswith(pattern)
+    return rel_path == pattern or rel_path.startswith(pattern + "/")
+
+
+# ---------------------------------------------------------------------------
+# drivers
+# ---------------------------------------------------------------------------
+
+def iter_python_files(paths: Sequence[str], root: str) -> Iterator[Tuple[str, str]]:
+    """Yield ``(abs_path, repo_relative_path)`` for every ``.py`` file, sorted.
+
+    Deterministic by construction: directory walks and sibling lists are
+    sorted, so the scan order (and therefore all output order) never
+    depends on filesystem enumeration order.
+    """
+    seen = set()
+    for path in paths:
+        abs_path = path if os.path.isabs(path) else os.path.join(root, path)
+        if os.path.isfile(abs_path):
+            candidates = [abs_path]
+        elif os.path.isdir(abs_path):
+            candidates = []
+            for dirpath, dirnames, filenames in sorted(os.walk(abs_path)):
+                dirnames.sort()
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        candidates.append(os.path.join(dirpath, filename))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+        for candidate in candidates:
+            real = os.path.realpath(candidate)
+            if real in seen:
+                continue
+            seen.add(real)
+            yield candidate, os.path.relpath(candidate, root).replace(os.sep, "/")
+
+
+def lint_source(
+    text: str, rel_path: str, resolved_rules: Sequence[ResolvedRule]
+) -> List[Finding]:
+    """Lint one in-memory module under a pretend repo-relative path."""
+    active = [entry for entry in resolved_rules if entry.applies_to(rel_path)]
+    if not active:
+        return []
+    try:
+        module = ModuleSource(rel_path, text)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id=PARSE_ERROR_RULE_ID,
+                path=rel_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+                message=f"could not parse file: {exc.msg}",
+            )
+        ]
+    findings: List[Finding] = []
+    for entry in active:
+        for finding in entry.rule.check(module, entry.options):
+            findings.append(_apply_suppression(finding, module))
+    return sorted(
+        [finding for finding in findings if finding is not None],
+        key=Finding.sort_key,
+    )
+
+
+def _apply_suppression(
+    finding: Finding, module: ModuleSource
+) -> Optional[Finding]:
+    suppression = module.suppressions.get(finding.line)
+    if suppression is None or finding.rule_id not in suppression.rule_ids:
+        return finding
+    if suppression.justified:
+        return None
+    return replace(
+        finding,
+        message=finding.message
+        + " [suppression ignored: add a justification, e.g."
+        + f" '# repro-lint: disable={finding.rule_id} -- <why this is safe>']",
+    )
+
+
+def lint_paths(
+    paths: Sequence[str],
+    root: str,
+    resolved_rules: Sequence[ResolvedRule],
+) -> List[Finding]:
+    """Lint every Python file under ``paths``; findings in stable sorted order."""
+    findings: List[Finding] = []
+    for abs_path, rel_path in iter_python_files(paths, root):
+        with open(abs_path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        findings.extend(lint_source(text, rel_path, resolved_rules))
+    return sorted(findings, key=Finding.sort_key)

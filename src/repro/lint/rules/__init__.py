@@ -1,0 +1,37 @@
+"""The ``repro-lint`` rule pack: one module per rule family.
+
+=========  =================  ==============================================
+module     rules              invariant
+=========  =================  ==============================================
+random_    REP001, REP007     no process-global / salted entropy sources
+wallclock  REP002             no wall-clock in deterministic code
+fsorder    REP003             sorted filesystem enumeration
+persist    REP004             JSON persistence through ``atomic_write_json``
+reduce     REP005             no op-order-changing reductions in the batch
+                              kernel
+pools      REP006             only picklable callables cross pool boundaries
+=========  =================  ==============================================
+"""
+
+from repro.lint.rules.fsorder import UnsortedEnumerationRule
+from repro.lint.rules.persist import NonAtomicPersistenceRule
+from repro.lint.rules.pools import UnpicklablePoolCallableRule
+from repro.lint.rules.random_ import SaltedHashRule, UnseededRandomnessRule
+from repro.lint.rules.reduce import LaneCrossingReductionRule
+from repro.lint.rules.wallclock import WallClockRule
+
+#: Registry order is rule-ID order; output order is decided by the engine's
+#: stable sort, never by this tuple.
+ALL_RULES = (
+    UnseededRandomnessRule(),
+    WallClockRule(),
+    UnsortedEnumerationRule(),
+    NonAtomicPersistenceRule(),
+    LaneCrossingReductionRule(),
+    UnpicklablePoolCallableRule(),
+    SaltedHashRule(),
+)
+
+RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}
+
+__all__ = ["ALL_RULES", "RULES_BY_ID"]

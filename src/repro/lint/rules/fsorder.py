@@ -1,0 +1,106 @@
+"""REP003: unsorted filesystem enumeration.
+
+``os.listdir`` / ``glob`` / ``Path.iterdir`` return entries in filesystem
+order, which differs between filesystems, mount options and even between
+runs on the same machine.  Any load order, merge order or "pick the first
+match" derived from an unsorted scan makes behaviour depend on it -- the
+exact bug class that made :meth:`QTableStore.load` insertion order (and
+every downstream dict-iteration-order-dependent serialisation) depend on
+the filesystem.
+
+A scan is sanctioned when its result flows through an order-insensitive
+consumer the rule can see locally: ``sorted(...)`` (the canonical fix) or
+a cardinality/membership fold (``len``/``set``/``min``/``max``/...).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, Mapping
+
+from repro.lint.engine import Finding, ModuleSource, Rule
+
+_LISTING_CALLS = {
+    "os.listdir",
+    "os.walk",
+    "os.scandir",
+    "glob.glob",
+    "glob.iglob",
+}
+#: Method names that enumerate a directory on path-like receivers.
+_LISTING_METHODS = {"iterdir", "glob", "rglob"}
+#: Builtins whose result cannot depend on the iteration order of their
+#: argument (sorted output, cardinality, extrema, membership sets).
+_ORDER_INSENSITIVE_CONSUMERS = {
+    "sorted",
+    "len",
+    "set",
+    "frozenset",
+    "min",
+    "max",
+    "sum",
+    "any",
+    "all",
+}
+
+
+class UnsortedEnumerationRule(Rule):
+    rule_id = "REP003"
+    title = "unsorted filesystem enumeration"
+    rationale = (
+        "os.listdir/glob/Path.iterdir yield entries in filesystem order,\n"
+        "which is not stable across filesystems or runs.  Unsorted scans\n"
+        "leak that order into load order, dict insertion order, merge order\n"
+        "and 'first match' choices, breaking bit-identity between machines\n"
+        "(the QTableStore.load bug class).\n"
+        "\n"
+        "Fix: wrap the scan in sorted(...), or route through\n"
+        "repro.core.persistence.list_entry_paths for store directories.\n"
+        "Scans consumed by order-insensitive folds (len/set/min/max/...)\n"
+        "are recognised and allowed."
+    )
+    default_include = ("src/", "tests/", "benchmarks/")
+
+    def check(
+        self, module: ModuleSource, options: Mapping[str, Any]
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve_call(node)
+            if name in _LISTING_CALLS:
+                label = name
+            elif (
+                name is None
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _LISTING_METHODS
+            ):
+                label = f"<path>.{node.func.attr}"
+            else:
+                continue
+            if self._is_order_sanctioned(module, node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"unsorted filesystem enumeration: {label}() yields entries "
+                "in filesystem order; wrap in sorted(...) so behaviour never "
+                "depends on enumeration order",
+            )
+
+    @staticmethod
+    def _is_order_sanctioned(module: ModuleSource, node: ast.Call) -> bool:
+        for ancestor in module.ancestors(node):
+            if (
+                isinstance(ancestor, ast.Call)
+                and isinstance(ancestor.func, ast.Name)
+                and ancestor.func.id in _ORDER_INSENSITIVE_CONSUMERS
+            ):
+                return True
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                # A scan inside a nested function/lambda body is not itself
+                # consumed by whatever call that function is passed to.
+                break
+        return False

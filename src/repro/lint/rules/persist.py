@@ -1,0 +1,58 @@
+"""REP004: non-atomic JSON persistence.
+
+Every on-disk store in this project may be shared by several runner
+processes (sweep runners sharing ``--artifact-dir``, shard workers, the
+federated fleet store).  A bare ``json.dump`` into ``open(path, "w")``
+truncates the target first, so an interrupt -- or a concurrent reader --
+observes a torn file that later loads raise on.
+:func:`repro.core.persistence.atomic_write_json` is the sanctioned seam:
+it stages under a PID-suffixed temporary name and publishes with
+``os.replace``, so readers see either the complete old document or the
+complete new one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, Mapping
+
+from repro.lint.engine import Finding, ModuleSource, Rule
+
+
+class NonAtomicPersistenceRule(Rule):
+    rule_id = "REP004"
+    title = "non-atomic JSON persistence"
+    rationale = (
+        "json.dump into a bare open(path, 'w') truncates the file before\n"
+        "writing, so an interrupt mid-write (or a concurrent reader in a\n"
+        "shared store directory) observes a torn document that later loads\n"
+        "raise on.  The write-then-rename seam\n"
+        "repro.core.persistence.atomic_write_json guarantees readers see\n"
+        "either the complete previous file or the complete new one -- the\n"
+        "property the shared artifact/fleet/result stores depend on.\n"
+        "\n"
+        "Fix: atomic_write_json(path, payload).  The seam itself is the\n"
+        "only sanctioned bare writer (allow_in_functions option)."
+    )
+    default_include = ("src/",)
+    default_options = {"allow_in_functions": ("atomic_write_json",)}
+
+    def check(
+        self, module: ModuleSource, options: Mapping[str, Any]
+    ) -> Iterable[Finding]:
+        allow_in = set(options.get("allow_in_functions", ()))
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if module.resolve_call(node) != "json.dump":
+                continue
+            qualname = module.enclosing_function(node)
+            if qualname and qualname.rsplit(".", 1)[-1] in allow_in:
+                continue
+            yield self.finding(
+                module,
+                node,
+                "non-atomic JSON write: json.dump into a bare file handle "
+                "can leave a torn document; route through "
+                "repro.core.persistence.atomic_write_json",
+            )

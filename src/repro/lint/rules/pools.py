@@ -1,0 +1,88 @@
+"""REP006: unpicklable callables crossing executor-pool boundaries.
+
+``ProcessPoolExecutor.submit``/``map`` pickle the callable by *qualified
+name*: lambdas, closures and functions defined inside another function
+cannot be pickled and fail only at runtime -- and only on the pool path,
+which the sequential fallback (``--max-workers 1``) never exercises.  The
+sweep runner's work units are therefore module-level functions
+(``execute_cell``, ``train_artifact``, ``train_device_round``); this rule
+keeps them that way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, Mapping, Set
+
+from repro.lint.engine import Finding, ModuleSource, Rule
+
+_POOL_METHODS = {
+    "submit",
+    "map",
+    "starmap",
+    "apply",
+    "apply_async",
+    "map_async",
+    "starmap_async",
+    "imap",
+    "imap_unordered",
+}
+
+
+class UnpicklablePoolCallableRule(Rule):
+    rule_id = "REP006"
+    title = "unpicklable callable passed to an executor pool"
+    rationale = (
+        "ProcessPoolExecutor.submit/map pickle the callable by qualified\n"
+        "name.  Lambdas, closures and functions defined inside another\n"
+        "function are unpicklable: the sweep works sequentially, then dies\n"
+        "(or silently degrades to the fallback path) the first time the\n"
+        "pool is enabled.  Worse, a closure that *did* transfer would carry\n"
+        "captured state the cache fingerprint cannot see.\n"
+        "\n"
+        "Fix: make the work unit a module-level function and pass its\n"
+        "arguments explicitly (see execute_cell / train_artifact in\n"
+        "experiments/runner.py)."
+    )
+    default_include = ("src/repro/experiments/",)
+
+    def check(
+        self, module: ModuleSource, options: Mapping[str, Any]
+    ) -> Iterable[Finding]:
+        nested_defs = self._nested_function_names(module)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _POOL_METHODS
+            ):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Lambda):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"lambda passed to .{node.func.attr}(): process pools "
+                        "cannot pickle lambdas; use a module-level function",
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in nested_defs:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"locally defined function {arg.id!r} passed to "
+                        f".{node.func.attr}(): process pools can only pickle "
+                        "module-level functions",
+                    )
+
+    @staticmethod
+    def _nested_function_names(module: ModuleSource) -> Set[str]:
+        nested = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and any(
+                isinstance(
+                    ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                )
+                for ancestor in module.ancestors(node)
+            ):
+                nested.add(node.name)
+        return nested

@@ -1,0 +1,149 @@
+"""REP001 / REP007: nondeterministic value sources in deterministic scope.
+
+The simulation's bit-identity contract requires every random draw to come
+from an **explicitly seeded, locally owned** generator (``random.Random(seed)``
+threaded through constructors, exactly as :mod:`repro.sim.engine` does with
+its sensor RNG).  Two hazard families break that:
+
+* module-level RNG state (``random.random()``, ``numpy.random.seed`` /
+  ``numpy.random.<draw>``) is shared by the whole process, so any unrelated
+  import or library call re-orders the stream, and
+* unseeded constructors (``random.Random()``, ``numpy.random.default_rng()``)
+  and salted ``hash()`` seeds vary run to run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, Mapping
+
+from repro.lint.engine import Finding, ModuleSource, Rule
+
+#: ``random`` attributes that construct an independent generator (fine when
+#: seeded) rather than touching the module-global stream.
+_STDLIB_CONSTRUCTORS = {"Random"}
+#: ``numpy.random`` attributes that construct independent generators/state.
+_NUMPY_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "RandomState",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+}
+
+
+class UnseededRandomnessRule(Rule):
+    rule_id = "REP001"
+    title = "unseeded or process-global randomness"
+    rationale = (
+        "Recorded sample streams must be bit-identical across scalar/batched,\n"
+        "sequential/pool and sharded/unsharded runs.  Module-level RNG state\n"
+        "(random.random(), numpy.random.*) is process-global: any unrelated\n"
+        "import, library call or scheduling difference re-orders the stream\n"
+        "and silently flips golden hashes.  Unseeded constructors\n"
+        "(random.Random(), numpy.random.default_rng()) differ on every run.\n"
+        "\n"
+        "Fix: construct random.Random(seed) (or numpy.random.default_rng(seed))\n"
+        "with a seed derived from repro.core.seeding and thread it through,\n"
+        "as the engine does for its sensor RNG."
+    )
+    default_include = (
+        "src/repro/core/",
+        "src/repro/sim/",
+        "src/repro/soc/",
+        "src/repro/governors/",
+        "src/repro/workloads/",
+    )
+
+    def check(
+        self, module: ModuleSource, options: Mapping[str, Any]
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve_call(node)
+            if name is None:
+                continue
+            if name.startswith("numpy.random."):
+                attr = name[len("numpy.random."):]
+                if attr in _NUMPY_CONSTRUCTORS:
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"unseeded generator: {name}() without a seed "
+                            "draws os entropy and differs on every run; pass "
+                            "an explicit seed",
+                        )
+                else:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"process-global NumPy RNG state: {name}() shares one "
+                        "stream across the whole process; construct "
+                        "numpy.random.default_rng(seed) and thread it through",
+                    )
+            elif name == "random.SystemRandom" or name.startswith(
+                "random.SystemRandom."
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "random.SystemRandom draws OS entropy and can never be "
+                    "reproduced; use a seeded random.Random instead",
+                )
+            elif name.startswith("random."):
+                attr = name[len("random."):]
+                if attr in _STDLIB_CONSTRUCTORS:
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            module,
+                            node,
+                            "unseeded generator: random.Random() seeds from "
+                            "os entropy and differs on every run; pass an "
+                            "explicit seed",
+                        )
+                else:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"process-global RNG state: {name}() shares one stream "
+                        "across the whole process; construct "
+                        "random.Random(seed) and thread it through",
+                    )
+
+
+class SaltedHashRule(Rule):
+    rule_id = "REP007"
+    title = "PYTHONHASHSEED-salted builtin hash()"
+    rationale = (
+        "Builtin hash() over str/bytes is salted by PYTHONHASHSEED, so its\n"
+        "value differs between processes and between runs.  Any seed, cache\n"
+        "key or recorded value derived from it breaks cross-process\n"
+        "bit-identity (pool workers vs sequential, shards vs unsharded).\n"
+        "\n"
+        "Fix: derive stable integers with zlib.crc32(text.encode()),\n"
+        "hashlib, or repro.core.seeding.derive_seed."
+    )
+    default_include = UnseededRandomnessRule.default_include
+
+    def check(
+        self, module: ModuleSource, options: Mapping[str, Any]
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "builtin hash() is PYTHONHASHSEED-salted and varies "
+                    "across processes; derive stable values via zlib.crc32, "
+                    "hashlib or repro.core.seeding",
+                )

@@ -1,0 +1,86 @@
+"""REP002: wall-clock reads in deterministic code.
+
+Simulated time is the only clock the kernels may observe
+(:mod:`repro.sim.clock`); a wall-clock read folded into control flow or a
+recorded value makes output depend on host speed and scheduling.  The one
+sanctioned use is *diagnostic* timing that is reported next to results but
+never folded into them -- the ``elapsed_s`` fields the sweep runner
+attaches to cell results.  Those sites are allowlisted by function, not by
+file, so a new wall-clock read elsewhere in the same module still fails.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, Mapping
+
+from repro.lint.engine import Finding, ModuleSource, Rule
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "time.clock_gettime_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+class WallClockRule(Rule):
+    rule_id = "REP002"
+    title = "wall-clock read in deterministic code"
+    rationale = (
+        "Simulated results must not depend on how fast the host happens to\n"
+        "run.  time.time()/perf_counter()/datetime.now() readings differ on\n"
+        "every run; folded into a recorded value, a seed or control flow\n"
+        "they break bit-identity between sequential and pooled execution\n"
+        "and between machines.  Simulation code must consume the simulated\n"
+        "clock (repro.sim.clock) instead.\n"
+        "\n"
+        "Diagnostic timing (the runner's elapsed_s fields, which are\n"
+        "reported but never recorded into sample streams) is allowlisted\n"
+        "per enclosing function via the `allow_sites` option:\n"
+        "  allow_sites = [\"<repo-relative-path>::<function>\"]"
+    )
+    default_include = ("src/",)
+    default_options = {
+        "allow_sites": (
+            "src/repro/experiments/runner.py::execute_cell",
+            "src/repro/experiments/runner.py::execute_cells_batched",
+        ),
+    }
+
+    def check(
+        self, module: ModuleSource, options: Mapping[str, Any]
+    ) -> Iterable[Finding]:
+        allow_sites = set(options.get("allow_sites", ()))
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve_call(node)
+            if name not in _WALL_CLOCK_CALLS:
+                continue
+            qualname = module.enclosing_function(node)
+            site = f"{module.rel_path}::{qualname}"
+            innermost = (
+                f"{module.rel_path}::{qualname.rsplit('.', 1)[-1]}"
+                if qualname
+                else site
+            )
+            if site in allow_sites or innermost in allow_sites:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"wall-clock read: {name}() makes output depend on host "
+                "timing; use the simulated clock, or allowlist this "
+                "diagnostic site in [tool.repro-lint.REP002] allow_sites",
+            )

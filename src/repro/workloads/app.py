@@ -17,6 +17,7 @@ for a fair comparison (see :mod:`repro.workloads.trace`).
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
@@ -86,7 +87,10 @@ class AppModel:
         self.big_cluster = big_cluster
         self.little_cluster = little_cluster
         self.gpu_cluster = gpu_cluster
-        self._rng = random.Random(seed if seed is not None else hash(name) & 0xFFFF)
+        # crc32, not builtin hash(): hash(str) is salted by PYTHONHASHSEED,
+        # so the default seed would differ between processes and runs.
+        default_seed = zlib.crc32(name.encode("utf-8")) & 0xFFFF
+        self._rng = random.Random(seed if seed is not None else default_seed)
         self.interaction = InteractionGenerator(interaction_profile, rng=self._rng)
         self._current_phase = self.phases[initial_phase]
         self._phase_time_left_s = self._current_phase.sample_dwell_s(self._rng)

@@ -356,12 +356,12 @@ class TestArtifactStoreSharedDirectory:
         path = tmp_path / f"{tiny_spec.fingerprint()}.agent.json"
         published = path.read_text()
 
-        import repro.core.artifact as artifact_module
+        import repro.core.persistence as persistence_module
 
         def crash_replace(src, dst):
             raise OSError("disk full")
 
-        monkeypatch.setattr(artifact_module.os, "replace", crash_replace)
+        monkeypatch.setattr(persistence_module.os, "replace", crash_replace)
         artifact = store.load(tiny_spec)
         with pytest.raises(OSError):
             artifact.save(str(path))
@@ -369,6 +369,36 @@ class TestArtifactStoreSharedDirectory:
         assert path.read_text() == published
         reader = ArtifactStore(str(tmp_path))
         assert reader.load(tiny_spec).to_dict() == artifact.to_dict()
+
+    def test_interrupted_qtable_save_leaves_previous_files_intact(
+        self, trained_agent, tmp_path, monkeypatch
+    ):
+        # QTableStore.save persists through the same write-then-rename seam
+        # (it used to json.dump into a bare open(path, "w"), so a crash
+        # mid-write left a truncated table that later loads raised on).
+        store = trained_agent.store
+        directory = tmp_path / "qtables"
+        paths = store.save(str(directory))
+        assert paths
+        published = {path: open(path, encoding="utf-8").read() for path in paths}
+
+        import repro.core.persistence as persistence_module
+
+        def crash_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(persistence_module.os, "replace", crash_replace)
+        with pytest.raises(OSError):
+            store.save(str(directory))
+        monkeypatch.undo()
+        for path, text in published.items():
+            assert open(path, encoding="utf-8").read() == text
+        from repro.core.qtable import QTableStore
+
+        reloaded = QTableStore.load(
+            str(directory), store.action_count, initial_q=store.initial_q
+        )
+        assert reloaded.to_dict() == store.to_dict()
 
     def test_leftover_staging_files_are_ignored(self, tiny_spec, tmp_path):
         # A crashed writer's .tmp.<pid> debris must confuse neither load()
@@ -392,21 +422,21 @@ class TestArtifactStoreSharedDirectory:
         artifact = store.load(tiny_spec)
         path = tmp_path / f"{tiny_spec.fingerprint()}.agent.json"
 
-        import repro.core.artifact as artifact_module
+        import repro.core.persistence as persistence_module
 
-        real_replace = artifact_module.os.replace
+        real_replace = persistence_module.os.replace
 
         def racing_replace(src, dst):
             # The "other runner" publishes between our write and rename.
             # Restore the real rename so its publish completes, and give it
             # its own PID so its staging file cannot collide with ours.
-            monkeypatch.setattr(artifact_module.os, "replace", real_replace)
-            monkeypatch.setattr(artifact_module.os, "getpid", lambda: 99999)
+            monkeypatch.setattr(persistence_module.os, "replace", real_replace)
+            monkeypatch.setattr(persistence_module.os, "getpid", lambda: 99999)
             other = ArtifactStore(str(tmp_path))
             other.store(artifact)
             return real_replace(src, dst)
 
-        monkeypatch.setattr(artifact_module.os, "replace", racing_replace)
+        monkeypatch.setattr(persistence_module.os, "replace", racing_replace)
         artifact.save(str(path))
         assert AgentArtifact.load(str(path)).to_dict() == artifact.to_dict()
-        assert not list(tmp_path.glob("*.tmp.*"))  # no staging debris left
+        assert not any(tmp_path.glob("*.tmp.*"))  # no staging debris left

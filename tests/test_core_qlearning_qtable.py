@@ -204,6 +204,41 @@ class TestQTableStore:
         with pytest.raises(ValueError):
             store.set_table("x", QTable(action_count=5))
 
+    def test_load_order_independent_of_filesystem_order(self, tmp_path, monkeypatch):
+        # Regression (repro-lint REP003): load used to iterate os.listdir
+        # unsorted, so store insertion order -- and any downstream
+        # dict-iteration-order-dependent serialisation (to_dict/save JSON
+        # bytes follow dict insertion order) -- depended on filesystem
+        # enumeration order.  Loading the same directory under a reversed
+        # enumeration must now produce byte-identical serialisations.
+        import json
+
+        import repro.core.qtable as qtable_module
+
+        store = QTableStore(action_count=2)
+        for index, name in enumerate(["zebra", "alpha", "mango", "kiwi"]):
+            store.table_for(name).set("s", 0, float(index))
+        store.save(str(tmp_path))
+
+        forward = QTableStore.load(str(tmp_path), action_count=2)
+
+        real_listdir = qtable_module.os.listdir
+        monkeypatch.setattr(
+            qtable_module.os,
+            "listdir",
+            lambda directory: list(reversed(real_listdir(directory))),
+        )
+        scrambled = QTableStore.load(str(tmp_path), action_count=2)
+        monkeypatch.undo()
+
+        assert json.dumps(scrambled.to_dict()) == json.dumps(forward.to_dict())
+        out_a, out_b = tmp_path / "a", tmp_path / "b"
+        paths_a = forward.save(str(out_a))
+        paths_b = scrambled.save(str(out_b))
+        assert [Path(p).name for p in paths_a] == [Path(p).name for p in paths_b]
+        for path_a, path_b in zip(paths_a, paths_b):
+            assert Path(path_a).read_bytes() == Path(path_b).read_bytes()
+
 
 # ---------------------------------------------------------------------------
 # QLearningCore

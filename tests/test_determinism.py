@@ -122,7 +122,7 @@ class TestCrossProcessDeterminism:
         cache_dir = tmp_path / "cache"
         runner = SweepRunner(max_workers=1, cache_dir=str(cache_dir))
         runner.run(tiny_matrix)
-        victim = next(cache_dir.glob("*.json"))
+        victim = sorted(cache_dir.glob("*.json"))[0]
         victim.write_text(corruption)  # invalid JSON or valid-but-wrong shape
         sweep = runner.run(tiny_matrix)
         assert all(result.ok for result in sweep.results)

@@ -468,7 +468,7 @@ class TestMergeConflicts:
         # Ship shard 0's whole cache into shard 1 as well: a full overlap.
         source = shard_cache_dir(shard_directory(base, 0))
         target = shard_cache_dir(shard_directory(base, 1))
-        for name in os.listdir(source):
+        for name in sorted(os.listdir(source)):
             path = os.path.join(source, name)
             if os.path.isfile(path):
                 with open(path, "rb") as handle:

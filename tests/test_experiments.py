@@ -421,7 +421,7 @@ class TestRunner:
         monkeypatch.setattr(runner_module, "run_cell_session", crash)
         runner = SweepRunner(max_workers=1, cache_dir=str(tmp_path))
         assert len(runner.run(matrix).failures) == 1
-        assert list(tmp_path.glob("*.json")) == []
+        assert sorted(tmp_path.glob("*.json")) == []
         # Once "fixed", the cell runs for real and then caches.
         monkeypatch.undo()
         sweep = runner.run(matrix)
