@@ -27,12 +27,14 @@ if __package__ in (None, ""):  # standalone execution without `pip install -e .`
     )
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+import bench_batch_hetero
 import bench_batch_kernel
 import bench_hot_loop
 import bench_shard_merge
 
 #: name -> build_report(profile, repeat) callable producing the JSON payload.
 BENCHMARKS = {
+    "batch_hetero": bench_batch_hetero.build_report,
     "batch_kernel": bench_batch_kernel.build_report,
     "hotloop": bench_hot_loop.build_report,
     "shard_merge": bench_shard_merge.build_report,

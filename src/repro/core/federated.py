@@ -32,6 +32,7 @@ used by the federated sweep pipeline in :mod:`repro.experiments.federated`:
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -218,6 +219,19 @@ class FleetSpec:
         Extra :class:`~repro.sim.config.SimulationConfig` keyword arguments
         applied to every training episode (threaded in from the sweep's
         matrix so devices train in the evaluation environment).
+    device_intensities:
+        Optional per-device interaction-intensity weights (non-IID fleets).
+        Empty means uniform (every device trains ``episodes`` episodes);
+        otherwise entry ``d`` scales device ``d``'s per-app episode budget:
+        heavier users contribute more local experience per round (see
+        :meth:`device_episodes`).  Visit-weighted aggregation then weighs
+        their tables accordingly.
+    device_app_mix:
+        Optional explicit per-device app lists (non-IID app coverage).
+        Empty means every device covers every app via the rotation above;
+        otherwise device ``d`` trains exactly ``device_app_mix[d]`` (each a
+        non-empty subset of ``apps``, and every app must be covered by at
+        least one device so the merged tables span the full app set).
     """
 
     apps: Tuple[str, ...]
@@ -228,6 +242,8 @@ class FleetSpec:
     episode_duration_s: float = 60.0
     fleet_seed: int = 0
     config_overrides: Tuple[Tuple[str, Any], ...] = ()
+    device_intensities: Tuple[float, ...] = ()
+    device_app_mix: Tuple[Tuple[str, ...], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.apps:
@@ -242,15 +258,72 @@ class FleetSpec:
             raise ValueError("episodes must be at least 1")
         if self.episode_duration_s <= 0:
             raise ValueError("episode_duration_s must be positive")
+        if self.device_intensities:
+            if len(self.device_intensities) != self.devices:
+                raise ValueError(
+                    "device_intensities must list one weight per device"
+                )
+            for intensity in self.device_intensities:
+                if not intensity > 0:
+                    raise ValueError("device intensities must be positive")
+        if self.device_app_mix:
+            if len(self.device_app_mix) != self.devices:
+                raise ValueError(
+                    "device_app_mix must list one app tuple per device"
+                )
+            app_set = set(self.apps)
+            covered = set()
+            for mix in self.device_app_mix:
+                if not mix:
+                    raise ValueError("every device needs at least one app")
+                if len(set(mix)) != len(mix):
+                    raise ValueError("a device's app mix must be unique")
+                unknown = set(mix) - app_set
+                if unknown:
+                    raise ValueError(
+                        f"device app mix names apps outside the fleet: "
+                        f"{sorted(unknown)}"
+                    )
+                covered.update(mix)
+            if covered != app_set:
+                raise ValueError(
+                    "device_app_mix must cover every fleet app at least once"
+                )
 
     # -- per-device derivation ----------------------------------------------------------
 
     def device_apps(self, device: int) -> Tuple[str, ...]:
-        """Device ``device``'s training-app order (the fleet list rotated by it)."""
+        """Device ``device``'s training-app order.
+
+        With an explicit ``device_app_mix`` this is the device's declared
+        mix; otherwise the fleet list rotated by the device index.
+        """
         if not 0 <= device < self.devices:
             raise ValueError(f"device must be in [0, {self.devices})")
+        if self.device_app_mix:
+            return tuple(self.device_app_mix[device])
         offset = device % len(self.apps)
         return self.apps[offset:] + self.apps[:offset]
+
+    def device_intensity(self, device: int) -> float:
+        """Device ``device``'s interaction-intensity weight (1.0 = uniform)."""
+        if not 0 <= device < self.devices:
+            raise ValueError(f"device must be in [0, {self.devices})")
+        if not self.device_intensities:
+            return 1.0
+        return self.device_intensities[device]
+
+    def device_episodes(self, device: int) -> int:
+        """Per-app episode budget of one device, intensity-weighted.
+
+        ``ceil(episodes * intensity)`` with a floor of one episode, so a
+        uniform fleet reproduces the shared ``episodes`` budget exactly and
+        heavier users contribute proportionally more visit mass.
+        """
+        intensity = self.device_intensity(device)
+        if intensity == 1.0:
+            return self.episodes
+        return max(1, math.ceil(self.episodes * intensity - 1e-12))
 
     def device_seed(self, device: int, round_index: int) -> int:
         """Stable training seed of one (device, round) local-training phase."""
@@ -267,7 +340,7 @@ class FleetSpec:
         return TrainingSpec(
             apps=self.device_apps(device),
             platform=self.platform,
-            episodes=self.episodes,
+            episodes=self.device_episodes(device),
             episode_duration_s=self.episode_duration_s,
             seed=self.device_seed(device, 0),
             config_overrides=self.config_overrides,
@@ -276,8 +349,13 @@ class FleetSpec:
     # -- identity -----------------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serialisable form."""
-        return {
+        """JSON-serialisable form.
+
+        The non-IID fields are emitted only when set: a uniform fleet's
+        payload is byte-identical to the pre-heterogeneity layout, so every
+        existing fingerprint, lineage and stored artifact stays valid.
+        """
+        payload = {
             "apps": list(self.apps),
             "devices": self.devices,
             "rounds": self.rounds,
@@ -287,6 +365,11 @@ class FleetSpec:
             "fleet_seed": self.fleet_seed,
             "config_overrides": dict(self.config_overrides),
         }
+        if self.device_intensities:
+            payload["device_intensities"] = list(self.device_intensities)
+        if self.device_app_mix:
+            payload["device_app_mix"] = [list(mix) for mix in self.device_app_mix]
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FleetSpec":
@@ -301,6 +384,12 @@ class FleetSpec:
             fleet_seed=int(data.get("fleet_seed", 0)),
             config_overrides=tuple(
                 sorted(dict(data.get("config_overrides", {})).items())
+            ),
+            device_intensities=tuple(
+                float(value) for value in data.get("device_intensities", ())
+            ),
+            device_app_mix=tuple(
+                tuple(mix) for mix in data.get("device_app_mix", ())
             ),
         )
 
@@ -331,9 +420,11 @@ class FleetSpec:
 
     def label(self) -> str:
         """Short human-readable identifier for progress lines."""
+        non_iid = "/niid" if (self.device_intensities or self.device_app_mix) else ""
         return (
             f"{'+'.join(self.apps)}/{self.platform}/d{self.devices}xr{self.rounds}"
             f"/e{self.episodes}x{self.episode_duration_s:g}s/s{self.fleet_seed}"
+            f"{non_iid}"
         )
 
 

@@ -33,7 +33,7 @@ import argparse
 import os
 import sys
 from dataclasses import replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.aggregate import condition_table, marginal_table
 from repro.experiments.artifacts import ArtifactStore
@@ -149,6 +149,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the fleet seed of the matrix's federated training variant(s)",
     )
     parser.add_argument(
+        "--device-intensities",
+        default=None,
+        metavar="W1,W2,...",
+        help=(
+            "comma-separated per-device interaction-intensity weights for the "
+            "matrix's federated training variant(s); one positive float per "
+            "device, scaling that device's episode budget (non-IID fleet)"
+        ),
+    )
+    parser.add_argument(
         "--list-artifacts",
         action="store_true",
         help=(
@@ -233,10 +243,22 @@ def _resolve_matrix(args: argparse.Namespace) -> ScenarioMatrix:
             raise ValueError(
                 f"{', '.join(given)} only take effect together with --pretrained"
             )
+    intensities: Optional[Tuple[float, ...]] = None
+    if args.device_intensities is not None:
+        try:
+            intensities = tuple(
+                float(field) for field in args.device_intensities.split(",")
+            )
+        except ValueError:
+            raise ValueError(
+                "--device-intensities takes comma-separated floats, got "
+                f"{args.device_intensities!r}"
+            ) from None
     fleet_flags = {
         "--devices": args.devices,
         "--rounds": args.rounds,
         "--fleet-seed": args.fleet_seed,
+        "--device-intensities": intensities,
     }
     given = sorted(name for name, value in fleet_flags.items() if value is not None)
     if given:
@@ -257,6 +279,11 @@ def _resolve_matrix(args: argparse.Namespace) -> ScenarioMatrix:
                     ),
                     rounds=variant.rounds if args.rounds is None else args.rounds,
                     seed=variant.seed if args.fleet_seed is None else args.fleet_seed,
+                    device_intensities=(
+                        variant.device_intensities
+                        if intensities is None
+                        else intensities
+                    ),
                 )
                 if variant.federated
                 else variant

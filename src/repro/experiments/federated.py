@@ -132,8 +132,12 @@ def train_device_rounds_batched(
     drops a lane from later episodes exactly where the scalar loop breaks,
     and the batch kernel itself is bit-identical per lane (the batch parity
     suite pins the sample streams, the federated parity tests the merged
-    agents).  All jobs of one round share platform, episode budget, duration
-    and overrides by construction (:meth:`FleetBuild.round_jobs`).
+    agents).  Jobs of one round share platform and overrides by construction
+    (:meth:`FleetBuild.round_jobs`); episode budgets and durations may differ
+    per device (intensity-weighted non-IID fleets) -- mixed-duration episodes
+    route through the masked heterogeneous kernel, and a lane whose budget is
+    exhausted or whose agent converged simply drops out of later episodes
+    instead of forcing the fleet into lockstep.
     """
     from repro.sim.batch import BatchSimulation
     from repro.sim.experiment import APP_SEED_STRIDE, EPISODE_SEED_STRIDE
@@ -141,20 +145,21 @@ def train_device_rounds_batched(
 
     if not jobs:
         return []
-    _, _, platform_name, episodes, episode_duration_s, _, config_overrides = jobs[0]
+    platform_name = jobs[0][2]
+    config_overrides = jobs[0][6]
     for job in jobs[1:]:
-        if job[2:5] != (platform_name, episodes, episode_duration_s) or (
-            job[6] != config_overrides
-        ):
+        if job[2] != platform_name or job[6] != config_overrides:
             raise ValueError(
-                "batched round jobs must share platform, episode budget, "
-                "duration and overrides"
+                "batched round jobs must share platform and overrides "
+                "(episode budgets and durations may differ per device)"
             )
     agents = [NextAgent.from_dict(job[0]) for job in jobs]
     governors = [NextGovernor(agent=agent) for agent in agents]
     platform_spec = make_platform(platform_name)
     overrides = dict(config_overrides)
     app_lists = [tuple(job[1]) for job in jobs]
+    episode_budgets = [int(job[3]) for job in jobs]
+    durations = [float(job[4]) for job in jobs]
     base_seeds = [job[5] for job in jobs]
 
     # Same convergence bar as train_next_on_apps' default, which is what
@@ -165,37 +170,41 @@ def train_device_rounds_batched(
         for device in lanes:
             governors[device].set_training(True)
         active = lanes
-        for episode in range(episodes):
-            if not active:
+        for episode in range(max(episode_budgets[d] for d in lanes)):
+            # A lane trains this episode while its own budget lasts and its
+            # agent has not converged; everyone else is dropped, not padded.
+            running = [d for d in active if episode < episode_budgets[d]]
+            if not running:
                 break
             episode_seeds = [
                 base_seeds[d] + app_index * APP_SEED_STRIDE + episode * EPISODE_SEED_STRIDE
-                for d in active
+                for d in running
             ]
             configs = [
                 SimulationConfig(
                     refresh_hz=platform_spec.display_refresh_hz,
-                    duration_s=episode_duration_s,
+                    duration_s=durations[d],
                     seed=episode_seed,
                     **overrides,
                 )
-                for episode_seed in episode_seeds
+                for d, episode_seed in zip(running, episode_seeds)
             ]
             batch = BatchSimulation(
-                platform_spec, [governors[d] for d in active], configs
+                platform_spec, [governors[d] for d in running], configs
             )
             batch.run(
                 [
                     make_app(app_lists[d][app_index], seed=episode_seed)
-                    for d, episode_seed in zip(active, episode_seeds)
+                    for d, episode_seed in zip(running, episode_seeds)
                 ],
-                duration_s=episode_duration_s,
+                duration_s=[durations[d] for d in running],
             )
-            active = [
+            converged = {
                 d
-                for d in active
-                if not governors[d].agent.has_converged(td_error_threshold)
-            ]
+                for d in running
+                if governors[d].agent.has_converged(td_error_threshold)
+            }
+            active = [d for d in active if d not in converged]
     for governor in governors:
         governor.set_training(False)
     return [json.loads(json.dumps(agent.to_dict())) for agent in agents]
@@ -409,7 +418,7 @@ class FleetBuild:
                 distributed[device],
                 self.spec.device_apps(device),
                 self.spec.platform,
-                self.spec.episodes,
+                self.spec.device_episodes(device),
                 self.spec.episode_duration_s,
                 self.spec.device_seed(device, round_index),
                 self.spec.config_overrides,

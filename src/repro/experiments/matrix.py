@@ -148,6 +148,13 @@ class TrainingVariant:
         evaluate the *same* trained policy rather than retraining per seed.
     devices / rounds:
         Fleet size and federated round count (``federated`` mode only).
+    device_intensities:
+        Optional per-device interaction-intensity weights (``federated`` mode
+        only).  Empty -- the default -- keeps the fleet IID.  When set, one
+        positive float per device scales that device's episode budget through
+        :meth:`FleetSpec.device_episodes <repro.core.federated.FleetSpec.device_episodes>`,
+        modelling heavy and light users contributing unequal experience to
+        the merge (a non-IID fleet).
     """
 
     key: str = "cold"
@@ -158,6 +165,7 @@ class TrainingVariant:
     seed: int = 0
     devices: int = 4
     rounds: int = 2
+    device_intensities: Tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.key:
@@ -175,6 +183,14 @@ class TrainingVariant:
             raise ValueError("devices must be at least 1")
         if self.rounds < 1:
             raise ValueError("rounds must be at least 1")
+        if self.device_intensities:
+            if len(self.device_intensities) != self.devices:
+                raise ValueError(
+                    "device_intensities needs one weight per device "
+                    f"({len(self.device_intensities)} given for {self.devices} devices)"
+                )
+            if any(not weight > 0 for weight in self.device_intensities):
+                raise ValueError("device_intensities must all be positive")
         for app_name in self.apps:
             if app_name not in APP_LIBRARY:
                 raise ValueError(
@@ -197,8 +213,12 @@ class TrainingVariant:
         return self.mode != "cold"
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serialisable form."""
-        return {
+        """JSON-serialisable form.
+
+        ``device_intensities`` is emitted only when set, so pre-existing
+        (IID) matrix descriptions round-trip byte-identically.
+        """
+        data = {
             "key": self.key,
             "mode": self.mode,
             "apps": list(self.apps),
@@ -208,6 +228,9 @@ class TrainingVariant:
             "devices": self.devices,
             "rounds": self.rounds,
         }
+        if self.device_intensities:
+            data["device_intensities"] = list(self.device_intensities)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TrainingVariant":
@@ -218,7 +241,7 @@ class TrainingVariant:
         """
         known_keys = {
             "key", "mode", "apps", "episodes", "episode_duration_s", "seed",
-            "devices", "rounds",
+            "devices", "rounds", "device_intensities",
         }
         unknown = sorted(set(data) - known_keys)
         if unknown:
@@ -235,6 +258,9 @@ class TrainingVariant:
             seed=int(data.get("seed", 0)),
             devices=int(data.get("devices", 4)),
             rounds=int(data.get("rounds", 2)),
+            device_intensities=tuple(
+                float(weight) for weight in data.get("device_intensities", ())
+            ),
         )
 
 
@@ -375,6 +401,7 @@ class ScenarioCell:
             episode_duration_s=self.training.episode_duration_s,
             fleet_seed=self.training.seed,
             config_overrides=self.config_overrides,
+            device_intensities=self.training.device_intensities,
         )
 
     def training_spec(self) -> Optional[TrainingSpec]:

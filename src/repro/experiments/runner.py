@@ -215,11 +215,13 @@ def execute_cell(
 
 
 def execute_cells_batched(cells: List[ScenarioCell]) -> List[CellResult]:
-    """Run a homogeneous group of artifact-free cells through the batch kernel.
+    """Run a group of artifact-free cells through the batch kernel.
 
-    All cells must share platform, config overrides and session duration
+    All cells must share a platform and (cadence aside) config overrides
     (the grouping in :func:`batchable_cell_groups` guarantees it); each
-    cell keeps its own trace, governor and simulation seeds.  The batched
+    cell keeps its own trace, governor and simulation seeds, session
+    duration and recording cadence -- mixed durations and cadences run as
+    heterogeneous lanes under the masked kernel.  The batched
     device-population kernel is bit-identical per lane to the scalar
     :func:`execute_cell` path (pinned by the batch parity suite), so cached
     results from either route are interchangeable.
@@ -261,7 +263,7 @@ def execute_cells_batched(cells: List[ScenarioCell]) -> List[CellResult]:
         batch = BatchSimulation(platform, governors, configs)
         batch.run(
             [TracePlayer(trace) for trace in traces],
-            duration_s=traces[0].duration_s,
+            duration_s=[trace.duration_s for trace in traces],
         )
         elapsed_s = (time.perf_counter() - started) / len(cells)
         results = []
@@ -293,11 +295,13 @@ def batchable_cell_groups(
 
     Only artifact-free cells batch (trained and federated cells evaluate a
     frozen artifact resolved elsewhere), and only cells agreeing on
-    platform, config overrides and session duration can share one
-    :class:`~repro.sim.batch.BatchSimulation` (it steps every lane on one
-    clock).  Each group is split into up to ``workers`` chunks of at least
-    two cells so a process pool still spreads a large homogeneous sweep
-    across its workers; singleton leftovers run scalar.
+    platform and config overrides (recording cadence aside) can share one
+    :class:`~repro.sim.batch.BatchSimulation`.  Session durations and
+    ``record_every_n_ticks`` overrides may differ within a group: mixed
+    cells run as heterogeneous lanes under the masked kernel.  Each group
+    is split into up to ``workers`` chunks of at least two cells so a
+    process pool still spreads a large homogeneous sweep across its
+    workers; singleton leftovers run scalar.
 
     Returns ``(groups, rest)`` preserving the original ``(index, cell)``
     pairs; ``rest`` keeps its input order.
@@ -308,8 +312,12 @@ def batchable_cell_groups(
         if cell.training_spec() is not None or cell.fleet_spec() is not None:
             rest.append((index, cell))
             continue
-        duration_s = sum(duration for _, duration in cell.workload.segments)
-        key = (cell.platform, cell.config_overrides, duration_s)
+        shared_overrides = tuple(
+            (name, value)
+            for name, value in cell.config_overrides
+            if name != "record_every_n_ticks"
+        )
+        key = (cell.platform, shared_overrides)
         buckets.setdefault(key, []).append((index, cell))
     groups: List[List[Tuple[int, ScenarioCell]]] = []
     for bucket in buckets.values():

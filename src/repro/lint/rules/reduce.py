@@ -10,6 +10,13 @@ or clusters) produces floats the scalar kernel would not, flipping golden
 hashes.  The kernel therefore folds across clusters with an explicit
 scalar-order loop and keeps the device axis purely element-wise; this rule
 pins that discipline.
+
+The scope covers every masked-update code path: the kernel itself (whose
+heterogeneous-lane loop masks finished lanes out of each stage) and the
+batch recorder (whose per-row device masks gather lanes back apart).  A
+masked reduction is just as lane-crossing as an unmasked one -- boolean
+indexing selects lanes but the reduction over the survivors still
+reassociates -- so masking earns no exemption.
 """
 
 from __future__ import annotations
@@ -61,7 +68,7 @@ class LaneCrossingReductionRule(Rule):
         "dynamic_total accumulation in sim/batch.py) or with builtin sum()\n"
         "over Python floats, which folds left-to-right."
     )
-    default_include = ("src/repro/sim/batch.py",)
+    default_include = ("src/repro/sim/batch.py", "src/repro/sim/recorder.py")
 
     def check(
         self, module: ModuleSource, options: Mapping[str, Any]

@@ -446,6 +446,10 @@ class BatchRecorder:
         self._freq_rows: List = []  # (clusters, devices)
         self._max_limit_rows: List = []  # (clusters, devices)
         self._util_rows: List = []  # (clusters, devices)
+        # Per-row device mask: None means every device recorded this tick;
+        # otherwise a tuple of the device indices whose lane was both active
+        # and due under its own recording cadence (heterogeneous batches).
+        self._row_mask: List[Optional[Tuple[int, ...]]] = []
 
     def __len__(self) -> int:
         return len(self._time)
@@ -467,13 +471,17 @@ class BatchRecorder:
         max_limit_rows,
         utilisation_rows,
         interaction: List[float],
+        device_mask: Optional[Tuple[int, ...]] = None,
     ) -> None:
-        """Append one recorded tick for every device.
+        """Append one recorded tick.
 
         Array arguments must be owned by the recorder (pass copies of any
-        live simulation buffer).
+        live simulation buffer) and always span the full device axis;
+        ``device_mask`` marks which device columns belong to this row
+        (``None`` = all of them -- the homogeneous fast path).
         """
         self._time.append(time_s)
+        self._row_mask.append(device_mask)
         self._app.append(app_names)
         self._phase.append(phase_names)
         self._fps.append(fps)
@@ -490,23 +498,43 @@ class BatchRecorder:
         self._interaction.append(interaction)
 
     def device_recorder(self, device: int) -> Recorder:
-        """Materialise one device's column as a scalar :class:`Recorder`."""
+        """Materialise one device's column as a scalar :class:`Recorder`.
+
+        Rows whose ``device_mask`` excludes ``device`` (the lane had
+        finished, or its recording cadence was not due) are skipped, so the
+        materialised stream is exactly what a scalar run of that device
+        records.
+        """
         import numpy as np
 
         recorder = Recorder(ambient_c=self.ambient_c, hot_node=self.hot_node)
         recorder.register_layout(self._cluster_keys, self._node_keys)
-        count = len(self._time)
-        recorder._time = list(self._time)
-        recorder._app = [row[device] for row in self._app]
-        recorder._phase = [row[device] for row in self._phase]
-        recorder._target_fps = [row[device] for row in self._target_fps]
-        recorder._demanded = [row[device] for row in self._demanded]
-        recorder._displayed = [row[device] for row in self._displayed]
-        recorder._dropped = [row[device] for row in self._dropped]
-        recorder._interaction = [row[device] for row in self._interaction]
+        row_mask = self._row_mask
+        rows_for_device = [
+            i
+            for i in range(len(self._time))
+            if row_mask[i] is None or device in row_mask[i]
+        ]
+        count = len(rows_for_device)
+
+        def gather(column_rows):
+            return [column_rows[i][device] for i in rows_for_device]
+
+        recorder._time = [self._time[i] for i in rows_for_device]
+        recorder._app = gather(self._app)
+        recorder._phase = gather(self._phase)
+        recorder._target_fps = gather(self._target_fps)
+        recorder._demanded = gather(self._demanded)
+        recorder._displayed = gather(self._displayed)
+        recorder._dropped = gather(self._dropped)
+        recorder._interaction = gather(self._interaction)
         if count:
-            recorder._fps = np.stack(self._fps)[:, device].tolist()
-            recorder._power_total = np.stack(self._power_total)[:, device].tolist()
+            recorder._fps = np.stack(
+                [self._fps[i] for i in rows_for_device]
+            )[:, device].tolist()
+            recorder._power_total = np.stack(
+                [self._power_total[i] for i in rows_for_device]
+            )[:, device].tolist()
         cluster_keys = recorder._cluster_keys
         node_keys = recorder._node_keys
         map_keys = recorder._map_keys
@@ -515,7 +543,9 @@ class BatchRecorder:
         def column(rows, keys, field):
             map_keys[field] = [keys] * count
             if count:
-                sliced = np.stack(rows)[:, :, device].tolist()
+                sliced = np.stack(
+                    [rows[i] for i in rows_for_device]
+                )[:, :, device].tolist()
                 map_vals[field] = [tuple(row) for row in sliced]
 
         column(self._power_rows, cluster_keys, "power_per_cluster_w")

@@ -430,12 +430,27 @@ APP_LIBRARY: Dict[str, Callable[[Optional[int]], AppModel]] = {
 GAME_APPS = ("lineage", "pubg")
 
 
-def make_app(name: str, seed: Optional[int] = None) -> AppModel:
-    """Instantiate an application model from :data:`APP_LIBRARY` by name."""
+def make_app(
+    name: str, seed: Optional[int] = None, intensity: Optional[float] = None
+) -> AppModel:
+    """Instantiate an application model from :data:`APP_LIBRARY` by name.
+
+    ``intensity`` (optional) rescales the app's interaction profile via
+    :meth:`InteractionProfile.scaled <repro.workloads.interaction.InteractionProfile.scaled>`
+    to model users who lean on the device more or less heavily.  ``None`` and
+    ``1.0`` leave the app byte-for-byte identical to the library default, so
+    every existing golden hash is unaffected.
+    """
     try:
         factory = APP_LIBRARY[name]
     except KeyError:
         raise ValueError(
             f"unknown app {name!r}; available: {sorted(APP_LIBRARY)}"
         ) from None
-    return factory(seed)
+    app = factory(seed)
+    if intensity is not None:
+        scaled = app.interaction_profile.scaled(intensity)
+        if scaled is not app.interaction_profile:
+            app.interaction_profile = scaled
+            app.reset(seed)
+    return app

@@ -62,6 +62,30 @@ class InteractionProfile:
         if self.smoothing_time_s < 0:
             raise ValueError("smoothing_time_s must be non-negative")
 
+    def scaled(self, intensity: float) -> "InteractionProfile":
+        """Deterministic intensity transform of this profile (opt-in).
+
+        ``intensity`` scales how heavily the user leans on the device:
+        activity levels are multiplied by it (clamped to [0, 1]), bursts
+        lengthen and pauses shorten proportionally.  ``scaled(1.0)`` returns
+        ``self`` unchanged, so defaults -- and every golden hash recorded
+        against them -- are unaffected; heterogeneous fleets derive per-device
+        profiles from one base via their
+        :attr:`~repro.core.federated.FleetSpec.device_intensities`.
+        """
+        if not intensity > 0:
+            raise ValueError("intensity must be positive")
+        if intensity == 1.0:
+            return self
+        engaged = min(1.0, self.engaged_level * intensity)
+        return InteractionProfile(
+            engaged_level=engaged,
+            paused_level=min(engaged, self.paused_level * intensity),
+            burst_mean_s=self.burst_mean_s * intensity,
+            pause_mean_s=self.pause_mean_s / intensity,
+            smoothing_time_s=self.smoothing_time_s,
+        )
+
 
 #: A reasonable default: short scroll bursts separated by reading pauses.
 DEFAULT_PROFILE = InteractionProfile()

@@ -32,6 +32,7 @@ from repro.sim.engine import SessionWorkload, Simulation
 from repro.sim.experiment import GOVERNOR_FACTORIES, make_governor
 from repro.sim.recorder import sample_stream_hash
 from repro.soc.platform import make_platform
+from repro.workloads.apps import make_app
 from repro.workloads.session import FIGURE1_SESSION
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_hashes.json")
@@ -222,6 +223,7 @@ class TestBatchedFleetGolden:
 
 class TestBatchConstruction:
     def test_mismatched_config_axes_rejected(self):
+        """Axes that change the physics of a shared tick stay homogeneous."""
         platform = make_platform("exynos9810")
         configs = [
             SimulationConfig(
@@ -231,13 +233,29 @@ class TestBatchConstruction:
                 refresh_hz=platform.display_refresh_hz,
                 duration_s=2.0,
                 seed=1,
-                record_every_n_ticks=2,
+                warm_start_temperature_c=55.0,
             ),
         ]
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="warm start"):
             BatchSimulation(
                 platform, [make_governor("schedutil") for _ in range(2)], configs
             )
+
+    def test_mixed_recording_cadence_accepted(self):
+        """Per-lane ``record_every_n_ticks`` is a lane axis, not a batch axis."""
+        platform = make_platform("exynos9810")
+        configs = [
+            SimulationConfig(
+                refresh_hz=platform.display_refresh_hz,
+                duration_s=2.0,
+                seed=device,
+                record_every_n_ticks=device + 1,
+            )
+            for device in range(2)
+        ]
+        BatchSimulation(
+            platform, [make_governor("schedutil") for _ in range(2)], configs
+        )
 
     def test_governor_count_must_match_config_count(self):
         platform = make_platform("exynos9810")
@@ -250,3 +268,172 @@ class TestBatchConstruction:
             BatchSimulation(
                 platform, [make_governor("schedutil") for _ in range(2)], configs
             )
+
+
+# -- heterogeneous lanes: the masked multi-config path -------------------------
+
+#: Apps with distinct interaction profiles (bursty scroll / passive audio /
+#: continuous game), so mixed-lane fuzzing exercises genuinely different
+#: frame-demand streams per lane.
+HETERO_APPS = ("facebook", "spotify", "lineage")
+
+
+def hetero_batch_hashes(platform_name, governor_name, lanes):
+    """Per-device stream hashes of one heterogeneous (masked) batched run."""
+    platform = make_platform(platform_name)
+    configs = [
+        SimulationConfig(
+            refresh_hz=platform.display_refresh_hz,
+            duration_s=lane["duration_s"],
+            seed=lane["seed"],
+            record_every_n_ticks=lane["record_every"],
+        )
+        for lane in lanes
+    ]
+    governors = [make_governor(governor_name) for _ in lanes]
+    batch = BatchSimulation(platform, governors, configs)
+    batch.run(
+        [
+            make_app(lane["app"], seed=lane["seed"], intensity=lane["intensity"])
+            for lane in lanes
+        ],
+        duration_s=[lane["duration_s"] for lane in lanes],
+    )
+    return [
+        sample_stream_hash(batch.device_recorder(device).samples)
+        for device in range(len(lanes))
+    ]
+
+
+def hetero_scalar_hash(platform_name, governor_name, lane):
+    """The scalar reference stream hash of one heterogeneous lane."""
+    platform = make_platform(platform_name)
+    config = SimulationConfig(
+        refresh_hz=platform.display_refresh_hz,
+        duration_s=lane["duration_s"],
+        seed=lane["seed"],
+        record_every_n_ticks=lane["record_every"],
+    )
+    simulation = Simulation(platform, make_governor(governor_name), config)
+    simulation.run(
+        make_app(lane["app"], seed=lane["seed"], intensity=lane["intensity"])
+    )
+    return sample_stream_hash(simulation.recorder.samples)
+
+
+#: One lane of a heterogeneous fleet: every axis a masked batch lets differ.
+lane_strategy = st.fixed_dictionaries(
+    {
+        "app": st.sampled_from(HETERO_APPS),
+        "duration_s": st.sampled_from((1.0, 2.0, 3.0)),
+        "record_every": st.sampled_from((1, 2, 3)),
+        "intensity": st.sampled_from((0.5, 1.0, 2.0)),
+        "seed": st.integers(min_value=0, max_value=500),
+    }
+)
+
+
+class TestHeterogeneousLanes:
+    """Differential fuzz harness: masked batched lanes == scalar runs.
+
+    Lanes differ in duration (so lanes *finish* at different global ticks),
+    recording cadence (so lanes *record* at different ticks) and interaction
+    intensity (so non-IID fleets feed genuinely different streams through
+    the shared loop).  Every lane must still reproduce the scalar kernel's
+    sample stream bit for bit -- the mask may only ever *exclude* a dead
+    lane, never perturb a live one.
+    """
+
+    @given(
+        lanes=st.lists(lane_strategy, min_size=1, max_size=4),
+        governor_name=st.sampled_from(("schedutil", "conservative")),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_masked_lanes_match_scalar(self, lanes, governor_name):
+        batched = hetero_batch_hashes("exynos9810", governor_name, lanes)
+        for device, lane in enumerate(lanes):
+            assert batched[device] == hetero_scalar_hash(
+                "exynos9810", governor_name, lane
+            ), f"lane {device} diverged ({lane!r})"
+
+    def test_all_lanes_finished_but_one(self):
+        """The survivor lane runs segments alone; its stream may not move."""
+        lanes = [
+            {"app": "facebook", "duration_s": 1.0, "record_every": 1,
+             "intensity": 1.0, "seed": 11},
+            {"app": "spotify", "duration_s": 1.0, "record_every": 1,
+             "intensity": 1.0, "seed": 22},
+            {"app": "lineage", "duration_s": 4.0, "record_every": 1,
+             "intensity": 1.0, "seed": 33},
+        ]
+        batched = hetero_batch_hashes("exynos9810", "schedutil", lanes)
+        for device, lane in enumerate(lanes):
+            assert batched[device] == hetero_scalar_hash(
+                "exynos9810", "schedutil", lane
+            )
+
+    def test_single_lane_through_masked_path_matches_scalar(self):
+        """N=1 via the masked loop itself (``run()`` would fast-path it)."""
+        platform = make_platform("exynos9810")
+        config = SimulationConfig(
+            refresh_hz=platform.display_refresh_hz, duration_s=2.0, seed=5
+        )
+        batch = BatchSimulation(platform, [make_governor("schedutil")], [config])
+        workload = SessionWorkload(FIGURE1_SESSION.segments, seed=5)
+        batch._run_ticks_masked([workload], [batch._ref.clock.ticks_for(2.0)])
+        assert sample_stream_hash(
+            batch.device_recorder(0).samples
+        ) == scalar_device_hash("exynos9810", "schedutil", 0, 5, 2.0)
+
+    def test_heterogeneous_run_consumes_the_batch(self):
+        """Lanes end at different local ticks, so a second run is rejected."""
+        lanes = [
+            {"app": "facebook", "duration_s": 1.0, "record_every": 1,
+             "intensity": 1.0, "seed": 1},
+            {"app": "spotify", "duration_s": 2.0, "record_every": 1,
+             "intensity": 1.0, "seed": 2},
+        ]
+        platform = make_platform("exynos9810")
+        configs = [
+            SimulationConfig(
+                refresh_hz=platform.display_refresh_hz,
+                duration_s=lane["duration_s"],
+                seed=lane["seed"],
+            )
+            for lane in lanes
+        ]
+        batch = BatchSimulation(
+            platform, [make_governor("schedutil") for _ in lanes], configs
+        )
+        workloads = [make_app(lane["app"], seed=lane["seed"]) for lane in lanes]
+        batch.run(workloads, duration_s=[1.0, 2.0])
+        with pytest.raises(ValueError, match="consumes the batch"):
+            batch.run(workloads, duration_s=1.0)
+
+
+#: The pinned non-IID fleet cell: mixed durations, cadences and intensities.
+#: Golden hashes were captured from the *scalar* kernel (see
+#: ``TestBatchedFleetGolden`` for the rationale).
+NIID_LANES = [
+    {"app": "facebook", "duration_s": 4.0, "record_every": 1,
+     "intensity": 1.0, "seed": 2020},
+    {"app": "spotify", "duration_s": 2.0, "record_every": 2,
+     "intensity": 2.0, "seed": 2021},
+    {"app": "lineage", "duration_s": 3.0, "record_every": 1,
+     "intensity": 0.5, "seed": 2022},
+]
+
+
+class TestNonIIDFleetGolden:
+    """The heterogeneous fleet cell pinned against committed golden hashes."""
+
+    def test_niid_fleet_cell_streams_are_bit_identical_to_seed(self):
+        with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+            expected = json.load(handle)["niid_fleet"]
+        assert expected["lanes"] == NIID_LANES, (
+            "golden lane spec drifted; re-pin tests/data/golden_hashes.json"
+        )
+        hashes = hetero_batch_hashes(
+            expected["platform"], expected["governor"], NIID_LANES
+        )
+        assert hashes == expected["hashes"]

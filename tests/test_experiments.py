@@ -470,6 +470,95 @@ class TestRunner:
         assert rebuilt.summary == result.summary
 
 
+class TestHeterogeneousBatchedSweep:
+    """Mixed-duration/cadence sweeps route through the masked batch kernel.
+
+    Before the masked kernel, cells only grouped when their durations (and
+    every override) matched exactly; a sweep mixing browsing and game
+    session lengths fell back to scalar execution.  These tests pin that
+    such sweeps now batch -- and that the pool, sequential-batched and
+    forced-scalar routes all produce bit-identical summaries, so cached
+    results from any route stay interchangeable.
+    """
+
+    def _mixed_duration_matrix(self):
+        # lineage is a game: game_duration_s gives it a longer session than
+        # facebook's, so the two cells have heterogeneous trace durations.
+        return ScenarioMatrix.build(
+            name="hetero",
+            governors=("schedutil", "powersave"),
+            apps=("facebook", "lineage"),
+            duration_s=3.0,
+            game_duration_s=5.0,
+        )
+
+    def test_mixed_duration_cells_group_into_one_masked_batch(self):
+        pytest.importorskip("numpy")
+        from repro.experiments.runner import batchable_cell_groups
+
+        matrix = self._mixed_duration_matrix()
+        pending = list(enumerate(matrix.cells()))
+        groups, rest = batchable_cell_groups(pending)
+        assert rest == []
+        assert len(groups) == 1 and len(groups[0]) == len(matrix)
+        durations = {cell.workload.duration_s for _, cell in groups[0]}
+        assert durations == {3.0, 5.0}
+
+    def test_mixed_cadence_cells_group_and_match_scalar(self):
+        pytest.importorskip("numpy")
+        from dataclasses import replace
+
+        from repro.experiments.runner import (
+            batchable_cell_groups,
+            execute_cells_batched,
+        )
+
+        base = self._mixed_duration_matrix().cells()
+        cells = [
+            replace(cell, config_overrides=(("record_every_n_ticks", 1 + i % 2),))
+            for i, cell in enumerate(base)
+        ]
+        groups, rest = batchable_cell_groups(list(enumerate(cells)))
+        assert rest == [] and len(groups) == 1
+        batched = execute_cells_batched(cells)
+        scalar = [execute_cell(cell) for cell in cells]
+        assert [r.summary for r in batched] == [r.summary for r in scalar]
+
+    def test_pool_sequential_and_scalar_routes_agree(self, monkeypatch):
+        pytest.importorskip("numpy")
+        import repro.experiments.runner as runner_module
+
+        matrix = self._mixed_duration_matrix()
+        sequential = run_matrix(matrix, max_workers=1)
+        pooled = run_matrix(matrix, max_workers=2)
+        monkeypatch.setattr(runner_module, "batch_kernel_available", lambda: False)
+        scalar = run_matrix(matrix, max_workers=1)
+        summaries = [
+            [result.summary for result in sweep.results]
+            for sweep in (sequential, pooled, scalar)
+        ]
+        assert all(sweep.failures == [] for sweep in (sequential, pooled, scalar))
+        assert summaries[0] == summaries[1] == summaries[2]
+
+    def test_scalar_fallback_with_numpy_absent(self, monkeypatch):
+        # Simulate a NumPy-less interpreter: ``sys.modules[name] = None``
+        # makes ``import numpy`` raise ImportError, so the runner must take
+        # the scalar route end to end -- with identical results.
+        pytest.importorskip("numpy")
+        import sys
+
+        matrix = self._mixed_duration_matrix()
+        with_kernel = run_matrix(matrix, max_workers=1)
+        for name in list(sys.modules):
+            if name == "numpy" or name.startswith("numpy."):
+                monkeypatch.setitem(sys.modules, name, None)
+        without_kernel = run_matrix(matrix, max_workers=1)
+        assert without_kernel.failures == []
+        assert [result.summary for result in without_kernel.results] == [
+            result.summary for result in with_kernel.results
+        ]
+
+
 class TestResultCacheQuarantine:
     """Corrupt cache entries are quarantined as misses, never raised mid-sweep."""
 

@@ -131,3 +131,111 @@ def test_merged_values_stay_within_the_fleet_envelope(tables):
             values = [row[action] for row in contributors]
             assert min(values) - ABS_TOL <= merged.get(state, action)
             assert merged.get(state, action) <= max(values) + ABS_TOL
+
+
+# -- non-uniform visit masses (non-IID, intensity-weighted fleets) -------------
+#
+# Intensity-weighted fleet specs give heavy users more episodes, so their
+# tables arrive at the merge with much larger visit counts than light users'.
+# These properties pin how the merge treats that imbalance.
+
+
+@st.composite
+def shared_state_fleets(draw):
+    """2-4 device tables over one shared state set with *unequal* visits."""
+    states = draw(st.lists(state_keys, unique=True, min_size=1, max_size=4))
+    tables = []
+    for _ in range(draw(st.integers(min_value=2, max_value=4))):
+        table = QTable(action_count=ACTION_COUNT, initial_q=0.0)
+        for state in states:
+            values = draw(
+                st.lists(q_values, min_size=ACTION_COUNT, max_size=ACTION_COUNT)
+            )
+            visits = draw(st.integers(min_value=0, max_value=200))
+            table.set_row(state, values, visits)
+        tables.append(table)
+    return states, tables
+
+
+@settings(max_examples=50)
+@given(shared_state_fleets())
+def test_non_uniform_visit_masses_merge_by_the_weighted_mean_formula(fleet):
+    # The exact FedAvg contract under imbalance: each state's merged value
+    # is the visit-weighted mean over contributors (weight floored at 1 so
+    # never-updated rows still speak), and the pooled mass sums raw visits.
+    states, tables = fleet
+    merged = FederatedAggregator(ACTION_COUNT).aggregate(tables)
+    for state in states:
+        weights = [max(1, table.visits(state)) for table in tables]
+        for action in range(ACTION_COUNT):
+            expected = sum(
+                weight * table.get(state, action)
+                for weight, table in zip(weights, tables)
+            ) / sum(weights)
+            assert math.isclose(
+                merged.get(state, action), expected, rel_tol=REL_TOL, abs_tol=1e-9
+            )
+        assert merged.visits(state) == sum(table.visits(state) for table in tables)
+
+
+@settings(max_examples=50)
+@given(shared_state_fleets(), st.integers(min_value=2, max_value=64))
+def test_heavier_visit_mass_pulls_the_merge_towards_that_device(fleet, scale):
+    # Multiplying one device's visit counts (more episodes -> more updates)
+    # must move every merged value weakly towards that device's values.
+    states, tables = fleet
+    aggregator = FederatedAggregator(ACTION_COUNT)
+    before = aggregator.aggregate(tables)
+    heavy = QTable.from_dict(tables[0].to_dict())
+    for state in states:
+        heavy.set_row(
+            state, heavy.values(state), max(1, heavy.visits(state)) * scale
+        )
+    after = aggregator.aggregate([heavy] + tables[1:])
+    for state in states:
+        for action in range(ACTION_COUNT):
+            target = heavy.get(state, action)
+            drift = abs(after.get(state, action) - target)
+            assert drift <= abs(before.get(state, action) - target) + 1e-9
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=10),
+    st.data(),
+)
+def test_intensity_weighted_specs_yield_monotone_episode_budgets(
+    devices, episodes, data
+):
+    # The spec-level source of the imbalance: per-device intensities scale
+    # episode budgets deterministically -- budgets stay >= 1, intensity 1.0
+    # reproduces the uniform budget exactly, and a heavier user never gets
+    # fewer episodes than a lighter one.
+    from repro.core.federated import FleetSpec
+
+    intensities = tuple(
+        data.draw(
+            st.floats(min_value=0.1, max_value=4.0, allow_nan=False),
+            label=f"intensity[{device}]",
+        )
+        for device in range(devices)
+    )
+    spec = FleetSpec(
+        apps=("facebook",),
+        devices=devices,
+        rounds=1,
+        platform="exynos9810",
+        episodes=episodes,
+        episode_duration_s=1.0,
+        fleet_seed=0,
+        device_intensities=intensities,
+    )
+    budgets = [spec.device_episodes(device) for device in range(devices)]
+    for device, (intensity, budget) in enumerate(zip(intensities, budgets)):
+        assert budget >= 1
+        if intensity == 1.0:
+            assert budget == episodes
+        assert spec.device_training_spec(device).episodes == budget
+    ranked = sorted(range(devices), key=lambda device: intensities[device])
+    for lighter, heavier in zip(ranked, ranked[1:]):
+        assert budgets[lighter] <= budgets[heavier]

@@ -244,6 +244,7 @@ class TestNonAtomicPersistenceRule:
 
 class TestLaneCrossingReductionRule:
     BATCH = "src/repro/sim/batch.py"
+    RECORDER = "src/repro/sim/recorder.py"
 
     def test_numpy_reductions_fire_in_batch_kernel(self):
         snippet = """
@@ -257,6 +258,31 @@ class TestLaneCrossingReductionRule:
     def test_matmul_operator_fires(self):
         assert rule_ids("c = a @ b\n", self.BATCH) == ["REP005"]
 
+    def test_masked_cross_lane_reductions_still_fire(self):
+        # Masking selects lanes; the reduction over the survivors still
+        # reassociates.  Every masked spelling must be flagged exactly like
+        # its unmasked counterpart.
+        snippet = """
+            import numpy as np
+            survivors = np.sum(power[active_mask])
+            gated = np.where(active_mask, power, 0.0).sum()
+            compressed = power.compress(active_mask).mean()
+        """
+        assert rule_ids(snippet, self.BATCH) == ["REP005"] * 3
+
+    def test_mask_bookkeeping_is_fine(self):
+        # The masked loop's own machinery -- boolean combination, any(),
+        # nonzero(), isnan(), row-zeroing -- never reassociates float ops.
+        snippet = """
+            import numpy as np
+            record_mask = active_mask & (tick % cadence == 0)
+            will_record = bool(record_mask.any())
+            recorded = np.nonzero(record_mask)[0].tolist()
+            due = np.isnan(last) | ((now - last) >= period)
+            demanded[~active_mask] = 0.0
+        """
+        assert rule_ids(snippet, self.BATCH) == []
+
     def test_elementwise_and_builtin_sum_are_fine(self):
         snippet = """
             import numpy as np
@@ -266,14 +292,21 @@ class TestLaneCrossingReductionRule:
         """
         assert rule_ids(snippet, self.BATCH) == []
 
-    def test_scoped_to_batch_kernel_only(self):
+    def test_scoped_to_masked_update_paths_only(self):
         snippet = "import numpy as np\nt = np.sum(x)\n"
         assert rule_ids(snippet, "src/repro/analysis/metrics.py") == []
+        assert rule_ids(snippet, self.RECORDER) == ["REP005"]
 
     def test_current_batch_kernel_is_clean(self):
         text = (REPO_ROOT / "src/repro/sim/batch.py").read_text()
         assert [
             f.rule_id for f in lint_source(text, self.BATCH, RESOLVED)
+        ] == []
+
+    def test_current_batch_recorder_is_clean(self):
+        text = (REPO_ROOT / "src/repro/sim/recorder.py").read_text()
+        assert [
+            f.rule_id for f in lint_source(text, self.RECORDER, RESOLVED)
         ] == []
 
 
@@ -416,7 +449,10 @@ class TestConfig:
         parsed = _parse_toml_minimal(text)
         table = parsed["tool"]["repro-lint"]
         assert table["paths"] == ["src", "tests", "benchmarks"]
-        assert table["REP005"]["include"] == ["src/repro/sim/batch.py"]
+        assert table["REP005"]["include"] == [
+            "src/repro/sim/batch.py",
+            "src/repro/sim/recorder.py",
+        ]
         assert table["REP002"]["allow_sites"] == [
             "src/repro/experiments/runner.py::execute_cell",
             "src/repro/experiments/runner.py::execute_cells_batched",
