@@ -3,8 +3,8 @@
 Every artifact store in the project (sweep result cache, agent artifacts,
 fleet artifacts, shard manifests, per-app Q-table files) persists JSON
 documents into directories that may be shared by several runner processes
-and scanned by later sessions.  Two invariants make that safe and
-deterministic, and both live here so the static-analysis pass
+and scanned by later sessions.  Three invariants make that safe and
+deterministic, and all live here so the static-analysis pass
 (:mod:`repro.lint`) can enforce that nothing bypasses them:
 
 * **Atomic publication** (:func:`atomic_write_json`): a write is staged in
@@ -16,6 +16,17 @@ deterministic, and both live here so the static-analysis pass
   scans are sorted by filename, so load order -- and therefore any
   insertion-order-dependent downstream serialisation -- never depends on
   filesystem enumeration order (lint rule REP003).
+* **Quarantine, never raise** (:func:`quarantine_entry`): a store that
+  finds an unparseable entry (a torn copy, a filled disk on a non-atomic
+  filesystem) moves it aside as ``<path>.bad`` and recomputes, instead of
+  letting one bad file abort a whole sweep.
+
+The write path is also a named fault-injection seam
+(:mod:`repro.reliability.faults`): a seeded chaos plan can tear a write
+(truncated document at the final path) or crash it after staging (temp
+debris, destination untouched), which is how the crash-safety of every
+consumer -- result cache, shard status files, artifact stores -- is tested
+deterministically.
 """
 
 from __future__ import annotations
@@ -23,6 +34,13 @@ from __future__ import annotations
 import json
 import os
 from typing import Any, List, Mapping, Optional
+
+from repro.reliability.faults import (
+    KIND_TORN_WRITE,
+    SITE_ATOMIC_WRITE,
+    SITE_ATOMIC_WRITE_STAGED,
+    fault_point,
+)
 
 
 def list_entry_paths(directory: Optional[str], suffix: str) -> List[str]:
@@ -43,6 +61,24 @@ def list_entry_paths(directory: Optional[str], suffix: str) -> List[str]:
     ]
 
 
+def quarantine_entry(path: str) -> Optional[str]:
+    """Move a corrupt store entry aside as ``<path>.bad`` (best effort).
+
+    Renaming instead of deleting keeps the evidence for post-mortems, frees
+    the canonical path so a re-run can store a fresh entry, and -- because
+    every store's enumeration filters on its entry suffix -- keeps the
+    quarantined file out of all later store operations.  Returns the
+    quarantine path, or ``None`` when the rename failed (e.g. a racing
+    runner already quarantined or replaced the entry).
+    """
+    bad_path = f"{path}.bad"
+    try:
+        os.replace(path, bad_path)
+    except OSError:
+        return None
+    return bad_path
+
+
 def atomic_write_json(
     path: str,
     payload: Mapping[str, Any],
@@ -60,12 +96,29 @@ def atomic_write_json(
     ``indent`` / ``sort_keys`` pass through to :func:`json.dump` for
     human-reviewed documents (e.g. the lint baseline) that must serialise
     deterministically and diff cleanly.
+
+    Fault seams (active only under an injected
+    :class:`~repro.reliability.faults.FaultPlan`, keyed by the target's
+    basename): a *torn_write* publishes a truncated document at ``path``
+    and returns normally -- modelling a non-atomic filesystem losing the
+    tail -- so consumers must quarantine-and-recompute on their next load;
+    a *crash* after staging raises before the ``os.replace``, leaving temp
+    debris and the previous document intact -- modelling a process dying
+    mid-write.
     """
+    key = os.path.basename(path)
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys)
+    rule = fault_point(SITE_ATOMIC_WRITE, key)
+    if rule is not None and rule.kind == KIND_TORN_WRITE:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text[: max(1, len(text) // 2)])
+        return path
     tmp_path = f"{path}.tmp.{os.getpid()}"
     with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=indent, sort_keys=sort_keys)
+        handle.write(text)
+    fault_point(SITE_ATOMIC_WRITE_STAGED, key)  # crash seam: debris stays
     os.replace(tmp_path, path)
     return path

@@ -26,15 +26,18 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.agent import AgentConfig
 from repro.core.artifact import AgentArtifact, TrainingSpec
-from repro.core.persistence import list_entry_paths
+from repro.core.persistence import list_entry_paths, quarantine_entry
 from repro.core.governor import NextGovernor
+from repro.reliability.faults import SITE_TRAIN_ARTIFACT, fault_point
 from repro.sim.config import SimulationConfig
 from repro.sim.experiment import train_next_on_apps
 from repro.soc.platform import make_platform
 
 
 def train_artifact(
-    spec: TrainingSpec, agent_config: Optional[AgentConfig] = None
+    spec: TrainingSpec,
+    agent_config: Optional[AgentConfig] = None,
+    attempt: int = 0,
 ) -> AgentArtifact:
     """Train one agent per ``spec`` and freeze it into an artifact.
 
@@ -43,7 +46,13 @@ def train_artifact(
     the captured agent evaluates greedily with the documented per-app seed
     scheme.  The function is a plain top-level callable returning plain
     data: process pools can run it like any cell.
+
+    ``attempt`` is the orchestrator's retry counter for this spec; it feeds
+    the fault-injection seam (so a scheduled fault stops firing once its
+    ``max_attempt`` budget is spent) and has no effect on the trained
+    artifact, which is a pure function of the spec.
     """
+    fault_point(SITE_TRAIN_ARTIFACT, spec.fingerprint(agent_config), attempt)
     platform = make_platform(spec.platform)
     overrides = dict(spec.config_overrides)
     simulation_config = None
@@ -97,7 +106,15 @@ class ArtifactStore:
     def load(
         self, spec: TrainingSpec, agent_config: Optional[AgentConfig] = None
     ) -> Optional[AgentArtifact]:
-        """Return the stored artifact for ``spec``, or ``None`` on a miss."""
+        """Return the stored artifact for ``spec``, or ``None`` on a miss.
+
+        An unparseable entry (a torn copy on a non-atomic filesystem) is
+        quarantined as ``<path>.bad`` and treated as a miss, so one bad file
+        retrains one agent instead of raising mid-sweep -- the same
+        hardening the runner's ``ResultCache`` applies to cell entries.  A
+        parseable entry whose fingerprint does not match is left in place:
+        that is a foreign or stale-format file, not corruption.
+        """
         fingerprint = spec.fingerprint(agent_config)
         artifact = self._memory.get(fingerprint)
         if artifact is not None:
@@ -108,7 +125,8 @@ class ArtifactStore:
         try:
             artifact = AgentArtifact.load(path)
         except (OSError, ValueError, KeyError, TypeError):
-            return None  # corrupt or stale entry: treat as a miss and retrain
+            quarantine_entry(path)
+            return None  # corrupt entry: treat as a miss and retrain
         if artifact.fingerprint != fingerprint:
             return None
         self._memory[fingerprint] = artifact

@@ -62,6 +62,9 @@ from repro.experiments.runner import (
     SweepRunner,
     default_artifact_dir,
 )
+from repro.reliability.faults import FaultPlan, activate_fault_plan
+from repro.reliability.retry import RetryPolicy
+from repro.reliability.watchdog import WatchdogPolicy
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -182,7 +185,64 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
+    _add_fault_tolerance_flags(parser)
     return parser
+
+
+def _add_fault_tolerance_flags(parser: argparse.ArgumentParser) -> None:
+    """The fault-tolerance knobs shared by plain runs and ``shard run``."""
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="JSON|PATH",
+        help=(
+            "activate a deterministic fault-injection plan (inline JSON or a "
+            "path to a JSON file) for chaos testing; see repro.reliability"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help=(
+            "max retries per cell/artifact for transient failures "
+            "(default: 2; deterministic failures are never retried)"
+        ),
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "flat per-cell watchdog budget in seconds, overriding the "
+            "cost-model-derived budget; hung cells are rescheduled"
+        ),
+    )
+
+
+def _fault_tolerance_from_args(
+    args: argparse.Namespace,
+) -> Tuple[Optional[RetryPolicy], Optional[WatchdogPolicy]]:
+    """Resolve the shared fault-tolerance flags, activating any fault plan.
+
+    Activation exports the plan through ``REPRO_FAULT_PLAN``, so pool
+    workers spawned later inherit it.  Returns ``(retry_policy, watchdog)``
+    with ``None`` entries meaning "use the runner's defaults".
+    """
+    if args.fault_plan:
+        activate_fault_plan(FaultPlan.parse(args.fault_plan))
+    retry_policy = None
+    if args.max_retries is not None:
+        if args.max_retries < 0:
+            raise SystemExit("--max-retries must be non-negative")
+        retry_policy = RetryPolicy(max_retries=args.max_retries)
+    watchdog = None
+    if args.cell_timeout is not None:
+        if args.cell_timeout <= 0:
+            raise SystemExit("--cell-timeout must be positive")
+        watchdog = WatchdogPolicy(cell_timeout_s=args.cell_timeout)
+    return retry_policy, watchdog
 
 
 def _validate_metric(metric: str) -> None:
@@ -480,10 +540,13 @@ def _run(argv: Optional[List[str]]) -> int:
         f"estimated ~{sum(costs.values()):.1f}s"
     )
 
+    retry_policy, watchdog = _fault_tolerance_from_args(args)
     runner = SweepRunner(
         max_workers=args.max_workers,
         cache_dir=args.cache_dir,
         artifact_dir=args.artifact_dir,
+        retry_policy=retry_policy,
+        watchdog=watchdog,
     )
     sweep = runner.run(
         matrix,
@@ -584,6 +647,7 @@ def build_shard_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
+    _add_fault_tolerance_flags(run)
 
     merge = commands.add_parser(
         "merge",
@@ -631,6 +695,16 @@ def build_shard_parser() -> argparse.ArgumentParser:
         help=(
             "shard directory to inspect (repeatable, in shard order; "
             "default: every shard-NNN next to the manifest)"
+        ),
+    )
+    status.add_argument(
+        "--stale-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "flag running shards whose status heartbeat is older than this "
+            "many seconds as STALE (likely hung or dead; re-run them)"
         ),
     )
     return parser
@@ -701,6 +775,7 @@ def _run_shard_command(argv: List[str]) -> int:
             fingerprint: manifest.cell_costs[fingerprint]
             for fingerprint in manifest.assignments[args.shard_index]
         }
+        retry_policy, _ = _fault_tolerance_from_args(args)
         sweep = run_shard(
             manifest,
             args.shard_index,
@@ -712,6 +787,8 @@ def _run_shard_command(argv: List[str]) -> int:
                 prefix=f"s{args.shard_index} ",
                 workers=args.max_workers,
             ),
+            retry_policy=retry_policy,
+            cell_timeout_s=args.cell_timeout,
         )
         print(
             f"shard {args.shard_index}: {len(sweep.completed)}/{len(sweep)} cells "
@@ -724,7 +801,11 @@ def _run_shard_command(argv: List[str]) -> int:
         cells_by_fingerprint = manifest.cells_by_fingerprint()
         statuses = [
             shard_status(
-                manifest, index, shard_dir, cells_by_fingerprint=cells_by_fingerprint
+                manifest,
+                index,
+                shard_dir,
+                cells_by_fingerprint=cells_by_fingerprint,
+                stale_after_s=args.stale_after,
             )
             for index, shard_dir in enumerate(_shard_dirs_for(args, manifest))
         ]
@@ -735,17 +816,31 @@ def _run_shard_command(argv: List[str]) -> int:
             f"{manifest.shard_count} shards):"
         )
         for status in statuses:
+            retries = (
+                f", {status.attempts} retries" if status.attempts else ""
+            )
+            liveness = ""
+            if status.stale:
+                age = (
+                    f"heartbeat {status.heartbeat_age_s:.0f}s old"
+                    if status.heartbeat_age_s is not None
+                    else "no heartbeat"
+                )
+                liveness = f" STALE ({age}; likely dead, re-run)"
             print(
                 f"  shard {status.shard}: {status.state:8s} "
                 f"{status.completed}/{status.total} cells, "
-                f"{status.failed} failed, ~{status.remaining_s:.1f}s left "
-                f"({status.directory})"
+                f"{status.failed} failed{retries}, "
+                f"~{status.remaining_s:.1f}s left "
+                f"({status.directory}){liveness}"
             )
         done = sum(s.completed for s in statuses)
         total = sum(s.total for s in statuses)
+        stale_count = sum(1 for s in statuses if s.stale)
         print(
             f"total: {done}/{total} cells done, "
             f"~{sum(s.remaining_s for s in statuses):.1f}s left"
+            + (f", {stale_count} stale shard(s)" if stale_count else "")
         )
         return 0
 
@@ -761,10 +856,15 @@ def _run_shard_command(argv: List[str]) -> int:
         args.cache_dir,
         require_complete=not args.allow_missing,
     )
+    quarantined = (
+        f", {counters['quarantined']} torn entries quarantined"
+        if counters.get("quarantined")
+        else ""
+    )
     print(
         f"merged {counters['results']} results, {counters['artifacts']} "
         f"artifacts, {counters['fleets']} fleets into {args.cache_dir} "
-        f"({counters['duplicates']} identical duplicates skipped)"
+        f"({counters['duplicates']} identical duplicates skipped{quarantined})"
     )
     _print_sweep_report(matrix, sweep, args.metric, baseline)
     if len(sweep) < len(matrix.cells()):

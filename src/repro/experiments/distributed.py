@@ -46,8 +46,11 @@ import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.persistence import atomic_write_json
+from repro.core.persistence import atomic_write_json, quarantine_entry
 from repro.core.seeding import canonical_fingerprint
+from repro.reliability.clock import wall_now
+from repro.reliability.retry import RetryPolicy
+from repro.reliability.watchdog import WatchdogPolicy
 from repro.experiments.artifacts import ArtifactStore
 from repro.experiments.federated import FleetStore
 from repro.experiments.matrix import ScenarioCell, ScenarioMatrix
@@ -539,6 +542,7 @@ def _write_status(
     cached: int,
     failed: int,
     remaining_s: float,
+    attempts: int = 0,
 ) -> None:
     atomic_write_json(
         os.path.join(shard_dir, STATUS_FILENAME),
@@ -551,6 +555,10 @@ def _write_status(
             "completed": completed,
             "cached": cached,
             "failed": failed,
+            "attempts": attempts,
+            # Unix time, not monotonic: the heartbeat is compared across
+            # machines by `shard status` on the planning host.
+            "heartbeat_unix_s": wall_now(),
             "estimated_remaining_s": remaining_s,
             "estimated_total_s": manifest.shard_cost_s(shard_index),
         },
@@ -563,6 +571,8 @@ def run_shard(
     shard_dir: str,
     max_workers: Optional[int] = 1,
     progress: Optional[ProgressCallback] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    cell_timeout_s: Optional[float] = None,
 ) -> SweepResult:
     """Execute one shard into its own directory; resumable and restartable.
 
@@ -570,19 +580,34 @@ def run_shard(
     cache at ``cache/``, trained artifacts and fleets at ``cache/artifacts``
     -- so shipping the directory back to the planning machine ships the
     complete shard output.  ``shard-status.json`` is rewritten atomically
-    after every cell; an interrupted worker restarts from its cache and only
-    recomputes what is missing.
+    after every cell with a fresh heartbeat timestamp and a running retry
+    count, so the planning machine's ``shard status`` can distinguish a
+    slow shard from a dead one; an interrupted worker restarts from its
+    cache and only recomputes what is missing.
+
+    ``retry_policy`` and ``cell_timeout_s`` configure the runner's fault
+    tolerance (transient-failure retries and the per-cell watchdog budget);
+    defaults mirror a plain :class:`~repro.experiments.runner.SweepRunner`.
     """
     cells = manifest.shard_cells(shard_index)
+    watchdog = None
+    if cell_timeout_s is not None:
+        watchdog = WatchdogPolicy(
+            cost_model=manifest.cost_model, cell_timeout_s=cell_timeout_s
+        )
     runner = SweepRunner(
-        max_workers=max_workers, cache_dir=shard_cache_dir(shard_dir)
+        max_workers=max_workers,
+        cache_dir=shard_cache_dir(shard_dir),
+        retry_policy=retry_policy,
+        watchdog=watchdog,
     )
     tracker = RemainingCost(
         {f: manifest.cell_costs[f] for f in manifest.assignments[shard_index]}
     )
-    counters = {"completed": 0, "cached": 0, "failed": 0}
+    counters = {"completed": 0, "cached": 0, "failed": 0, "attempts": 0}
 
     def track(done: int, total: int, result: CellResult) -> None:
+        counters["attempts"] += len(result.attempts or [])
         if tracker.deliver(result):
             # Count each *distinct* cell once: a duplicate-fingerprint
             # expansion delivers the same cell twice, but "total" in the
@@ -605,6 +630,7 @@ def run_shard(
             counters["cached"],
             counters["failed"],
             tracker.remaining_s,
+            counters["attempts"],
         )
         if progress is not None:
             progress(done, total, result)
@@ -630,6 +656,7 @@ def run_shard(
             counters["cached"],
             counters["failed"],
             tracker.remaining_s,
+            counters["attempts"],
         )
         raise
     _write_status(
@@ -641,6 +668,7 @@ def run_shard(
         counters["cached"],
         counters["failed"],
         tracker.remaining_s,
+        counters["attempts"],
     )
     return result
 
@@ -656,6 +684,15 @@ class ShardStatus:
     failed: int
     remaining_s: float
     directory: str
+    #: Retry attempts the worker has recorded so far (0 when unreported).
+    attempts: int = 0
+    #: Seconds since the worker's last status heartbeat, or ``None`` when the
+    #: status file carries no heartbeat (pre-heartbeat worker, or no file).
+    heartbeat_age_s: Optional[float] = None
+    #: True when a self-reportedly running, incomplete shard has not written
+    #: a heartbeat within the caller's ``stale_after_s`` window -- the worker
+    #: is likely hung or dead and the shard should be re-run.
+    stale: bool = False
 
 
 def shard_status(
@@ -663,6 +700,7 @@ def shard_status(
     shard_index: int,
     shard_dir: str,
     cells_by_fingerprint: Optional[Mapping[str, ScenarioCell]] = None,
+    stale_after_s: Optional[float] = None,
 ) -> ShardStatus:
     """Inspect one shard's progress from its cache and status file.
 
@@ -679,6 +717,12 @@ def shard_status(
     ``cells_by_fingerprint`` lets a caller inspecting many shards share one
     :meth:`ShardManifest.cells_by_fingerprint` expansion instead of paying a
     full matrix expansion per shard.
+
+    ``stale_after_s`` enables liveness detection: a shard whose status file
+    claims "running" but whose heartbeat is older than the window (and whose
+    cache is not already complete) is flagged ``stale`` -- the worker is
+    presumed hung or dead, and re-running the shard (which resumes from its
+    cache) is the remedy.
     """
     if cells_by_fingerprint is None:
         cells_by_fingerprint = manifest.cells_by_fingerprint()
@@ -695,6 +739,8 @@ def shard_status(
         manifest.cell_costs[f] for f in fingerprints if f not in done
     )
     failed = 0
+    attempts = 0
+    heartbeat_age_s: Optional[float] = None
     reported_state = None
     status_path = os.path.join(shard_dir, STATUS_FILENAME)
     try:
@@ -708,7 +754,11 @@ def shard_status(
             # and a mis-ordered --shard-dir list must not attribute another
             # shard's failure count and state to this row.
             failed = int(status.get("failed", 0))
+            attempts = int(status.get("attempts", 0))
             reported_state = status.get("state")
+            heartbeat = status.get("heartbeat_unix_s")
+            if isinstance(heartbeat, (int, float)):
+                heartbeat_age_s = max(0.0, wall_now() - float(heartbeat))
     except (OSError, ValueError, TypeError):
         pass  # no (readable) status file: judge from the cache alone
     # The cache outranks the worker's self-report: every entry present and
@@ -724,6 +774,15 @@ def shard_status(
         state = "partial"
     else:
         state = "pending"
+    # Staleness only applies to a shard that claims to be running but has
+    # not finished: a complete cache is done no matter how old the
+    # heartbeat, and "interrupted"/"failed" workers stopped on purpose.
+    stale = (
+        stale_after_s is not None
+        and reported_state == "running"
+        and state != "complete"
+        and (heartbeat_age_s is None or heartbeat_age_s > stale_after_s)
+    )
     return ShardStatus(
         shard=shard_index,
         state=state,
@@ -732,6 +791,9 @@ def shard_status(
         failed=failed,
         remaining_s=remaining_s,
         directory=shard_dir,
+        attempts=attempts,
+        heartbeat_age_s=heartbeat_age_s,
+        stale=stale,
     )
 
 
@@ -744,22 +806,40 @@ class ShardMergeError(RuntimeError):
     """A distributed merge found conflicting or incomplete shard content."""
 
 
+def _parse_entry(raw_bytes: bytes, canonical_entry) -> Optional[Dict[str, Any]]:
+    """Parse one entry's bytes into its canonical content, ``None`` if torn."""
+    try:
+        return canonical_entry(json.loads(raw_bytes.decode("utf-8")))
+    except (ValueError, UnicodeDecodeError):
+        return None
+
+
 def _merge_entry(
     source_path: str,
     dest_path: str,
     canonical_entry,
     kind: str,
-) -> bool:
+) -> Optional[bool]:
     """Copy one fingerprint-keyed entry into the merged store.
 
     Returns ``True`` when the entry was copied, ``False`` when the
-    destination already held a content-identical entry (a clean overlap).
-    Raises :class:`ShardMergeError` when the same fingerprint maps to
-    diverging content -- which can only mean corruption, tampering or a
-    non-deterministic bug, all of which must stop the merge.
+    destination already held a content-identical entry (a clean overlap),
+    and ``None`` when the source entry was unparseable JSON -- a torn write
+    from a crashed worker or an interrupted copy.  Torn sources are
+    quarantined as ``<path>.bad`` (so re-running the shard recomputes them)
+    and skipped, never merged.  A torn *destination* (an earlier merge
+    interrupted mid-write) is likewise quarantined and replaced by the
+    parseable source.  Raises :class:`ShardMergeError` only when two
+    *parseable* copies of the same fingerprint disagree -- which can only
+    mean corruption, tampering or a non-deterministic bug, all of which
+    must stop the merge.
     """
     with open(source_path, "rb") as handle:
         source_bytes = handle.read()
+    source_data = _parse_entry(source_bytes, canonical_entry)
+    if source_data is None:
+        quarantine_entry(source_path)
+        return None
     if not os.path.exists(dest_path):
         tmp_path = f"{dest_path}.tmp.{os.getpid()}"
         with open(tmp_path, "wb") as handle:
@@ -770,14 +850,14 @@ def _merge_entry(
         dest_bytes = handle.read()
     if source_bytes == dest_bytes:
         return False
-    try:
-        source_data = canonical_entry(json.loads(source_bytes.decode("utf-8")))
-        dest_data = canonical_entry(json.loads(dest_bytes.decode("utf-8")))
-    except (ValueError, UnicodeDecodeError) as exc:
-        raise ShardMergeError(
-            f"{kind} entry {os.path.basename(source_path)!r} is not valid JSON "
-            f"in one of the shards: {exc}"
-        ) from None
+    dest_data = _parse_entry(dest_bytes, canonical_entry)
+    if dest_data is None:
+        quarantine_entry(dest_path)
+        tmp_path = f"{dest_path}.tmp.{os.getpid()}"
+        with open(tmp_path, "wb") as handle:
+            handle.write(source_bytes)
+        os.replace(tmp_path, dest_path)
+        return True
     if source_data != dest_data:
         raise ShardMergeError(
             f"{kind} entry {os.path.basename(source_path)!r} diverges between "
@@ -795,12 +875,29 @@ def merge_shard_stores(
     """Union shard result caches and artifact/fleet stores into one directory.
 
     Returns per-kind counters (``results``/``artifacts``/``fleets`` copied,
-    ``duplicates`` skipped as content-identical overlaps).  Quarantined
-    (``.bad``) and staging (``.tmp.<pid>``) files are ignored; a genuine
-    content conflict raises :class:`ShardMergeError` and leaves the partial
-    merge on disk for inspection (re-running the merge is idempotent).
+    ``duplicates`` skipped as content-identical overlaps, ``quarantined``
+    torn entries renamed to ``.bad`` and skipped).  Quarantined (``.bad``)
+    and staging (``.tmp.<pid>``) files are ignored; a genuine content
+    conflict between parseable entries raises :class:`ShardMergeError` and
+    leaves the partial merge on disk for inspection (re-running the merge is
+    idempotent).
     """
-    counters = {"results": 0, "artifacts": 0, "fleets": 0, "duplicates": 0}
+    counters = {
+        "results": 0,
+        "artifacts": 0,
+        "fleets": 0,
+        "duplicates": 0,
+        "quarantined": 0,
+    }
+
+    def tally(copied: Optional[bool], kind: str) -> None:
+        if copied is None:
+            counters["quarantined"] += 1
+        elif copied:
+            counters[kind] += 1
+        else:
+            counters["duplicates"] += 1
+
     os.makedirs(dest_cache_dir, exist_ok=True)
     dest_artifact_dir = default_artifact_dir(dest_cache_dir)
     os.makedirs(dest_artifact_dir, exist_ok=True)
@@ -812,7 +909,7 @@ def merge_shard_stores(
                 ResultCache.canonical_entry,
                 "result-cache",
             )
-            counters["results" if copied else "duplicates"] += 1
+            tally(copied, "results")
         artifact_dir = default_artifact_dir(cache_dir)
         for source_path in ArtifactStore(artifact_dir).entry_paths():
             copied = _merge_entry(
@@ -821,7 +918,7 @@ def merge_shard_stores(
                 ArtifactStore.canonical_entry,
                 "artifact",
             )
-            counters["artifacts" if copied else "duplicates"] += 1
+            tally(copied, "artifacts")
         for source_path in FleetStore(artifact_dir).entry_paths():
             copied = _merge_entry(
                 source_path,
@@ -829,7 +926,7 @@ def merge_shard_stores(
                 FleetStore.canonical_entry,
                 "fleet",
             )
-            counters["fleets" if copied else "duplicates"] += 1
+            tally(copied, "fleets")
     return counters
 
 

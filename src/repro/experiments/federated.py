@@ -38,7 +38,8 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.core.actions import ActionSpace
 from repro.core.agent import AgentConfig, NextAgent
 from repro.core.artifact import TrainingSpec
-from repro.core.persistence import list_entry_paths
+from repro.core.persistence import list_entry_paths, quarantine_entry
+from repro.reliability.faults import SITE_TRAIN_DEVICE_ROUND, fault_point
 from repro.core.federated import (
     FederatedAggregator,
     FleetArtifact,
@@ -62,6 +63,7 @@ def train_device_round(
     episode_duration_s: float,
     seed: int,
     config_overrides: Tuple[Tuple[str, Any], ...] = (),
+    attempt: int = 0,
 ) -> Dict[str, Any]:
     """One device's local-training phase of a federated round.
 
@@ -71,7 +73,13 @@ def train_device_round(
     path, and returns the JSON-normalised post-training state.  A plain
     top-level callable over plain data: process pools run it like any cell,
     and pickling cannot change the result.
+
+    ``attempt`` is the orchestrator's retry counter for this device job,
+    consumed only by the fault-injection seam (keyed by the device's
+    deterministic round seed, which identifies the job across runs); the
+    returned state is a pure function of the other arguments.
     """
+    fault_point(SITE_TRAIN_DEVICE_ROUND, str(seed), attempt)
     agent = NextAgent.from_dict(agent_state)
     governor = NextGovernor(agent=agent)  # re-enables training
     platform_spec = make_platform(platform)
@@ -557,7 +565,15 @@ class FleetStore:
     def load(
         self, spec: FleetSpec, agent_config: Optional[AgentConfig] = None
     ) -> Optional[FleetArtifact]:
-        """Return the stored fleet for ``spec``, or ``None`` on a miss."""
+        """Return the stored fleet for ``spec``, or ``None`` on a miss.
+
+        An unparseable entry (a torn copy on a non-atomic filesystem) is
+        quarantined as ``<path>.bad`` and treated as a miss, so one bad
+        file retrains one fleet instead of raising mid-sweep -- matching
+        ``ResultCache`` and ``ArtifactStore``.  A parseable entry whose
+        fingerprint does not match is left in place: foreign or
+        stale-format, not corrupt.
+        """
         fingerprint = spec.fingerprint(agent_config)
         artifact = self._memory.get(fingerprint)
         if artifact is not None:
@@ -568,7 +584,8 @@ class FleetStore:
         try:
             artifact = FleetArtifact.load(path)
         except (OSError, ValueError, KeyError, TypeError):
-            return None  # corrupt or stale entry: treat as a miss and retrain
+            quarantine_entry(path)
+            return None  # corrupt entry: treat as a miss and retrain
         if artifact.fingerprint != fingerprint:
             return None
         self._memory[fingerprint] = artifact

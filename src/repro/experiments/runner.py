@@ -11,6 +11,21 @@ Failure isolation: a cell that raises reports an error :class:`CellResult`
 (status ``"error"`` with the traceback) instead of killing the sweep, so a
 1000-cell overnight run survives one diverging configuration.
 
+Fault tolerance (:mod:`repro.reliability`): failures are *classified* where
+the exception object still exists -- transient infrastructure failures
+(injected faults, broken pools, store I/O errors, timeouts) retry with
+bounded seeded backoff, while deterministic failures (anything else, or the
+same traceback twice in a row) are quarantined as permanent immediately.
+A broken pool (crashed worker) or an expired watchdog deadline (hung
+worker) tears the pool down and rebuilds it, resubmitting only the cells
+that were in flight -- their attempt counters bumped so first-attempt-only
+injected faults cannot re-fire -- and after ``max_pool_rebuilds`` restarts
+the *remaining* cells (never the already-delivered ones) finish
+sequentially in the orchestrator, where injected crashes raise instead of
+exiting.  All of this is safe because of the bit-identity contract: a
+retried cell can only ever produce the same bytes the first attempt would
+have, which the chaos harness pins per cell via ``sample_stream_hash``.
+
 Caching: with a ``cache_dir``, each completed cell is written to
 ``<fingerprint>.json``; re-running a sweep serves completed cells from disk
 and only computes the missing ones.  Error results are *not* cached, so a
@@ -23,7 +38,12 @@ import json
 import os
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
@@ -40,6 +60,21 @@ from repro.experiments.federated import (
     train_fleet_artifact,
 )
 from repro.experiments.matrix import ScenarioCell, ScenarioMatrix
+from repro.reliability.clock import monotonic_now
+from repro.reliability.faults import (
+    SITE_EXECUTE_BATCH,
+    SITE_EXECUTE_CELL,
+    fault_point,
+    mark_worker_process,
+)
+from repro.reliability.retry import (
+    PERMANENT,
+    TRANSIENT,
+    RetryPolicy,
+    RetryState,
+    classify_exception,
+)
+from repro.reliability.watchdog import WatchdogPolicy
 from repro.sim.config import SimulationConfig
 from repro.sim.experiment import (
     STOCHASTIC_GOVERNORS,
@@ -62,7 +97,17 @@ CellArtifact = Union[AgentArtifact, FleetArtifact]
 
 @dataclass
 class CellResult:
-    """Outcome of one cell: a summary dict on success, a traceback on failure."""
+    """Outcome of one cell: a summary dict on success, a traceback on failure.
+
+    ``error_kind`` classifies a failure as ``"transient"`` (infrastructure:
+    a retry could help) or ``"permanent"`` (deterministic, or retries
+    exhausted); ``error_type`` is the raising exception's class name.
+    ``attempts`` is the retry lineage -- one record per failed attempt that
+    preceded this result -- so a cell that succeeded after two injected
+    faults still documents them.  All three are populated only when
+    something actually failed, keeping fault-free results (and their cached
+    entries) byte-identical to a runner without the retry machinery.
+    """
 
     cell: ScenarioCell
     status: str
@@ -70,6 +115,9 @@ class CellResult:
     error: Optional[str] = None
     from_cache: bool = False
     elapsed_s: float = 0.0
+    error_kind: Optional[str] = None
+    error_type: Optional[str] = None
+    attempts: Optional[List[Dict[str, Any]]] = None
 
     @property
     def ok(self) -> bool:
@@ -91,14 +139,26 @@ class CellResult:
         return value
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serialisable form (used by the result cache)."""
-        return {
+        """JSON-serialisable form (used by the result cache).
+
+        The failure/retry fields are emitted only when set, so a fault-free
+        success serialises to exactly the pre-reliability document -- cache
+        entries stay byte-stable across the feature's introduction.
+        """
+        data: Dict[str, Any] = {
             "cell": self.cell.spec(),
             "status": self.status,
             "summary": self.summary,
             "error": self.error,
             "elapsed_s": self.elapsed_s,
         }
+        if self.error_kind is not None:
+            data["error_kind"] = self.error_kind
+        if self.error_type is not None:
+            data["error_type"] = self.error_type
+        if self.attempts:
+            data["attempts"] = self.attempts
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CellResult":
@@ -109,6 +169,9 @@ class CellResult:
             summary=data.get("summary"),
             error=data.get("error"),
             elapsed_s=float(data.get("elapsed_s", 0.0)),
+            error_kind=data.get("error_kind"),
+            error_type=data.get("error_type"),
+            attempts=data.get("attempts"),
         )
 
 
@@ -193,11 +256,23 @@ def run_cell_session(
 
 
 def execute_cell(
-    cell: ScenarioCell, artifact: Optional[CellArtifact] = None
+    cell: ScenarioCell,
+    artifact: Optional[CellArtifact] = None,
+    attempt: int = 0,
 ) -> CellResult:
-    """Run one cell with failure isolation (the process-pool work unit)."""
+    """Run one cell with failure isolation (the process-pool work unit).
+
+    ``attempt`` is the orchestrator's retry counter for this cell: it feeds
+    the fault-injection seam (so a scheduled fault stops firing once its
+    ``max_attempt`` budget is spent) and has no effect on a successful
+    result, which is a pure function of the cell.  A failure is classified
+    here, where the exception object still exists -- ``error_kind`` tells
+    the orchestrator whether a retry could help (transient infrastructure
+    failure) or cannot (deterministic error in the cell itself).
+    """
     started = time.perf_counter()
     try:
+        fault_point(SITE_EXECUTE_CELL, cell.fingerprint(), attempt)
         session = run_cell_session(cell, artifact=artifact)
         return CellResult(
             cell=cell,
@@ -205,16 +280,20 @@ def execute_cell(
             summary=summary_to_dict(session),
             elapsed_s=time.perf_counter() - started,
         )
-    except Exception:
+    except Exception as exc:
         return CellResult(
             cell=cell,
             status="error",
             error=traceback.format_exc(),
             elapsed_s=time.perf_counter() - started,
+            error_kind=classify_exception(exc),
+            error_type=type(exc).__name__,
         )
 
 
-def execute_cells_batched(cells: List[ScenarioCell]) -> List[CellResult]:
+def execute_cells_batched(
+    cells: List[ScenarioCell], attempt: int = 0
+) -> List[CellResult]:
     """Run a group of artifact-free cells through the batch kernel.
 
     All cells must share a platform and (cadence aside) config overrides
@@ -229,10 +308,14 @@ def execute_cells_batched(cells: List[ScenarioCell]) -> List[CellResult]:
     Failure isolation matches the scalar path's granularity: any batch-level
     failure (including one diverging cell) falls back to running every cell
     of the group through :func:`execute_cell` individually, so a single bad
-    configuration degrades throughput, never correctness.
+    configuration degrades throughput, never correctness.  An injected
+    fault at the batch seam (keyed by the group's first fingerprint, with
+    the orchestrator's ``attempt`` counter threaded through) takes the same
+    fallback: the scalar re-runs classify and report their own failures.
     """
     started = time.perf_counter()
     try:
+        fault_point(SITE_EXECUTE_BATCH, cells[0].fingerprint(), attempt)
         from repro.sim.batch import BatchSimulation
         from repro.workloads.trace import TracePlayer
 
@@ -284,8 +367,8 @@ def execute_cells_batched(cells: List[ScenarioCell]) -> List[CellResult]:
                 )
             )
         return results
-    except Exception:
-        return [execute_cell(cell) for cell in cells]
+    except Exception:  # repro-lint: disable=REP008 -- each cell re-runs scalar and records its own traceback
+        return [execute_cell(cell, attempt=attempt) for cell in cells]
 
 
 def batchable_cell_groups(
@@ -471,14 +554,18 @@ class ResultCache:
         """The content identity of one cache entry: everything but wall time.
 
         Two shards that executed the same cell produce entries identical in
-        every field except ``elapsed_s`` (machine-dependent wall clock, which
-        cannot affect the result).  The shard merge engine compares entries
-        through this normalisation, so honest duplicates merge cleanly while
-        any divergence in actual content -- summary values, status, the cell
-        spec itself -- still fails the merge loudly.
+        every field except ``elapsed_s`` (machine-dependent wall clock) and
+        ``attempts`` (the retry lineage: which injected faults or broken
+        pools a shard happened to weather, equally machine-dependent and
+        equally unable to affect the result bytes).  The shard merge engine
+        compares entries through this normalisation, so honest duplicates
+        merge cleanly while any divergence in actual content -- summary
+        values, status, the cell spec itself -- still fails the merge
+        loudly.
         """
         normalised = dict(data)
         normalised.pop("elapsed_s", None)
+        normalised.pop("attempts", None)
         return normalised
 
 
@@ -516,6 +603,23 @@ class SweepResult:
         raise KeyError(f"no result for cell {cell.label()}")
 
 
+class _PoolRestart(Exception):
+    """Internal signal: the process pool must be torn down and rebuilt.
+
+    Raised inside the pool event loop when the pool breaks (a worker died)
+    or a watchdog deadline expires (a worker hung).  Carries the retry keys
+    of the work that was in flight so :meth:`SweepRunner.run` can bump
+    their attempt counters before resubmitting -- which is what lets a
+    first-attempt-only injected crash or hang rule stop firing on the
+    rebuilt pool.
+    """
+
+    def __init__(self, cause: str, keys: Tuple[str, ...]) -> None:
+        super().__init__(cause)
+        self.cause = cause
+        self.keys = keys
+
+
 class SweepRunner:
     """Runs every cell of a matrix, optionally across a process pool.
 
@@ -533,6 +637,16 @@ class SweepRunner:
     served -- complete or as a same-lineage resume point -- from disk.
     ``artifact_dir`` defaults to ``<cache_dir>/artifacts`` so cached sweeps
     also reuse their agents and fleets.
+
+    Fault tolerance: ``retry_policy`` bounds how often transient failures
+    (classified by :func:`repro.reliability.retry.classify_exception`)
+    re-run and how long the seeded backoff between attempts is;
+    ``watchdog`` prices per-job wall-clock budgets from the shard cost
+    model so hung workers are detected and their cells rescheduled; a
+    broken or watchdog-expired pool is rebuilt up to ``max_pool_rebuilds``
+    times before the remaining cells fall back to sequential in-process
+    execution.  The defaults enable all three with conservative settings
+    (two retries, 20x cost-model budgets with a 60 s floor, two rebuilds).
     """
 
     def __init__(
@@ -540,15 +654,28 @@ class SweepRunner:
         max_workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
         artifact_dir: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        watchdog: Optional[WatchdogPolicy] = None,
+        max_pool_rebuilds: int = 2,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be non-negative")
         self.max_workers = max_workers
         self.cache = ResultCache(cache_dir)
         if artifact_dir is None:
             artifact_dir = default_artifact_dir(cache_dir)
         self.artifacts = ArtifactStore(artifact_dir)
         self.fleets = FleetStore(artifact_dir)
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        if watchdog is None:
+            # Imported lazily: distributed imports this module at top level.
+            from repro.experiments.distributed import DEFAULT_COST_MODEL
+
+            watchdog = WatchdogPolicy(cost_model=DEFAULT_COST_MODEL)
+        self.watchdog = watchdog
+        self.max_pool_rebuilds = max_pool_rebuilds
 
     def run(
         self,
@@ -577,64 +704,73 @@ class SweepRunner:
                 progress(done, total, result)
 
         pending: List[Tuple[int, ScenarioCell]] = []
-        specs: Dict[str, TrainingSpec] = {}
-        fleet_specs: Dict[str, FleetSpec] = {}
         for index, cell in enumerate(cells):
             cached = self.cache.load(cell)
             if cached is not None:
                 deliver(index, cached)
             else:
                 pending.append((index, cell))
-                spec = cell.training_spec()
-                if spec is not None:
-                    specs.setdefault(spec.fingerprint(), spec)
-                fleet = cell.fleet_spec()
-                if fleet is not None:
-                    fleet_specs.setdefault(fleet.fingerprint(), fleet)
 
         workers = self.max_workers if self.max_workers is not None else os.cpu_count() or 1
-        if workers <= 1 or len(pending) <= 1:
-            artifacts, errors = self.artifacts.ensure(specs.values())
-            fleets, fleet_errors = self.fleets.ensure(
-                fleet_specs.values(), artifacts=self.artifacts
-            )
-            if batch_kernel_available():
-                groups, rest = batchable_cell_groups(pending)
-            else:
-                groups, rest = [], pending
-            for group in groups:
-                batch_results = execute_cells_batched([cell for _, cell in group])
-                for (index, cell), result in zip(group, batch_results):
-                    self.cache.store(result)
-                    deliver(index, result)
-            for index, cell in rest:
-                result = self._execute_pending(
-                    cell, artifacts, errors, fleets, fleet_errors
-                )
-                self.cache.store(result)
-                deliver(index, result)
-        else:
-            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-                try:
-                    self._run_pool(pool, pending, specs, fleet_specs, deliver)
-                except KeyboardInterrupt:
-                    # Cancel everything still queued so the executor's
-                    # __exit__ only waits for the jobs already running, not
-                    # the whole backlog.  Every result delivered before the
-                    # interrupt is already in the cache, so a re-run resumes
-                    # from exactly what completed.
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    raise
+        retry_states: Dict[str, RetryState] = {}
+        rebuilds = 0
+        while True:
+            remaining = [
+                (index, cell) for index, cell in pending if slots[index] is None
+            ]
+            if not remaining:
+                break
+            if workers <= 1 or len(remaining) <= 1 or rebuilds > self.max_pool_rebuilds:
+                # Either a sequential run was requested, or the pool broke
+                # more often than the rebuild budget allows.  Only the
+                # *remaining* cells run here: everything delivered before
+                # the last restart already sits in its slot and the cache.
+                self._run_sequential(remaining, deliver, retry_states)
+                break
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(remaining)),
+                    initializer=mark_worker_process,
+                ) as pool:
+                    try:
+                        self._run_pool(pool, remaining, deliver, retry_states)
+                    except (KeyboardInterrupt, _PoolRestart):
+                        # Abandon queued and running work so the executor's
+                        # __exit__ cannot block on a hung or dead worker.
+                        # Every result delivered so far is already in the
+                        # cache, so a re-run (or the rebuilt pool) resumes
+                        # from exactly what completed.
+                        self._abandon_pool(pool)
+                        raise
+                break
+            except _PoolRestart as restart:
+                rebuilds += 1
+                for key in restart.keys:
+                    state = retry_states.setdefault(key, RetryState())
+                    state.record_failure(TRANSIENT, restart.cause, None)
 
         return SweepResult(matrix=matrix, results=[slot for slot in slots if slot is not None])
+
+    @staticmethod
+    def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down without waiting for hung or dead workers.
+
+        Worker processes are terminated outright: they compute in memory
+        and return results by pickle -- every store write happens in the
+        orchestrator -- so killing them mid-cell cannot corrupt anything on
+        disk.
+        """
+        pool.shutdown(wait=False, cancel_futures=True)
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.terminate()
 
     def _run_pool(
         self,
         pool: ProcessPoolExecutor,
         pending: List[Tuple[int, ScenarioCell]],
-        specs: Dict[str, TrainingSpec],
-        fleet_specs: Dict[str, FleetSpec],
         deliver: Callable[[int, CellResult], None],
+        retry_states: Dict[str, RetryState],
     ) -> None:
         """Pool scheduling: training jobs gate only their own dependent cells.
 
@@ -653,9 +789,32 @@ class SweepRunner:
         dispatch the moment its artifact is captured.  Unrelated cells keep
         flowing while fleets train, and a fleet failure fails exactly its
         own cells.
+
+        Fault tolerance: every submitted job carries its retry attempt
+        counter and, when the watchdog can price it, a wall-clock deadline.
+        A transient in-band failure (a classified error result or raised
+        exception) resubmits the same job after seeded backoff; a broken
+        pool or an expired deadline raises :class:`_PoolRestart` carrying
+        the in-flight retry keys, and :meth:`run` rebuilds the pool around
+        whatever this loop already delivered.
         """
+        specs: Dict[str, TrainingSpec] = {}
+        fleet_specs: Dict[str, FleetSpec] = {}
+        spec_cells: Dict[str, ScenarioCell] = {}  # spec fp -> a cell needing it
+        for _, cell in pending:
+            spec = cell.training_spec()
+            if spec is not None:
+                fingerprint = spec.fingerprint()
+                specs.setdefault(fingerprint, spec)
+                spec_cells.setdefault(fingerprint, cell)
+            fleet = cell.fleet_spec()
+            if fleet is not None:
+                fleet_specs.setdefault(fleet.fingerprint(), fleet)
+
         pending_futures: set = set()
-        cell_futures: Dict[Any, Tuple[int, ScenarioCell]] = {}
+        #: future -> (monotonic deadline, retry keys to bump on expiry).
+        deadlines: Dict[Any, Tuple[float, Tuple[str, ...]]] = {}
+        cell_futures: Dict[Any, Tuple[int, ScenarioCell, Optional[CellArtifact]]] = {}
         waiting: Dict[str, List[Tuple[int, ScenarioCell]]] = {}
 
         # -- fleet state -------------------------------------------------------
@@ -666,11 +825,38 @@ class SweepRunner:
         device_artifacts: Dict[str, AgentArtifact] = {}
         device_needs: Dict[str, List[str]] = {}  # device spec fp -> fleet fps
         missing_devices: Dict[str, set] = {}  # fleet fp -> unresolved device fps
-        round_futures: Dict[Any, Tuple[str, int, int]] = {}
+        round_futures: Dict[Any, Tuple[str, int, int, Tuple[Any, ...]]] = {}
         round_buffers: Dict[str, List[Optional[Dict[str, Any]]]] = {}
         batched_round_futures: Dict[Any, Tuple[str, int]] = {}
         batched_cell_futures: Dict[Any, List[Tuple[int, ScenarioCell]]] = {}
         use_batch_kernel = batch_kernel_available()
+
+        def arm(future: Any, budget_s: Optional[float], keys: Tuple[str, ...]) -> None:
+            """Give a future a watchdog deadline, when one can be priced."""
+            if budget_s is not None:
+                deadlines[future] = (monotonic_now() + budget_s, keys)
+
+        def in_flight_keys() -> Tuple[str, ...]:
+            """Retry keys of everything currently submitted to the pool.
+
+            A broken pool voids every outstanding future at once, so all of
+            them get their attempt counters bumped on restart -- which is
+            what stops a first-attempt-only injected crash from re-firing
+            and guarantees the rebuild loop converges.
+            """
+            keys = set()
+            for _, in_flight_cell, _ in cell_futures.values():
+                keys.add(in_flight_cell.fingerprint())
+            for group in batched_cell_futures.values():
+                keys.update(cell.fingerprint() for _, cell in group)
+            keys.update(training_futures.values())
+            for fleet_fp, round_index, device, _ in round_futures.values():
+                keys.add(f"{fleet_fp}:r{round_index}:d{device}")
+            keys.update(
+                f"{fleet_fp}:r{round_index}"
+                for fleet_fp, round_index in batched_round_futures.values()
+            )
+            return tuple(sorted(keys))
 
         for fleet_fingerprint, fleet_spec in fleet_specs.items():
             stored = self.fleets.load(fleet_spec)
@@ -716,10 +902,25 @@ class SweepRunner:
                 missing[fingerprint] = spec
 
         training_futures: Dict[Any, str] = {}
-        for fingerprint, spec in missing.items():
-            future = pool.submit(train_artifact, spec)
+
+        def submit_training(fingerprint: str, spec: TrainingSpec) -> None:
+            attempt = self._attempt_of(fingerprint, retry_states)
+            future = pool.submit(train_artifact, spec, attempt=attempt)
             training_futures[future] = fingerprint
             pending_futures.add(future)
+            # Price the budget from a cell that needs this spec; a fleet
+            # round-0 device spec has no such cell, so it only gets the flat
+            # --cell-timeout override (if any).
+            representative = spec_cells.get(fingerprint)
+            budget = (
+                self.watchdog.training_budget_s(representative)
+                if representative is not None
+                else self.watchdog.cell_timeout_s
+            )
+            arm(future, budget, (fingerprint,))
+
+        for fingerprint, spec in missing.items():
+            submit_training(fingerprint, spec)
 
         def submit_cell(
             index: int, cell: ScenarioCell, artifact: Optional[CellArtifact] = None
@@ -728,9 +929,24 @@ class SweepRunner:
                 # Don't serialise N device states per cell; evaluation only
                 # reads the merged agent.
                 artifact = artifact.evaluation_only()
-            future = pool.submit(execute_cell, cell, artifact)
-            cell_futures[future] = (index, cell)
+            key = cell.fingerprint()
+            future = pool.submit(
+                execute_cell, cell, artifact, attempt=self._attempt_of(key, retry_states)
+            )
+            cell_futures[future] = (index, cell, artifact)
             pending_futures.add(future)
+            arm(future, self.watchdog.cell_budget_s(cell), (key,))
+
+        def submit_round_job(
+            fleet_fingerprint: str, round_index: int, device: int, job: Tuple[Any, ...]
+        ) -> None:
+            key = f"{fleet_fingerprint}:r{round_index}:d{device}"
+            future = pool.submit(
+                train_device_round, *job, attempt=self._attempt_of(key, retry_states)
+            )
+            round_futures[future] = (fleet_fingerprint, round_index, device, tuple(job))
+            pending_futures.add(future)
+            arm(future, self.watchdog.cell_timeout_s, (key,))
 
         def fail_fleet(fleet_fingerprint: str, details: str) -> None:
             failed_fleets[fleet_fingerprint] = details
@@ -760,12 +976,15 @@ class SweepRunner:
                 future = pool.submit(train_device_rounds_batched, jobs)
                 batched_round_futures[future] = (fleet_fingerprint, round_index)
                 pending_futures.add(future)
+                arm(
+                    future,
+                    self.watchdog.cell_timeout_s,
+                    (f"{fleet_fingerprint}:r{round_index}",),
+                )
                 return
             round_buffers[fleet_fingerprint] = [None] * len(jobs)
             for device, job in enumerate(jobs):
-                future = pool.submit(train_device_round, *job)
-                round_futures[future] = (fleet_fingerprint, round_index, device)
-                pending_futures.add(future)
+                submit_round_job(fleet_fingerprint, round_index, device, job)
 
         # Kick off fleets that need no round-0 training: resumed lineages,
         # and fleets whose device artifacts were all served from the store.
@@ -785,11 +1004,19 @@ class SweepRunner:
                 pending, workers=getattr(pool, "_max_workers", 1)
             )
             for group in cell_groups:
-                future = pool.submit(
-                    execute_cells_batched, [cell for _, cell in group]
+                group_cells = [cell for _, cell in group]
+                attempt = max(
+                    self._attempt_of(cell.fingerprint(), retry_states)
+                    for cell in group_cells
                 )
+                future = pool.submit(execute_cells_batched, group_cells, attempt=attempt)
                 batched_cell_futures[future] = group
                 pending_futures.add(future)
+                arm(
+                    future,
+                    self.watchdog.batch_budget_s(group_cells),
+                    tuple(cell.fingerprint() for cell in group_cells),
+                )
         else:
             dispatch = pending
 
@@ -817,99 +1044,380 @@ class SweepRunner:
                 waiting.setdefault(fingerprint, []).append((index, cell))
 
         while pending_futures:
-            finished, _ = wait(pending_futures, return_when=FIRST_COMPLETED)
-            for future in finished:
-                pending_futures.discard(future)
-                if future in training_futures:
-                    fingerprint = training_futures[future]
-                    spec = missing[fingerprint]
-                    try:
-                        artifact = future.result()
-                    except Exception:
-                        # The artifact failed to train: fail its cells, and
-                        # any fleet whose round 0 needed it, without
-                        # occupying workers (errors are never cached).
-                        error = _training_error(
-                            fingerprint, spec, traceback.format_exc()
-                        )
-                        for index, cell in waiting.pop(fingerprint, ()):
-                            deliver(
-                                index,
-                                CellResult(cell=cell, status="error", error=error),
+            timeout = None
+            if deadlines:
+                timeout = max(
+                    0.0,
+                    min(deadline for deadline, _ in deadlines.values())
+                    - monotonic_now(),
+                )
+            finished, _ = wait(
+                pending_futures, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not finished:
+                # The wait timed out on a watchdog deadline.  Anything past
+                # its budget is presumed hung: tear the pool down (run()
+                # rebuilds it) rather than let one stuck worker stall the
+                # sweep forever.
+                now = monotonic_now()
+                expired: set = set()
+                for future, (deadline, keys) in deadlines.items():
+                    if deadline <= now and not future.done():
+                        expired.update(keys)
+                if expired:
+                    raise _PoolRestart("watchdog timeout", tuple(sorted(expired)))
+                continue
+            try:
+                for future in finished:
+                    pending_futures.discard(future)
+                    deadlines.pop(future, None)
+                    if future in training_futures:
+                        fingerprint = training_futures.pop(future)
+                        spec = missing[fingerprint]
+                        try:
+                            artifact = future.result()
+                        except BrokenExecutor:
+                            raise _PoolRestart(
+                                "worker crash", in_flight_keys() + (fingerprint,)
                             )
+                        except Exception as exc:
+                            if self._note_exception(fingerprint, exc, retry_states):
+                                self._backoff(
+                                    fingerprint, retry_states[fingerprint].attempt
+                                )
+                                submit_training(fingerprint, spec)
+                                continue
+                            # The artifact failed to train for good: fail its
+                            # cells, and any fleet whose round 0 needed it,
+                            # without occupying workers (errors are never
+                            # cached).
+                            error = _training_error(
+                                fingerprint, spec, traceback.format_exc()
+                            )
+                            for index, cell in waiting.pop(fingerprint, ()):
+                                deliver(
+                                    index,
+                                    CellResult(
+                                        cell=cell,
+                                        status="error",
+                                        error=error,
+                                        error_kind=PERMANENT,
+                                        error_type=type(exc).__name__,
+                                    ),
+                                )
+                            for fleet_fingerprint in device_needs.pop(fingerprint, ()):
+                                if fleet_fingerprint not in failed_fleets:
+                                    fail_fleet(fleet_fingerprint, error)
+                            continue
+                        self.artifacts.accept(artifact)
+                        device_artifacts[fingerprint] = artifact
+                        for index, cell in waiting.pop(fingerprint, ()):
+                            submit_cell(index, cell, artifact)
                         for fleet_fingerprint in device_needs.pop(fingerprint, ()):
-                            if fleet_fingerprint not in failed_fleets:
-                                fail_fleet(fleet_fingerprint, error)
-                        continue
-                    self.artifacts.accept(artifact)
-                    device_artifacts[fingerprint] = artifact
-                    for index, cell in waiting.pop(fingerprint, ()):
-                        submit_cell(index, cell, artifact)
-                    for fleet_fingerprint in device_needs.pop(fingerprint, ()):
+                            if fleet_fingerprint in failed_fleets:
+                                continue
+                            unresolved = missing_devices[fleet_fingerprint]
+                            unresolved.discard(fingerprint)
+                            if not unresolved:
+                                del missing_devices[fleet_fingerprint]
+                                builds[fleet_fingerprint].provide_round0(
+                                    device_artifacts
+                                )
+                                advance_fleet(fleet_fingerprint)
+                    elif future in batched_cell_futures:
+                        group = batched_cell_futures.pop(future)
+                        try:
+                            results = future.result()
+                        except BrokenExecutor:
+                            raise _PoolRestart(
+                                "worker crash",
+                                in_flight_keys()
+                                + tuple(cell.fingerprint() for _, cell in group),
+                            )
+                        except Exception:  # repro-lint: disable=REP008 -- the group re-runs scalar below, where each cell records its own traceback
+                            # Pool infrastructure failed for this job alone:
+                            # retry the group's cells individually, restoring
+                            # the scalar path's per-cell failure isolation.
+                            results = None
+                        if results is None or len(results) != len(group):
+                            for index, cell in group:
+                                submit_cell(index, cell)
+                            continue
+                        for (index, cell), result in zip(group, results):
+                            self._settle_pool_result(
+                                index, cell, None, result, deliver, retry_states,
+                                submit_cell,
+                            )
+                    elif future in batched_round_futures:
+                        fleet_fingerprint, round_index = batched_round_futures.pop(
+                            future
+                        )
                         if fleet_fingerprint in failed_fleets:
                             continue
-                        unresolved = missing_devices[fleet_fingerprint]
-                        unresolved.discard(fingerprint)
-                        if not unresolved:
-                            del missing_devices[fleet_fingerprint]
-                            builds[fleet_fingerprint].provide_round0(device_artifacts)
-                            advance_fleet(fleet_fingerprint)
-                elif future in batched_cell_futures:
-                    group = batched_cell_futures.pop(future)
-                    try:
-                        results = future.result()
-                    except Exception:
-                        # Pool infrastructure failed (e.g. worker killed):
-                        # retry the group's cells individually, restoring
-                        # the scalar path's per-cell failure isolation.
-                        results = None
-                    if results is None or len(results) != len(group):
-                        for index, cell in group:
-                            submit_cell(index, cell)
-                        continue
-                    for (index, cell), result in zip(group, results):
-                        self.cache.store(result)
-                        deliver(index, result)
-                elif future in batched_round_futures:
-                    fleet_fingerprint, round_index = batched_round_futures.pop(future)
-                    if fleet_fingerprint in failed_fleets:
-                        continue
-                    try:
-                        states = future.result()
-                    except Exception:
-                        fail_fleet(fleet_fingerprint, traceback.format_exc())
-                        continue
-                    builds[fleet_fingerprint].finish_round(round_index, states)
-                    advance_fleet(fleet_fingerprint)
-                elif future in round_futures:
-                    fleet_fingerprint, round_index, device = round_futures.pop(future)
-                    if fleet_fingerprint in failed_fleets:
-                        continue  # a sibling device job already doomed it
-                    try:
-                        state = future.result()
-                    except Exception:
-                        fail_fleet(fleet_fingerprint, traceback.format_exc())
-                        continue
-                    buffer = round_buffers[fleet_fingerprint]
-                    buffer[device] = state
-                    if all(entry is not None for entry in buffer):
-                        del round_buffers[fleet_fingerprint]
-                        builds[fleet_fingerprint].finish_round(round_index, buffer)
+                        try:
+                            states = future.result()
+                        except BrokenExecutor:
+                            raise _PoolRestart(
+                                "worker crash",
+                                in_flight_keys()
+                                + (f"{fleet_fingerprint}:r{round_index}",),
+                            )
+                        except Exception:
+                            fail_fleet(fleet_fingerprint, traceback.format_exc())
+                            continue
+                        builds[fleet_fingerprint].finish_round(round_index, states)
                         advance_fleet(fleet_fingerprint)
-                else:
-                    index, cell = cell_futures[future]
-                    try:
-                        result = future.result()
-                    except Exception:
-                        # execute_cell catches workload errors itself;
-                        # reaching here means the pool infrastructure failed
-                        # (e.g. a worker was killed).  Isolate it like any
-                        # other error.
-                        result = CellResult(
-                            cell=cell, status="error", error=traceback.format_exc()
+                    elif future in round_futures:
+                        fleet_fingerprint, round_index, device, job = round_futures.pop(
+                            future
                         )
-                    self.cache.store(result)
-                    deliver(index, result)
+                        if fleet_fingerprint in failed_fleets:
+                            continue  # a sibling device job already doomed it
+                        key = f"{fleet_fingerprint}:r{round_index}:d{device}"
+                        try:
+                            state = future.result()
+                        except BrokenExecutor:
+                            raise _PoolRestart(
+                                "worker crash", in_flight_keys() + (key,)
+                            )
+                        except Exception as exc:
+                            if self._note_exception(key, exc, retry_states):
+                                self._backoff(key, retry_states[key].attempt)
+                                submit_round_job(
+                                    fleet_fingerprint, round_index, device, job
+                                )
+                                continue
+                            fail_fleet(fleet_fingerprint, traceback.format_exc())
+                            continue
+                        buffer = round_buffers[fleet_fingerprint]
+                        buffer[device] = state
+                        if all(entry is not None for entry in buffer):
+                            del round_buffers[fleet_fingerprint]
+                            builds[fleet_fingerprint].finish_round(round_index, buffer)
+                            advance_fleet(fleet_fingerprint)
+                    else:
+                        index, cell, artifact = cell_futures.pop(future)
+                        try:
+                            result = future.result()
+                        except BrokenExecutor:
+                            raise _PoolRestart(
+                                "worker crash",
+                                in_flight_keys() + (cell.fingerprint(),),
+                            )
+                        except Exception as exc:
+                            # execute_cell isolates workload errors itself;
+                            # reaching here means the pool infrastructure
+                            # failed for this one job (e.g. an unpicklable
+                            # result).  Classify and settle it like any
+                            # in-band failure.
+                            result = CellResult(
+                                cell=cell,
+                                status="error",
+                                error=traceback.format_exc(),
+                                error_kind=classify_exception(exc),
+                                error_type=type(exc).__name__,
+                            )
+                        self._settle_pool_result(
+                            index, cell, artifact, result, deliver, retry_states,
+                            submit_cell,
+                        )
+            except BrokenExecutor:
+                # The pool died while a handler was resubmitting work.  The
+                # job being handled may lose its bump this round; its fault
+                # simply fires once more on the rebuilt pool and the next
+                # restart bumps it -- the rebuild budget still bounds the
+                # total.
+                raise _PoolRestart("worker crash", in_flight_keys())
+
+    def _run_sequential(
+        self,
+        remaining: List[Tuple[int, ScenarioCell]],
+        deliver: Callable[[int, CellResult], None],
+        retry_states: Dict[str, RetryState],
+    ) -> None:
+        """Finish ``remaining`` in-process (sequential runs and pool fallback).
+
+        Transient failures retry in place with seeded backoff, carrying over
+        any attempt counters accumulated during pool restarts (so injected
+        faults that already fired in a doomed pool do not re-fire here).
+        Injected crash faults raise instead of exiting -- the orchestrator
+        process is never marked expendable -- so even a crash-heavy fault
+        plan cannot take a sequential sweep down.
+        """
+        specs, fleet_specs = self._collect_specs(remaining)
+        artifacts, errors = self.artifacts.ensure(specs.values())
+        fleets, fleet_errors = self.fleets.ensure(
+            fleet_specs.values(), artifacts=self.artifacts
+        )
+        if batch_kernel_available():
+            groups, rest = batchable_cell_groups(remaining)
+        else:
+            groups, rest = [], remaining
+        for group in groups:
+            group_cells = [cell for _, cell in group]
+            attempt = max(
+                self._attempt_of(cell.fingerprint(), retry_states)
+                for cell in group_cells
+            )
+            batch_results = execute_cells_batched(group_cells, attempt=attempt)
+            for (index, cell), result in zip(group, batch_results):
+                self._finish_sequential(
+                    index,
+                    cell,
+                    result,
+                    deliver,
+                    retry_states,
+                    rerun=lambda attempt, cell=cell: execute_cell(
+                        cell, attempt=attempt
+                    ),
+                )
+        for index, cell in rest:
+            artifact, error = self._resolve_artifact(
+                cell, artifacts, errors, fleets, fleet_errors
+            )
+            if error is not None:
+                deliver(
+                    index,
+                    CellResult(
+                        cell=cell, status="error", error=error, error_kind=PERMANENT
+                    ),
+                )
+                continue
+            result = execute_cell(
+                cell,
+                artifact=artifact,
+                attempt=self._attempt_of(cell.fingerprint(), retry_states),
+            )
+            self._finish_sequential(
+                index,
+                cell,
+                result,
+                deliver,
+                retry_states,
+                rerun=lambda attempt, cell=cell, artifact=artifact: execute_cell(
+                    cell, artifact=artifact, attempt=attempt
+                ),
+            )
+
+    def _finish_sequential(
+        self,
+        index: int,
+        cell: ScenarioCell,
+        result: CellResult,
+        deliver: Callable[[int, CellResult], None],
+        retry_states: Dict[str, RetryState],
+        rerun: Callable[[int], CellResult],
+    ) -> None:
+        """Deliver one in-process result, retrying transient failures in place."""
+        key = cell.fingerprint()
+        while True:
+            if result.ok:
+                self._attach_lineage(result, retry_states.get(key))
+                self.cache.store(result)
+                deliver(index, result)
+                return
+            if not self._note_failure(key, result, retry_states):
+                self._finalize_error(result, retry_states[key])
+                deliver(index, result)
+                return
+            self._backoff(key, retry_states[key].attempt)
+            result = rerun(retry_states[key].attempt)
+
+    # -- retry bookkeeping (shared by the pool and sequential paths) ------------------
+
+    @staticmethod
+    def _collect_specs(
+        remaining: List[Tuple[int, ScenarioCell]],
+    ) -> Tuple[Dict[str, TrainingSpec], Dict[str, FleetSpec]]:
+        """The distinct training and fleet specs the remaining cells need."""
+        specs: Dict[str, TrainingSpec] = {}
+        fleet_specs: Dict[str, FleetSpec] = {}
+        for _, cell in remaining:
+            spec = cell.training_spec()
+            if spec is not None:
+                specs.setdefault(spec.fingerprint(), spec)
+            fleet = cell.fleet_spec()
+            if fleet is not None:
+                fleet_specs.setdefault(fleet.fingerprint(), fleet)
+        return specs, fleet_specs
+
+    @staticmethod
+    def _attempt_of(key: str, retry_states: Dict[str, RetryState]) -> int:
+        """The attempt counter the next execution of ``key`` should carry."""
+        state = retry_states.get(key)
+        return 0 if state is None else state.attempt
+
+    @staticmethod
+    def _attach_lineage(result: CellResult, state: Optional[RetryState]) -> None:
+        """Document survived failures on a success (no-op on clean runs)."""
+        if state is not None and state.lineage:
+            result.attempts = state.lineage_dicts()
+
+    def _note_failure(
+        self, key: str, result: CellResult, retry_states: Dict[str, RetryState]
+    ) -> bool:
+        """Account one failed attempt; ``True`` iff the caller should retry.
+
+        A repeated identical traceback marks the failure deterministic --
+        replaying it again cannot end differently -- and quarantines the
+        cell immediately, regardless of remaining retry budget.
+        """
+        kind = result.error_kind or PERMANENT
+        state = retry_states.setdefault(key, RetryState())
+        repeated = state.record_failure(kind, result.error_type or "", result.error)
+        if repeated or kind != TRANSIENT:
+            return False
+        # state.attempt now counts failures; retries used is one fewer.
+        return self.retry_policy.should_retry(kind, state.attempt - 1)
+
+    def _note_exception(
+        self, key: str, exc: BaseException, retry_states: Dict[str, RetryState]
+    ) -> bool:
+        """:meth:`_note_failure` for failures that arrived as raised exceptions."""
+        kind = classify_exception(exc)
+        state = retry_states.setdefault(key, RetryState())
+        repeated = state.record_failure(
+            kind, type(exc).__name__, traceback.format_exc()
+        )
+        if repeated or kind != TRANSIENT:
+            return False
+        # state.attempt now counts failures; retries used is one fewer.
+        return self.retry_policy.should_retry(kind, state.attempt - 1)
+
+    @staticmethod
+    def _finalize_error(result: CellResult, state: RetryState) -> None:
+        """Stamp a no-more-retries error with its classification and lineage."""
+        result.error_kind = PERMANENT
+        result.attempts = state.lineage_dicts()
+
+    def _backoff(self, key: str, attempt: int) -> None:
+        """Sleep the seeded, capped backoff before retry ``attempt``."""
+        delay = self.retry_policy.backoff_s(key, attempt)
+        if delay > 0:
+            time.sleep(delay)
+
+    def _settle_pool_result(
+        self,
+        index: int,
+        cell: ScenarioCell,
+        artifact: Optional[CellArtifact],
+        result: CellResult,
+        deliver: Callable[[int, CellResult], None],
+        retry_states: Dict[str, RetryState],
+        submit_cell: Callable[..., None],
+    ) -> None:
+        """Deliver or retry one pool result (shared by cell and batch paths)."""
+        key = cell.fingerprint()
+        if result.ok:
+            self._attach_lineage(result, retry_states.get(key))
+            self.cache.store(result)
+            deliver(index, result)
+        elif self._note_failure(key, result, retry_states):
+            self._backoff(key, retry_states[key].attempt)
+            submit_cell(index, cell, artifact)
+        else:
+            self._finalize_error(result, retry_states[key])
+            deliver(index, result)
 
     @staticmethod
     def _resolve_artifact(
@@ -934,20 +1442,6 @@ class SweepRunner:
             return None, _training_error(fingerprint, spec, errors[fingerprint])
         return artifacts.get(fingerprint), None
 
-    def _execute_pending(
-        self,
-        cell: ScenarioCell,
-        artifacts: Dict[str, "AgentArtifact"],
-        errors: Dict[str, str],
-        fleets: Dict[str, "FleetArtifact"],
-        fleet_errors: Dict[str, str],
-    ) -> CellResult:
-        artifact, error = self._resolve_artifact(
-            cell, artifacts, errors, fleets, fleet_errors
-        )
-        if error is not None:
-            return CellResult(cell=cell, status="error", error=error)
-        return execute_cell(cell, artifact=artifact)
 
 def run_matrix(
     matrix: ScenarioMatrix,
@@ -955,9 +1449,17 @@ def run_matrix(
     cache_dir: Optional[str] = None,
     artifact_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    watchdog: Optional[WatchdogPolicy] = None,
+    max_pool_rebuilds: int = 2,
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`SweepRunner`."""
     runner = SweepRunner(
-        max_workers=max_workers, cache_dir=cache_dir, artifact_dir=artifact_dir
+        max_workers=max_workers,
+        cache_dir=cache_dir,
+        artifact_dir=artifact_dir,
+        retry_policy=retry_policy,
+        watchdog=watchdog,
+        max_pool_rebuilds=max_pool_rebuilds,
     )
     return runner.run(matrix, progress=progress)

@@ -10,9 +10,12 @@ persist    REP004             JSON persistence through ``atomic_write_json``
 reduce     REP005             no op-order-changing reductions in the batch
                               kernel
 pools      REP006             only picklable callables cross pool boundaries
+excepts    REP008             no swallowed exceptions in the orchestration
+                              layer
 =========  =================  ==============================================
 """
 
+from repro.lint.rules.excepts import SwallowedExceptionRule
 from repro.lint.rules.fsorder import UnsortedEnumerationRule
 from repro.lint.rules.persist import NonAtomicPersistenceRule
 from repro.lint.rules.pools import UnpicklablePoolCallableRule
@@ -30,6 +33,7 @@ ALL_RULES = (
     LaneCrossingReductionRule(),
     UnpicklablePoolCallableRule(),
     SaltedHashRule(),
+    SwallowedExceptionRule(),
 )
 
 RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,0 +1,114 @@
+"""REP008: swallowed exceptions in the orchestration layer.
+
+The sweep's fault tolerance depends on every failure surfacing somewhere
+classifiable: the retry loop needs the exception to classify it, the
+failure report needs the traceback to show it.  A bare or broad ``except``
+whose handler neither re-raises nor records a traceback silently converts
+a real failure (a bug, a corrupted store, an injected chaos fault) into
+wrong control flow -- the exact failure mode a robustness layer exists to
+prevent.  Handlers for *specific* exception types are out of scope: they
+document what they expect to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.lint.engine import Finding, ModuleSource, Rule
+
+#: Exception names whose handlers catch "anything": failures they swallow
+#: include the ones nobody anticipated.
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+#: Calls that count as recording the failure for a human or the retry
+#: classifier.  ``sys.exc_info`` hands the full exception triple on.
+_RECORDING_CALLS = {
+    "traceback.format_exc",
+    "traceback.print_exc",
+    "traceback.format_exception",
+    "traceback.print_exception",
+    "sys.exc_info",
+}
+
+
+def _exception_name(node: Optional[ast.expr]) -> Optional[str]:
+    """The trailing identifier of an exception-type expression, if any."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler catches every (non-exiting) exception."""
+    if handler.type is None:
+        return True  # bare `except:`
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    return any(_exception_name(entry) in _BROAD_NAMES for entry in types)
+
+
+class SwallowedExceptionRule(Rule):
+    rule_id = "REP008"
+    title = "broad except clause swallows the failure"
+    rationale = (
+        "A bare `except:` or `except Exception:` whose body neither\n"
+        "re-raises nor records the traceback converts any failure --\n"
+        "including ones nobody anticipated -- into silent wrong control\n"
+        "flow.  In the orchestration layer every failure must end up\n"
+        "classified by the retry loop, recorded in a result's error field,\n"
+        "or re-raised; a swallowed exception reaches none of them.\n"
+        "\n"
+        "Fix: catch the specific exception types the code expects, or keep\n"
+        "the broad clause but `raise`, call traceback.format_exc() into an\n"
+        "error field, or -- where the fallback path itself re-runs the work\n"
+        "and records failures -- suppress the finding on the except line\n"
+        "with a justified `# repro-lint: disable=REP008 -- <why>`."
+    )
+    default_include = ("src/repro/experiments/",)
+    default_options: Mapping[str, Any] = {}
+
+    def check(
+        self, module: ModuleSource, options: Mapping[str, Any]
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if self._records_failure(module, node):
+                continue
+            caught = (
+                "bare except"
+                if node.type is None
+                else f"except {ast.unparse(node.type)}"
+            )
+            yield self.finding(
+                module,
+                node,
+                f"{caught} swallows the failure: the handler neither "
+                "re-raises nor records a traceback, so a real error "
+                "becomes silent wrong control flow; catch specific types "
+                "or record/re-raise",
+            )
+
+    @staticmethod
+    def _records_failure(
+        module: ModuleSource, handler: ast.ExceptHandler
+    ) -> bool:
+        """Whether the handler body re-raises or records the traceback."""
+        for stmt in handler.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Raise):
+                    return True
+                if (
+                    isinstance(node, ast.Call)
+                    and module.resolve_call(node) in _RECORDING_CALLS
+                ):
+                    return True
+        return False

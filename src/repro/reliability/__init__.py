@@ -1,0 +1,65 @@
+"""Fault tolerance for the sweep execution layer.
+
+The bit-identity contract -- every cell, artifact and fleet is a pure
+function of its fingerprinted spec -- is what makes aggressive recovery
+safe: a crashed worker, a hung cell or a torn store write can always be
+retried, and the retried work is guaranteed to produce the same bytes the
+first attempt would have.  This package supplies the machinery that turns
+that guarantee into behaviour:
+
+* :mod:`repro.reliability.faults` -- deterministic, seeded fault injection
+  at named seams (worker crashes, hangs, torn JSON writes, transient
+  exceptions), activated programmatically or via ``REPRO_FAULT_PLAN``, so
+  tests and the CI chaos job can drive failure paths reproducibly.
+* :mod:`repro.reliability.retry` -- failure classification (transient vs
+  deterministic) and bounded, seeded backoff for the sweep runner's retry
+  loop.
+* :mod:`repro.reliability.watchdog` -- per-cell timeout budgets derived
+  from the shard cost model, so hung futures are detected and rescheduled
+  instead of stalling a sweep forever.
+* :mod:`repro.reliability.clock` -- the one sanctioned wall-clock seam for
+  all of the above (heartbeats, deadlines), allowlisted in the REP002 lint
+  policy.
+* :mod:`repro.reliability.chaos` -- the chaos-smoke harness CI runs: a
+  sweep and a sharded plan executed under an injected fault mix, with
+  per-cell ``sample_stream_hash`` parity asserted against fault-free runs.
+"""
+
+from repro.reliability.clock import monotonic_now, wall_now
+from repro.reliability.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultRule,
+    InjectedCrashError,
+    InjectedTransientError,
+    active_fault_plan,
+    deactivate_fault_plan,
+    fault_point,
+    injected_faults,
+    mark_worker_process,
+)
+from repro.reliability.retry import (
+    AttemptRecord,
+    RetryPolicy,
+    classify_exception,
+)
+from repro.reliability.watchdog import WatchdogPolicy
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "AttemptRecord",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedCrashError",
+    "InjectedTransientError",
+    "RetryPolicy",
+    "WatchdogPolicy",
+    "active_fault_plan",
+    "classify_exception",
+    "deactivate_fault_plan",
+    "fault_point",
+    "injected_faults",
+    "mark_worker_process",
+    "monotonic_now",
+    "wall_now",
+]

@@ -1,0 +1,36 @@
+"""The sanctioned wall-clock seam for the reliability layer.
+
+Simulated results must never observe the wall clock (lint rule REP002), but
+fault tolerance is *about* wall time: heartbeats prove a worker is alive,
+watchdog deadlines bound how long a hung cell may stall a sweep, and
+backoff sleeps space retries out.  None of those readings is ever folded
+into a recorded sample stream -- they gate scheduling and reporting only --
+so they are safe, but they must stay auditable.  This module is the single
+place the reliability machinery reads time, and exactly these two
+functions are allowlisted in the committed ``[tool.repro-lint.REP002]``
+policy; a wall-clock read anywhere else in the package still fails lint.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_now() -> float:
+    """Unix timestamp, for heartbeat fields in status documents.
+
+    Unix time (not monotonic) because heartbeats are compared *across
+    processes and machines*: the shard worker stamps the file, a status
+    inspection on another host judges its age.
+    """
+    return time.time()
+
+
+def monotonic_now() -> float:
+    """Monotonic timestamp, for in-process watchdog deadlines.
+
+    Monotonic (not unix) because deadlines are compared only within the
+    orchestrating process, where immunity to clock adjustments matters more
+    than cross-machine comparability.
+    """
+    return time.monotonic()

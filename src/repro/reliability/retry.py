@@ -1,0 +1,154 @@
+"""Failure classification and bounded deterministic backoff for retries.
+
+Retrying is safe in this codebase precisely because every cell is a pure
+function of its spec (the bit-identity contract): a second attempt cannot
+produce *different* correct bytes, only the same ones.  What retrying must
+not do is mask real bugs or loop forever, so the policy here is narrow:
+
+* **Classification** happens where the exception object still exists
+  (inside the worker, in :func:`classify_exception`): infrastructure-shaped
+  failures -- injected faults, ``OSError`` on store I/O, broken pools,
+  timeouts -- are *transient*; everything else is *permanent* and is
+  reported immediately, exactly as before.
+* **Budgeted**: a transient cell retries at most ``max_retries`` times,
+  then is quarantined as permanent with its full attempt lineage attached.
+* **Deterministic-failure detection**: a cell that fails with the same
+  traceback twice in a row is quarantined immediately -- replaying a
+  deterministic crash a third time cannot end differently.
+* **Seeded backoff**: the delay before attempt *n* is a pure function of
+  ``(backoff seed, cell fingerprint, n)``, exponentially growing and
+  capped, so retry timing is reproducible and two runners sharing a store
+  do not retry in lockstep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.reliability.faults import InjectedCrashError, InjectedTransientError
+
+#: Classification labels carried on error results.
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+#: Exception types treated as retry-worthy infrastructure failures.  OSError
+#: covers torn/failed store I/O (shared directories, network filesystems);
+#: the injected types are the chaos harness's stand-ins for all of them.
+TRANSIENT_EXCEPTIONS = (
+    InjectedTransientError,
+    InjectedCrashError,
+    BrokenProcessPool,
+    OSError,
+    TimeoutError,
+)
+
+
+def classify_exception(exc: BaseException) -> str:
+    """``"transient"`` for infrastructure-shaped failures, else ``"permanent"``.
+
+    Runs where the exception object still exists (the worker process), so
+    classification can use ``isinstance`` over the real type hierarchy
+    instead of parsing traceback text in the orchestrator.
+    """
+    return TRANSIENT if isinstance(exc, TRANSIENT_EXCEPTIONS) else PERMANENT
+
+
+@dataclass
+class AttemptRecord:
+    """One failed attempt in a cell's retry lineage."""
+
+    attempt: int
+    error_kind: str
+    error_type: str
+    backoff_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (stored on :class:`CellResult`)."""
+        return {
+            "attempt": self.attempt,
+            "error_kind": self.error_kind,
+            "error_type": self.error_type,
+            "backoff_s": self.backoff_s,
+        }
+
+
+def _backoff_fraction(seed: int, key: str, attempt: int) -> float:
+    """Deterministic jitter draw in [0, 1) for one backoff decision."""
+    text = "\x1f".join(str(part) for part in (seed, key, attempt))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry transient failures, and how long to wait.
+
+    ``backoff_s`` for attempt *n* (the delay before the *n*-th retry) is
+    ``base * 2**(n-1)`` scaled by a deterministic jitter in [0.5, 1.5) and
+    capped at ``backoff_cap_s`` -- bounded, seeded, and identical across
+    runs, so chaos tests replay exactly.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff durations must be non-negative")
+
+    def backoff_s(self, key: str, attempt: int) -> float:
+        """Seeded, capped exponential delay before retry ``attempt`` (>= 1)."""
+        if attempt < 1:
+            return 0.0
+        jitter = 0.5 + _backoff_fraction(self.seed, key, attempt)
+        return min(
+            self.backoff_cap_s, self.backoff_base_s * (2.0 ** (attempt - 1)) * jitter
+        )
+
+    def should_retry(self, error_kind: Optional[str], attempt: int) -> bool:
+        """Whether a failure of ``error_kind`` at ``attempt`` earns a retry."""
+        return error_kind == TRANSIENT and attempt < self.max_retries
+
+
+@dataclass
+class RetryState:
+    """Per-cell retry bookkeeping owned by the orchestrator.
+
+    Tracks the attempt counter, the accumulated lineage and the previous
+    failure's identity (for deterministic-failure detection).  One instance
+    per distinct cell fingerprint, created lazily on the first failure.
+    """
+
+    attempt: int = 0
+    lineage: List[AttemptRecord] = field(default_factory=list)
+    last_error: Optional[str] = None
+
+    def record_failure(
+        self, error_kind: str, error_type: str, error_text: Optional[str]
+    ) -> bool:
+        """Account one failed attempt; ``True`` if it repeated the previous one.
+
+        ``error_text`` is the normalised failure identity (traceback); two
+        consecutive identical failures mark the cell deterministic, which
+        callers quarantine as permanent regardless of retry budget.
+        """
+        repeated = error_text is not None and error_text == self.last_error
+        self.lineage.append(
+            AttemptRecord(
+                attempt=self.attempt, error_kind=error_kind, error_type=error_type
+            )
+        )
+        self.last_error = error_text
+        self.attempt += 1
+        return repeated
+
+    def lineage_dicts(self) -> List[Dict[str, Any]]:
+        """The lineage as JSON-clean dicts (what ``CellResult`` carries)."""
+        return [record.to_dict() for record in self.lineage]

@@ -38,6 +38,19 @@ from repro.experiments.distributed import (
 from repro.experiments.distributed import RemainingCost
 from repro.experiments.matrix import ScenarioMatrix, named_matrix
 from repro.experiments.runner import CellResult, SweepRunner
+from repro.reliability.clock import wall_now
+from repro.reliability.faults import (
+    KIND_CRASH,
+    KIND_TRANSIENT,
+    SITE_ATOMIC_WRITE_STAGED,
+    SITE_EXECUTE_BATCH,
+    SITE_EXECUTE_CELL,
+    FaultPlan,
+    FaultRule,
+    InjectedCrashError,
+    injected_faults,
+)
+from repro.reliability.retry import RetryPolicy
 
 
 def small_matrix() -> ScenarioMatrix:
@@ -559,6 +572,57 @@ class TestMergeConflicts:
         assert counters2["duplicates"] == len(manifest.matrix.cells())
         assert cell_hashes(first) == cell_hashes(second)
 
+    def test_torn_source_entry_is_quarantined_not_fatal(self, tmp_path):
+        # A truncated shard entry (worker killed mid-copy) must not abort
+        # the merge: it is quarantined as .bad and surfaces as a *missing*
+        # cell, which re-running that shard repairs.
+        manifest, base = self._two_run_shards(tmp_path)
+        victim_fp = manifest.assignments[0][0]
+        victim = os.path.join(
+            shard_cache_dir(shard_directory(base, 0)), f"{victim_fp}.json"
+        )
+        with open(victim, "w") as handle:
+            handle.write('{"cell": {"gov')
+        dest = os.path.join(base, "merged")
+        counters = merge_shard_stores(
+            [shard_cache_dir(shard_directory(base, i)) for i in range(2)], dest
+        )
+        assert counters["quarantined"] == 1
+        assert os.path.exists(f"{victim}.bad") and not os.path.exists(victim)
+        with pytest.raises(ShardMergeError, match="missing"):
+            load_merged_result(manifest, dest)
+        # Resume the damaged shard: only the quarantined cell recomputes,
+        # and the repeated merge completes with full parity.
+        rerun = run_shard(manifest, 0, shard_directory(base, 0))
+        assert [r.cell.fingerprint() for r in rerun.results if not r.from_cache] == [
+            victim_fp
+        ]
+        merged, _ = merge_shards(manifest, shard_dirs(manifest, base), dest)
+        assert cell_hashes(merged) == cell_hashes(SweepRunner().run(manifest.matrix))
+
+    def test_interrupted_merge_resumes_and_repairs_torn_destination(
+        self, tmp_path
+    ):
+        # Model a merge interrupted partway: only shard 0 landed, and one
+        # already-merged entry was torn (non-atomic destination filesystem).
+        # Re-running the full merge must quarantine the torn copy, recopy
+        # the parseable source and reconstruct the complete sweep.
+        manifest, base = self._two_run_shards(tmp_path)
+        dest = os.path.join(base, "merged")
+        caches = [shard_cache_dir(shard_directory(base, i)) for i in range(2)]
+        merge_shard_stores(caches[:1], dest)  # partial: interrupted after shard 0
+        torn = os.path.join(dest, f"{manifest.assignments[0][0]}.json")
+        with open(torn, "w") as handle:
+            handle.write('{"cell": {"gov')
+        merged, counters = merge_shards(manifest, shard_dirs(manifest, base), dest)
+        # The torn *destination* is quarantined as evidence and replaced by
+        # the parseable source, so it tallies as a copy, not a loss.
+        assert os.path.exists(f"{torn}.bad") and os.path.exists(torn)
+        assert counters["quarantined"] == 0
+        assert counters["results"] == 1 + len(manifest.assignments[1])
+        assert counters["duplicates"] == len(manifest.assignments[0]) - 1
+        assert cell_hashes(merged) == cell_hashes(SweepRunner().run(manifest.matrix))
+
 
 # ---------------------------------------------------------------------------
 # Status
@@ -691,6 +755,145 @@ class TestShardStatus:
         assert data["state"] == "complete"
         assert data["matrix_fingerprint"] == manifest.matrix_fingerprint
         assert data["completed"] == data["total"] == len(manifest.assignments[1])
+
+
+# ---------------------------------------------------------------------------
+# Liveness
+# ---------------------------------------------------------------------------
+
+class TestShardLiveness:
+    def _running_status(self, manifest, shard_dir, **overrides):
+        """Hand-write a worker status file claiming the shard is running."""
+        payload = {
+            "status_schema_version": 1,
+            "matrix_fingerprint": manifest.matrix_fingerprint,
+            "shard": 0,
+            "state": "running",
+            "total": len(manifest.assignments[0]),
+            "completed": 0,
+            "cached": 0,
+            "failed": 0,
+            "attempts": 0,
+            "heartbeat_unix_s": wall_now(),
+            "estimated_remaining_s": manifest.shard_cost_s(0),
+            "estimated_total_s": manifest.shard_cost_s(0),
+        }
+        payload.update(overrides)
+        payload = {k: v for k, v in payload.items() if v is not None}
+        os.makedirs(shard_dir, exist_ok=True)
+        with open(os.path.join(shard_dir, "shard-status.json"), "w") as handle:
+            json.dump(payload, handle)
+
+    def test_status_file_carries_heartbeat_and_attempt_count(self, tmp_path):
+        manifest = plan_shards(small_matrix(), 1)
+        shard_dir = shard_directory(str(tmp_path), 0)
+        run_shard(manifest, 0, shard_dir)
+        data = json.loads(open(os.path.join(shard_dir, "shard-status.json")).read())
+        assert isinstance(data["heartbeat_unix_s"], float)
+        assert data["attempts"] == 0  # fault-free run: no retries spent
+        status = shard_status(manifest, 0, shard_dir, stale_after_s=3600.0)
+        assert status.heartbeat_age_s is not None
+        assert 0.0 <= status.heartbeat_age_s < 3600.0
+        assert status.attempts == 0 and not status.stale
+
+    def test_retries_surface_in_the_status_attempt_counter(self, tmp_path):
+        # Every cell's first attempt fails transiently (the batch rule
+        # forces the scalar path so the per-cell rule reaches each cell);
+        # the shard still completes and the retries it spent are visible to
+        # the planning host through the status file.
+        manifest = plan_shards(small_matrix(), 1)
+        shard_dir = shard_directory(str(tmp_path), 0)
+        plan = FaultPlan(
+            seed=21,
+            rules=(
+                FaultRule(
+                    site=SITE_EXECUTE_BATCH, kind=KIND_TRANSIENT, max_attempt=99
+                ),
+                FaultRule(site=SITE_EXECUTE_CELL, kind=KIND_TRANSIENT),
+            ),
+        )
+        with injected_faults(plan):
+            sweep = run_shard(
+                manifest,
+                0,
+                shard_dir,
+                retry_policy=RetryPolicy(max_retries=2),
+            )
+        assert not sweep.failures
+        status = shard_status(manifest, 0, shard_dir)
+        assert status.state == "complete"
+        assert status.attempts >= len(manifest.assignments[0])
+
+    def test_stale_running_shard_is_flagged(self, tmp_path):
+        manifest = plan_shards(small_matrix(), 1)
+        shard_dir = shard_directory(str(tmp_path), 0)
+        self._running_status(
+            manifest, shard_dir, heartbeat_unix_s=wall_now() - 500.0, attempts=3
+        )
+        status = shard_status(manifest, 0, shard_dir, stale_after_s=60.0)
+        assert status.stale
+        assert status.heartbeat_age_s == pytest.approx(500.0, abs=30.0)
+        assert status.attempts == 3
+        # A wide-enough window, or no window at all, keeps it live.
+        assert not shard_status(manifest, 0, shard_dir, stale_after_s=3600.0).stale
+        assert not shard_status(manifest, 0, shard_dir).stale
+
+    def test_running_status_without_heartbeat_counts_as_stale(self, tmp_path):
+        # Pre-liveness status files have no heartbeat: once a window is
+        # given, "running" with nothing to prove it counts as dead.
+        manifest = plan_shards(small_matrix(), 1)
+        shard_dir = shard_directory(str(tmp_path), 0)
+        self._running_status(manifest, shard_dir, heartbeat_unix_s=None)
+        status = shard_status(manifest, 0, shard_dir, stale_after_s=60.0)
+        assert status.stale and status.heartbeat_age_s is None
+        assert not shard_status(manifest, 0, shard_dir).stale
+
+    def test_complete_cache_is_never_stale(self, tmp_path):
+        # The cache outranks the heartbeat: a finished shard is done no
+        # matter how old its status file claims to be.
+        manifest = plan_shards(small_matrix(), 1)
+        shard_dir = shard_directory(str(tmp_path), 0)
+        run_shard(manifest, 0, shard_dir)
+        self._running_status(
+            manifest, shard_dir, heartbeat_unix_s=wall_now() - 9999.0
+        )
+        status = shard_status(manifest, 0, shard_dir, stale_after_s=60.0)
+        assert status.state == "complete"
+        assert not status.stale
+
+    def test_crash_during_status_write_is_recoverable(self, tmp_path):
+        # A worker dying mid-status-write (satellite of the torn-write
+        # seam): the atomic write crashes after staging, leaving only
+        # ``.tmp`` debris -- no half-written status file -- and a restarted
+        # worker resumes from its cache and publishes a clean status.
+        manifest = plan_shards(small_matrix(), 1)
+        shard_dir = shard_directory(str(tmp_path), 0)
+        plan = FaultPlan(
+            seed=22,
+            rules=(
+                FaultRule(
+                    site=SITE_ATOMIC_WRITE_STAGED,
+                    kind=KIND_CRASH,
+                    match="shard-status.json",
+                    max_fires=1,
+                ),
+            ),
+        )
+        with injected_faults(plan):
+            with pytest.raises(InjectedCrashError):
+                run_shard(manifest, 0, shard_dir)
+            status_path = os.path.join(shard_dir, "shard-status.json")
+            assert not os.path.exists(status_path)
+            assert any(".tmp." in name for name in os.listdir(shard_dir))
+            # Restart under the same (spent) plan: resumes and completes.
+            sweep = run_shard(manifest, 0, shard_dir)
+        assert not sweep.failures
+        data = json.loads(open(status_path).read())
+        assert data["state"] == "complete"
+        assert shard_status(manifest, 0, shard_dir).state == "complete"
+        assert cell_hashes(sweep) == cell_hashes(
+            SweepRunner().run(manifest.matrix)
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -349,6 +349,126 @@ class TestUnpicklablePoolCallableRule:
 
 
 # ---------------------------------------------------------------------------
+# REP008: swallowed exceptions
+# ---------------------------------------------------------------------------
+
+class TestSwallowedExceptionRule:
+    RUNNER = "src/repro/experiments/runner.py"
+
+    def test_bare_except_with_pass_fires(self):
+        snippet = """
+            try:
+                work()
+            except:
+                pass
+        """
+        assert rule_ids(snippet, self.RUNNER) == ["REP008"]
+
+    def test_broad_exception_fires(self):
+        snippet = """
+            try:
+                work()
+            except Exception:
+                result = None
+        """
+        assert rule_ids(snippet, self.RUNNER) == ["REP008"]
+
+    def test_base_exception_and_tuple_member_fire(self):
+        snippet = """
+            try:
+                work()
+            except BaseException:
+                result = None
+            try:
+                work()
+            except (ValueError, Exception):
+                result = None
+        """
+        assert rule_ids(snippet, self.RUNNER) == ["REP008", "REP008"]
+
+    def test_specific_types_are_fine(self):
+        snippet = """
+            try:
+                work()
+            except (OSError, ValueError, KeyError):
+                result = None
+        """
+        assert rule_ids(snippet, self.RUNNER) == []
+
+    def test_reraise_is_fine(self):
+        snippet = """
+            try:
+                work()
+            except Exception:
+                cleanup()
+                raise
+        """
+        assert rule_ids(snippet, self.RUNNER) == []
+
+    def test_recorded_traceback_is_fine(self):
+        snippet = """
+            import traceback
+            try:
+                work()
+            except Exception:
+                errors[key] = traceback.format_exc()
+        """
+        assert rule_ids(snippet, self.RUNNER) == []
+
+    def test_exc_info_handoff_is_fine(self):
+        snippet = """
+            import sys
+            try:
+                work()
+            except Exception:
+                report(sys.exc_info())
+        """
+        assert rule_ids(snippet, self.RUNNER) == []
+
+    def test_nested_raise_in_conditional_is_fine(self):
+        snippet = """
+            try:
+                work()
+            except Exception as exc:
+                if fatal(exc):
+                    raise
+                result = None
+        """
+        assert rule_ids(snippet, self.RUNNER) == []
+
+    def test_scoped_to_experiments_layer(self):
+        snippet = """
+            try:
+                work()
+            except Exception:
+                pass
+        """
+        assert rule_ids(snippet, "src/repro/sim/example.py") == []
+
+    def test_justified_suppression_on_except_line_silences(self):
+        snippet = (
+            "try:\n"
+            "    work()\n"
+            "except Exception:  # repro-lint: disable=REP008 -- fallback re-runs and records\n"
+            "    result = None\n"
+        )
+        assert rule_ids(snippet, self.RUNNER) == []
+
+    def test_committed_experiments_layer_is_clean(self):
+        config = load_config(str(REPO_ROOT / "pyproject.toml"))
+        resolved = resolve_rules(ALL_RULES, config.rule_overrides)
+        root = REPO_ROOT / "src" / "repro" / "experiments"
+        for path in sorted(root.glob("*.py")):
+            rel = path.relative_to(REPO_ROOT).as_posix()
+            findings = [
+                f
+                for f in lint_source(path.read_text(), rel, resolved)
+                if f.rule_id == "REP008"
+            ]
+            assert findings == [], f"{rel}: {findings}"
+
+
+# ---------------------------------------------------------------------------
 # suppressions
 # ---------------------------------------------------------------------------
 
@@ -456,6 +576,8 @@ class TestConfig:
         assert table["REP002"]["allow_sites"] == [
             "src/repro/experiments/runner.py::execute_cell",
             "src/repro/experiments/runner.py::execute_cells_batched",
+            "src/repro/reliability/clock.py::wall_now",
+            "src/repro/reliability/clock.py::monotonic_now",
         ]
 
     def test_rule_override_changes_scope(self):
