@@ -30,6 +30,7 @@ if __package__ in (None, ""):  # standalone execution without `pip install -e .`
 import bench_batch_hetero
 import bench_batch_kernel
 import bench_hot_loop
+import bench_obs_overhead
 import bench_shard_merge
 
 #: name -> build_report(profile, repeat) callable producing the JSON payload.
@@ -37,6 +38,7 @@ BENCHMARKS = {
     "batch_hetero": bench_batch_hetero.build_report,
     "batch_kernel": bench_batch_kernel.build_report,
     "hotloop": bench_hot_loop.build_report,
+    "obs_overhead": bench_obs_overhead.build_report,
     "shard_merge": bench_shard_merge.build_report,
 }
 

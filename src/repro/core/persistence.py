@@ -122,3 +122,42 @@ def atomic_write_json(
     fault_point(SITE_ATOMIC_WRITE_STAGED, key)  # crash seam: debris stays
     os.replace(tmp_path, path)
     return path
+
+
+def atomic_write_text(path: str, text: str) -> str:
+    """Publish pre-serialised text via the same stage-then-rename protocol.
+
+    The non-JSON sibling of :func:`atomic_write_json`, used for documents
+    whose serialisation is line-oriented (merged ``trace.jsonl`` files)
+    rather than a single JSON value.  Shares the atomicity guarantee but
+    not the fault seams: merge outputs are rebuildable from their inputs,
+    so torn-write chaos coverage stays focused on the stores.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    os.replace(tmp_path, path)
+    return path
+
+
+def append_jsonl(path: str, payload: Mapping[str, Any]) -> str:
+    """Append ``payload`` as one JSON line; the sanctioned trace appender.
+
+    Traces are append-only event logs, so the whole-document replace of
+    :func:`atomic_write_json` is the wrong shape: this writes the full
+    serialised line (newline included) in a single ``write()`` on a
+    handle opened in append mode, so concurrent writers -- pool workers
+    sharing one ``trace.jsonl`` -- interleave whole lines.  A process
+    killed mid-append leaves at most one torn final line, which trace
+    readers skip by contract (:func:`repro.obs.trace.read_trace`).
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    line = json.dumps(payload, sort_keys=True) + "\n"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line)
+    return path

@@ -28,6 +28,9 @@ from repro.core.agent import AgentConfig
 from repro.core.artifact import AgentArtifact, TrainingSpec
 from repro.core.persistence import list_entry_paths, quarantine_entry
 from repro.core.governor import NextGovernor
+from repro.obs.metrics import metrics
+from repro.obs.trace import flush_task_metrics, maybe_span
+from repro.reliability.clock import monotonic_now
 from repro.reliability.faults import SITE_TRAIN_ARTIFACT, fault_point
 from repro.sim.config import SimulationConfig
 from repro.sim.experiment import train_next_on_apps
@@ -52,30 +55,43 @@ def train_artifact(
     ``max_attempt`` budget is spent) and has no effect on the trained
     artifact, which is a pure function of the spec.
     """
-    fault_point(SITE_TRAIN_ARTIFACT, spec.fingerprint(agent_config), attempt)
-    platform = make_platform(spec.platform)
-    overrides = dict(spec.config_overrides)
-    simulation_config = None
-    if overrides:
-        # Train under the spec's environment overrides (the per-episode seed
-        # is re-derived by train_next_governor).
-        simulation_config = SimulationConfig(
-            refresh_hz=platform.display_refresh_hz,
-            duration_s=spec.episode_duration_s,
-            seed=spec.seed,
-            **overrides,
-        )
-    governor = NextGovernor(config=agent_config, seed=spec.seed)
-    results = train_next_on_apps(
-        governor,
-        spec.apps,
-        platform=platform,
-        episodes=spec.episodes,
-        episode_duration_s=spec.episode_duration_s,
-        seed=spec.seed,
-        config=simulation_config,
-    )
-    return AgentArtifact.capture(spec, governor.agent, [asdict(r) for r in results])
+    started = monotonic_now()
+    try:
+        with maybe_span(
+            "train",
+            fingerprint=spec.fingerprint(agent_config),
+            label=spec.label(),
+            attempt=attempt,
+        ):
+            fault_point(SITE_TRAIN_ARTIFACT, spec.fingerprint(agent_config), attempt)
+            platform = make_platform(spec.platform)
+            overrides = dict(spec.config_overrides)
+            simulation_config = None
+            if overrides:
+                # Train under the spec's environment overrides (the per-episode
+                # seed is re-derived by train_next_governor).
+                simulation_config = SimulationConfig(
+                    refresh_hz=platform.display_refresh_hz,
+                    duration_s=spec.episode_duration_s,
+                    seed=spec.seed,
+                    **overrides,
+                )
+            governor = NextGovernor(config=agent_config, seed=spec.seed)
+            results = train_next_on_apps(
+                governor,
+                spec.apps,
+                platform=platform,
+                episodes=spec.episodes,
+                episode_duration_s=spec.episode_duration_s,
+                seed=spec.seed,
+                config=simulation_config,
+            )
+            return AgentArtifact.capture(
+                spec, governor.agent, [asdict(r) for r in results]
+            )
+    finally:
+        metrics().inc("train.artifact_s", monotonic_now() - started)
+        flush_task_metrics()
 
 
 class ArtifactStore:

@@ -30,6 +30,7 @@ agents were trained versus served from the artifact store.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from dataclasses import replace
@@ -48,6 +49,15 @@ from repro.experiments.distributed import (
     run_shard,
     shard_directory,
     shard_status,
+)
+from repro.obs.export import export_chrome_trace
+from repro.obs.progress import ProgressTracker
+from repro.obs.report import render_text, report_payload
+from repro.obs.trace import (
+    TRACE_BASENAME,
+    activate_tracing,
+    deactivate_tracing,
+    read_trace,
 )
 from repro.experiments.federated import FleetStore, fleet_convergence_table
 from repro.experiments.matrix import (
@@ -184,6 +194,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append a span trace of the run to PATH (JSONL; inspect with "
+            "'repro-sweep report PATH'); results are bit-identical with "
+            "tracing on or off"
+        ),
     )
     _add_fault_tolerance_flags(parser)
     return parser
@@ -408,34 +428,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
 
-def _progress_printer(
-    quiet: bool, costs: Dict[str, float], prefix: str = "", workers: int = 1
-):
-    """Per-cell progress lines with an estimated-remaining-time readout.
+def _progress_tracker(
+    costs: Dict[str, float], workers: int = 1, emit: bool = True
+) -> ProgressTracker:
+    """The CLI's delivery accounting: cost-model ETAs plus retry counters.
 
     ``costs`` holds the amortised cost estimate per cell fingerprint (the
-    shard cost model); the printer subtracts each delivered cell once, so
+    shard cost model); the tracker subtracts each delivered cell once, so
     the ETA reflects the work that is actually left rather than a naive
-    done/total extrapolation that training-heavy cells would skew.  The
-    displayed estimate divides by the *effective* parallelism: the worker
-    count clamped to the cells still outstanding, since once the pool drains
-    below ``workers`` pending cells the tail runs at that lower width (a
-    plain ``remaining / workers`` would claim a 4-worker pool finishes one
-    long training cell 4x faster than it can).
+    done/total extrapolation that training-heavy cells would skew.  See
+    :class:`repro.obs.progress.ProgressTracker` for the effective-parallelism
+    clamp and the retry/quarantine bookkeeping the final summary prints.
     """
-    tracker = RemainingCost(costs)  # one accounting rule, shared with shards
-    workers = max(1, workers or 1)
+    return ProgressTracker(RemainingCost(costs), workers=workers, emit=emit)
+
+
+def _progress_printer(quiet: bool, tracker: ProgressTracker, prefix: str = ""):
+    """Per-cell progress lines fed from the shared progress tracker.
+
+    One source of truth: the printer formats the same
+    :class:`~repro.obs.progress.ProgressEvent` that the shard status writer
+    counts and the run trace records, so what the terminal shows can never
+    drift from what ``repro-sweep report`` replays.
+    """
 
     def progress(done: int, total: int, result: CellResult) -> None:
-        tracker.deliver(result)
-        if quiet:
-            return
-        origin = "cached" if result.from_cache else f"{result.elapsed_s:.1f}s"
-        eta = tracker.remaining_s / max(1, min(workers, tracker.outstanding))
-        print(
-            f"  {prefix}[{done}/{total}] {result.status:5s} "
-            f"{result.cell.label()} ({origin}, ~{eta:.1f}s left)"
-        )
+        event = tracker.note(done, total, result)
+        if not quiet:
+            print(event.format_line(prefix))
 
     return progress
 
@@ -506,6 +526,8 @@ def _run(argv: Optional[List[str]]) -> int:
         # Distributed sharding has its own verb-based surface; everything
         # else keeps the original single-command grammar.
         return _run_shard_command(argv[1:])
+    if argv and argv[0] == "report":
+        return _run_report_command(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.list:
@@ -548,12 +570,29 @@ def _run(argv: Optional[List[str]]) -> int:
         retry_policy=retry_policy,
         watchdog=watchdog,
     )
-    sweep = runner.run(
-        matrix,
-        progress=_progress_printer(args.quiet, costs, workers=args.max_workers),
-    )
+    tracker = _progress_tracker(costs, workers=args.max_workers)
+    if args.trace:
+        activate_tracing(args.trace)
+    try:
+        sweep = runner.run(
+            matrix,
+            progress=_progress_printer(args.quiet, tracker),
+        )
+    finally:
+        if args.trace:
+            deactivate_tracing()
 
     _print_sweep_report(matrix, sweep, args.metric, baseline)
+    if tracker.retries_total or tracker.quarantined_total:
+        # Fault-tolerance summary (PR 9 counters): printed only when
+        # something actually retried, so fault-free runs keep their
+        # byte-stable report block.
+        print(
+            f"fault tolerance: {tracker.retries_total} retried attempt(s), "
+            f"{tracker.quarantined_total} cell(s) quarantined as permanent"
+        )
+    if args.trace:
+        print(f"trace: {args.trace} (inspect with 'repro-sweep report {args.trace}')")
     cells = matrix.cells()
     if any(cell.pretrained for cell in cells):
         print(
@@ -646,6 +685,18 @@ def build_shard_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+    run.add_argument(
+        "--trace",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append a span trace of this shard's run (default PATH: "
+            f"<shard-dir>/{TRACE_BASENAME}, which 'shard merge' folds into "
+            "the merged trace)"
+        ),
     )
     _add_fault_tolerance_flags(run)
 
@@ -776,24 +827,43 @@ def _run_shard_command(argv: List[str]) -> int:
             for fingerprint in manifest.assignments[args.shard_index]
         }
         retry_policy, _ = _fault_tolerance_from_args(args)
-        sweep = run_shard(
-            manifest,
-            args.shard_index,
-            shard_dir,
-            max_workers=args.max_workers,
-            progress=_progress_printer(
-                args.quiet,
-                costs,
-                prefix=f"s{args.shard_index} ",
-                workers=args.max_workers,
-            ),
-            retry_policy=retry_policy,
-            cell_timeout_s=args.cell_timeout,
-        )
+        # run_shard's own tracker records progress events in the trace;
+        # the printer's copy only formats lines (emit=False avoids
+        # double-recording every delivery).
+        tracker = _progress_tracker(costs, workers=args.max_workers, emit=False)
+        trace_path = args.trace
+        if trace_path == "auto":
+            trace_path = os.path.join(shard_dir, TRACE_BASENAME)
+        if trace_path:
+            activate_tracing(trace_path)
+        try:
+            sweep = run_shard(
+                manifest,
+                args.shard_index,
+                shard_dir,
+                max_workers=args.max_workers,
+                progress=_progress_printer(
+                    args.quiet, tracker, prefix=f"s{args.shard_index} "
+                ),
+                retry_policy=retry_policy,
+                cell_timeout_s=args.cell_timeout,
+            )
+        finally:
+            if trace_path:
+                deactivate_tracing()
+        retries = ""
+        if tracker.retries_total or tracker.quarantined_total:
+            retries = (
+                f", {tracker.retries_total} retried attempt(s), "
+                f"{tracker.quarantined_total} quarantined"
+            )
         print(
             f"shard {args.shard_index}: {len(sweep.completed)}/{len(sweep)} cells "
-            f"ok, {sweep.cached_count} from cache, {len(sweep.failures)} failed"
+            f"ok, {sweep.cached_count} from cache, "
+            f"{len(sweep.failures)} failed{retries}"
         )
+        if trace_path:
+            print(f"trace: {trace_path}")
         _print_failures(sweep)
         return 1 if sweep.failures else 0
 
@@ -819,6 +889,8 @@ def _run_shard_command(argv: List[str]) -> int:
             retries = (
                 f", {status.attempts} retries" if status.attempts else ""
             )
+            if status.quarantined:
+                retries += f", {status.quarantined} quarantined"
             liveness = ""
             if status.stale:
                 age = (
@@ -866,6 +938,12 @@ def _run_shard_command(argv: List[str]) -> int:
         f"artifacts, {counters['fleets']} fleets into {args.cache_dir} "
         f"({counters['duplicates']} identical duplicates skipped{quarantined})"
     )
+    if "trace_events" in counters:
+        merged_trace = os.path.join(args.cache_dir, TRACE_BASENAME)
+        print(
+            f"merged trace: {counters['trace_events']} events into "
+            f"{merged_trace} (inspect with 'repro-sweep report {merged_trace}')"
+        )
     _print_sweep_report(matrix, sweep, args.metric, baseline)
     if len(sweep) < len(matrix.cells()):
         print(f"partial merge: {len(matrix.cells()) - len(sweep)} cells missing")
@@ -874,6 +952,53 @@ def _run_shard_command(argv: List[str]) -> int:
         return 1
     # Missing cells only surface here under --allow-missing, whose purpose
     # is exactly this preview -- a requested partial report is a success.
+    return 0
+
+
+# ----------------------------------------------------------------------------------
+# Trace reporting: repro-sweep report <trace.jsonl>
+# ----------------------------------------------------------------------------------
+
+
+def build_report_parser() -> argparse.ArgumentParser:
+    """The ``repro-sweep report`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep report",
+        description=(
+            "Render the span timeline, metrics and hot-loop profile of a "
+            "traced run (a trace.jsonl written by --trace, or the merged "
+            "trace a 'shard merge' produces)."
+        ),
+    )
+    parser.add_argument("trace", help="path to a trace.jsonl file")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--export-chrome",
+        default=None,
+        metavar="PATH",
+        help=(
+            "additionally write a Chrome trace-event file loadable in "
+            "Perfetto / chrome://tracing"
+        ),
+    )
+    return parser
+
+
+def _run_report_command(argv: List[str]) -> int:
+    args = build_report_parser().parse_args(argv)
+    events, torn = read_trace(args.trace)
+    if args.format == "json":
+        print(json.dumps(report_payload(events, torn), indent=2, sort_keys=True))
+    else:
+        print(render_text(events, torn))
+    if args.export_chrome:
+        export_chrome_trace(events, args.export_chrome)
+        print(f"wrote Chrome trace to {args.export_chrome}", file=sys.stderr)
     return 0
 
 

@@ -48,6 +48,9 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.persistence import atomic_write_json, quarantine_entry
 from repro.core.seeding import canonical_fingerprint
+from repro.obs.metrics import metrics
+from repro.obs.progress import ProgressTracker
+from repro.obs.trace import TRACE_BASENAME, maybe_span, merge_traces
 from repro.reliability.clock import wall_now
 from repro.reliability.retry import RetryPolicy
 from repro.reliability.watchdog import WatchdogPolicy
@@ -543,26 +546,32 @@ def _write_status(
     failed: int,
     remaining_s: float,
     attempts: int = 0,
+    quarantined: int = 0,
 ) -> None:
-    atomic_write_json(
-        os.path.join(shard_dir, STATUS_FILENAME),
-        {
-            "status_schema_version": MANIFEST_SCHEMA_VERSION,
-            "matrix_fingerprint": manifest.matrix_fingerprint,
-            "shard": shard_index,
-            "state": state,
-            "total": len(manifest.assignments[shard_index]),
-            "completed": completed,
-            "cached": cached,
-            "failed": failed,
-            "attempts": attempts,
-            # Unix time, not monotonic: the heartbeat is compared across
-            # machines by `shard status` on the planning host.
-            "heartbeat_unix_s": wall_now(),
-            "estimated_remaining_s": remaining_s,
-            "estimated_total_s": manifest.shard_cost_s(shard_index),
-        },
-    )
+    payload = {
+        "status_schema_version": MANIFEST_SCHEMA_VERSION,
+        "matrix_fingerprint": manifest.matrix_fingerprint,
+        "shard": shard_index,
+        "state": state,
+        "total": len(manifest.assignments[shard_index]),
+        "completed": completed,
+        "cached": cached,
+        "failed": failed,
+        "attempts": attempts,
+        "quarantined": quarantined,
+        # Unix time, not monotonic: the heartbeat is compared across
+        # machines by `shard status` on the planning host.
+        "heartbeat_unix_s": wall_now(),
+        "estimated_remaining_s": remaining_s,
+        "estimated_total_s": manifest.shard_cost_s(shard_index),
+    }
+    registry = metrics()
+    if not registry.empty():
+        # The worker's cumulative counters (cache hits, retries by kind,
+        # faults fired, ...) ride along so the planning host's `shard
+        # status` sees them without shipping the trace file.
+        payload["metrics"] = registry.snapshot()
+    atomic_write_json(os.path.join(shard_dir, STATUS_FILENAME), payload)
 
 
 def run_shard(
@@ -601,75 +610,52 @@ def run_shard(
         retry_policy=retry_policy,
         watchdog=watchdog,
     )
-    tracker = RemainingCost(
+    costs = RemainingCost(
         {f: manifest.cell_costs[f] for f in manifest.assignments[shard_index]}
     )
-    counters = {"completed": 0, "cached": 0, "failed": 0, "attempts": 0}
+    # One accounting for printer, status file and trace: the tracker counts
+    # each *distinct* cell once (duplicate-fingerprint expansions deliver the
+    # same cell twice, but "total" in the status file counts fingerprints)
+    # and "completed" counts finished work only -- error results are never
+    # cached, so a failed cell's work is still outstanding and a later
+    # re-run of the shard retries it.
+    tracker = ProgressTracker(costs, workers=max_workers or 1)
 
-    def track(done: int, total: int, result: CellResult) -> None:
-        counters["attempts"] += len(result.attempts or [])
-        if tracker.deliver(result):
-            # Count each *distinct* cell once: a duplicate-fingerprint
-            # expansion delivers the same cell twice, but "total" in the
-            # status file counts distinct fingerprints.
-            if result.from_cache:
-                counters["cached"] += 1
-            if result.ok:
-                # "completed" counts finished work only; error results are
-                # never cached, so a failed cell's work is still outstanding
-                # and a later re-run of the shard retries it.
-                counters["completed"] += 1
-            else:
-                counters["failed"] += 1
+    def write_status(state: str) -> None:
         _write_status(
             shard_dir,
             manifest,
             shard_index,
-            "running",
-            counters["completed"],
-            counters["cached"],
-            counters["failed"],
-            tracker.remaining_s,
-            counters["attempts"],
+            state,
+            tracker.completed_total,
+            tracker.cached_total,
+            tracker.failed_total,
+            costs.remaining_s,
+            tracker.retries_total,
+            tracker.quarantined_total,
         )
+
+    def track(done: int, total: int, result: CellResult) -> None:
+        tracker.note(done, total, result)
+        write_status("running")
         if progress is not None:
             progress(done, total, result)
 
-    _write_status(
-        shard_dir, manifest, shard_index, "running", 0, 0, 0, tracker.remaining_s
-    )
-    try:
-        result = runner.run(manifest.matrix, progress=track, cells=cells)
-    except KeyboardInterrupt:
-        # Leave an honest status file behind before the process dies: the
-        # counters and remaining-cost tracker already reflect every cell that
-        # was delivered (and cached) before the interrupt, so a monitoring
-        # `status` call sees "interrupted" with accurate progress instead of
-        # a stale "running".  The write is atomic (tmp + rename) like every
-        # other status write, so a concurrent reader never sees a torn file.
-        _write_status(
-            shard_dir,
-            manifest,
-            shard_index,
-            "interrupted",
-            counters["completed"],
-            counters["cached"],
-            counters["failed"],
-            tracker.remaining_s,
-            counters["attempts"],
-        )
-        raise
-    _write_status(
-        shard_dir,
-        manifest,
-        shard_index,
-        "complete" if counters["failed"] == 0 else "failed",
-        counters["completed"],
-        counters["cached"],
-        counters["failed"],
-        tracker.remaining_s,
-        counters["attempts"],
-    )
+    with maybe_span("shard_run", shard=shard_index, cells=len(cells)):
+        write_status("running")
+        try:
+            result = runner.run(manifest.matrix, progress=track, cells=cells)
+        except KeyboardInterrupt:
+            # Leave an honest status file behind before the process dies: the
+            # tracker and remaining-cost accumulator already reflect every
+            # cell that was delivered (and cached) before the interrupt, so a
+            # monitoring `status` call sees "interrupted" with accurate
+            # progress instead of a stale "running".  The write is atomic
+            # (tmp + rename) like every other status write, so a concurrent
+            # reader never sees a torn file.
+            write_status("interrupted")
+            raise
+        write_status("complete" if tracker.failed_total == 0 else "failed")
     return result
 
 
@@ -686,6 +672,8 @@ class ShardStatus:
     directory: str
     #: Retry attempts the worker has recorded so far (0 when unreported).
     attempts: int = 0
+    #: Cells the worker quarantined as permanently failed (0 when unreported).
+    quarantined: int = 0
     #: Seconds since the worker's last status heartbeat, or ``None`` when the
     #: status file carries no heartbeat (pre-heartbeat worker, or no file).
     heartbeat_age_s: Optional[float] = None
@@ -740,6 +728,7 @@ def shard_status(
     )
     failed = 0
     attempts = 0
+    quarantined = 0
     heartbeat_age_s: Optional[float] = None
     reported_state = None
     status_path = os.path.join(shard_dir, STATUS_FILENAME)
@@ -755,6 +744,7 @@ def shard_status(
             # shard's failure count and state to this row.
             failed = int(status.get("failed", 0))
             attempts = int(status.get("attempts", 0))
+            quarantined = int(status.get("quarantined", 0))
             reported_state = status.get("state")
             heartbeat = status.get("heartbeat_unix_s")
             if isinstance(heartbeat, (int, float)):
@@ -792,6 +782,7 @@ def shard_status(
         remaining_s=remaining_s,
         directory=shard_dir,
         attempts=attempts,
+        quarantined=quarantined,
         heartbeat_age_s=heartbeat_age_s,
         stale=stale,
     )
@@ -893,6 +884,7 @@ def merge_shard_stores(
     def tally(copied: Optional[bool], kind: str) -> None:
         if copied is None:
             counters["quarantined"] += 1
+            metrics().inc("merge.quarantined")
         elif copied:
             counters[kind] += 1
         else:
@@ -979,14 +971,34 @@ def merge_shards(
     (each holding a ``cache/`` subdirectory); directories that do not exist
     yet are skipped so a partial merge with ``require_complete=False`` can
     preview progress.  Returns ``(sweep_result, merge_counters)``.
+
+    Shards that traced their run (``trace.jsonl`` next to the status file)
+    get their traces concatenated into ``<dest_cache_dir>/trace.jsonl``, so
+    ``repro-sweep report`` can replay the whole distributed sweep as one
+    timeline; ``trace_events`` / ``trace_quarantined`` counters report the
+    merge.  Shards without traces merge exactly as before.
     """
-    cache_dirs = [
-        shard_cache_dir(shard_dir)
-        for shard_dir in shard_dirs
-        if os.path.isdir(shard_cache_dir(shard_dir))
-    ]
-    counters = merge_shard_stores(cache_dirs, dest_cache_dir)
-    result = load_merged_result(
-        manifest, dest_cache_dir, require_complete=require_complete
-    )
+    with maybe_span("merge", shards=len(shard_dirs)) as span:
+        cache_dirs = [
+            shard_cache_dir(shard_dir)
+            for shard_dir in shard_dirs
+            if os.path.isdir(shard_cache_dir(shard_dir))
+        ]
+        counters = merge_shard_stores(cache_dirs, dest_cache_dir)
+        trace_sources = [
+            os.path.join(shard_dir, TRACE_BASENAME) for shard_dir in shard_dirs
+        ]
+        if any(os.path.exists(path) for path in trace_sources):
+            trace_counters = merge_traces(
+                trace_sources, os.path.join(dest_cache_dir, TRACE_BASENAME)
+            )
+            counters["trace_events"] = trace_counters["events"]
+            counters["trace_quarantined"] = trace_counters["quarantined"]
+        result = load_merged_result(
+            manifest, dest_cache_dir, require_complete=require_complete
+        )
+        if span is not None:
+            span.note("results", counters["results"])
+            span.note("duplicates", counters["duplicates"])
+            span.note("quarantined", counters["quarantined"])
     return result, counters

@@ -50,6 +50,7 @@ from repro.core.governor import NextGovernor
 from repro.core.qtable import QTable, QTableStore
 from repro.core.seeding import derive_seed
 from repro.experiments.artifacts import ArtifactStore, train_artifact
+from repro.obs.trace import flush_task_metrics, maybe_span
 from repro.sim.config import SimulationConfig
 from repro.sim.experiment import train_next_on_apps
 from repro.soc.platform import make_platform
@@ -79,31 +80,35 @@ def train_device_round(
     deterministic round seed, which identifies the job across runs); the
     returned state is a pure function of the other arguments.
     """
-    fault_point(SITE_TRAIN_DEVICE_ROUND, str(seed), attempt)
-    agent = NextAgent.from_dict(agent_state)
-    governor = NextGovernor(agent=agent)  # re-enables training
-    platform_spec = make_platform(platform)
-    overrides = dict(config_overrides)
-    simulation_config = None
-    if overrides:
-        # Same override threading as train_artifact: the per-episode seed is
-        # re-derived by train_next_governor.
-        simulation_config = SimulationConfig(
-            refresh_hz=platform_spec.display_refresh_hz,
-            duration_s=episode_duration_s,
-            seed=seed,
-            **overrides,
-        )
-    train_next_on_apps(
-        governor,
-        tuple(apps),
-        platform=platform_spec,
-        episodes=episodes,
-        episode_duration_s=episode_duration_s,
-        seed=seed,
-        config=simulation_config,
-    )
-    return json.loads(json.dumps(agent.to_dict()))
+    try:
+        with maybe_span("device_round", seed=seed, attempt=attempt):
+            fault_point(SITE_TRAIN_DEVICE_ROUND, str(seed), attempt)
+            agent = NextAgent.from_dict(agent_state)
+            governor = NextGovernor(agent=agent)  # re-enables training
+            platform_spec = make_platform(platform)
+            overrides = dict(config_overrides)
+            simulation_config = None
+            if overrides:
+                # Same override threading as train_artifact: the per-episode
+                # seed is re-derived by train_next_governor.
+                simulation_config = SimulationConfig(
+                    refresh_hz=platform_spec.display_refresh_hz,
+                    duration_s=episode_duration_s,
+                    seed=seed,
+                    **overrides,
+                )
+            train_next_on_apps(
+                governor,
+                tuple(apps),
+                platform=platform_spec,
+                episodes=episodes,
+                episode_duration_s=episode_duration_s,
+                seed=seed,
+                config=simulation_config,
+            )
+            return json.loads(json.dumps(agent.to_dict()))
+    finally:
+        flush_task_metrics()
 
 
 def batch_kernel_available() -> bool:
@@ -147,12 +152,20 @@ def train_device_rounds_batched(
     exhausted or whose agent converged simply drops out of later episodes
     instead of forcing the fleet into lockstep.
     """
+    if not jobs:
+        return []
+    with maybe_span("device_batch", devices=len(jobs)):
+        return _train_device_rounds_batched(jobs)
+
+
+def _train_device_rounds_batched(
+    jobs: Sequence[Tuple[Any, ...]],
+) -> List[Dict[str, Any]]:
+    """Span-free body of :func:`train_device_rounds_batched`."""
     from repro.sim.batch import BatchSimulation
     from repro.sim.experiment import APP_SEED_STRIDE, EPISODE_SEED_STRIDE
     from repro.workloads.apps import make_app
 
-    if not jobs:
-        return []
     platform_name = jobs[0][2]
     config_overrides = jobs[0][6]
     for job in jobs[1:]:
@@ -525,13 +538,16 @@ def train_fleet_artifact(
         build.provide_round0(_resolve_round0(build, store, pool=pool))
     while not build.finished:
         round_index, jobs = build.round_jobs()
-        if pool is not None:
-            futures = [pool.submit(train_device_round, *job) for job in jobs]
-            results = [future.result() for future in futures]
-        elif len(jobs) > 1 and batch_kernel_available():
-            results = train_device_rounds_batched(jobs)
-        else:
-            results = [train_device_round(*job) for job in jobs]
+        with maybe_span(
+            "federated_round", round=round_index, devices=len(jobs)
+        ):
+            if pool is not None:
+                futures = [pool.submit(train_device_round, *job) for job in jobs]
+                results = [future.result() for future in futures]
+            elif len(jobs) > 1 and batch_kernel_available():
+                results = train_device_rounds_batched(jobs)
+            else:
+                results = [train_device_round(*job) for job in jobs]
         build.finish_round(round_index, results)
     return build.artifact()
 

@@ -60,6 +60,9 @@ from repro.experiments.federated import (
     train_fleet_artifact,
 )
 from repro.experiments.matrix import ScenarioCell, ScenarioMatrix
+from repro.obs.metrics import metrics
+from repro.obs.profile import active_profiler
+from repro.obs.trace import active_tracer, emit_event, flush_task_metrics
 from repro.reliability.clock import monotonic_now
 from repro.reliability.faults import (
     SITE_EXECUTE_BATCH,
@@ -271,9 +274,19 @@ def execute_cell(
     failure) or cannot (deterministic error in the cell itself).
     """
     started = time.perf_counter()
+    tracer = active_tracer()
+    span = (
+        tracer.begin(
+            "cell", fingerprint=cell.fingerprint(), label=cell.label(), attempt=attempt
+        )
+        if tracer is not None
+        else None
+    )
     try:
         fault_point(SITE_EXECUTE_CELL, cell.fingerprint(), attempt)
         session = run_cell_session(cell, artifact=artifact)
+        if span is not None:
+            span.note("status", "ok")
         return CellResult(
             cell=cell,
             status="ok",
@@ -281,6 +294,9 @@ def execute_cell(
             elapsed_s=time.perf_counter() - started,
         )
     except Exception as exc:
+        if span is not None:
+            span.note("status", "error")
+            span.note("error_type", type(exc).__name__)
         return CellResult(
             cell=cell,
             status="error",
@@ -289,6 +305,10 @@ def execute_cell(
             error_kind=classify_exception(exc),
             error_type=type(exc).__name__,
         )
+    finally:
+        if tracer is not None:
+            tracer.end(span)
+            flush_task_metrics()
 
 
 def execute_cells_batched(
@@ -314,6 +334,13 @@ def execute_cells_batched(
     fallback: the scalar re-runs classify and report their own failures.
     """
     started = time.perf_counter()
+    tracer = active_tracer()
+    span = (
+        tracer.begin("cell_batch", cells=len(cells), attempt=attempt)
+        if tracer is not None
+        else None
+    )
+    ticks_before = metrics().counters.get("batch.device_ticks", 0.0)
     try:
         fault_point(SITE_EXECUTE_BATCH, cells[0].fingerprint(), attempt)
         from repro.sim.batch import BatchSimulation
@@ -366,9 +393,36 @@ def execute_cells_batched(
                     elapsed_s=elapsed_s,
                 )
             )
+        if tracer is not None:
+            span.note("status", "ok")
+            for cell in cells:
+                # One child span per lane so the report's tree shows every
+                # cell; the batch ran them jointly, so each carries the
+                # amortised share of the batch's wall time as an attribute.
+                child = tracer.begin(
+                    "cell",
+                    fingerprint=cell.fingerprint(),
+                    label=cell.label(),
+                    batched=True,
+                )
+                child.note("amortised_s", elapsed_s)
+                child.note("status", "ok")
+                tracer.end(child)
         return results
     except Exception:  # repro-lint: disable=REP008 -- each cell re-runs scalar and records its own traceback
+        if span is not None:
+            span.note("status", "fallback_scalar")
         return [execute_cell(cell, attempt=attempt) for cell in cells]
+    finally:
+        elapsed_total = time.perf_counter() - started
+        device_ticks = metrics().counters.get("batch.device_ticks", 0.0) - ticks_before
+        if elapsed_total > 0 and device_ticks > 0:
+            metrics().set_gauge(
+                "batch.device_ticks_per_s", device_ticks / elapsed_total
+            )
+        if tracer is not None:
+            tracer.end(span)
+            flush_task_metrics()
 
 
 def batchable_cell_groups(
@@ -525,8 +579,11 @@ class ResultCache:
         result, corrupt_path = self._read(cell)
         if corrupt_path is not None:
             self._quarantine(corrupt_path)
+            metrics().inc("cache.quarantined")
         if result is None:
+            metrics().inc("cache.miss")
             return None
+        metrics().inc("cache.hit")
         result.cell = cell
         result.from_cache = True
         return result
@@ -696,6 +753,18 @@ class SweepRunner:
         slots: List[Optional[CellResult]] = [None] * total
         done = 0
 
+        tracer = active_tracer()
+        sweep_span = None
+        previous_root = None
+        if tracer is not None:
+            sweep_span = tracer.begin(
+                "sweep", matrix=getattr(matrix, "name", None), cells=total
+            )
+            # Export the sweep span as the parent for worker-side spans; the
+            # pool inherits the updated env value at creation below.
+            previous_root = tracer.sink.root
+            tracer.adopt_root(sweep_span)
+
         def deliver(index: int, result: CellResult) -> None:
             nonlocal done
             slots[index] = result
@@ -703,53 +772,74 @@ class SweepRunner:
             if progress is not None:
                 progress(done, total, result)
 
-        pending: List[Tuple[int, ScenarioCell]] = []
-        for index, cell in enumerate(cells):
-            cached = self.cache.load(cell)
-            if cached is not None:
-                deliver(index, cached)
-            else:
-                pending.append((index, cell))
+        try:
+            pending: List[Tuple[int, ScenarioCell]] = []
+            for index, cell in enumerate(cells):
+                cached = self.cache.load(cell)
+                if cached is not None:
+                    deliver(index, cached)
+                else:
+                    pending.append((index, cell))
 
-        workers = self.max_workers if self.max_workers is not None else os.cpu_count() or 1
-        retry_states: Dict[str, RetryState] = {}
-        rebuilds = 0
-        while True:
-            remaining = [
-                (index, cell) for index, cell in pending if slots[index] is None
-            ]
-            if not remaining:
-                break
-            if workers <= 1 or len(remaining) <= 1 or rebuilds > self.max_pool_rebuilds:
-                # Either a sequential run was requested, or the pool broke
-                # more often than the rebuild budget allows.  Only the
-                # *remaining* cells run here: everything delivered before
-                # the last restart already sits in its slot and the cache.
-                self._run_sequential(remaining, deliver, retry_states)
-                break
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(workers, len(remaining)),
-                    initializer=mark_worker_process,
-                ) as pool:
-                    try:
-                        self._run_pool(pool, remaining, deliver, retry_states)
-                    except (KeyboardInterrupt, _PoolRestart):
-                        # Abandon queued and running work so the executor's
-                        # __exit__ cannot block on a hung or dead worker.
-                        # Every result delivered so far is already in the
-                        # cache, so a re-run (or the rebuilt pool) resumes
-                        # from exactly what completed.
-                        self._abandon_pool(pool)
-                        raise
-                break
-            except _PoolRestart as restart:
-                rebuilds += 1
-                for key in restart.keys:
-                    state = retry_states.setdefault(key, RetryState())
-                    state.record_failure(TRANSIENT, restart.cause, None)
+            workers = self.max_workers if self.max_workers is not None else os.cpu_count() or 1
+            retry_states: Dict[str, RetryState] = {}
+            rebuilds = 0
+            while True:
+                remaining = [
+                    (index, cell) for index, cell in pending if slots[index] is None
+                ]
+                if not remaining:
+                    break
+                if workers <= 1 or len(remaining) <= 1 or rebuilds > self.max_pool_rebuilds:
+                    # Either a sequential run was requested, or the pool broke
+                    # more often than the rebuild budget allows.  Only the
+                    # *remaining* cells run here: everything delivered before
+                    # the last restart already sits in its slot and the cache.
+                    self._run_sequential(remaining, deliver, retry_states)
+                    break
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=min(workers, len(remaining)),
+                        initializer=mark_worker_process,
+                    ) as pool:
+                        try:
+                            self._run_pool(pool, remaining, deliver, retry_states)
+                        except (KeyboardInterrupt, _PoolRestart):
+                            # Abandon queued and running work so the executor's
+                            # __exit__ cannot block on a hung or dead worker.
+                            # Every result delivered so far is already in the
+                            # cache, so a re-run (or the rebuilt pool) resumes
+                            # from exactly what completed.
+                            self._abandon_pool(pool)
+                            raise
+                    break
+                except _PoolRestart as restart:
+                    rebuilds += 1
+                    metrics().inc(
+                        "watchdog.reschedules"
+                        if restart.cause == "watchdog timeout"
+                        else "pool.rebuilds"
+                    )
+                    emit_event(
+                        "pool_restart", cause=restart.cause, cells=len(restart.keys)
+                    )
+                    for key in restart.keys:
+                        state = retry_states.setdefault(key, RetryState())
+                        state.record_failure(TRANSIENT, restart.cause, None)
 
-        return SweepResult(matrix=matrix, results=[slot for slot in slots if slot is not None])
+            return SweepResult(
+                matrix=matrix, results=[slot for slot in slots if slot is not None]
+            )
+        finally:
+            if tracer is not None:
+                sweep_span.note("done", done)
+                tracer.end(sweep_span)
+                tracer.set_root(previous_root)
+                profiler = active_profiler()
+                tracer.flush_metrics(
+                    metrics().snapshot(),
+                    profile=profiler.snapshot() if profiler is not None else None,
+                )
 
     @staticmethod
     def _abandon_pool(pool: ProcessPoolExecutor) -> None:
@@ -1365,10 +1455,14 @@ class SweepRunner:
         kind = result.error_kind or PERMANENT
         state = retry_states.setdefault(key, RetryState())
         repeated = state.record_failure(kind, result.error_type or "", result.error)
-        if repeated or kind != TRANSIENT:
-            return False
-        # state.attempt now counts failures; retries used is one fewer.
-        return self.retry_policy.should_retry(kind, state.attempt - 1)
+        retrying = (
+            not repeated
+            and kind == TRANSIENT
+            # state.attempt now counts failures; retries used is one fewer.
+            and self.retry_policy.should_retry(kind, state.attempt - 1)
+        )
+        self._note_retry_metrics(key, kind, state.attempt, retrying)
+        return retrying
 
     def _note_exception(
         self, key: str, exc: BaseException, retry_states: Dict[str, RetryState]
@@ -1379,10 +1473,24 @@ class SweepRunner:
         repeated = state.record_failure(
             kind, type(exc).__name__, traceback.format_exc()
         )
-        if repeated or kind != TRANSIENT:
-            return False
-        # state.attempt now counts failures; retries used is one fewer.
-        return self.retry_policy.should_retry(kind, state.attempt - 1)
+        retrying = (
+            not repeated
+            and kind == TRANSIENT
+            # state.attempt now counts failures; retries used is one fewer.
+            and self.retry_policy.should_retry(kind, state.attempt - 1)
+        )
+        self._note_retry_metrics(key, kind, state.attempt, retrying)
+        return retrying
+
+    @staticmethod
+    def _note_retry_metrics(key: str, kind: str, attempt: int, retrying: bool) -> None:
+        """Account one failed attempt in the obs layer (both failure paths)."""
+        metrics().inc(f"retry.{kind}")
+        if not retrying:
+            metrics().inc("retry.quarantined" if kind != TRANSIENT else "retry.exhausted")
+        emit_event(
+            "retry", key=key, kind=kind, attempt=attempt, will_retry=retrying
+        )
 
     @staticmethod
     def _finalize_error(result: CellResult, state: RetryState) -> None:

@@ -12,6 +12,8 @@ reduce     REP005             no op-order-changing reductions in the batch
 pools      REP006             only picklable callables cross pool boundaries
 excepts    REP008             no swallowed exceptions in the orchestration
                               layer
+prints     REP009             no ``print()`` outside the CLI / harness
+                              surfaces
 =========  =================  ==============================================
 """
 
@@ -19,6 +21,7 @@ from repro.lint.rules.excepts import SwallowedExceptionRule
 from repro.lint.rules.fsorder import UnsortedEnumerationRule
 from repro.lint.rules.persist import NonAtomicPersistenceRule
 from repro.lint.rules.pools import UnpicklablePoolCallableRule
+from repro.lint.rules.prints import PrintCallRule
 from repro.lint.rules.random_ import SaltedHashRule, UnseededRandomnessRule
 from repro.lint.rules.reduce import LaneCrossingReductionRule
 from repro.lint.rules.wallclock import WallClockRule
@@ -34,6 +37,7 @@ ALL_RULES = (
     UnpicklablePoolCallableRule(),
     SaltedHashRule(),
     SwallowedExceptionRule(),
+    PrintCallRule(),
 )
 
 RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,0 +1,58 @@
+"""REP009: ``print()`` outside the sanctioned user-facing surfaces.
+
+PR 10 made progress lines, counters and timelines flow through the
+observability layer (:mod:`repro.obs`): the CLI prints what a
+:class:`~repro.obs.progress.ProgressEvent` formats, the trace records
+what the CLI printed, and ``repro-sweep report`` replays both.  A stray
+``print()`` in library code bypasses all of that -- it cannot be traced,
+cannot be silenced by ``--quiet``, corrupts machine-read stdout (the CI
+jobs grep the CLI's output contract) and, from a pool worker, interleaves
+bytes with the orchestrator's lines.  Library code should attach
+information to results, metrics or trace events; only the CLI front-ends
+and the chaos/benchmark harnesses own stdout.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, Mapping
+
+from repro.lint.engine import Finding, ModuleSource, Rule
+
+
+class PrintCallRule(Rule):
+    rule_id = "REP009"
+    title = "print() outside the CLI / harness surfaces"
+    rationale = (
+        "Library code that print()s bypasses the observability layer: the\n"
+        "output cannot be traced into trace.jsonl, cannot be silenced by\n"
+        "--quiet, corrupts stdout contracts that CI jobs grep, and from a\n"
+        "pool worker interleaves with the orchestrator's progress lines.\n"
+        "Attach information to results, metrics (repro.obs.metrics) or\n"
+        "trace events (repro.obs.trace) instead, and let the CLI decide\n"
+        "what reaches the terminal.\n"
+        "\n"
+        "Fix: move the output to the CLI layer, emit a metric or trace\n"
+        "event, or -- for a genuinely user-facing surface -- add the file\n"
+        "to the [tool.repro-lint.REP009] exclude list next to cli.py and\n"
+        "the chaos harness."
+    )
+    default_include = ("src/",)
+    default_options: Mapping[str, Any] = {}
+
+    def check(
+        self, module: ModuleSource, options: Mapping[str, Any]
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Name) and func.id == "print"):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "print() in library code bypasses the observability layer "
+                "(untraceable, un-silenceable, corrupts stdout contracts); "
+                "emit a metric/trace event or print from the CLI layer",
+            )

@@ -1,0 +1,78 @@
+"""Observability: span tracing, metrics, hot-loop profiling, reports.
+
+The telemetry substrate under the ROADMAP's fleet-service rung.  Three
+independent, individually opt-in layers with one shared invariant --
+none of them may perturb simulated results:
+
+* :mod:`repro.obs.trace` -- span-based run tracing to a schema-versioned
+  ``trace.jsonl``, inherited by pool workers via ``REPRO_TRACE``;
+* :mod:`repro.obs.metrics` -- process-wide counters/gauges/histograms,
+  flushed into trace footers and ``shard-status.json``;
+* :mod:`repro.obs.profile` -- a sampling profiler for the 60 Hz hot
+  loops, a strict no-op unless activated;
+* :mod:`repro.obs.report` / :mod:`repro.obs.export` -- timeline +
+  metrics rendering and Chrome trace-event export for Perfetto.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge_snapshots,
+    metrics,
+    reset_metrics,
+)
+from repro.obs.profile import (
+    HotLoopProfiler,
+    activate_profiling,
+    active_profiler,
+    deactivate_profiling,
+    profiled,
+)
+from repro.obs.progress import ProgressEvent, ProgressTracker
+from repro.obs.trace import (
+    TRACE_BASENAME,
+    TRACE_ENV,
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Tracer,
+    TraceSink,
+    activate_tracing,
+    active_tracer,
+    deactivate_tracing,
+    emit_event,
+    flush_task_metrics,
+    maybe_span,
+    merge_traces,
+    read_trace,
+    traced,
+    tracing_active,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "merge_snapshots",
+    "metrics",
+    "reset_metrics",
+    "HotLoopProfiler",
+    "activate_profiling",
+    "active_profiler",
+    "deactivate_profiling",
+    "profiled",
+    "ProgressEvent",
+    "ProgressTracker",
+    "TRACE_BASENAME",
+    "TRACE_ENV",
+    "TRACE_SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "TraceSink",
+    "activate_tracing",
+    "active_tracer",
+    "deactivate_tracing",
+    "emit_event",
+    "flush_task_metrics",
+    "maybe_span",
+    "merge_traces",
+    "read_trace",
+    "traced",
+    "tracing_active",
+]

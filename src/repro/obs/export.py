@@ -1,0 +1,79 @@
+"""Chrome trace-event export: load a run's trace in chrome://tracing / Perfetto.
+
+The Chrome trace-event format is the lingua franca of timeline viewers:
+complete events (``ph: "X"``) with microsecond timestamps, grouped by
+pid/tid.  Span events map directly; point events become instants
+(``ph: "i"``).  Timestamps are rebased to the earliest event so the
+viewer opens at t=0 instead of the unix epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.persistence import atomic_write_json
+
+
+def chrome_trace_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert parsed trace events into a Chrome trace-event document."""
+    starts: List[float] = []
+    for event in events:
+        if event.get("kind") == "span":
+            starts.append(event.get("start_s", 0.0))
+        elif event.get("kind") == "event":
+            starts.append(event.get("wall_s", 0.0))
+    base = min(starts) if starts else 0.0
+    trace_events: List[Dict[str, Any]] = []
+    for event in events:
+        kind = event.get("kind")
+        pid = event.get("pid", 0)
+        if kind == "span":
+            start = event.get("start_s", 0.0)
+            end = event.get("end_s", start)
+            args: Dict[str, Any] = dict(event.get("attrs") or {})
+            args["span"] = event.get("span")
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": event.get("name", "?"),
+                    "cat": "span",
+                    "ts": (start - base) * 1e6,
+                    "dur": max(0.0, (end - start)) * 1e6,
+                    "pid": pid,
+                    "tid": pid,
+                    "args": args,
+                }
+            )
+        elif kind == "event":
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "name": event.get("name", "?"),
+                    "cat": "event",
+                    "ts": (event.get("wall_s", base) - base) * 1e6,
+                    "pid": pid,
+                    "tid": pid,
+                    "s": "p",
+                    "args": dict(event.get("attrs") or {}),
+                }
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(
+    events: List[Dict[str, Any]], path: str
+) -> Dict[str, Any]:
+    """Write the Chrome trace-event document atomically; returns it."""
+    document = chrome_trace_events(events)
+    atomic_write_json(path, document)
+    return document
+
+
+def first_span_named(
+    events: List[Dict[str, Any]], name: str
+) -> Optional[Dict[str, Any]]:
+    """Convenience for smoke checks: the first closed span with ``name``."""
+    for event in events:
+        if event.get("kind") == "span" and event.get("name") == name:
+            return event
+    return None

@@ -1,0 +1,115 @@
+"""One source of truth for sweep progress: done/total/ETA/retry accounting.
+
+Before this module the CLI's progress printer and the shard status
+writer each re-derived "how far along is this run" from a delivered
+:class:`CellResult`, and the printer drifted from the runner's
+retry-aware accounting once PR 9 made deliveries carry retry lineages.
+:class:`ProgressTracker` owns that derivation once: every delivery is
+folded into a :class:`ProgressEvent`, the printer formats that event,
+the shard status writer reads its counters, and when tracing is active
+the same event is appended to the run's trace -- so what the user sees,
+what ``shard-status.json`` says and what ``repro-sweep report`` replays
+are one record, not three reconstructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.trace import emit_event
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One delivery, fully accounted: position, ETA and retry counters."""
+
+    done: int
+    total: int
+    status: str
+    label: str
+    origin: str
+    eta_s: float
+    attempts: int
+    retries_total: int
+    quarantined_total: int
+
+    def format_line(self, prefix: str = "") -> str:
+        """The CLI progress line; retry counts shown only when present."""
+        retries = f", {self.attempts} retries" if self.attempts else ""
+        return (
+            f"  {prefix}[{self.done}/{self.total}] {self.status:5s} "
+            f"{self.label} ({self.origin}, ~{self.eta_s:.1f}s left{retries})"
+        )
+
+
+class ProgressTracker:
+    """Folds delivered cell results into progress events.
+
+    ``costs`` is a ``RemainingCost``-style accumulator (``deliver()``,
+    ``remaining_s``, ``outstanding``) -- the shard cost model -- so the
+    ETA reflects the work actually left rather than a naive done/total
+    extrapolation that training-heavy cells would skew.  The displayed
+    estimate divides by the *effective* parallelism: the worker count
+    clamped to the cells still outstanding, since once the pool drains
+    below ``workers`` pending cells the tail runs at that lower width.
+    """
+
+    def __init__(self, costs: Any, workers: int = 1, emit: bool = True) -> None:
+        self._costs = costs
+        self._workers = max(1, workers or 1)
+        self._emit = emit
+        self.retries_total = 0
+        self.quarantined_total = 0
+        self.cached_total = 0
+        self.completed_total = 0
+        self.failed_total = 0
+
+    def note(self, done: int, total: int, result: Any) -> ProgressEvent:
+        """Account one delivered cell result and return its progress event.
+
+        Per-cell counters bump only on the cell's *first* delivery (the
+        cost accumulator's ``deliver`` contract), so a duplicate-fingerprint
+        expansion -- which delivers the same cached cell twice -- is counted
+        once, matching the shard status file's "distinct cells" semantics.
+        Retry attempts accumulate on every delivery: each delivery carries
+        its own lineage.
+        """
+        first = self._costs.deliver(result)
+        attempts = len(result.attempts or [])
+        self.retries_total += attempts
+        if first:
+            if result.error_kind == "permanent":
+                self.quarantined_total += 1
+            if result.from_cache:
+                self.cached_total += 1
+            if result.ok:
+                self.completed_total += 1
+            else:
+                self.failed_total += 1
+        origin = "cached" if result.from_cache else f"{result.elapsed_s:.1f}s"
+        eta = self._costs.remaining_s / max(
+            1, min(self._workers, self._costs.outstanding)
+        )
+        event = ProgressEvent(
+            done=done,
+            total=total,
+            status=result.status,
+            label=result.cell.label(),
+            origin=origin,
+            eta_s=eta,
+            attempts=attempts,
+            retries_total=self.retries_total,
+            quarantined_total=self.quarantined_total,
+        )
+        if self._emit:
+            emit_event(
+                "progress",
+                done=done,
+                total=total,
+                status=result.status,
+                label=event.label,
+                eta_s=round(eta, 3),
+                attempts=attempts,
+            )
+        return event

@@ -15,16 +15,23 @@ plus a torn ``shard-status.json`` write -- then asserts per-cell
 ``sample_stream_hash`` parity across all three, zero surviving failures,
 and a clean merge.  Faults are scheduled by :class:`FaultPlan`, so every
 run of this harness replays the identical failure sequence.
+
+The faulted phases run with span tracing *force-enabled* (the pooled sweep
+to a scratch trace, each shard to its own ``trace.jsonl`` that the merge
+folds together), so the parity checks double as the observability layer's
+perturbation gate: tracing a chaotic run may not move a single sample.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import tempfile
 from typing import Dict
 
 from repro.experiments.matrix import ScenarioMatrix
 from repro.experiments.runner import SweepResult, SweepRunner
+from repro.obs.trace import TRACE_BASENAME, read_trace, traced
 from repro.reliability.faults import (
     KIND_CRASH,
     KIND_HANG,
@@ -142,13 +149,35 @@ def main() -> int:
     print("chaos-smoke: pooled sweep under fault mix", end=" ")
     plan = sweep_fault_plan()
     print(f"(seed={plan.seed}, {len(plan.rules)} rules)...")
-    with injected_faults(plan):
-        chaotic = cell_hashes(
-            SweepRunner(
-                max_workers=2, retry_policy=RetryPolicy(max_retries=3)
-            ).run(matrix)
+    # Tracing is force-enabled here: parity against the untraced baseline
+    # below pins the observability layer's core invariant -- spans, metrics
+    # footers and retry events may not perturb a single recorded sample,
+    # even while the fault mix is exercising every recovery path.
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-trace-") as trace_dir:
+        trace_path = os.path.join(trace_dir, TRACE_BASENAME)
+        with traced(trace_path):
+            with injected_faults(plan):
+                chaotic = cell_hashes(
+                    SweepRunner(
+                        max_workers=2, retry_policy=RetryPolicy(max_retries=3)
+                    ).run(matrix)
+                )
+        events, torn = read_trace(trace_path)
+        spans = [event for event in events if event.get("kind") == "span"]
+        retries = [
+            event
+            for event in events
+            if event.get("kind") == "event" and event.get("name") == "retry"
+        ]
+        if not spans:
+            raise SystemExit(
+                "chaos-smoke: traced faulted sweep recorded no spans"
+            )
+        print(
+            f"chaos-smoke: trace recorded {len(spans)} spans, "
+            f"{len(retries)} retry events ({torn} torn lines)"
         )
-    _check_parity(baseline, chaotic, "faulted sweep")
+    _check_parity(baseline, chaotic, "faulted traced sweep")
 
     # Import here: repro.experiments.distributed imports the reliability
     # package, so a module-level import would be circular.
@@ -170,13 +199,17 @@ def main() -> int:
         shard_dirs = [shard_directory(base_dir, index) for index in range(2)]
         with injected_faults(plan):
             for index, shard_dir in enumerate(shard_dirs):
-                run_shard(
-                    manifest,
-                    index,
-                    shard_dir,
-                    max_workers=2,
-                    retry_policy=RetryPolicy(max_retries=3),
-                )
+                # Each shard traces to its own file (exactly what
+                # `shard run --trace` does); the merge below folds them
+                # into one timeline.
+                with traced(os.path.join(shard_dir, TRACE_BASENAME)):
+                    run_shard(
+                        manifest,
+                        index,
+                        shard_dir,
+                        max_workers=2,
+                        retry_policy=RetryPolicy(max_retries=3),
+                    )
         for index, shard_dir in enumerate(shard_dirs):
             status = shard_status(
                 manifest, index, shard_dir, stale_after_s=3600.0
@@ -192,6 +225,11 @@ def main() -> int:
         )
         _check_parity(baseline, cell_hashes(merged), "faulted 2-shard merge")
         print(f"chaos-smoke: merge counters {counters}")
+        if not counters.get("trace_events"):
+            raise SystemExit(
+                "chaos-smoke: shard merge folded no trace events; expected "
+                "both shard traces in the merged timeline"
+            )
     print("chaos-smoke: PASS")
     return 0
 

@@ -271,6 +271,16 @@ def mark_worker_process() -> None:
     _crash_exits_process = True
 
 
+def in_worker_process() -> bool:
+    """Whether this process was marked as an expendable pool worker.
+
+    Also the observability layer's worker test: a pool worker flushes its
+    metrics into the trace as it finishes each task (its process may be
+    recycled at any time), while the orchestrator flushes once per run.
+    """
+    return _crash_exits_process
+
+
 def activate_fault_plan(plan: FaultPlan) -> None:
     """Activate ``plan`` in this process and every future child process.
 
@@ -355,6 +365,11 @@ def fault_point(site: str, key: str, attempt: int = 0) -> Optional[FaultRule]:
     if rule is None:
         return None
     _fire_counts[(site, key)] = _fire_counts.get((site, key), 0) + 1
+    # Imported lazily: obs sits above reliability in the layering, and the
+    # counter only matters once a fault actually fires.
+    from repro.obs.metrics import metrics
+
+    metrics().inc(f"faults.fired.{rule.kind}")
     if rule.kind == KIND_TRANSIENT:
         raise InjectedTransientError(
             f"injected transient fault at {site} (key={key}, attempt={attempt})"

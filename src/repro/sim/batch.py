@@ -45,6 +45,8 @@ import numpy as np
 
 from repro.governors.base import Governor, GovernorObservation
 from repro.graphics.pipeline import BatchFramePipeline
+from repro.obs.metrics import metrics
+from repro.obs.profile import active_profiler
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import Simulation
 from repro.sim.recorder import BatchRecorder, Recorder
@@ -345,6 +347,20 @@ class BatchSimulation:
         devices = self.devices
         tick_count = self._tick_count
         soc_time = self._soc_time_s
+
+        profiler = active_profiler()
+        if profiler is not None:
+            # Same opt-in stage wrapping as the scalar engine: results pass
+            # through untouched, so the loop below is identical either way.
+            workload_ticks = [
+                profiler.wrap("workload", fn) for fn in workload_ticks
+            ]
+            batch_finish = profiler.wrap("pipeline", batch_finish)
+            evaluate_power = profiler.wrap("power_thermal", evaluate_power)
+            scaler_select = profiler.wrap("scaler", scaler_select)
+            recorder_append = profiler.wrap("recorder", recorder_append)
+        metrics().observe("batch.lane_occupancy", float(n))
+        metrics().inc("batch.device_ticks", float(ticks) * n)
 
         try:
             for _ in range(ticks):
@@ -678,8 +694,23 @@ class BatchSimulation:
         tick_count = self._tick_count
         soc_time = self._soc_time_s
 
+        profiler = active_profiler()
+        if profiler is not None:
+            workload_ticks = [
+                profiler.wrap("workload", fn) for fn in workload_ticks
+            ]
+            batch_finish = profiler.wrap("pipeline", batch_finish)
+            evaluate_power = profiler.wrap("power_thermal", evaluate_power)
+            scaler_select = profiler.wrap("scaler", scaler_select)
+            recorder_append = profiler.wrap("recorder", recorder_append)
+
         try:
             for seg_ticks, active_list, active_mask in self._lane_schedule(budgets):
+                # Per-segment occupancy: how full the batch lanes actually ran.
+                metrics().observe("batch.lane_occupancy", float(len(active_list)))
+                metrics().inc(
+                    "batch.device_ticks", float(seg_ticks) * len(active_list)
+                )
                 # Freeze lanes that just went inactive: zero the reused
                 # frontend rows once so the shared FPS window and governor
                 # counters stop accruing for them.

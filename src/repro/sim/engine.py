@@ -35,6 +35,7 @@ from typing import Optional, Sequence
 
 from repro.governors.base import Governor, GovernorObservation
 from repro.governors.schedutil import SchedutilScaler
+from repro.obs.profile import active_profiler
 from repro.graphics.display import Display
 from repro.graphics.pipeline import FramePipeline, PipelineConfig
 from repro.sim.clock import SimulationClock
@@ -252,6 +253,19 @@ class Simulation:
         last_invocation = self._last_invocation_s
         dropped_since = self._dropped_since_invocation
         demanded_since = self._demanded_since_invocation
+        governor_update = governor.update
+        profiler = active_profiler()
+        if profiler is not None:
+            # Opt-in sampling profiler: rebind the stage callables through
+            # timing wrappers that pass results through untouched, so the
+            # loop below is identical whether profiling is on or off and the
+            # disabled path costs one module-global read per call.
+            workload_tick = profiler.wrap("workload", workload_tick)
+            pipeline_tick = profiler.wrap("pipeline", pipeline_tick)
+            soc_step = profiler.wrap("power_thermal", soc_step)
+            scaler_select_tick = profiler.wrap("scaler", scaler_select_tick)
+            governor_update = profiler.wrap("governor", governor_update)
+            recorder_append = profiler.wrap("recorder", recorder_append)
         try:
             for _ in range(ticks):
                 demand = workload_tick(dt)
@@ -341,7 +355,7 @@ class Simulation:
                         frames_dropped=dropped_since,
                         frames_demanded=demanded_since,
                     )
-                    governor.update(observation, soc_clusters)
+                    governor_update(observation, soc_clusters)
                     last_invocation = now
                     dropped_since = 0
                     demanded_since = 0

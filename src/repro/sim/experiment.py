@@ -29,6 +29,7 @@ from repro.governors.simple import (
     PerformanceGovernor,
     PowersaveGovernor,
 )
+from repro.obs.trace import maybe_span
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import SessionWorkload, Simulation
 from repro.sim.recorder import Recorder, SummaryStatistics
@@ -281,7 +282,8 @@ def train_next_governor(
             )
         simulation = Simulation(platform=platform, governor=governor, config=episode_config)
         app = make_app(app_name, seed=episode_seed)
-        simulation.run(app, duration_s=episode_duration_s)
+        with maybe_span("episode", app=app_name, episode=episode, seed=episode_seed):
+            simulation.run(app, duration_s=episode_duration_s)
         if governor.agent.has_converged(td_error_threshold):
             break
     agent = governor.agent

@@ -394,7 +394,9 @@ class TestMergeParity:
         cells = small_matrix().cells()
         costs = {cell.fingerprint(): 10.0 for cell in cells[:3]}
         costs[cells[3].fingerprint()] = 70.0
-        progress = cli._progress_printer(False, costs, workers=4)
+        progress = cli._progress_printer(
+            False, cli._progress_tracker(costs, workers=4)
+        )
         for done, cell in enumerate(cells[:2], start=1):
             progress(done, 4, CellResult(cell=cell, status="ok", summary={}))
         out = capsys.readouterr().out

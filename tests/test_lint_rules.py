@@ -469,6 +469,77 @@ class TestSwallowedExceptionRule:
 
 
 # ---------------------------------------------------------------------------
+# REP009: print() outside the CLI / harness surfaces
+# ---------------------------------------------------------------------------
+
+class TestPrintCallRule:
+    def test_print_in_library_code_fires(self):
+        snippet = """
+            def deliver(result):
+                print("done", result)
+        """
+        assert rule_ids(snippet, "src/repro/experiments/runner.py") == ["REP009"]
+
+    def test_every_print_fires_once(self):
+        snippet = """
+            print("one")
+            print("two")
+        """
+        assert rule_ids(snippet, CORE) == ["REP009", "REP009"]
+
+    def test_method_named_print_is_fine(self):
+        snippet = """
+            def render(doc):
+                doc.print()
+        """
+        assert rule_ids(snippet, CORE) == []
+
+    def test_stderr_logging_helpers_are_out_of_scope(self):
+        snippet = """
+            import sys
+            def warn(message):
+                sys.stderr.write(message)
+        """
+        assert rule_ids(snippet, CORE) == []
+
+    def test_tests_and_benchmarks_are_out_of_scope(self):
+        snippet = "print('bench result')\n"
+        assert rule_ids(snippet, "tests/test_example.py") == []
+        assert rule_ids(snippet, "benchmarks/bench_example.py") == []
+
+    def test_justified_suppression_silences(self):
+        snippet = (
+            "print('banner')  # repro-lint: disable=REP009 -- startup banner\n"
+        )
+        assert rule_ids(snippet, CORE) == []
+
+    def test_committed_excludes_cover_the_cli_surfaces(self):
+        config = load_config(str(REPO_ROOT / "pyproject.toml"))
+        resolved = resolve_rules(ALL_RULES, config.rule_overrides)
+        snippet = "print('progress line')\n"
+        for surface in (
+            "src/repro/experiments/cli.py",
+            "src/repro/lint/cli.py",
+            "src/repro/reliability/chaos.py",
+        ):
+            assert rule_ids(snippet, surface, resolved) == [], surface
+
+    def test_committed_tree_is_print_clean(self):
+        """No library module print()s: stdout belongs to the CLI layer."""
+        config = load_config(str(REPO_ROOT / "pyproject.toml"))
+        resolved = resolve_rules(ALL_RULES, config.rule_overrides)
+        root = REPO_ROOT / "src"
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(REPO_ROOT).as_posix()
+            findings = [
+                f
+                for f in lint_source(path.read_text(), rel, resolved)
+                if f.rule_id == "REP009"
+            ]
+            assert findings == [], f"{rel}: {findings}"
+
+
+# ---------------------------------------------------------------------------
 # suppressions
 # ---------------------------------------------------------------------------
 
@@ -578,6 +649,12 @@ class TestConfig:
             "src/repro/experiments/runner.py::execute_cells_batched",
             "src/repro/reliability/clock.py::wall_now",
             "src/repro/reliability/clock.py::monotonic_now",
+            "src/repro/obs/profile.py::timed",
+        ]
+        assert table["REP009"]["exclude"] == [
+            "src/repro/experiments/cli.py",
+            "src/repro/lint/cli.py",
+            "src/repro/reliability/chaos.py",
         ]
 
     def test_rule_override_changes_scope(self):
